@@ -1,0 +1,409 @@
+// Command pgschema is the command-line front end to the library: it
+// parses and formats SDL schemas, checks their consistency, validates
+// Property Graphs against them, decides object-type satisfiability,
+// generates conformant graphs, extends schemas into GraphQL APIs (and
+// serves them over HTTP), exports proprietary DDL, runs GraphQL queries,
+// and emits Theorem 2 reduction schemas from DIMACS CNF files.
+//
+// Usage:
+//
+//	pgschema fmt      <schema.graphql>
+//	pgschema check    <schema.graphql>
+//	pgschema validate <schema.graphql> <graph.json> [-mode strong|weak|directives] [-max N] [-workers N]
+//	pgschema sat      <schema.graphql> <TypeName> [-max-nodes N] [-witness FILE]
+//	pgschema generate <schema.graphql> [-nodes N] [-seed N]
+//	pgschema api      <schema.graphql> [-no-inverse] [-keep-directives]
+//	pgschema export   <schema.graphql> [-format cypher|gsql] [-graph NAME]
+//	pgschema query    <schema.graphql> <graph.json> <query-or-@file> [-op NAME]
+//	pgschema serve    <schema.graphql> <graph.json> [-addr :8080]
+//	pgschema reduce   <formula.cnf>
+//	pgschema stats    <graph.json>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"pgschema/internal/apigen"
+	"pgschema/internal/cnf"
+	"pgschema/internal/ddl"
+	"pgschema/internal/gen"
+	"pgschema/internal/parser"
+	"pgschema/internal/pg"
+	"pgschema/internal/printer"
+	"pgschema/internal/query"
+	"pgschema/internal/reduction"
+	"pgschema/internal/sat"
+	"pgschema/internal/schema"
+	"pgschema/internal/server"
+	"pgschema/internal/validate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fmt":
+		err = cmdFmt(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "sat":
+		err = cmdSat(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "api":
+		err = cmdAPI(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "reduce":
+		err = cmdReduce(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pgschema: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgschema:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `pgschema — GraphQL SDL schemas for Property Graphs
+
+commands:
+  fmt      <schema>                 parse and print the schema canonically
+  check    <schema>                 verify schema consistency (Defs. 4.3-4.5)
+  validate <schema> <graph.json>    check strong satisfaction (Defs. 5.1-5.3)
+      -mode strong|weak|directives  satisfaction notion (default strong)
+      -max N                        stop after N violations
+      -workers N                    parallel validation workers
+  sat      <schema> <Type>          decide object-type satisfiability (§6.2)
+      -max-nodes N                  bound for the finite-model search
+      -witness FILE                 write the witness graph as JSON
+  generate <schema>                 emit a conformant graph as JSON
+      -nodes N -seed N
+  api      <schema>                 §3.6: extend into a GraphQL API schema
+      -no-inverse                   omit bidirectional traversal fields
+      -keep-directives              keep @required/@key/... annotations
+  export   <schema>                 emit proprietary DDL (§2.1 systems)
+      -format cypher|gsql           target dialect (default cypher)
+      -graph NAME                   GSQL graph name
+  query    <schema> <graph.json> <query-string-or-@file>
+                                    run a GraphQL query over the graph
+      -op NAME                      operation to execute
+  serve    <schema> <graph.json>    GraphQL HTTP endpoint over the graph
+      -addr :8080                   listen address
+  reduce   <formula.cnf>            Theorem 2: DIMACS CNF -> schema SDL
+  stats    <graph.json>             graph statistics
+`)
+}
+
+func loadSchema(path string) (*schema.Schema, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return schema.Build(doc, schema.Options{})
+}
+
+func loadGraph(path string) (*pg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pg.ReadJSON(f)
+}
+
+func cmdFmt(args []string) error {
+	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fmt: want one schema file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	doc, err := parser.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Print(printer.Print(doc))
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("check: want one schema file")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	objs := len(s.ObjectTypes())
+	fmt.Printf("schema is consistent: %d object types, %d interfaces, %d unions\n",
+		objs, len(s.InterfaceTypes()), len(s.UnionTypes()))
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	mode := fs.String("mode", "strong", "satisfaction notion")
+	max := fs.Int("max", 0, "maximum violations to report (0 = all)")
+	workers := fs.Int("workers", 1, "parallel workers")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("validate: want schema and graph files")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	opts := validate.Options{MaxViolations: *max, Workers: *workers}
+	switch *mode {
+	case "strong":
+		opts.Mode = validate.Strong
+	case "weak":
+		opts.Mode = validate.Weak
+	case "directives":
+		opts.Mode = validate.Directives
+	default:
+		return fmt.Errorf("validate: unknown mode %q", *mode)
+	}
+	res := validate.Validate(s, g, opts)
+	if res.OK() {
+		fmt.Printf("graph (%d nodes, %d edges) satisfies the schema (%s)\n", g.NumNodes(), g.NumEdges(), *mode)
+		return nil
+	}
+	for _, v := range res.Violations {
+		fmt.Println(v)
+	}
+	suffix := ""
+	if res.Truncated {
+		suffix = " (truncated)"
+	}
+	return fmt.Errorf("%d violations%s", len(res.Violations), suffix)
+}
+
+func cmdSat(args []string) error {
+	fs := flag.NewFlagSet("sat", flag.ExitOnError)
+	maxNodes := fs.Int("max-nodes", 6, "finite-model search bound")
+	witness := fs.String("witness", "", "write witness graph JSON to this file")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("sat: want schema file and type name")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := sat.Check(s, fs.Arg(1), sat.Options{MaxGraphNodes: *maxNodes})
+	fmt.Printf("%s: %s (decided by %s)\n", rep.Type, rep.Verdict, rep.Method)
+	if rep.Detail != "" {
+		fmt.Println("  " + rep.Detail)
+	}
+	if rep.Witness != nil && *witness != "" {
+		f, err := os.Create(*witness)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.Witness.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("  witness written to %s\n", *witness)
+	}
+	if rep.Verdict == sat.Unsatisfiable {
+		return fmt.Errorf("type %s is unsatisfiable", fs.Arg(1))
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	nodes := fs.Int("nodes", 10, "nodes per object type")
+	seed := fs.Int64("seed", 0, "generation seed")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("generate: want one schema file")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, err := gen.Conformant(s, gen.Config{Seed: *seed, NodesPerType: *nodes})
+	if err != nil {
+		return err
+	}
+	return g.WriteJSON(os.Stdout)
+}
+
+func cmdAPI(args []string) error {
+	fs := flag.NewFlagSet("api", flag.ExitOnError)
+	noInverse := fs.Bool("no-inverse", false, "omit bidirectional traversal fields")
+	keep := fs.Bool("keep-directives", false, "keep constraint directives")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("api: want one schema file")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sdl, err := apigen.ExtendSDL(s, apigen.Options{
+		NoInverseFields:          *noInverse,
+		KeepConstraintDirectives: *keep,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(sdl)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	format := fs.String("format", "cypher", "target dialect: cypher or gsql")
+	graph := fs.String("graph", "pg", "GSQL graph name")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("export: want one schema file")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "cypher":
+		fmt.Print(ddl.Cypher(s))
+	case "gsql":
+		fmt.Print(ddl.GSQL(s, *graph))
+	default:
+		return fmt.Errorf("export: unknown format %q", *format)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	op := fs.String("op", "", "operation name (for multi-operation documents)")
+	fs.Parse(args)
+	if fs.NArg() != 3 {
+		return fmt.Errorf("query: want schema file, graph file, and a query (or @file)")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	src := fs.Arg(2)
+	if len(src) > 1 && src[0] == '@' {
+		raw, err := os.ReadFile(src[1:])
+		if err != nil {
+			return err
+		}
+		src = string(raw)
+	}
+	doc, err := query.Parse(src)
+	if err != nil {
+		return err
+	}
+	out, err := query.Execute(s, g, doc, *op)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("serve: want schema and graph files")
+	}
+	s, err := loadSchema(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	h, err := server.New(s, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving GraphQL on %s (POST /graphql, GET /schema, GET /healthz)\n", *addr)
+	return http.ListenAndServe(*addr, h.Mux())
+}
+
+func cmdReduce(args []string) error {
+	fs := flag.NewFlagSet("reduce", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("reduce: want one DIMACS CNF file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	formula, err := cnf.ParseDIMACS(f)
+	if err != nil {
+		return err
+	}
+	red, err := reduction.FromCNF(formula)
+	if err != nil {
+		return err
+	}
+	fmt.Print(red.SDL)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: want one graph file")
+	}
+	g, err := loadGraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(g.ComputeStats())
+	return nil
+}

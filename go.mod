@@ -1,0 +1,3 @@
+module pgschema
+
+go 1.22

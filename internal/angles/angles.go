@@ -1,0 +1,387 @@
+// Package angles implements the Property Graph schema model of Renzo
+// Angles, "The Property Graph Database Model" (AMW 2018) — the only other
+// formal Property Graph schema proposal the paper discusses (§2.1) — as a
+// baseline to compare the SDL-based approach against.
+//
+// Angles' model defines node types and edge types. A node type has a
+// label and a set of typed properties; an edge type has a label, a source
+// and a target node type, and typed properties. The extensions Angles
+// outlines — mandatory properties, mandatory edges, property uniqueness,
+// and cardinality constraints — are represented directly.
+//
+// One deliberate generalization: edge types that share a (source label,
+// edge label) pair form a group, and out-cardinality constraints are
+// evaluated against the group (a "knows" edge may point at either of two
+// node types; the bound applies to the union). This matches the SDL
+// approach's semantics for interface- and union-typed relationship
+// fields, making the two models comparable on their common fragment (see
+// the Translate function and the comparison tests).
+package angles
+
+import (
+	"fmt"
+	"sort"
+
+	"pgschema/internal/pg"
+	"pgschema/internal/values"
+)
+
+// Unbounded marks a cardinality bound as absent.
+const Unbounded = -1
+
+// PropertyType declares one property of a node or edge type.
+type PropertyType struct {
+	Name string
+	// DataType is one of Int, Float, String, Boolean, ID, Any.
+	DataType string
+	// Mandatory properties must be present on every instance.
+	Mandatory bool
+	// Unique properties must have pairwise distinct values across all
+	// instances of the declaring node type (Angles' uniqueness).
+	Unique bool
+}
+
+// NodeType declares a node label with its allowed properties.
+type NodeType struct {
+	Label string
+	Props []PropertyType
+
+	propByName map[string]*PropertyType
+}
+
+// Prop returns the declared property, or nil.
+func (n *NodeType) Prop(name string) *PropertyType {
+	if n.propByName == nil {
+		n.propByName = make(map[string]*PropertyType, len(n.Props))
+		for i := range n.Props {
+			n.propByName[n.Props[i].Name] = &n.Props[i]
+		}
+	}
+	return n.propByName[name]
+}
+
+// EdgeType declares an edge label between a source and a target node
+// type, with properties and cardinality bounds.
+type EdgeType struct {
+	Label  string
+	Source string // source node type label
+	Target string // target node type label
+	Props  []PropertyType
+
+	// Out-cardinality: how many (Label)-edges a Source node may/must
+	// have to nodes of any target type in the same (Source, Label)
+	// group. Unbounded means no constraint.
+	MinOut, MaxOut int
+	// In-cardinality: how many (Label)-edges a Target node may/must
+	// receive from nodes of any source type in the same (Target, Label)
+	// group.
+	MinIn, MaxIn int
+
+	propByName map[string]*PropertyType
+}
+
+// Prop returns the declared edge property, or nil.
+func (e *EdgeType) Prop(name string) *PropertyType {
+	if e.propByName == nil {
+		e.propByName = make(map[string]*PropertyType, len(e.Props))
+		for i := range e.Props {
+			e.propByName[e.Props[i].Name] = &e.Props[i]
+		}
+	}
+	return e.propByName[name]
+}
+
+// Schema is an Angles-style Property Graph schema.
+type Schema struct {
+	NodeTypes map[string]*NodeType
+	EdgeTypes []*EdgeType
+
+	// byTriple indexes edge types by (source, label, target).
+	byTriple map[[3]string]*EdgeType
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{NodeTypes: make(map[string]*NodeType), byTriple: make(map[[3]string]*EdgeType)}
+}
+
+// AddNodeType declares a node type; duplicate labels are an error.
+func (s *Schema) AddNodeType(nt *NodeType) error {
+	if _, dup := s.NodeTypes[nt.Label]; dup {
+		return fmt.Errorf("angles: node type %q declared twice", nt.Label)
+	}
+	s.NodeTypes[nt.Label] = nt
+	return nil
+}
+
+// AddEdgeType declares an edge type; the endpoints must be declared and
+// the (source, label, target) triple must be fresh.
+func (s *Schema) AddEdgeType(et *EdgeType) error {
+	if s.NodeTypes[et.Source] == nil {
+		return fmt.Errorf("angles: edge type %q references undeclared source %q", et.Label, et.Source)
+	}
+	if s.NodeTypes[et.Target] == nil {
+		return fmt.Errorf("angles: edge type %q references undeclared target %q", et.Label, et.Target)
+	}
+	key := [3]string{et.Source, et.Label, et.Target}
+	if _, dup := s.byTriple[key]; dup {
+		return fmt.Errorf("angles: edge type (%s)-[%s]->(%s) declared twice", et.Source, et.Label, et.Target)
+	}
+	s.byTriple[key] = et
+	s.EdgeTypes = append(s.EdgeTypes, et)
+	return nil
+}
+
+// EdgeType looks up the declaration for a concrete edge triple.
+func (s *Schema) EdgeType(source, label, target string) *EdgeType {
+	return s.byTriple[[3]string{source, label, target}]
+}
+
+// Violation is one schema violation found by Validate.
+type Violation struct {
+	Kind    string // see the Kind* constants
+	Message string
+	Node    pg.NodeID
+	Edge    pg.EdgeID
+}
+
+// The violation kinds.
+const (
+	KindUnknownNodeType = "unknown-node-type"
+	KindUnknownProperty = "unknown-property"
+	KindBadPropertyType = "bad-property-type"
+	KindMissingProperty = "missing-property"
+	KindDuplicateValue  = "duplicate-value"
+	KindUnknownEdgeType = "unknown-edge-type"
+	KindUnknownEdgeProp = "unknown-edge-property"
+	KindBadEdgePropType = "bad-edge-property-type"
+	KindMissingEdgeProp = "missing-edge-property"
+	KindOutCardinality  = "out-cardinality"
+	KindInCardinality   = "in-cardinality"
+)
+
+// String renders the violation.
+func (v Violation) String() string { return v.Kind + ": " + v.Message }
+
+// Validate checks a Property Graph against the schema and returns all
+// violations, deterministically ordered.
+func (s *Schema) Validate(g *pg.Graph) []Violation {
+	var out []Violation
+
+	// Node typing, properties, mandatory properties.
+	for _, v := range g.Nodes() {
+		nt := s.NodeTypes[g.NodeLabel(v)]
+		if nt == nil {
+			out = append(out, Violation{Kind: KindUnknownNodeType, Node: v, Edge: -1,
+				Message: fmt.Sprintf("node %d has undeclared type %q", v, g.NodeLabel(v))})
+			continue
+		}
+		for _, name := range g.NodePropNames(v) {
+			pt := nt.Prop(name)
+			if pt == nil {
+				out = append(out, Violation{Kind: KindUnknownProperty, Node: v, Edge: -1,
+					Message: fmt.Sprintf("node %d (%s) has undeclared property %q", v, nt.Label, name)})
+				continue
+			}
+			val, _ := g.NodeProp(v, name)
+			if !dataTypeMember(pt.DataType, val) {
+				out = append(out, Violation{Kind: KindBadPropertyType, Node: v, Edge: -1,
+					Message: fmt.Sprintf("node %d (%s): property %q = %s is not a %s", v, nt.Label, name, val, pt.DataType)})
+			}
+		}
+		for i := range nt.Props {
+			pt := &nt.Props[i]
+			if pt.Mandatory {
+				if _, ok := g.NodeProp(v, pt.Name); !ok {
+					out = append(out, Violation{Kind: KindMissingProperty, Node: v, Edge: -1,
+						Message: fmt.Sprintf("node %d (%s) lacks mandatory property %q", v, nt.Label, pt.Name)})
+				}
+			}
+		}
+	}
+
+	// Uniqueness.
+	for label, nt := range s.NodeTypes {
+		for i := range nt.Props {
+			pt := &nt.Props[i]
+			if !pt.Unique {
+				continue
+			}
+			seen := make(map[string]pg.NodeID)
+			for _, v := range g.NodesLabeled(label) {
+				val, ok := g.NodeProp(v, pt.Name)
+				if !ok {
+					continue
+				}
+				if prev, dup := seen[val.Key()]; dup {
+					out = append(out, Violation{Kind: KindDuplicateValue, Node: v, Edge: -1,
+						Message: fmt.Sprintf("nodes %d and %d (%s) share unique property %q = %s", prev, v, label, pt.Name, val)})
+				} else {
+					seen[val.Key()] = v
+				}
+			}
+		}
+	}
+
+	// Edge typing and edge properties.
+	for _, e := range g.Edges() {
+		src, dst := g.Endpoints(e)
+		et := s.EdgeType(g.NodeLabel(src), g.EdgeLabel(e), g.NodeLabel(dst))
+		if et == nil {
+			out = append(out, Violation{Kind: KindUnknownEdgeType, Node: src, Edge: e,
+				Message: fmt.Sprintf("edge %d: (%s)-[%s]->(%s) matches no edge type", e, g.NodeLabel(src), g.EdgeLabel(e), g.NodeLabel(dst))})
+			continue
+		}
+		for _, name := range g.EdgePropNames(e) {
+			pt := et.Prop(name)
+			if pt == nil {
+				out = append(out, Violation{Kind: KindUnknownEdgeProp, Node: src, Edge: e,
+					Message: fmt.Sprintf("edge %d (%s) has undeclared property %q", e, et.Label, name)})
+				continue
+			}
+			val, _ := g.EdgeProp(e, name)
+			if !dataTypeMember(pt.DataType, val) {
+				out = append(out, Violation{Kind: KindBadEdgePropType, Node: src, Edge: e,
+					Message: fmt.Sprintf("edge %d (%s): property %q = %s is not a %s", e, et.Label, name, val, pt.DataType)})
+			}
+		}
+		for i := range et.Props {
+			pt := &et.Props[i]
+			if pt.Mandatory {
+				if _, ok := g.EdgeProp(e, pt.Name); !ok {
+					out = append(out, Violation{Kind: KindMissingEdgeProp, Node: src, Edge: e,
+						Message: fmt.Sprintf("edge %d (%s) lacks mandatory property %q", e, et.Label, pt.Name)})
+				}
+			}
+		}
+	}
+
+	// Cardinality constraints, evaluated per (source, label) and
+	// (target, label) group.
+	out = append(out, s.checkCardinalities(g)...)
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// group aggregates the bounds of edge types sharing (source, label) or
+// (target, label).
+type group struct {
+	min, max int
+}
+
+func (s *Schema) checkCardinalities(g *pg.Graph) []Violation {
+	var out []Violation
+
+	outGroups := make(map[[2]string]group) // (source label, edge label)
+	inGroups := make(map[[2]string]group)  // (target label, edge label)
+	for _, et := range s.EdgeTypes {
+		ok := [2]string{et.Source, et.Label}
+		cur, exists := outGroups[ok]
+		if !exists {
+			cur = group{min: Unbounded, max: Unbounded}
+		}
+		cur.min = mergeBound(cur.min, et.MinOut)
+		cur.max = mergeBound(cur.max, et.MaxOut)
+		outGroups[ok] = cur
+
+		ik := [2]string{et.Target, et.Label}
+		cur, exists = inGroups[ik]
+		if !exists {
+			cur = group{min: Unbounded, max: Unbounded}
+		}
+		cur.min = mergeBound(cur.min, et.MinIn)
+		cur.max = mergeBound(cur.max, et.MaxIn)
+		inGroups[ik] = cur
+	}
+
+	for key, grp := range outGroups {
+		if grp.min == Unbounded && grp.max == Unbounded {
+			continue
+		}
+		for _, v := range g.NodesLabeled(key[0]) {
+			n := g.OutDegreeLabeled(v, key[1])
+			if grp.min != Unbounded && n < grp.min {
+				out = append(out, Violation{Kind: KindOutCardinality, Node: v, Edge: -1,
+					Message: fmt.Sprintf("node %d (%s) has %d outgoing %q edges, needs at least %d", v, key[0], n, key[1], grp.min)})
+			}
+			if grp.max != Unbounded && n > grp.max {
+				out = append(out, Violation{Kind: KindOutCardinality, Node: v, Edge: -1,
+					Message: fmt.Sprintf("node %d (%s) has %d outgoing %q edges, allows at most %d", v, key[0], n, key[1], grp.max)})
+			}
+		}
+	}
+	for key, grp := range inGroups {
+		if grp.min == Unbounded && grp.max == Unbounded {
+			continue
+		}
+		for _, v := range g.NodesLabeled(key[0]) {
+			n := len(g.InEdgesLabeled(v, key[1]))
+			if grp.min != Unbounded && n < grp.min {
+				out = append(out, Violation{Kind: KindInCardinality, Node: v, Edge: -1,
+					Message: fmt.Sprintf("node %d (%s) has %d incoming %q edges, needs at least %d", v, key[0], n, key[1], grp.min)})
+			}
+			if grp.max != Unbounded && n > grp.max {
+				out = append(out, Violation{Kind: KindInCardinality, Node: v, Edge: -1,
+					Message: fmt.Sprintf("node %d (%s) has %d incoming %q edges, allows at most %d", v, key[0], n, key[1], grp.max)})
+			}
+		}
+	}
+	return out
+}
+
+// mergeBound combines two bounds of the same group: the tighter
+// constraint wins (min: larger; max: smaller) — but an Unbounded entry
+// defers to the other.
+func mergeBound(a, b int) int {
+	if a == Unbounded {
+		return b
+	}
+	if b == Unbounded {
+		return a
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// dataTypeMember implements Angles' property datatypes, with "Any" (used
+// for the SDL approach's custom scalars) accepting every atomic value and
+// list types written as "[T]".
+func dataTypeMember(dt string, v values.Value) bool {
+	if v.IsNull() {
+		return true // absence of a value; mandatory-ness is separate
+	}
+	if len(dt) > 2 && dt[0] == '[' && dt[len(dt)-1] == ']' {
+		if v.Kind() != values.KindList {
+			return false
+		}
+		elem := dt[1 : len(dt)-1]
+		for i := 0; i < v.Len(); i++ {
+			if !dataTypeMember(elem, v.Elem(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if v.Kind() == values.KindList {
+		return false
+	}
+	switch dt {
+	case "Any":
+		return true
+	case "Enum":
+		return v.Kind() == values.KindEnum || v.Kind() == values.KindString
+	default:
+		return values.BuiltinMember(dt, v)
+	}
+}

@@ -1,0 +1,262 @@
+package angles
+
+import (
+	"testing"
+
+	"pgschema/internal/gen"
+	"pgschema/internal/parser"
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+	"pgschema/internal/validate"
+	"pgschema/internal/values"
+)
+
+func buildSDL(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	doc, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return s
+}
+
+// commonSDL is a schema inside the Angles-translatable fragment.
+const commonSDL = `
+type User @key(fields: ["id"]) {
+	id: ID! @required
+	age: Int
+	session(weight: Float!): [Session] @uniqueForTarget @requiredForTarget
+}
+type Session {
+	start: String! @required
+	host: Host! @required
+}
+type Host {
+	addr: String!
+}`
+
+func TestTranslateShape(t *testing.T) {
+	s := buildSDL(t, commonSDL)
+	a, err := Translate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.NodeTypes) != 3 {
+		t.Errorf("node types: %d", len(a.NodeTypes))
+	}
+	user := a.NodeTypes["User"]
+	if p := user.Prop("id"); p == nil || !p.Mandatory || !p.Unique || p.DataType != "ID" {
+		t.Errorf("User.id: %+v", p)
+	}
+	if p := user.Prop("age"); p == nil || p.Mandatory || p.Unique || p.DataType != "Int" {
+		t.Errorf("User.age: %+v", p)
+	}
+	et := a.EdgeType("User", "session", "Session")
+	if et == nil {
+		t.Fatal("no (User)-[session]->(Session) edge type")
+	}
+	if et.MaxIn != 1 || et.MinIn != 1 {
+		t.Errorf("session in-bounds: %d..%d", et.MinIn, et.MaxIn)
+	}
+	if et.MaxOut != Unbounded || et.MinOut != Unbounded {
+		t.Errorf("session out-bounds: %d..%d", et.MinOut, et.MaxOut)
+	}
+	if p := et.Prop("weight"); p == nil || !p.Mandatory || p.DataType != "Float" {
+		t.Errorf("session.weight: %+v", p)
+	}
+	host := a.EdgeType("Session", "host", "Host")
+	if host == nil || host.MaxOut != 1 || host.MinOut != 1 {
+		t.Errorf("host bounds: %+v", host)
+	}
+}
+
+func TestTranslateRejectsOutsideFragment(t *testing.T) {
+	cases := []string{
+		`type A { rel: [A] @distinct }`,
+		`type A { rel: [A] @noLoops }`,
+		`type A @key(fields: ["x", "y"]) { x: Int y: Int }`,
+	}
+	for _, src := range cases {
+		s := buildSDL(t, src)
+		if _, err := Translate(s); err == nil {
+			t.Errorf("expected translation error for %q", src)
+		}
+	}
+}
+
+func TestTranslateInterfaceTargets(t *testing.T) {
+	s := buildSDL(t, `
+		type Person { favoriteFood: Food }
+		interface Food { name: String! }
+		type Pizza implements Food { name: String! }
+		type Pasta implements Food { name: String! }`)
+	a, err := Translate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeType("Person", "favoriteFood", "Pizza") == nil ||
+		a.EdgeType("Person", "favoriteFood", "Pasta") == nil {
+		t.Error("interface target not expanded into edge types")
+	}
+}
+
+// TestBaselineAgreementOnConformantGraphs: graphs generated against the
+// SDL schema validate cleanly under the translated Angles schema too.
+func TestBaselineAgreementOnConformantGraphs(t *testing.T) {
+	s := buildSDL(t, commonSDL)
+	a, err := Translate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := gen.Conformant(s, gen.Config{Seed: seed, NodesPerType: 15})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res := validate.Validate(s, g, validate.Options{}); !res.OK() {
+			t.Fatalf("seed %d: SDL validator rejects: %v", seed, res.Violations)
+		}
+		if vs := a.Validate(g); len(vs) != 0 {
+			t.Fatalf("seed %d: Angles baseline rejects a conformant graph: %v", seed, vs[:min(3, len(vs))])
+		}
+	}
+}
+
+// TestBaselineAgreementOnInjectedViolations: for every rule in the common
+// fragment, an injected violation is flagged by both validators.
+func TestBaselineAgreementOnInjectedViolations(t *testing.T) {
+	// Rules outside the common fragment (DS1/DS2: @distinct/@noLoops;
+	// WS2 is representable so it is included).
+	common := []validate.Rule{
+		validate.WS1, validate.WS2, validate.WS3, validate.WS4,
+		validate.DS3, validate.DS4, validate.DS5, validate.DS6, validate.DS7,
+		validate.SS1, validate.SS2, validate.SS3, validate.SS4,
+	}
+	s := buildSDL(t, commonSDL)
+	a, err := Translate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range common {
+		t.Run(string(rule), func(t *testing.T) {
+			g, err := gen.Conformant(s, gen.Config{Seed: 3, NodesPerType: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := gen.Inject(s, g, rule, 3); err != nil {
+				t.Skipf("rule not injectable in this schema: %v", err)
+			}
+			sdlRes := validate.Validate(s, g, validate.Options{})
+			anglesRes := a.Validate(g)
+			if sdlRes.OK() {
+				t.Fatalf("SDL validator missed the injected %s violation", rule)
+			}
+			if len(anglesRes) == 0 {
+				t.Errorf("Angles baseline missed the injected %s violation (SDL reported %v)", rule, sdlRes.Violations)
+			}
+		})
+	}
+}
+
+func TestAnglesDirectUsage(t *testing.T) {
+	// The baseline is usable standalone, without SDL.
+	a := NewSchema()
+	if err := a.AddNodeType(&NodeType{Label: "City", Props: []PropertyType{
+		{Name: "name", DataType: "String", Mandatory: true, Unique: true},
+		{Name: "population", DataType: "Int"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddNodeType(&NodeType{Label: "Country"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddEdgeType(&EdgeType{
+		Label: "capitalOf", Source: "City", Target: "Country",
+		MinOut: Unbounded, MaxOut: 1, MinIn: 1, MaxIn: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	g := pg.New()
+	paris := g.AddNode("City")
+	g.SetNodeProp(paris, "name", values.String("Paris"))
+	france := g.AddNode("Country")
+	g.MustAddEdge(paris, france, "capitalOf")
+	if vs := a.Validate(g); len(vs) != 0 {
+		t.Fatalf("valid graph rejected: %v", vs)
+	}
+
+	// Missing mandatory name.
+	lyon := g.AddNode("City")
+	vs := a.Validate(g)
+	if !hasKind(vs, KindMissingProperty) {
+		t.Errorf("missing mandatory property not reported: %v", vs)
+	}
+	g.SetNodeProp(lyon, "name", values.String("Paris")) // duplicate unique
+	vs = a.Validate(g)
+	if !hasKind(vs, KindDuplicateValue) {
+		t.Errorf("duplicate unique value not reported: %v", vs)
+	}
+	g.SetNodeProp(lyon, "name", values.String("Lyon"))
+	g.SetNodeProp(lyon, "population", values.String("big")) // wrong type
+	vs = a.Validate(g)
+	if !hasKind(vs, KindBadPropertyType) {
+		t.Errorf("bad property type not reported: %v", vs)
+	}
+	g.DeleteNodeProp(lyon, "population")
+
+	// Second capital for France: in-cardinality violation.
+	g.MustAddEdge(lyon, france, "capitalOf")
+	vs = a.Validate(g)
+	if !hasKind(vs, KindInCardinality) {
+		t.Errorf("in-cardinality not reported: %v", vs)
+	}
+
+	// An edge with no declared type.
+	g2 := pg.New()
+	c := g2.AddNode("City")
+	g2.SetNodeProp(c, "name", values.String("Rome"))
+	c2 := g2.AddNode("City")
+	g2.SetNodeProp(c2, "name", values.String("Milan"))
+	g2.MustAddEdge(c, c2, "twinnedWith")
+	vs = a.Validate(g2)
+	if !hasKind(vs, KindUnknownEdgeType) {
+		t.Errorf("unknown edge type not reported: %v", vs)
+	}
+}
+
+func TestAnglesSchemaErrors(t *testing.T) {
+	a := NewSchema()
+	if err := a.AddNodeType(&NodeType{Label: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddNodeType(&NodeType{Label: "A"}); err == nil {
+		t.Error("duplicate node type accepted")
+	}
+	if err := a.AddEdgeType(&EdgeType{Label: "e", Source: "A", Target: "Missing"}); err == nil {
+		t.Error("edge to undeclared target accepted")
+	}
+	if err := a.AddEdgeType(&EdgeType{Label: "e", Source: "Missing", Target: "A"}); err == nil {
+		t.Error("edge from undeclared source accepted")
+	}
+}
+
+func hasKind(vs []Violation, kind string) bool {
+	for _, v := range vs {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package angles
+
+import (
+	"fmt"
+
+	"pgschema/internal/schema"
+)
+
+// Translate maps an SDL-based Property Graph schema onto the Angles
+// model's common fragment:
+//
+//   - every object type becomes a node type; its attribute fields become
+//     typed properties, @required ⇒ mandatory, and a single-field @key ⇒
+//     unique;
+//   - every relationship declaration becomes one edge type per concrete
+//     (source type, target type) pair, with cardinalities from the SDL
+//     semantics: non-list ⇒ MaxOut 1, @required ⇒ MinOut 1,
+//     @uniqueForTarget ⇒ MaxIn 1, @requiredForTarget ⇒ MinIn 1;
+//   - edge-property arguments become edge properties (non-null ⇒
+//     mandatory).
+//
+// Features outside the Angles model are rejected with an error rather
+// than silently dropped: @distinct, @noLoops, and multi-field keys have
+// no Angles counterpart. (Interface- and union-typed relationships are
+// representable because this implementation evaluates cardinalities per
+// (source, label) group; see the package comment.)
+func Translate(s *schema.Schema) (*Schema, error) {
+	out := NewSchema()
+	for _, td := range s.ObjectTypes() {
+		nt := &NodeType{Label: td.Name}
+		unique := make(map[string]bool)
+		for _, set := range td.KeyFieldSets() {
+			if len(set) != 1 {
+				return nil, fmt.Errorf("angles: composite @key on %s has no Angles counterpart", td.Name)
+			}
+			unique[set[0]] = true
+		}
+		for _, f := range td.Fields {
+			if !s.IsAttribute(f) {
+				continue
+			}
+			nt.Props = append(nt.Props, PropertyType{
+				Name:      f.Name,
+				DataType:  dataTypeOf(s, f.Type),
+				Mandatory: schema.HasDirective(f.Directives, schema.DirRequired),
+				Unique:    unique[f.Name],
+			})
+			delete(unique, f.Name)
+		}
+		if len(unique) > 0 {
+			return nil, fmt.Errorf("angles: @key on %s references a non-attribute field", td.Name)
+		}
+		if err := out.AddNodeType(nt); err != nil {
+			return nil, err
+		}
+	}
+
+	// Relationship declarations, expanded to concrete endpoint pairs.
+	// Constraints declared on interfaces distribute over implementers
+	// exactly like the DS rules quantify with ⊑S.
+	for _, td := range s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		for _, f := range td.Fields {
+			if !s.IsRelationship(f) {
+				continue
+			}
+			if schema.HasDirective(f.Directives, schema.DirDistinct) {
+				return nil, fmt.Errorf("angles: @distinct on %s.%s has no Angles counterpart", td.Name, f.Name)
+			}
+			if schema.HasDirective(f.Directives, schema.DirNoLoops) {
+				return nil, fmt.Errorf("angles: @noLoops on %s.%s has no Angles counterpart", td.Name, f.Name)
+			}
+			if td.Kind == schema.Interface {
+				// The object-level re-declarations carry the edge
+				// types; interface-level directives are merged below
+				// through the group semantics — but only bounds can
+				// merge, so reject interface-only directives that the
+				// object declarations do not repeat.
+				continue
+			}
+			var props []PropertyType
+			for _, a := range f.Args {
+				props = append(props, PropertyType{
+					Name:      a.Name,
+					DataType:  dataTypeOf(s, a.Type),
+					Mandatory: a.Type.NonNull,
+				})
+			}
+			dirs := effectiveDirectives(s, td, f)
+			minOut, maxOut := Unbounded, Unbounded
+			if !f.Type.IsList() {
+				maxOut = 1
+			}
+			if schema.HasDirective(dirs, schema.DirRequired) {
+				minOut = 1
+			}
+			minIn, maxIn := Unbounded, Unbounded
+			if schema.HasDirective(dirs, schema.DirUniqueForTarget) {
+				maxIn = 1
+			}
+			if schema.HasDirective(dirs, schema.DirRequiredForTarget) {
+				minIn = 1
+			}
+			for _, target := range s.ConcreteTargets(f.Type.Base()) {
+				et := &EdgeType{
+					Label: f.Name, Source: td.Name, Target: target,
+					Props:  append([]PropertyType(nil), props...),
+					MinOut: minOut, MaxOut: maxOut,
+					MinIn: minIn, MaxIn: maxIn,
+				}
+				if err := out.AddEdgeType(et); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// effectiveDirectives merges the directives of the field with those on
+// the same field in implemented interfaces.
+func effectiveDirectives(s *schema.Schema, td *schema.TypeDef, f *schema.FieldDef) []schema.Applied {
+	out := append([]schema.Applied(nil), f.Directives...)
+	for _, in := range td.Interfaces {
+		it := s.Type(in)
+		if it == nil {
+			continue
+		}
+		if itf := it.Field(f.Name); itf != nil {
+			out = append(out, itf.Directives...)
+		}
+	}
+	return out
+}
+
+// dataTypeOf maps an SDL attribute type to an Angles datatype string.
+func dataTypeOf(s *schema.Schema, t schema.TypeRef) string {
+	base := t.Base()
+	var dt string
+	td := s.Type(base)
+	switch {
+	case td != nil && td.Kind == schema.Enum:
+		dt = "Enum"
+	case base == "Int", base == "Float", base == "String", base == "Boolean", base == "ID":
+		dt = base
+	default:
+		dt = "Any" // custom scalars
+	}
+	if t.IsList() {
+		return "[" + dt + "]"
+	}
+	return dt
+}

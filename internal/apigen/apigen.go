@@ -1,0 +1,325 @@
+// Package apigen implements the extension step the paper sketches in
+// §3.6: turning an SDL-based Property Graph schema into an actual GraphQL
+// API schema. Two gaps have to be closed:
+//
+//  1. GraphQL API schemas require a query root operation type; apigen
+//     synthesizes one with, per object type T, a lookup field
+//     `t(...)` keyed by the type's @key fields (when present) and a
+//     listing field `allTs`.
+//  2. Property Graph query languages traverse edges both ways, but an
+//     SDL-based PG schema mentions each edge type only on the source
+//     side. apigen adds, for every relationship field f declared on a
+//     type S with target base type T, an inverse field `_fOfS: [S]` to
+//     T (and to every object type that can be a target of f), so the
+//     API supports bidirectional traversal.
+//
+// The output is a new AST document: the original definitions (minus the
+// constraint directives, which have no meaning to GraphQL servers,
+// unless KeepConstraintDirectives is set) plus the synthesized parts.
+package apigen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pgschema/internal/ast"
+	"pgschema/internal/printer"
+	"pgschema/internal/schema"
+	"pgschema/internal/values"
+)
+
+// Options configures the extension.
+type Options struct {
+	// QueryTypeName names the synthesized root type (default "Query").
+	QueryTypeName string
+	// KeepConstraintDirectives retains @required/@key/… annotations in
+	// the output (useful when the output is consumed by tooling that
+	// understands them; GraphQL servers reject undeclared directives,
+	// so by default they are stripped and re-declared as directive
+	// definitions instead).
+	KeepConstraintDirectives bool
+	// NoInverseFields suppresses the bidirectional-traversal fields.
+	NoInverseFields bool
+}
+
+// Extend builds the GraphQL API schema document for a Property Graph
+// schema. The schema must have been built by schema.Build.
+func Extend(s *schema.Schema, opts Options) (*ast.Document, error) {
+	if opts.QueryTypeName == "" {
+		opts.QueryTypeName = "Query"
+	}
+	if s.Type(opts.QueryTypeName) != nil {
+		return nil, fmt.Errorf("apigen: schema already declares a type named %q", opts.QueryTypeName)
+	}
+	doc := &ast.Document{}
+
+	// Re-emit the declared types.
+	inverses := map[string][]ast.FieldDefinition{} // target type -> inverse fields
+	if !opts.NoInverseFields {
+		collectInverses(s, inverses)
+	}
+	for _, td := range s.Types() {
+		if isBuiltin(td.Name) {
+			continue
+		}
+		def := emitType(s, td, inverses[td.Name], opts)
+		if def != nil {
+			doc.Definitions = append(doc.Definitions, def)
+		}
+	}
+
+	// The query root: per object type a by-key lookup and a listing.
+	query := &ast.ObjectTypeDefinition{}
+	query.Name = opts.QueryTypeName
+	query.Description = "Synthesized root operation type (apigen)."
+	for _, td := range s.ObjectTypes() {
+		lookupArgs := keyArguments(s, td)
+		if len(lookupArgs) > 0 {
+			query.Fields = append(query.Fields, ast.FieldDefinition{
+				Name:      LookupFieldName(td.Name),
+				Arguments: lookupArgs,
+				Type:      &ast.NamedType{Name: td.Name},
+			})
+		}
+		query.Fields = append(query.Fields, ast.FieldDefinition{
+			Name: ListFieldName(td.Name),
+			Type: &ast.ListType{Elem: &ast.NonNullType{Elem: &ast.NamedType{Name: td.Name}}},
+		})
+	}
+	doc.Definitions = append(doc.Definitions, query)
+	doc.Definitions = append(doc.Definitions, &ast.SchemaDefinition{
+		RootOperations: []ast.RootOperation{{Operation: "query", Type: opts.QueryTypeName}},
+	})
+
+	if opts.KeepConstraintDirectives {
+		doc.Definitions = append(constraintDirectiveDefs(), doc.Definitions...)
+	}
+	return doc, nil
+}
+
+// ExtendSDL is Extend followed by printing.
+func ExtendSDL(s *schema.Schema, opts Options) (string, error) {
+	doc, err := Extend(s, opts)
+	if err != nil {
+		return "", err
+	}
+	return printer.Print(doc), nil
+}
+
+// collectInverses computes, for every object type, the inverse traversal
+// fields it should carry: one per (source type, relationship field) that
+// can target it.
+func collectInverses(s *schema.Schema, out map[string][]ast.FieldDefinition) {
+	for _, td := range s.ObjectTypes() {
+		for _, f := range td.Fields {
+			if !s.IsRelationship(f) {
+				continue
+			}
+			inv := ast.FieldDefinition{
+				Name:        InverseFieldName(f.Name, td.Name),
+				Description: fmt.Sprintf("Sources of incoming %q edges from %s nodes (apigen inverse).", f.Name, td.Name),
+				Type:        &ast.ListType{Elem: &ast.NonNullType{Elem: &ast.NamedType{Name: td.Name}}},
+			}
+			for _, target := range s.ConcreteTargets(f.Type.Base()) {
+				out[target] = append(out[target], inv)
+			}
+		}
+	}
+	for k := range out {
+		sort.Slice(out[k], func(i, j int) bool { return out[k][i].Name < out[k][j].Name })
+	}
+}
+
+// InverseFieldName builds the inverse-traversal field name
+// `_<field>Of<Source>`, e.g. `_authorOfBook`. The query executor resolves
+// these names back to (field, source type) pairs.
+func InverseFieldName(field, source string) string {
+	return "_" + field + "Of" + source
+}
+
+// LookupFieldName is the query-root lookup field for a type ("author"
+// for Author).
+func LookupFieldName(typeName string) string { return lowerFirst(typeName) }
+
+// ListFieldName is the query-root listing field for a type ("allAuthors"
+// for Author).
+func ListFieldName(typeName string) string { return "all" + plural(typeName) }
+
+func emitType(s *schema.Schema, td *schema.TypeDef, inverses []ast.FieldDefinition, opts Options) ast.Definition {
+	switch td.Kind {
+	case schema.Scalar:
+		d := &ast.ScalarTypeDefinition{}
+		d.Name, d.Description = td.Name, td.Description
+		return d
+	case schema.Enum:
+		d := &ast.EnumTypeDefinition{}
+		d.Name, d.Description = td.Name, td.Description
+		for _, v := range td.EnumValues {
+			d.Values = append(d.Values, ast.EnumValueDefinition{Name: v})
+		}
+		return d
+	case schema.Union:
+		d := &ast.UnionTypeDefinition{}
+		d.Name, d.Description = td.Name, td.Description
+		d.Members = append(d.Members, td.Members...)
+		return d
+	case schema.Interface:
+		d := &ast.InterfaceTypeDefinition{}
+		d.Name, d.Description = td.Name, td.Description
+		d.Fields = emitFields(s, td, nil, opts)
+		return d
+	case schema.Object:
+		d := &ast.ObjectTypeDefinition{}
+		d.Name, d.Description = td.Name, td.Description
+		d.Interfaces = append(d.Interfaces, td.Interfaces...)
+		d.Fields = emitFields(s, td, inverses, opts)
+		return d
+	}
+	return nil
+}
+
+func emitFields(s *schema.Schema, td *schema.TypeDef, inverses []ast.FieldDefinition, opts Options) []ast.FieldDefinition {
+	var out []ast.FieldDefinition
+	for _, f := range td.Fields {
+		fd := ast.FieldDefinition{
+			Name:        f.Name,
+			Description: f.Description,
+			Type:        typeToAST(f.Type),
+		}
+		for _, a := range f.Args {
+			iv := ast.InputValueDefinition{Name: a.Name, Description: a.Description, Type: typeToAST(a.Type)}
+			out := iv // no defaults carried over; PG edge properties have none
+			fd.Arguments = append(fd.Arguments, out)
+		}
+		if opts.KeepConstraintDirectives {
+			for _, app := range f.Directives {
+				fd.Directives = append(fd.Directives, appliedToAST(app))
+			}
+		}
+		out = append(out, fd)
+	}
+	out = append(out, inverses...)
+	return out
+}
+
+func typeToAST(t schema.TypeRef) ast.Type {
+	var inner ast.Type = &ast.NamedType{Name: t.Name}
+	if t.List {
+		if t.ElemNonNull {
+			inner = &ast.NonNullType{Elem: inner}
+		}
+		inner = &ast.ListType{Elem: inner}
+	}
+	if t.NonNull {
+		inner = &ast.NonNullType{Elem: inner}
+	}
+	return inner
+}
+
+func appliedToAST(app schema.Applied) ast.Directive {
+	d := ast.Directive{Name: app.Name}
+	names := make([]string, 0, len(app.Args))
+	for n := range app.Args {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d.Arguments = append(d.Arguments, ast.Argument{Name: n, Value: valueToAST(app.Args[n])})
+	}
+	return d
+}
+
+func valueToAST(v values.Value) ast.Value {
+	switch v.Kind() {
+	case values.KindNull:
+		return ast.NullValue{}
+	case values.KindInt:
+		return ast.IntValue{Raw: strconv.FormatInt(v.AsInt(), 10)}
+	case values.KindFloat:
+		return ast.FloatValue{Raw: strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)}
+	case values.KindBoolean:
+		return ast.BooleanValue{Value: v.AsBool()}
+	case values.KindEnum:
+		return ast.EnumValue{Name: v.AsString()}
+	case values.KindList:
+		lv := ast.ListValue{}
+		for i := 0; i < v.Len(); i++ {
+			lv.Values = append(lv.Values, valueToAST(v.Elem(i)))
+		}
+		return lv
+	default: // String, ID
+		return ast.StringValue{Value: v.AsString()}
+	}
+}
+
+// keyArguments derives lookup arguments from the first @key of the type.
+func keyArguments(s *schema.Schema, td *schema.TypeDef) []ast.InputValueDefinition {
+	sets := td.KeyFieldSets()
+	if len(sets) == 0 {
+		return nil
+	}
+	var out []ast.InputValueDefinition
+	for _, fname := range sets[0] {
+		f := td.Field(fname)
+		if f == nil || !s.IsAttribute(f) {
+			continue
+		}
+		at := f.Type
+		at.NonNull = true // lookups require the full key
+		out = append(out, ast.InputValueDefinition{Name: fname, Type: typeToAST(at)})
+	}
+	return out
+}
+
+// constraintDirectiveDefs declares the six paper directives so that the
+// emitted schema is self-contained when KeepConstraintDirectives is set.
+func constraintDirectiveDefs() []ast.Definition {
+	noArg := func(name, loc string) ast.Definition {
+		return &ast.DirectiveDefinition{Name: name, Locations: []string{loc}}
+	}
+	return []ast.Definition{
+		noArg("required", "FIELD_DEFINITION"),
+		noArg("distinct", "FIELD_DEFINITION"),
+		noArg("noLoops", "FIELD_DEFINITION"),
+		noArg("uniqueForTarget", "FIELD_DEFINITION"),
+		noArg("requiredForTarget", "FIELD_DEFINITION"),
+		&ast.DirectiveDefinition{
+			Name: "key",
+			Arguments: []ast.InputValueDefinition{{
+				Name: "fields",
+				Type: &ast.NonNullType{Elem: &ast.ListType{Elem: &ast.NonNullType{Elem: &ast.NamedType{Name: "String"}}}},
+			}},
+			Repeatable: true,
+			Locations:  []string{"OBJECT", "INTERFACE"},
+		},
+	}
+}
+
+func isBuiltin(name string) bool {
+	switch name {
+	case "Int", "Float", "String", "Boolean", "ID":
+		return true
+	}
+	return false
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// plural is a best-effort English pluralizer for field names.
+func plural(s string) string {
+	switch {
+	case strings.HasSuffix(s, "s"), strings.HasSuffix(s, "x"), strings.HasSuffix(s, "ch"):
+		return s + "es"
+	case strings.HasSuffix(s, "y") && len(s) > 1 && !strings.ContainsRune("aeiou", rune(s[len(s)-2])):
+		return s[:len(s)-1] + "ies"
+	default:
+		return s + "s"
+	}
+}

@@ -1,0 +1,204 @@
+package apigen
+
+import (
+	"strings"
+	"testing"
+
+	"pgschema/internal/parser"
+	"pgschema/internal/schema"
+)
+
+func build(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	doc, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return s
+}
+
+const bookSDL = `
+type Author @key(fields: ["name"]) {
+	name: String! @required
+	favoriteBook: Book
+}
+type Book {
+	title: String!
+	author(role: String): [Author] @required
+}
+scalar ISBN`
+
+func TestExtendProducesValidSDL(t *testing.T) {
+	s := build(t, bookSDL)
+	sdl, err := ExtendSDL(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output must parse and build as a schema again.
+	doc, err := parser.Parse(sdl)
+	if err != nil {
+		t.Fatalf("generated SDL does not parse: %v\n%s", err, sdl)
+	}
+	out, err := schema.Build(doc, schema.Options{AllowUnknownDirectives: true})
+	if err != nil {
+		t.Fatalf("generated SDL does not build: %v\n%s", err, sdl)
+	}
+	if out.Type("Query") == nil {
+		t.Error("no Query type generated")
+	}
+}
+
+func TestQueryRootFields(t *testing.T) {
+	s := build(t, bookSDL)
+	doc, err := Extend(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdl, _ := ExtendSDL(s, Options{})
+	_ = doc
+	// Listing fields for every object type.
+	for _, want := range []string{"allAuthors", "allBooks"} {
+		if !strings.Contains(sdl, want) {
+			t.Errorf("missing %s in:\n%s", want, sdl)
+		}
+	}
+	// A keyed lookup only for Author (it has a @key).
+	if !strings.Contains(sdl, "author(name: String!): Author") {
+		t.Errorf("missing keyed lookup in:\n%s", sdl)
+	}
+	if strings.Contains(sdl, "book(") {
+		t.Errorf("unexpected keyless lookup in:\n%s", sdl)
+	}
+	// The schema block binds the query root.
+	if !strings.Contains(sdl, "query: Query") {
+		t.Errorf("missing schema block in:\n%s", sdl)
+	}
+}
+
+func TestInverseFields(t *testing.T) {
+	s := build(t, bookSDL)
+	sdl, err := ExtendSDL(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Book gets the inverse of Author.favoriteBook; Author the inverse
+	// of Book.author.
+	if !strings.Contains(sdl, "_favoriteBookOfAuthor: [Author!]") {
+		t.Errorf("missing inverse on Book:\n%s", sdl)
+	}
+	if !strings.Contains(sdl, "_authorOfBook: [Book!]") {
+		t.Errorf("missing inverse on Author:\n%s", sdl)
+	}
+	// Suppressed when asked.
+	sdl2, err := ExtendSDL(s, Options{NoInverseFields: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sdl2, "_favoriteBookOfAuthor") {
+		t.Error("inverse fields present despite NoInverseFields")
+	}
+}
+
+func TestInverseFieldsThroughInterface(t *testing.T) {
+	// A relationship targeting an interface yields inverse fields on
+	// every implementing type.
+	s := build(t, `
+		type Person { favoriteFood: Food }
+		interface Food { name: String! }
+		type Pizza implements Food { name: String! }
+		type Pasta implements Food { name: String! }`)
+	sdl, err := ExtendSDL(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []string{"Pizza", "Pasta"} {
+		idx := strings.Index(sdl, "type "+typ)
+		if idx < 0 {
+			t.Fatalf("type %s missing", typ)
+		}
+		section := sdl[idx:]
+		if end := strings.Index(section, "}"); end > 0 {
+			section = section[:end]
+		}
+		if !strings.Contains(section, "_favoriteFoodOfPerson: [Person!]") {
+			t.Errorf("type %s lacks the inverse field:\n%s", typ, section)
+		}
+	}
+}
+
+func TestDirectivesStrippedByDefault(t *testing.T) {
+	s := build(t, bookSDL)
+	sdl, err := ExtendSDL(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"@required", "@key"} {
+		if strings.Contains(sdl, d) {
+			t.Errorf("constraint directive %s leaked into API schema:\n%s", d, sdl)
+		}
+	}
+}
+
+func TestKeepConstraintDirectives(t *testing.T) {
+	s := build(t, bookSDL)
+	sdl, err := ExtendSDL(s, Options{KeepConstraintDirectives: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sdl, "@required") {
+		t.Errorf("directives not kept:\n%s", sdl)
+	}
+	if !strings.Contains(sdl, "directive @required") {
+		t.Errorf("directive declarations missing:\n%s", sdl)
+	}
+	// Still parses and builds.
+	doc, err := parser.Parse(sdl)
+	if err != nil {
+		t.Fatalf("generated SDL does not parse: %v", err)
+	}
+	if _, err := schema.Build(doc, schema.Options{}); err != nil {
+		t.Fatalf("generated SDL does not build: %v\n%s", err, sdl)
+	}
+}
+
+func TestQueryNameCollision(t *testing.T) {
+	s := build(t, `type Query { x: Int }`)
+	if _, err := Extend(s, Options{}); err == nil {
+		t.Error("expected an error for an existing Query type")
+	}
+	// An alternate name works.
+	if _, err := Extend(s, Options{QueryTypeName: "Root"}); err != nil {
+		t.Errorf("alternate root name: %v", err)
+	}
+}
+
+func TestEnumAndUnionCarriedOver(t *testing.T) {
+	s := build(t, `
+		enum Color { RED GREEN }
+		union Thing = A | B
+		type A { c: Color }
+		type B { x: Int }`)
+	sdl, err := ExtendSDL(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sdl, "enum Color") || !strings.Contains(sdl, "union Thing = A | B") {
+		t.Errorf("enum/union lost:\n%s", sdl)
+	}
+}
+
+func TestPlural(t *testing.T) {
+	cases := map[string]string{
+		"Book": "Books", "Bus": "Buses", "Box": "Boxes",
+		"Category": "Categories", "Day": "Days", "Match": "Matches",
+	}
+	for in, want := range cases {
+		if got := plural(in); got != want {
+			t.Errorf("plural(%s) = %s, want %s", in, got, want)
+		}
+	}
+}

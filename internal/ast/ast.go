@@ -1,0 +1,318 @@
+// Package ast declares the abstract syntax tree for GraphQL SDL documents
+// (June 2018 edition, type-system definitions only).
+//
+// The tree mirrors §3 (Type System) of the GraphQL specification: schema
+// definitions, scalar/object/interface/union/enum/input-object type
+// definitions, and directive definitions, together with the value-literal
+// grammar used for argument values and defaults.
+package ast
+
+import "pgschema/internal/token"
+
+// Document is a parsed SDL document.
+type Document struct {
+	Definitions []Definition
+}
+
+// Definition is implemented by every top-level SDL definition.
+type Definition interface {
+	// DefinitionName returns the defined name ("" for schema definitions).
+	DefinitionName() string
+	// Position returns where the definition starts.
+	Position() token.Position
+	def()
+}
+
+// common embeds the fields shared by all definitions.
+type common struct {
+	Description string
+	Name        string
+	Directives  []Directive
+	Pos         token.Position
+}
+
+// DefinitionName implements Definition.
+func (c *common) DefinitionName() string { return c.Name }
+
+// Position implements Definition.
+func (c *common) Position() token.Position { return c.Pos }
+
+func (c *common) def() {}
+
+// SchemaDefinition is a `schema { query: ... }` block (§3.3). The paper
+// (§3.6) ignores root operation types; we parse them for completeness.
+type SchemaDefinition struct {
+	Description    string
+	Directives     []Directive
+	RootOperations []RootOperation
+	Pos            token.Position
+}
+
+// DefinitionName implements Definition; a schema definition is unnamed.
+func (*SchemaDefinition) DefinitionName() string { return "" }
+
+// Position implements Definition.
+func (s *SchemaDefinition) Position() token.Position { return s.Pos }
+
+func (*SchemaDefinition) def() {}
+
+// RootOperation names one root operation type binding, e.g. "query: Query".
+type RootOperation struct {
+	Operation string // query | mutation | subscription
+	Type      string
+	Pos       token.Position
+}
+
+// ScalarTypeDefinition declares a custom scalar type (§3.5).
+type ScalarTypeDefinition struct {
+	common
+}
+
+// ObjectTypeDefinition declares an object type (§3.6).
+type ObjectTypeDefinition struct {
+	common
+	Interfaces []string // names of implemented interfaces
+	Fields     []FieldDefinition
+}
+
+// InterfaceTypeDefinition declares an interface type (§3.7).
+type InterfaceTypeDefinition struct {
+	common
+	Fields []FieldDefinition
+}
+
+// UnionTypeDefinition declares a union type (§3.8).
+type UnionTypeDefinition struct {
+	common
+	Members []string // names of member object types
+}
+
+// EnumTypeDefinition declares an enum type (§3.9).
+type EnumTypeDefinition struct {
+	common
+	Values []EnumValueDefinition
+}
+
+// EnumValueDefinition is one value of an enum type.
+type EnumValueDefinition struct {
+	Description string
+	Name        string
+	Directives  []Directive
+	Pos         token.Position
+}
+
+// InputObjectTypeDefinition declares an input object type (§3.10). The
+// paper ignores input types for Property Graph validation (§3.6 of the
+// paper), but they are parsed so that full GraphQL schemas are accepted.
+type InputObjectTypeDefinition struct {
+	common
+	Fields []InputValueDefinition
+}
+
+// DirectiveDefinition declares a directive and its argument types (§3.13).
+type DirectiveDefinition struct {
+	Description string
+	Name        string
+	Arguments   []InputValueDefinition
+	Locations   []string
+	Repeatable  bool
+	Pos         token.Position
+}
+
+// DefinitionName implements Definition.
+func (d *DirectiveDefinition) DefinitionName() string { return d.Name }
+
+// Position implements Definition.
+func (d *DirectiveDefinition) Position() token.Position { return d.Pos }
+
+func (*DirectiveDefinition) def() {}
+
+// FieldDefinition is a field of an object or interface type (§3.6).
+type FieldDefinition struct {
+	Description string
+	Name        string
+	Arguments   []InputValueDefinition
+	Type        Type
+	Directives  []Directive
+	Pos         token.Position
+}
+
+// InputValueDefinition is an argument or input-object field (§3.6.1).
+type InputValueDefinition struct {
+	Description string
+	Name        string
+	Type        Type
+	Default     Value // nil if absent
+	Directives  []Directive
+	Pos         token.Position
+}
+
+// Directive is an applied directive with argument values (§2.12).
+type Directive struct {
+	Name      string
+	Arguments []Argument
+	Pos       token.Position
+}
+
+// Argument is a named argument value inside a directive application.
+type Argument struct {
+	Name  string
+	Value Value
+	Pos   token.Position
+}
+
+// Type is a type reference: named, list, or non-null (§3.4.1).
+type Type interface {
+	typ()
+	// String renders the type in SDL syntax, e.g. "[String!]!".
+	String() string
+}
+
+// NamedType references a type by name.
+type NamedType struct {
+	Name string
+	Pos  token.Position
+}
+
+func (*NamedType) typ() {}
+
+// String implements Type.
+func (t *NamedType) String() string { return t.Name }
+
+// ListType wraps an element type in a list (§3.11).
+type ListType struct {
+	Elem Type
+	Pos  token.Position
+}
+
+func (*ListType) typ() {}
+
+// String implements Type.
+func (t *ListType) String() string { return "[" + t.Elem.String() + "]" }
+
+// NonNullType marks a type as non-nullable (§3.12).
+type NonNullType struct {
+	Elem Type // NamedType or ListType, never NonNullType
+	Pos  token.Position
+}
+
+func (*NonNullType) typ() {}
+
+// String implements Type.
+func (t *NonNullType) String() string { return t.Elem.String() + "!" }
+
+// Value is a literal value in SDL source (§2.9).
+type Value interface {
+	val()
+	// String renders the value in SDL syntax.
+	String() string
+}
+
+// IntValue is an integer literal; the raw text is preserved.
+type IntValue struct{ Raw string }
+
+// FloatValue is a float literal; the raw text is preserved.
+type FloatValue struct{ Raw string }
+
+// StringValue is a (decoded) string literal.
+type StringValue struct{ Value string }
+
+// BooleanValue is true or false.
+type BooleanValue struct{ Value bool }
+
+// NullValue is the literal null.
+type NullValue struct{}
+
+// EnumValue is a bare name used as an enum value.
+type EnumValue struct{ Name string }
+
+// ListValue is a bracketed list of values.
+type ListValue struct{ Values []Value }
+
+// ObjectValue is a braced object literal (used only by input types).
+type ObjectValue struct{ Fields []ObjectField }
+
+// ObjectField is one entry of an ObjectValue.
+type ObjectField struct {
+	Name  string
+	Value Value
+}
+
+func (IntValue) val()     {}
+func (FloatValue) val()   {}
+func (StringValue) val()  {}
+func (BooleanValue) val() {}
+func (NullValue) val()    {}
+func (EnumValue) val()    {}
+func (ListValue) val()    {}
+func (ObjectValue) val()  {}
+
+// String implements Value.
+func (v IntValue) String() string { return v.Raw }
+
+// String implements Value.
+func (v FloatValue) String() string { return v.Raw }
+
+// String implements Value.
+func (v StringValue) String() string { return quote(v.Value) }
+
+// String implements Value.
+func (v BooleanValue) String() string {
+	if v.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// String implements Value.
+func (NullValue) String() string { return "null" }
+
+// String implements Value.
+func (v EnumValue) String() string { return v.Name }
+
+// String implements Value.
+func (v ListValue) String() string {
+	s := "["
+	for i, e := range v.Values {
+		if i > 0 {
+			s += ", "
+		}
+		s += e.String()
+	}
+	return s + "]"
+}
+
+// String implements Value.
+func (v ObjectValue) String() string {
+	s := "{"
+	for i, f := range v.Fields {
+		if i > 0 {
+			s += ", "
+		}
+		s += f.Name + ": " + f.Value.String()
+	}
+	return s + "}"
+}
+
+// quote renders s as a GraphQL string literal.
+func quote(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			out = append(out, '\\', '"')
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		case '\r':
+			out = append(out, '\\', 'r')
+		case '\t':
+			out = append(out, '\\', 't')
+		default:
+			out = append(out, string(r)...)
+		}
+	}
+	return string(append(out, '"'))
+}

@@ -1,0 +1,55 @@
+package ast
+
+import "testing"
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]Type{
+		"Int":        &NamedType{Name: "Int"},
+		"Int!":       &NonNullType{Elem: &NamedType{Name: "Int"}},
+		"[Int]":      &ListType{Elem: &NamedType{Name: "Int"}},
+		"[Int!]!":    &NonNullType{Elem: &ListType{Elem: &NonNullType{Elem: &NamedType{Name: "Int"}}}},
+		"[[String]]": &ListType{Elem: &ListType{Elem: &NamedType{Name: "String"}}},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"42":              IntValue{Raw: "42"},
+		"2.5":             FloatValue{Raw: "2.5"},
+		`"a\"b"`:          StringValue{Value: `a"b`},
+		`"tab\there"`:     StringValue{Value: "tab\there"},
+		"true":            BooleanValue{Value: true},
+		"false":           BooleanValue{Value: false},
+		"null":            NullValue{},
+		"METER":           EnumValue{Name: "METER"},
+		"[1, 2]":          ListValue{Values: []Value{IntValue{Raw: "1"}, IntValue{Raw: "2"}}},
+		"{k: 1}":          ObjectValue{Fields: []ObjectField{{Name: "k", Value: IntValue{Raw: "1"}}}},
+		"{a: 1, b: true}": ObjectValue{Fields: []ObjectField{{Name: "a", Value: IntValue{Raw: "1"}}, {Name: "b", Value: BooleanValue{Value: true}}}},
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFieldKeyAndDefinitionNames(t *testing.T) {
+	obj := &ObjectTypeDefinition{}
+	obj.Name = "T"
+	if obj.DefinitionName() != "T" {
+		t.Error("DefinitionName")
+	}
+	sd := &SchemaDefinition{}
+	if sd.DefinitionName() != "" {
+		t.Error("schema definitions are unnamed")
+	}
+	dd := &DirectiveDefinition{Name: "key"}
+	if dd.DefinitionName() != "key" {
+		t.Error("directive DefinitionName")
+	}
+}

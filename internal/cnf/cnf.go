@@ -1,0 +1,191 @@
+// Package cnf implements propositional formulas in conjunctive normal
+// form, the DIMACS interchange format, and a DPLL satisfiability solver.
+//
+// The package serves two roles in the reproduction: it is the reference
+// SAT oracle against which the Theorem 2 reduction is cross-checked, and
+// it is the engine behind the bounded finite-model search in the sat
+// package.
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lit is a literal: a positive or negative variable. Variables are
+// numbered from 1; literal +v is the variable, -v its negation. 0 is not
+// a valid literal.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the negated literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a conjunction of clauses over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula returns an empty formula over n variables.
+func NewFormula(n int) *Formula { return &Formula{NumVars: n} }
+
+// AddClause appends a clause, growing NumVars to cover its variables.
+func (f *Formula) AddClause(lits ...Lit) {
+	for _, l := range lits {
+		if l == 0 {
+			panic("cnf: literal 0 in clause")
+		}
+		if l.Var() > f.NumVars {
+			f.NumVars = l.Var()
+		}
+	}
+	cl := make(Clause, len(lits))
+	copy(cl, lits)
+	f.Clauses = append(f.Clauses, cl)
+}
+
+// NewVar allocates a fresh variable and returns its positive literal.
+func (f *Formula) NewVar() Lit {
+	f.NumVars++
+	return Lit(f.NumVars)
+}
+
+// Assignment maps variables (1-based) to truth values. Index 0 is unused.
+type Assignment []bool
+
+// Satisfies reports whether the assignment satisfies the formula.
+func (f *Formula) Satisfies(a Assignment) bool {
+	for _, cl := range f.Clauses {
+		ok := false
+		for _, l := range cl {
+			v := l.Var()
+			if v < len(a) && (a[v] == (l > 0)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula in a compact mathematical notation.
+func (f *Formula) String() string {
+	var parts []string
+	for _, cl := range f.Clauses {
+		lits := make([]string, len(cl))
+		for i, l := range cl {
+			lits[i] = strconv.Itoa(int(l))
+		}
+		parts = append(parts, "("+strings.Join(lits, "∨")+")")
+	}
+	return strings.Join(parts, "∧")
+}
+
+// WriteDIMACS writes the formula in DIMACS CNF format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			fmt.Fprintf(bw, "%d ", int(l))
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF file.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	f := &Formula{}
+	var cur Clause
+	sawHeader := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: bad DIMACS header %q", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad variable count in %q", line)
+			}
+			f.NumVars = n
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("cnf: clause before DIMACS header")
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad literal %q", tok)
+			}
+			if v == 0 {
+				cl := make(Clause, len(cur))
+				copy(cl, cur)
+				f.Clauses = append(f.Clauses, cl)
+				cur = cur[:0]
+				continue
+			}
+			if abs(v) > f.NumVars {
+				return nil, fmt.Errorf("cnf: literal %d exceeds declared variable count %d", v, f.NumVars)
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) != 0 {
+		return nil, fmt.Errorf("cnf: unterminated clause at end of input")
+	}
+	return f, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Vars returns the sorted list of variables that occur in the formula.
+func (f *Formula) Vars() []int {
+	seen := make(map[int]bool)
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			seen[l.Var()] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

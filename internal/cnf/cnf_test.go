@@ -1,0 +1,220 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	f := NewFormula(0)
+	if _, ok := Solve(f); !ok {
+		t.Error("empty formula must be satisfiable")
+	}
+	f.AddClause(1)
+	a, ok := Solve(f)
+	if !ok || !a[1] {
+		t.Error("unit clause (1) must force x1=true")
+	}
+	f.AddClause(-1)
+	if _, ok := Solve(f); ok {
+		t.Error("(1)∧(¬1) must be unsatisfiable")
+	}
+}
+
+func TestSolveEmptyClause(t *testing.T) {
+	f := NewFormula(1)
+	f.AddClause(1)
+	f.Clauses = append(f.Clauses, Clause{})
+	if _, ok := Solve(f); ok {
+		t.Error("formula with the empty clause must be unsatisfiable")
+	}
+}
+
+func TestSolveSmallSat(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (x1 ∨ ¬x2) — satisfied by x1=x2=true.
+	f := NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 2)
+	f.AddClause(1, -2)
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("should be satisfiable")
+	}
+	if !f.Satisfies(a) {
+		t.Error("returned assignment does not satisfy the formula")
+	}
+}
+
+func TestSolveSmallUnsat(t *testing.T) {
+	// All four clauses over two variables: unsatisfiable.
+	f := NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(1, -2)
+	f.AddClause(-1, 2)
+	f.AddClause(-1, -2)
+	if _, ok := Solve(f); ok {
+		t.Error("complete 2-variable clause set must be unsatisfiable")
+	}
+}
+
+func TestSolvePigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons in 3 holes — classically hard, unsatisfiable.
+	f := pigeonhole(4, 3)
+	if _, ok := Solve(f); ok {
+		t.Error("PHP(4,3) must be unsatisfiable")
+	}
+	// PHP(3,3) is satisfiable.
+	if _, ok := Solve(pigeonhole(3, 3)); !ok {
+		t.Error("PHP(3,3) must be satisfiable")
+	}
+}
+
+// pigeonhole builds the pigeonhole principle formula: p pigeons, h holes.
+func pigeonhole(p, h int) *Formula {
+	f := NewFormula(p * h)
+	v := func(i, j int) Lit { return Lit(i*h + j + 1) } // pigeon i in hole j
+	for i := 0; i < p; i++ {
+		cl := make([]Lit, h)
+		for j := 0; j < h; j++ {
+			cl[j] = v(i, j)
+		}
+		f.AddClause(cl...)
+	}
+	for j := 0; j < h; j++ {
+		for i1 := 0; i1 < p; i1++ {
+			for i2 := i1 + 1; i2 < p; i2++ {
+				f.AddClause(v(i1, j).Neg(), v(i2, j).Neg())
+			}
+		}
+	}
+	return f
+}
+
+// TestSolveAgainstBruteForce cross-checks DPLL against exhaustive
+// enumeration on random small formulas.
+func TestSolveAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		n := 3 + int(seed%5)  // 3..7 variables
+		m := 2 + int(seed%15) // 2..16 clauses
+		f := Random3SAT(n, m, seed)
+		_, got := Solve(f)
+		want := bruteForce(f)
+		if got != want {
+			t.Fatalf("seed %d (n=%d m=%d): DPLL=%v brute=%v\n%s", seed, n, m, got, want, f)
+		}
+	}
+}
+
+func bruteForce(f *Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Satisfies(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: when DPLL reports satisfiable, the returned assignment
+// actually satisfies the formula.
+func TestModelsAreValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		f := Random3SAT(6, 20, seed)
+		a, ok := Solve(f)
+		if !ok {
+			return true
+		}
+		return f.Satisfies(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := Random3SAT(10, 30, 42)
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g.NumVars, len(g.Clauses), f.NumVars, len(f.Clauses))
+	}
+	for i := range f.Clauses {
+		if len(f.Clauses[i]) != len(g.Clauses[i]) {
+			t.Fatalf("clause %d length changed", i)
+		}
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != g.Clauses[i][j] {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"p cnf x 2\n1 0\n", "bad variable count"},
+		{"p wrong 2 2\n", "bad DIMACS header"},
+		{"1 2 0\n", "before DIMACS header"},
+		{"p cnf 2 1\n1 zebra 0\n", "bad literal"},
+		{"p cnf 1 1\n5 0\n", "exceeds declared"},
+		{"p cnf 2 1\n1 2\n", "unterminated clause"},
+	}
+	for _, c := range cases {
+		_, err := ParseDIMACS(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseDIMACS(%q): got %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseDIMACSComments(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader("c a comment\np cnf 2 2\n1 -2 0\nc mid comment\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 2 || f.Clauses[0][1] != -2 {
+		t.Errorf("parsed: %v", f)
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := NewFormula(0)
+	f.AddClause(3, -1)
+	f.AddClause(-3, 7)
+	got := f.Vars()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Errorf("Vars: %v", got)
+	}
+}
+
+func TestMaxDecisions(t *testing.T) {
+	f := pigeonhole(8, 7) // big enough to need many decisions
+	s := Solver{MaxDecisions: 3}
+	if _, ok := s.Solve(f); ok {
+		t.Error("aborted solve must not report satisfiable")
+	}
+	if !s.Stats.Aborted {
+		t.Error("Stats.Aborted should be set")
+	}
+}
+
+func TestSolverStats(t *testing.T) {
+	var s Solver
+	f := Random3SAT(8, 30, 1)
+	s.Solve(f)
+	if s.Stats.Propagations == 0 && s.Stats.Decisions == 0 {
+		t.Error("expected some search effort to be recorded")
+	}
+}

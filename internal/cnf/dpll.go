@@ -1,0 +1,252 @@
+package cnf
+
+// Solver is a DPLL satisfiability solver with occurrence-list-driven unit
+// propagation, root-level pure-literal elimination, and most-occurrences
+// branching. It is deterministic: the same formula always explores the
+// same tree.
+type Solver struct {
+	// Stats are populated by Solve.
+	Stats SolverStats
+
+	// MaxDecisions aborts the search after this many branching
+	// decisions; 0 means unlimited. When the limit is hit, Solve
+	// returns ok=false with Aborted set in Stats.
+	MaxDecisions int
+}
+
+// SolverStats reports search effort.
+type SolverStats struct {
+	Decisions    int
+	Propagations int
+	Aborted      bool
+}
+
+// value is a tri-state assignment entry.
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+type searchState struct {
+	f      *Formula
+	assign []value // 1-based
+	occur  [][]int // variable → indices of clauses containing it
+	solver *Solver
+}
+
+// Solve decides satisfiability. When satisfiable it returns a satisfying
+// assignment (1-based; index 0 unused).
+func (s *Solver) Solve(f *Formula) (Assignment, bool) {
+	s.Stats = SolverStats{}
+	st := &searchState{f: f, assign: make([]value, f.NumVars+1), solver: s}
+	st.occur = make([][]int, f.NumVars+1)
+	for ci, cl := range f.Clauses {
+		for _, l := range cl {
+			st.occur[l.Var()] = append(st.occur[l.Var()], ci)
+		}
+	}
+	// Root: propagate all initially-unit clauses, then eliminate pure
+	// literals once (cheap and often effective; redoing it at every
+	// node rarely pays).
+	var trail []int
+	if !st.propagateAll(&trail) {
+		return nil, false
+	}
+	st.pureLiterals(&trail)
+	if !st.propagateAll(&trail) {
+		return nil, false
+	}
+	if !st.dpll() {
+		return nil, false
+	}
+	out := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = st.assign[v] == vTrue
+	}
+	return out, true
+}
+
+// Solve is a convenience wrapper using a fresh default solver.
+func Solve(f *Formula) (Assignment, bool) {
+	var s Solver
+	return s.Solve(f)
+}
+
+func (st *searchState) lit(l Lit) value {
+	v := st.assign[l.Var()]
+	if v == unassigned {
+		return unassigned
+	}
+	if (v == vTrue) == (l > 0) {
+		return vTrue
+	}
+	return vFalse
+}
+
+func (st *searchState) set(l Lit, trail *[]int) {
+	if l > 0 {
+		st.assign[l.Var()] = vTrue
+	} else {
+		st.assign[l.Var()] = vFalse
+	}
+	*trail = append(*trail, l.Var())
+}
+
+func (st *searchState) undo(trail []int) {
+	for _, v := range trail {
+		st.assign[v] = unassigned
+	}
+}
+
+// checkClause inspects one clause under the current assignment: it
+// returns (satisfied, unitLiteral, unassignedCount).
+func (st *searchState) checkClause(ci int) (bool, Lit, int) {
+	var unit Lit
+	n := 0
+	for _, l := range st.f.Clauses[ci] {
+		switch st.lit(l) {
+		case vTrue:
+			return true, 0, 0
+		case unassigned:
+			n++
+			unit = l
+		}
+	}
+	return false, unit, n
+}
+
+// propagateAll seeds propagation from every clause (used at the root).
+func (st *searchState) propagateAll(trail *[]int) bool {
+	var queue []int
+	for ci := range st.f.Clauses {
+		sat, unit, n := st.checkClause(ci)
+		if sat {
+			continue
+		}
+		switch n {
+		case 0:
+			return false
+		case 1:
+			if st.lit(unit) == unassigned {
+				st.set(unit, trail)
+				st.solver.Stats.Propagations++
+				queue = append(queue, unit.Var())
+			}
+		}
+	}
+	return st.propagate(queue, trail)
+}
+
+// propagate performs unit propagation from the queued variables, only
+// re-examining clauses that contain a newly assigned variable.
+func (st *searchState) propagate(queue []int, trail *[]int) bool {
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, ci := range st.occur[v] {
+			sat, unit, n := st.checkClause(ci)
+			if sat {
+				continue
+			}
+			switch n {
+			case 0:
+				return false
+			case 1:
+				st.set(unit, trail)
+				st.solver.Stats.Propagations++
+				queue = append(queue, unit.Var())
+			}
+		}
+	}
+	return true
+}
+
+// pureLiterals assigns variables that occur with a single polarity among
+// not-yet-satisfied clauses.
+func (st *searchState) pureLiterals(trail *[]int) {
+	pos := make([]bool, st.f.NumVars+1)
+	neg := make([]bool, st.f.NumVars+1)
+	for ci, cl := range st.f.Clauses {
+		if sat, _, _ := st.checkClause(ci); sat {
+			continue
+		}
+		for _, l := range cl {
+			if st.lit(l) == unassigned {
+				if l > 0 {
+					pos[l.Var()] = true
+				} else {
+					neg[l.Var()] = true
+				}
+			}
+		}
+	}
+	for v := 1; v <= st.f.NumVars; v++ {
+		if st.assign[v] != unassigned {
+			continue
+		}
+		switch {
+		case pos[v] && !neg[v]:
+			st.set(Lit(v), trail)
+		case neg[v] && !pos[v]:
+			st.set(Lit(-v), trail)
+		}
+	}
+}
+
+// chooseBranch returns a literal from the first unsatisfied clause
+// (branching true-first then satisfies that clause immediately). This is
+// the classic "first open clause" rule: cheap to compute and it focuses
+// the search on completing partially decided constraints instead of
+// recounting occurrences across the whole formula on every decision.
+func (st *searchState) chooseBranch() (Lit, branchStatus) {
+	for ci := range st.f.Clauses {
+		sat, unit, n := st.checkClause(ci)
+		if sat {
+			continue
+		}
+		if n > 0 {
+			return unit, branchOpen
+		}
+		// An all-false clause cannot survive propagation; be safe.
+		return 0, branchConflict
+	}
+	return 0, branchDone // every clause satisfied
+}
+
+// branchStatus classifies the chooseBranch outcome.
+type branchStatus int
+
+const (
+	branchDone branchStatus = iota
+	branchOpen
+	branchConflict
+)
+
+func (st *searchState) dpll() bool {
+	branch, status := st.chooseBranch()
+	switch status {
+	case branchDone:
+		return true
+	case branchConflict:
+		return false
+	}
+	if st.solver.MaxDecisions > 0 && st.solver.Stats.Decisions >= st.solver.MaxDecisions {
+		st.solver.Stats.Aborted = true
+		return false
+	}
+	st.solver.Stats.Decisions++
+	for _, l := range [2]Lit{branch, branch.Neg()} {
+		var trail []int
+		st.set(l, &trail)
+		if st.propagate([]int{l.Var()}, &trail) && st.dpll() {
+			return true
+		}
+		st.undo(trail)
+		if st.solver.Stats.Aborted {
+			break
+		}
+	}
+	return false
+}

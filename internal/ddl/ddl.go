@@ -1,0 +1,200 @@
+// Package ddl exports SDL-based Property Graph schemas to the proprietary
+// schema mechanisms the paper surveys in §2.1: Neo4j's Cypher constraint
+// DDL and TigerGraph's GSQL data definition language.
+//
+// Both targets are strictly less expressive than the paper's proposal, so
+// each exporter emits what it can and documents what it cannot as
+// comments in the output (never silently dropping a constraint). The
+// exporters are deterministic: equal schemas yield byte-equal output.
+package ddl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgschema/internal/schema"
+)
+
+// Cypher renders the schema as Neo4j Cypher (3.5-era syntax) constraint
+// statements:
+//
+//   - @key with one field      → ASSERT n.f IS UNIQUE
+//   - @key with several fields → ASSERT (n.f1, …) IS NODE KEY
+//   - @required attribute      → ASSERT exists(n.f)
+//   - non-null edge property   → ASSERT exists(r.a) on the relationship
+//
+// Everything else (@distinct, @noLoops, @uniqueForTarget,
+// @requiredForTarget, @required edges, target typing, value typing) has
+// no Cypher constraint counterpart and is emitted as a comment.
+func Cypher(s *schema.Schema) string {
+	var b strings.Builder
+	b.WriteString("// Generated from a GraphQL SDL Property Graph schema (pgschema).\n")
+	b.WriteString("// Neo4j constraints cover only part of the schema; the rest is noted\n")
+	b.WriteString("// in comments and must be enforced by the application (or by the\n")
+	b.WriteString("// pgschema validator).\n")
+
+	for _, td := range s.ObjectTypes() {
+		b.WriteString("\n// --- " + td.Name + " ---\n")
+		for _, set := range td.KeyFieldSets() {
+			switch len(set) {
+			case 0:
+			case 1:
+				fmt.Fprintf(&b, "CREATE CONSTRAINT ON (n:%s) ASSERT n.%s IS UNIQUE;\n", td.Name, set[0])
+			default:
+				cols := make([]string, len(set))
+				for i, f := range set {
+					cols[i] = "n." + f
+				}
+				fmt.Fprintf(&b, "CREATE CONSTRAINT ON (n:%s) ASSERT (%s) IS NODE KEY;\n", td.Name, strings.Join(cols, ", "))
+			}
+		}
+		for _, f := range td.Fields {
+			switch {
+			case s.IsAttribute(f):
+				if schema.HasDirective(f.Directives, schema.DirRequired) {
+					fmt.Fprintf(&b, "CREATE CONSTRAINT ON (n:%s) ASSERT exists(n.%s);\n", td.Name, f.Name)
+				}
+			case s.IsRelationship(f):
+				for _, a := range f.Args {
+					if a.Type.NonNull {
+						fmt.Fprintf(&b, "CREATE CONSTRAINT ON ()-[r:%s]-() ASSERT exists(r.%s);\n", f.Name, a.Name)
+					}
+				}
+				for _, note := range relationshipNotes(s, td, f) {
+					b.WriteString("// NOT EXPRESSIBLE: " + note + "\n")
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// relationshipNotes lists the relationship constraints Cypher cannot
+// express, in deterministic order.
+func relationshipNotes(s *schema.Schema, td *schema.TypeDef, f *schema.FieldDef) []string {
+	var notes []string
+	decl := td.Name + "." + f.Name
+	notes = append(notes, fmt.Sprintf("%s edges must point at %s nodes (WS3)", decl, f.Type.Base()))
+	if !f.Type.IsList() {
+		notes = append(notes, fmt.Sprintf("%s allows at most one outgoing %q edge per node (WS4)", decl, f.Name))
+	}
+	dirNotes := map[string]string{
+		schema.DirRequired:          "every %s node needs an outgoing %q edge (DS6)",
+		schema.DirDistinct:          "parallel %s %q edges to the same target are forbidden (DS1)",
+		schema.DirNoLoops:           "%s %q edges must not form loops (DS2)",
+		schema.DirUniqueForTarget:   "targets of %s %q edges accept at most one such edge (DS3)",
+		schema.DirRequiredForTarget: "every possible target of %s %q edges needs one (DS4)",
+	}
+	for _, d := range []string{schema.DirRequired, schema.DirDistinct, schema.DirNoLoops, schema.DirUniqueForTarget, schema.DirRequiredForTarget} {
+		if schema.HasDirective(f.Directives, d) {
+			notes = append(notes, fmt.Sprintf(dirNotes[d], td.Name, f.Name))
+		}
+	}
+	return notes
+}
+
+// GSQL renders the schema as TigerGraph GSQL DDL: CREATE VERTEX with a
+// PRIMARY_ID (the first single-field @key when present, else a synthetic
+// id), CREATE DIRECTED EDGE per relationship declaration pair, and a
+// CREATE GRAPH statement tying them together. Constraints beyond typing
+// are emitted as comments.
+func GSQL(s *schema.Schema, graphName string) string {
+	if graphName == "" {
+		graphName = "pg"
+	}
+	var b strings.Builder
+	b.WriteString("// Generated from a GraphQL SDL Property Graph schema (pgschema).\n")
+
+	var graphParts []string
+	for _, td := range s.ObjectTypes() {
+		primary := primaryKey(s, td)
+		var cols []string
+		if primary == "" {
+			cols = append(cols, "PRIMARY_ID id STRING")
+		} else {
+			f := td.Field(primary)
+			cols = append(cols, fmt.Sprintf("PRIMARY_ID %s %s", primary, gsqlType(s, f.Type)))
+		}
+		for _, f := range td.Fields {
+			if !s.IsAttribute(f) || f.Name == primary {
+				continue
+			}
+			cols = append(cols, fmt.Sprintf("%s %s", f.Name, gsqlType(s, f.Type)))
+		}
+		fmt.Fprintf(&b, "CREATE VERTEX %s (%s);\n", td.Name, strings.Join(cols, ", "))
+		graphParts = append(graphParts, td.Name)
+	}
+
+	edgeSeen := make(map[string]bool)
+	for _, td := range s.ObjectTypes() {
+		for _, f := range td.Fields {
+			if !s.IsRelationship(f) {
+				continue
+			}
+			for _, target := range s.ConcreteTargets(f.Type.Base()) {
+				name := edgeTypeName(f.Name, td.Name, target)
+				if edgeSeen[name] {
+					continue
+				}
+				edgeSeen[name] = true
+				cols := []string{"FROM " + td.Name, "TO " + target}
+				for _, a := range f.Args {
+					cols = append(cols, fmt.Sprintf("%s %s", a.Name, gsqlType(s, a.Type)))
+				}
+				fmt.Fprintf(&b, "CREATE DIRECTED EDGE %s (%s);\n", name, strings.Join(cols, ", "))
+				graphParts = append(graphParts, name)
+				for _, note := range relationshipNotes(s, td, f) {
+					b.WriteString("// NOT EXPRESSIBLE: " + note + "\n")
+				}
+			}
+		}
+	}
+	sort.Strings(graphParts)
+	fmt.Fprintf(&b, "CREATE GRAPH %s (%s);\n", graphName, strings.Join(graphParts, ", "))
+	return b.String()
+}
+
+// primaryKey picks the first single-field @key whose field is an
+// attribute, or "".
+func primaryKey(s *schema.Schema, td *schema.TypeDef) string {
+	for _, set := range td.KeyFieldSets() {
+		if len(set) != 1 {
+			continue
+		}
+		if f := td.Field(set[0]); f != nil && s.IsAttribute(f) {
+			return set[0]
+		}
+	}
+	return ""
+}
+
+// edgeTypeName builds a per-(source,field,target) GSQL edge type name;
+// GSQL edge types are global, so the triple is encoded into the name.
+func edgeTypeName(field, source, target string) string {
+	return fmt.Sprintf("%s_%s_%s", field, source, target)
+}
+
+// gsqlType maps SDL attribute types onto GSQL data types.
+func gsqlType(s *schema.Schema, t schema.TypeRef) string {
+	base := func() string {
+		name := t.Base()
+		if td := s.Type(name); td != nil && td.Kind == schema.Enum {
+			return "STRING" // GSQL has no enums
+		}
+		switch name {
+		case "Int":
+			return "INT"
+		case "Float":
+			return "DOUBLE"
+		case "Boolean":
+			return "BOOL"
+		default: // String, ID, custom scalars
+			return "STRING"
+		}
+	}()
+	if t.IsList() {
+		return "LIST<" + base + ">"
+	}
+	return base
+}

@@ -1,0 +1,145 @@
+package ddl
+
+import (
+	"strings"
+	"testing"
+
+	"pgschema/internal/gen"
+	"pgschema/internal/parser"
+	"pgschema/internal/schema"
+)
+
+func build(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	doc, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return s
+}
+
+const exportSDL = `
+type User @key(fields: ["id"]) @key(fields: ["realm", "login"]) {
+	id: ID! @required
+	realm: String!
+	login: String! @required
+	tags: [String!]
+	follows(since: Int!, note: String): [User] @distinct @noLoops
+}
+type Post {
+	body: String! @required
+	author: User! @required @uniqueForTarget
+}
+enum Color { RED GREEN }
+`
+
+func TestCypherExport(t *testing.T) {
+	s := build(t, exportSDL)
+	out := Cypher(s)
+	for _, want := range []string{
+		"CREATE CONSTRAINT ON (n:User) ASSERT n.id IS UNIQUE;",
+		"CREATE CONSTRAINT ON (n:User) ASSERT (n.realm, n.login) IS NODE KEY;",
+		"CREATE CONSTRAINT ON (n:User) ASSERT exists(n.id);",
+		"CREATE CONSTRAINT ON (n:User) ASSERT exists(n.login);",
+		"CREATE CONSTRAINT ON (n:Post) ASSERT exists(n.body);",
+		"CREATE CONSTRAINT ON ()-[r:follows]-() ASSERT exists(r.since);",
+		"// NOT EXPRESSIBLE: Post.author edges must point at User nodes (WS3)",
+		"// NOT EXPRESSIBLE: Post.author allows at most one outgoing \"author\" edge per node (WS4)",
+		"targets of Post \"author\" edges accept at most one such edge (DS3)",
+		"parallel User \"follows\" edges to the same target are forbidden (DS1)",
+		"User \"follows\" edges must not form loops (DS2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Cypher output missing %q:\n%s", want, out)
+		}
+	}
+	// Optional properties get no existence constraint.
+	if strings.Contains(out, "exists(n.realm)") || strings.Contains(out, "exists(n.tags)") {
+		t.Errorf("optional property got an existence constraint:\n%s", out)
+	}
+	// The optional edge property gets none either.
+	if strings.Contains(out, "exists(r.note)") {
+		t.Errorf("optional edge property got an existence constraint:\n%s", out)
+	}
+}
+
+func TestGSQLExport(t *testing.T) {
+	s := build(t, exportSDL)
+	out := GSQL(s, "social")
+	for _, want := range []string{
+		"CREATE VERTEX User (PRIMARY_ID id STRING, realm STRING", // id promoted to primary
+		"login STRING",
+		"tags LIST<STRING>",
+		"CREATE VERTEX Post (PRIMARY_ID id STRING, body STRING)", // synthetic id
+		"CREATE DIRECTED EDGE author_Post_User (FROM Post, TO User);",
+		"CREATE DIRECTED EDGE follows_User_User (FROM User, TO User, since INT, note STRING);",
+		"CREATE GRAPH social (",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("GSQL output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGSQLEnumAndDefaults(t *testing.T) {
+	s := build(t, `
+		enum Color { RED }
+		type Paint { color: Color! shades: [Color] b: Boolean f: Float }`)
+	out := GSQL(s, "")
+	for _, want := range []string{
+		"color STRING", "shades LIST<STRING>", "b BOOL", "f DOUBLE",
+		"CREATE GRAPH pg (Paint);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("GSQL output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGSQLInterfaceTargetsExpand(t *testing.T) {
+	s := build(t, `
+		type Person { favoriteFood: Food }
+		interface Food { name: String! }
+		type Pizza implements Food { name: String! }
+		type Pasta implements Food { name: String! }`)
+	out := GSQL(s, "")
+	if !strings.Contains(out, "favoriteFood_Person_Pizza") || !strings.Contains(out, "favoriteFood_Person_Pasta") {
+		t.Errorf("interface target not expanded:\n%s", out)
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	s := build(t, exportSDL)
+	if Cypher(s) != Cypher(s) {
+		t.Error("Cypher export nondeterministic")
+	}
+	if GSQL(s, "g") != GSQL(s, "g") {
+		t.Error("GSQL export nondeterministic")
+	}
+}
+
+// TestExportsOnRandomSchemas: both exporters succeed and stay
+// deterministic across the random schema family.
+func TestExportsOnRandomSchemas(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s, src, err := gen.RandomSchema(gen.SchemaConfig{Seed: seed, Unions: seed%2 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c := Cypher(s)
+		g := GSQL(s, "r")
+		if c == "" || g == "" {
+			t.Fatalf("seed %d: empty export\n%s", seed, src)
+		}
+		if c != Cypher(s) || g != GSQL(s, "r") {
+			t.Fatalf("seed %d: nondeterministic export", seed)
+		}
+		if !strings.Contains(g, "CREATE GRAPH r (") {
+			t.Fatalf("seed %d: no graph statement", seed)
+		}
+	}
+}

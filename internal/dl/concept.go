@@ -1,0 +1,377 @@
+// Package dl implements the description logic ALCQI — ALC extended with
+// qualified number restrictions (≥n R.C, ≤n R.C) and inverse roles — used
+// by the paper's Theorem 3 to give a PSPACE upper bound for object-type
+// satisfiability. The package provides concept construction, negation
+// normal form, general TBoxes (sets of concept inclusions), and a
+// tableau-based concept-satisfiability reasoner with pairwise (double)
+// blocking.
+package dl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Role is a role name or its inverse.
+type Role struct {
+	Name string
+	Inv  bool
+}
+
+// R returns the named (forward) role.
+func R(name string) Role { return Role{Name: name} }
+
+// Inverse returns the inverse role: r⁻, or r for an inverse's inverse.
+func (r Role) Inverse() Role { return Role{Name: r.Name, Inv: !r.Inv} }
+
+// String renders the role, using ⁻ for inverses.
+func (r Role) String() string {
+	if r.Inv {
+		return r.Name + "⁻"
+	}
+	return r.Name
+}
+
+// Concept is an ALCQI concept expression. Concepts are immutable; Key
+// returns a canonical string usable for set membership.
+type Concept interface {
+	Key() string
+	String() string
+}
+
+// Top is ⊤, the universal concept.
+type Top struct{}
+
+// Bottom is ⊥, the empty concept.
+type Bottom struct{}
+
+// Atom is an atomic concept (a concept name).
+type Atom struct{ Name string }
+
+// Not is a negation. After NNF conversion, negations wrap only atoms.
+type Not struct{ C Concept }
+
+// And is an intersection C1 ⊓ … ⊓ Cn.
+type And struct{ Cs []Concept }
+
+// Or is a union C1 ⊔ … ⊔ Cn.
+type Or struct{ Cs []Concept }
+
+// Exists is an existential restriction ∃R.C (equivalent to ≥1 R.C).
+type Exists struct {
+	R Role
+	C Concept
+}
+
+// Forall is a universal restriction ∀R.C.
+type Forall struct {
+	R Role
+	C Concept
+}
+
+// AtLeast is a qualified number restriction ≥n R.C.
+type AtLeast struct {
+	N int
+	R Role
+	C Concept
+}
+
+// AtMost is a qualified number restriction ≤n R.C.
+type AtMost struct {
+	N int
+	R Role
+	C Concept
+}
+
+// Key implements Concept.
+func (Top) Key() string { return "⊤" }
+
+// Key implements Concept.
+func (Bottom) Key() string { return "⊥" }
+
+// Key implements Concept.
+func (a Atom) Key() string { return "A(" + a.Name + ")" }
+
+// Key implements Concept.
+func (n Not) Key() string { return "¬" + n.C.Key() }
+
+// Key implements Concept.
+func (c And) Key() string { return "⊓(" + joinKeys(c.Cs) + ")" }
+
+// Key implements Concept.
+func (c Or) Key() string { return "⊔(" + joinKeys(c.Cs) + ")" }
+
+// Key implements Concept.
+func (c Exists) Key() string { return "∃" + c.R.String() + "." + c.C.Key() }
+
+// Key implements Concept.
+func (c Forall) Key() string { return "∀" + c.R.String() + "." + c.C.Key() }
+
+// Key implements Concept.
+func (c AtLeast) Key() string { return fmt.Sprintf("≥%d%s.%s", c.N, c.R, c.C.Key()) }
+
+// Key implements Concept.
+func (c AtMost) Key() string { return fmt.Sprintf("≤%d%s.%s", c.N, c.R, c.C.Key()) }
+
+func joinKeys(cs []Concept) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.Key()
+	}
+	return strings.Join(parts, ",")
+}
+
+// String implements Concept (human-oriented rendering).
+func (Top) String() string       { return "⊤" }
+func (Bottom) String() string    { return "⊥" }
+func (a Atom) String() string    { return a.Name }
+func (n Not) String() string     { return "¬" + n.C.String() }
+func (c And) String() string     { return "(" + joinStrings(c.Cs, " ⊓ ") + ")" }
+func (c Or) String() string      { return "(" + joinStrings(c.Cs, " ⊔ ") + ")" }
+func (c Exists) String() string  { return "∃" + c.R.String() + "." + c.C.String() }
+func (c Forall) String() string  { return "∀" + c.R.String() + "." + c.C.String() }
+func (c AtLeast) String() string { return fmt.Sprintf("≥%d %s.%s", c.N, c.R, c.C) }
+func (c AtMost) String() string  { return fmt.Sprintf("≤%d %s.%s", c.N, c.R, c.C) }
+
+func joinStrings(cs []Concept, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// NNF converts a concept to negation normal form with existentials
+// normalized to ≥1 restrictions: negations are pushed to atoms, ¬∃/¬∀ are
+// rewritten through the number-restriction dualities, and nested
+// conjunctions/disjunctions are flattened.
+func NNF(c Concept) Concept { return nnf(c, false) }
+
+// Complement returns NNF(¬C).
+func Complement(c Concept) Concept { return nnf(c, true) }
+
+func nnf(c Concept, neg bool) Concept {
+	switch x := c.(type) {
+	case Top:
+		if neg {
+			return Bottom{}
+		}
+		return Top{}
+	case Bottom:
+		if neg {
+			return Top{}
+		}
+		return Bottom{}
+	case Atom:
+		if neg {
+			return Not{x}
+		}
+		return x
+	case Not:
+		return nnf(x.C, !neg)
+	case And:
+		cs := make([]Concept, 0, len(x.Cs))
+		for _, sub := range x.Cs {
+			cs = append(cs, nnf(sub, neg))
+		}
+		if neg {
+			return flattenOr(cs)
+		}
+		return flattenAnd(cs)
+	case Or:
+		cs := make([]Concept, 0, len(x.Cs))
+		for _, sub := range x.Cs {
+			cs = append(cs, nnf(sub, neg))
+		}
+		if neg {
+			return flattenAnd(cs)
+		}
+		return flattenOr(cs)
+	case Exists:
+		if neg {
+			return Forall{x.R, nnf(x.C, true)}
+		}
+		return AtLeast{1, x.R, nnf(x.C, false)}
+	case Forall:
+		if neg {
+			return AtLeast{1, x.R, nnf(x.C, true)}
+		}
+		return Forall{x.R, nnf(x.C, false)}
+	case AtLeast:
+		if neg {
+			if x.N <= 0 {
+				return Bottom{} // ¬(≥0 R.C) ≡ ⊥
+			}
+			if x.N == 1 {
+				// ≤0 R.C canonicalizes to ∀R.¬C (same semantics,
+				// and the tableau's ∀-rule is deterministic).
+				return Forall{x.R, nnf(x.C, true)}
+			}
+			return AtMost{x.N - 1, x.R, nnf(x.C, false)}
+		}
+		if x.N <= 0 {
+			return Top{}
+		}
+		return AtLeast{x.N, x.R, nnf(x.C, false)}
+	case AtMost:
+		if neg {
+			return AtLeast{x.N + 1, x.R, nnf(x.C, false)}
+		}
+		if x.N == 0 {
+			return Forall{x.R, nnf(x.C, true)} // ≤0 R.C ≡ ∀R.¬C
+		}
+		return AtMost{x.N, x.R, nnf(x.C, false)}
+	}
+	panic(fmt.Sprintf("dl: unknown concept %T", c))
+}
+
+func flattenAnd(cs []Concept) Concept {
+	var flat []Concept
+	for _, c := range cs {
+		switch x := c.(type) {
+		case And:
+			flat = append(flat, x.Cs...)
+		case Top:
+		case Bottom:
+			return Bottom{}
+		default:
+			flat = append(flat, c)
+		}
+	}
+	flat = dedupe(flat)
+	switch len(flat) {
+	case 0:
+		return Top{}
+	case 1:
+		return flat[0]
+	}
+	return And{flat}
+}
+
+func flattenOr(cs []Concept) Concept {
+	var flat []Concept
+	for _, c := range cs {
+		switch x := c.(type) {
+		case Or:
+			flat = append(flat, x.Cs...)
+		case Bottom:
+		case Top:
+			return Top{}
+		default:
+			flat = append(flat, c)
+		}
+	}
+	flat = dedupe(flat)
+	switch len(flat) {
+	case 0:
+		return Bottom{}
+	case 1:
+		return flat[0]
+	}
+	return Or{flat}
+}
+
+func dedupe(cs []Concept) []Concept {
+	seen := make(map[string]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Axiom is a general concept inclusion C ⊑ D.
+type Axiom struct {
+	Sub, Sup Concept
+}
+
+// String renders the axiom.
+func (a Axiom) String() string { return a.Sub.String() + " ⊑ " + a.Sup.String() }
+
+// TBox is a finite set of general concept inclusions.
+type TBox struct {
+	Axioms []Axiom
+}
+
+// Add appends an axiom C ⊑ D.
+func (t *TBox) Add(sub, sup Concept) { t.Axioms = append(t.Axioms, Axiom{sub, sup}) }
+
+// AddEquiv appends C ≡ D as the two inclusions.
+func (t *TBox) AddEquiv(a, b Concept) {
+	t.Add(a, b)
+	t.Add(b, a)
+}
+
+// Internalize returns the concept ⊓ᵢ NNF(¬Cᵢ ⊔ Dᵢ) that every individual
+// of every model of the TBox must satisfy.
+func (t *TBox) Internalize() Concept {
+	if t == nil || len(t.Axioms) == 0 {
+		return Top{}
+	}
+	cs := make([]Concept, 0, len(t.Axioms))
+	for _, ax := range t.Axioms {
+		cs = append(cs, NNF(Or{[]Concept{Not{ax.Sub}, ax.Sup}}))
+	}
+	return flattenAnd(cs)
+}
+
+// compile splits the TBox into lazily-unfoldable axioms and a residual
+// internalized concept. Absorption handles three left-hand-side shapes:
+//
+//   - A ⊑ D            → unfold[A] += NNF(D)
+//   - A1⊓…⊓Ak ⊑ D      → unfold[A1] += NNF(¬(A2⊓…⊓Ak) ⊔ D)
+//   - C1⊔…⊔Ck ⊑ D      → each Ci ⊑ D handled recursively
+//
+// Everything else lands in the internalized residual, which must be added
+// to every tableau node. Lazy unfolding avoids the disjunction ¬C ⊔ D at
+// nodes that never mention C, which is the standard optimization that
+// makes GCI reasoning tractable in practice.
+func (t *TBox) compile() (unfold map[string][]Concept, residual Concept) {
+	unfold = make(map[string][]Concept)
+	var general []Concept
+	var absorb func(sub, sup Concept)
+	absorb = func(sub, sup Concept) {
+		switch x := sub.(type) {
+		case Atom:
+			unfold[x.Name] = append(unfold[x.Name], NNF(sup))
+			return
+		case Or:
+			for _, d := range x.Cs {
+				absorb(d, sup)
+			}
+			return
+		case Exists:
+			// Role absorption: ∃R.C ⊑ D ⟺ C ⊑ ∀R⁻.D.
+			absorb(x.C, Forall{R: x.R.Inverse(), C: sup})
+			return
+		case And:
+			allAtoms := true
+			for _, c := range x.Cs {
+				if _, ok := c.(Atom); !ok {
+					allAtoms = false
+					break
+				}
+			}
+			if allAtoms && len(x.Cs) > 0 {
+				first := x.Cs[0].(Atom)
+				rest := append([]Concept(nil), x.Cs[1:]...)
+				rhs := NNF(Or{[]Concept{Not{And{rest}}, sup}})
+				unfold[first.Name] = append(unfold[first.Name], rhs)
+				return
+			}
+		}
+		general = append(general, NNF(Or{[]Concept{Not{sub}, sup}}))
+	}
+	if t != nil {
+		for _, ax := range t.Axioms {
+			absorb(ax.Sub, ax.Sup)
+		}
+	}
+	return unfold, flattenAnd(general)
+}

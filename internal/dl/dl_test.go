@@ -1,0 +1,389 @@
+package dl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sat(t *testing.T, c Concept, tbox *TBox) bool {
+	t.Helper()
+	var r Reasoner
+	ok, err := r.Satisfiable(c, tbox)
+	if err != nil {
+		t.Fatalf("Satisfiable(%s): %v", c, err)
+	}
+	return ok
+}
+
+func a(name string) Concept { return Atom{name} }
+
+func and(cs ...Concept) Concept { return And{cs} }
+
+func or(cs ...Concept) Concept { return Or{cs} }
+
+func TestNNF(t *testing.T) {
+	cases := []struct {
+		in   Concept
+		want string
+	}{
+		{Not{Not{a("A")}}, "A(A)"},
+		{Not{and(a("A"), a("B"))}, "⊔(¬A(A),¬A(B))"},
+		{Not{or(a("A"), a("B"))}, "⊓(¬A(A),¬A(B))"},
+		{Not{Exists{R("r"), a("A")}}, "∀r.¬A(A)"},
+		{Not{Forall{R("r"), a("A")}}, "≥1r.¬A(A)"},
+		{Exists{R("r"), a("A")}, "≥1r.A(A)"},
+		{Not{AtLeast{2, R("r"), a("A")}}, "≤1r.A(A)"},
+		{Not{AtMost{2, R("r"), a("A")}}, "≥3r.A(A)"},
+		{Not{Top{}}, "⊥"},
+		{Not{Bottom{}}, "⊤"},
+		{and(a("A"), Top{}), "A(A)"},
+		{or(a("A"), Bottom{}), "A(A)"},
+		{and(a("A"), Bottom{}), "⊥"},
+		{or(a("A"), Top{}), "⊤"},
+	}
+	for _, c := range cases {
+		if got := NNF(c.in).Key(); got != c.want {
+			t.Errorf("NNF(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	if got := Complement(a("A")).Key(); got != "¬A(A)" {
+		t.Errorf("Complement(A) = %s", got)
+	}
+	if got := Complement(Not{a("A")}).Key(); got != "A(A)" {
+		t.Errorf("Complement(¬A) = %s", got)
+	}
+}
+
+func TestBasicSatisfiability(t *testing.T) {
+	if !sat(t, a("A"), nil) {
+		t.Error("atomic concept must be satisfiable")
+	}
+	if sat(t, and(a("A"), Not{a("A")}), nil) {
+		t.Error("A ⊓ ¬A must be unsatisfiable")
+	}
+	if sat(t, Bottom{}, nil) {
+		t.Error("⊥ must be unsatisfiable")
+	}
+	if !sat(t, Top{}, nil) {
+		t.Error("⊤ must be satisfiable")
+	}
+	if !sat(t, or(a("A"), Not{a("A")}), nil) {
+		t.Error("A ⊔ ¬A must be satisfiable")
+	}
+}
+
+func TestExistsForallInteraction(t *testing.T) {
+	r := R("r")
+	if sat(t, and(Exists{r, a("A")}, Forall{r, Not{a("A")}}), nil) {
+		t.Error("∃r.A ⊓ ∀r.¬A must be unsatisfiable")
+	}
+	if !sat(t, and(Exists{r, a("A")}, Forall{r, a("B")}), nil) {
+		t.Error("∃r.A ⊓ ∀r.B must be satisfiable")
+	}
+	if !sat(t, and(Forall{r, Bottom{}}, Not{a("A")}), nil) {
+		t.Error("∀r.⊥ ⊓ ¬A is satisfiable (no r-successors)")
+	}
+	if sat(t, and(Exists{r, Top{}}, Forall{r, Bottom{}}), nil) {
+		t.Error("∃r.⊤ ⊓ ∀r.⊥ must be unsatisfiable")
+	}
+}
+
+func TestNumberRestrictions(t *testing.T) {
+	r := R("r")
+	if sat(t, and(AtLeast{3, r, Top{}}, AtMost{2, r, Top{}}), nil) {
+		t.Error("≥3 r.⊤ ⊓ ≤2 r.⊤ must be unsatisfiable")
+	}
+	if !sat(t, and(AtLeast{2, r, Top{}}, AtMost{2, r, Top{}}), nil) {
+		t.Error("≥2 r.⊤ ⊓ ≤2 r.⊤ must be satisfiable")
+	}
+	if !sat(t, and(AtLeast{2, r, a("A")}, AtMost{3, r, Top{}}), nil) {
+		t.Error("≥2 r.A ⊓ ≤3 r.⊤ must be satisfiable")
+	}
+	// Qualified: ≥2 r.A ⊓ ≥2 r.B ⊓ ≤2 r.⊤ is satisfiable when the two
+	// A-successors coincide with the two B-successors.
+	if !sat(t, and(AtLeast{2, r, a("A")}, AtLeast{2, r, a("B")}, AtMost{2, r, Top{}}), nil) {
+		t.Error("≥2 r.A ⊓ ≥2 r.B ⊓ ≤2 r.⊤ must be satisfiable (merging)")
+	}
+	// But not when A and B are disjoint.
+	tbox := &TBox{}
+	tbox.Add(and(a("A"), a("B")), Bottom{})
+	if sat(t, and(AtLeast{1, r, a("A")}, AtLeast{1, r, a("B")}, AtMost{1, r, Top{}}), tbox) {
+		t.Error("disjoint qualifiers with ≤1 must be unsatisfiable")
+	}
+}
+
+func TestFunctionalMerge(t *testing.T) {
+	r := R("r")
+	// ≤1 r.⊤ forces the A- and B-successor to merge: satisfiable.
+	if !sat(t, and(Exists{r, a("A")}, Exists{r, a("B")}, AtMost{1, r, Top{}}), nil) {
+		t.Error("functional role with compatible successors must be satisfiable")
+	}
+	// With A ⊑ ¬B the merge clashes.
+	tbox := &TBox{}
+	tbox.Add(a("A"), Not{a("B")})
+	if sat(t, and(Exists{r, a("A")}, Exists{r, a("B")}, AtMost{1, r, Top{}}), tbox) {
+		t.Error("functional role with incompatible successors must be unsatisfiable")
+	}
+}
+
+func TestInverseRoles(t *testing.T) {
+	r := R("r")
+	// ∃r.(∀r⁻.A) pushes A back to the root; ¬A clashes.
+	if sat(t, and(Not{a("A")}, Exists{r, Forall{r.Inverse(), a("A")}}), nil) {
+		t.Error("∃r.∀r⁻.A ⊓ ¬A must be unsatisfiable")
+	}
+	if !sat(t, and(a("A"), Exists{r, Forall{r.Inverse(), a("A")}}), nil) {
+		t.Error("∃r.∀r⁻.A ⊓ A must be satisfiable")
+	}
+	// Inverse functionality: B ⊑ ≤1 r⁻.⊤ plus two r-edges into a B.
+	tbox := &TBox{}
+	tbox.Add(a("B"), AtMost{1, r.Inverse(), Top{}})
+	// x with two distinct r-successors both ⊑ B and... build: the root
+	// has ≥2 r.B, each B has ≤1 r⁻.⊤; the root is an r⁻-neighbor of
+	// each. Satisfiable: each B sees only the root.
+	if !sat(t, AtLeast{2, r, a("B")}, tbox) {
+		t.Error("≥2 r.B with inverse-functional B must be satisfiable")
+	}
+}
+
+func TestTBoxCycle(t *testing.T) {
+	// A ⊑ ∃r.A: an infinite chain is required; blocking must terminate
+	// and report satisfiable.
+	tbox := &TBox{}
+	tbox.Add(a("A"), Exists{R("r"), a("A")})
+	if !sat(t, a("A"), tbox) {
+		t.Error("A ⊑ ∃r.A with query A must be satisfiable (blocking)")
+	}
+}
+
+func TestTBoxCycleWithInverse(t *testing.T) {
+	// A ⊑ ∃r.A ⊓ ∀r⁻.⊥ — every A needs an r-successor that is A, but no
+	// A may have an incoming r-edge... wait: ∀r⁻.⊥ at the successor
+	// forbids its predecessor. Build it directly:
+	// A ⊑ ∃r.A and A ⊑ ∀r.(∀r⁻.⊥): unsatisfiable.
+	tbox := &TBox{}
+	r := R("r")
+	tbox.Add(a("A"), Exists{r, a("A")})
+	tbox.Add(a("A"), Forall{r, Forall{r.Inverse(), Bottom{}}})
+	if sat(t, a("A"), tbox) {
+		t.Error("successor forbidden by inverse-universal must be unsatisfiable")
+	}
+}
+
+func TestUnsatWithGCIPropagation(t *testing.T) {
+	// A ⊑ B, B ⊑ C, query A ⊓ ¬C.
+	tbox := &TBox{}
+	tbox.Add(a("A"), a("B"))
+	tbox.Add(a("B"), a("C"))
+	if sat(t, and(a("A"), Not{a("C")}), tbox) {
+		t.Error("A ⊑ B ⊑ C makes A ⊓ ¬C unsatisfiable")
+	}
+	if !sat(t, and(a("A"), a("C")), tbox) {
+		t.Error("A ⊓ C must be satisfiable")
+	}
+}
+
+func TestDisjunctionBranching(t *testing.T) {
+	// (A ⊔ B) ⊓ ¬A ⊓ ¬B unsat; (A ⊔ B) ⊓ ¬A sat (choose B).
+	if sat(t, and(or(a("A"), a("B")), Not{a("A")}, Not{a("B")}), nil) {
+		t.Error("(A⊔B) ⊓ ¬A ⊓ ¬B must be unsatisfiable")
+	}
+	if !sat(t, and(or(a("A"), a("B")), Not{a("A")}), nil) {
+		t.Error("(A⊔B) ⊓ ¬A must be satisfiable")
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	r := R("r")
+	// ∃r.∃r.∃r.A ⊓ ∀r.∀r.∀r.¬A
+	c := and(
+		Exists{r, Exists{r, Exists{r, a("A")}}},
+		Forall{r, Forall{r, Forall{r, Not{a("A")}}}},
+	)
+	if sat(t, c, nil) {
+		t.Error("nested ∃/∀ conflict must be unsatisfiable")
+	}
+}
+
+func TestChooseRule(t *testing.T) {
+	r := R("r")
+	// ≤1 r.A ⊓ ∃r.B ⊓ ∃r.C with B ⊑ A and C ⊑ A and B ⊓ C ⊑ ⊥:
+	// the two successors are both A, must merge, but B ⊓ C is empty.
+	tbox := &TBox{}
+	tbox.Add(a("B"), a("A"))
+	tbox.Add(a("C"), a("A"))
+	tbox.Add(and(a("B"), a("C")), Bottom{})
+	if sat(t, and(AtMost{1, r, a("A")}, Exists{r, a("B")}, Exists{r, a("C")}), tbox) {
+		t.Error("≤1 r.A with disjoint A-successors must be unsatisfiable")
+	}
+	// Without disjointness it is satisfiable.
+	tbox2 := &TBox{}
+	tbox2.Add(a("B"), a("A"))
+	tbox2.Add(a("C"), a("A"))
+	if !sat(t, and(AtMost{1, r, a("A")}, Exists{r, a("B")}, Exists{r, a("C")}), tbox2) {
+		t.Error("compatible successors should merge and satisfy")
+	}
+}
+
+// TestExample61a translates diagram (a) of the paper's Example 6.1 by
+// hand, following the Theorem 3 proof: OT2/OT3 implement IT; both carry
+// hasOT1 edges with @requiredForTarget; IT carries @uniqueForTarget.
+func TestExample61a(t *testing.T) {
+	tbox := &TBox{}
+	f := R("hasOT1")
+	ot1, ot2, ot3, it := a("OT1"), a("OT2"), a("OT3"), a("IT")
+	// Union/interface: IT ≡ OT2 ⊔ OT3.
+	tbox.AddEquiv(it, or(ot2, ot3))
+	// Disjointness of object types.
+	tbox.Add(and(ot1, ot2), Bottom{})
+	tbox.Add(and(ot1, ot3), Bottom{})
+	tbox.Add(and(ot2, ot3), Bottom{})
+	// Edge typing: targets of hasOT1 from IT sources are OT1 — i.e.
+	// ∃hasOT1⁻.IT ⊑ OT1 is not needed for the conflict; what matters:
+	// @requiredForTarget on OT2.hasOT1: OT1 ⊑ ∃hasOT1⁻.OT2
+	tbox.Add(ot1, Exists{f.Inverse(), ot2})
+	// @requiredForTarget on OT3.hasOT1: OT1 ⊑ ∃hasOT1⁻.OT3
+	tbox.Add(ot1, Exists{f.Inverse(), ot3})
+	// @uniqueForTarget on IT.hasOT1: OT1 ⊑ ≤1 hasOT1⁻.IT
+	tbox.Add(ot1, AtMost{1, f.Inverse(), it})
+
+	ok, err := (&Reasoner{}).Satisfiable(ot1, tbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("OT1 in Example 6.1(a) must be unsatisfiable")
+	}
+	// OT2 alone is satisfiable (a graph with no OT1 nodes).
+	ok, err = (&Reasoner{}).Satisfiable(ot2, tbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("OT2 in Example 6.1(a) must be satisfiable")
+	}
+}
+
+func TestResourceLimit(t *testing.T) {
+	// An exponential disjunction cascade with a tiny step budget.
+	tbox := &TBox{}
+	r := R("r")
+	for i := 0; i < 8; i++ {
+		tbox.Add(a("A"), Exists{r, a("A")})
+		tbox.Add(a("A"), or(a("B"), a("C")))
+	}
+	re := Reasoner{MaxSteps: 3}
+	if _, err := re.Satisfiable(a("A"), tbox); err == nil {
+		t.Skip("budget not hit; acceptable (problem too easy)")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	var r Reasoner
+	_, err := r.Satisfiable(and(or(a("A"), a("B")), Exists{R("r"), a("C")}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Nodes < 2 {
+		t.Errorf("expected at least 2 tableau nodes, got %d", r.Stats.Nodes)
+	}
+}
+
+// TestNNFInvolution: Complement(Complement(C)) has the same key as
+// NNF(C) over randomly generated concept trees.
+func TestNNFInvolution(t *testing.T) {
+	var gen func(rnd *rand.Rand, depth int) Concept
+	gen = func(rnd *rand.Rand, depth int) Concept {
+		if depth <= 0 {
+			switch rnd.Intn(4) {
+			case 0:
+				return Top{}
+			case 1:
+				return Bottom{}
+			default:
+				return Atom{string(rune('A' + rnd.Intn(4)))}
+			}
+		}
+		r := Role{Name: string(rune('r' + rnd.Intn(2))), Inv: rnd.Intn(2) == 0}
+		switch rnd.Intn(7) {
+		case 0:
+			return Not{gen(rnd, depth-1)}
+		case 1:
+			return And{[]Concept{gen(rnd, depth-1), gen(rnd, depth-1)}}
+		case 2:
+			return Or{[]Concept{gen(rnd, depth-1), gen(rnd, depth-1)}}
+		case 3:
+			return Exists{r, gen(rnd, depth-1)}
+		case 4:
+			return Forall{r, gen(rnd, depth-1)}
+		case 5:
+			return AtLeast{1 + rnd.Intn(3), r, gen(rnd, depth-1)}
+		default:
+			return AtMost{rnd.Intn(3), r, gen(rnd, depth-1)}
+		}
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		c := gen(rnd, 4)
+		want := NNF(c).Key()
+		got := Complement(Complement(c)).Key()
+		if got != want {
+			t.Fatalf("seed %d: NNF(%s) = %s but ¬¬ = %s", seed, c, want, got)
+		}
+	}
+}
+
+// TestNNFSatisfiabilityInvariance: a concept and its double complement
+// have the same satisfiability status.
+func TestNNFSatisfiabilityInvariance(t *testing.T) {
+	cases := []Concept{
+		and(a("A"), Not{a("A")}),
+		and(Exists{R("r"), a("A")}, Forall{R("r"), Not{a("A")}}),
+		or(a("A"), a("B")),
+		AtMost{0, R("r"), Top{}},
+	}
+	for _, c := range cases {
+		s1 := sat(t, c, nil)
+		s2 := sat(t, Complement(Complement(c)), nil)
+		if s1 != s2 {
+			t.Errorf("%s: sat=%v but double complement sat=%v", c, s1, s2)
+		}
+	}
+}
+
+// TestMergeIntoParent exercises the merge path where one of the two
+// ≤-neighbors is the node's tree parent: B has an incoming r-edge from
+// the root and a generated r-predecessor C; ≤1 r⁻.⊤ at B forces C to
+// merge into the root.
+func TestMergeIntoParent(t *testing.T) {
+	r := R("r")
+	inner := and(a("B"), AtMost{1, r.Inverse(), Top{}}, Exists{r.Inverse(), a("C")})
+	// Compatible: the root may be C too — satisfiable.
+	if !sat(t, and(a("A"), Exists{r, inner}), nil) {
+		t.Error("merge into parent with compatible labels must be satisfiable")
+	}
+	// Incompatible: C ⊑ ¬A clashes after the merge.
+	tbox := &TBox{}
+	tbox.Add(a("C"), Not{a("A")})
+	if sat(t, and(a("A"), Exists{r, inner}), tbox) {
+		t.Error("merge into parent with disjoint labels must be unsatisfiable")
+	}
+}
+
+// TestNodeLimit: the reasoner reports ErrResourceLimit rather than
+// looping when the node budget is tiny.
+func TestNodeLimit(t *testing.T) {
+	tbox := &TBox{}
+	tbox.Add(a("A"), Exists{R("r"), and(a("A"), a("B"))})
+	tbox.Add(a("A"), Exists{R("s"), and(a("A"), a("C"))})
+	re := Reasoner{MaxNodes: 3}
+	if ok, err := re.Satisfiable(a("A"), tbox); err == nil && ok {
+		// Blocking may legitimately decide it within 3 nodes; accept
+		// either a decision or a budget error, but never a hang (the
+		// test timeout guards that).
+		t.Log("decided within the budget")
+	}
+}

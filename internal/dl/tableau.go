@@ -1,0 +1,583 @@
+package dl
+
+import (
+	"errors"
+	"sort"
+	"strings"
+)
+
+// ErrResourceLimit is returned when the tableau search exceeds the
+// reasoner's node or step budget; the satisfiability status is unknown.
+var ErrResourceLimit = errors.New("dl: resource limit exceeded")
+
+// Reasoner decides ALCQI concept satisfiability with respect to a
+// general TBox, using a tableau with pairwise (double) blocking — the
+// technique required for termination in the presence of inverse roles
+// and qualified number restrictions.
+type Reasoner struct {
+	// MaxNodes bounds the tableau tree size (default 20000).
+	MaxNodes int
+	// MaxSteps bounds total rule applications and branches
+	// (default 2,000,000).
+	MaxSteps int
+	// Stats is populated by Satisfiable.
+	Stats ReasonerStats
+}
+
+// ReasonerStats reports search effort.
+type ReasonerStats struct {
+	Steps    int
+	Branches int
+	Nodes    int
+}
+
+// Satisfiable reports whether the concept is satisfiable with respect to
+// the TBox (which may be nil). It returns ErrResourceLimit when the
+// search exceeds the configured budget.
+func (r *Reasoner) Satisfiable(c Concept, tbox *TBox) (bool, error) {
+	if r.MaxNodes == 0 {
+		r.MaxNodes = 20000
+	}
+	if r.MaxSteps == 0 {
+		r.MaxSteps = 2000000
+	}
+	r.Stats = ReasonerStats{}
+	unfold, residual := tbox.compile()
+	st := &state{r: r, tc: residual, unfold: unfold, distinct: make(map[[2]int]bool)}
+	root := st.newNode(-1, nil)
+	st.addConcept(root, NNF(c))
+	st.addConcept(root, st.tc)
+	return st.run()
+}
+
+// tnode is one tableau node. Edges are tree edges: every non-root node
+// stores the set of roles r with parent --r--> node.
+type tnode struct {
+	id       int
+	parent   int // -1 for the root
+	roles    map[Role]bool
+	label    map[string]Concept
+	children []int
+	pruned   bool
+
+	// cached canonical keys for blocking checks; invalidated on change.
+	labelStr string
+	edgeStr  string
+}
+
+// state is one tableau (cloned at branch points).
+type state struct {
+	r        *Reasoner
+	tc       Concept              // internalized residual axioms
+	unfold   map[string][]Concept // lazily unfolded axioms (shared, immutable)
+	nodes    []*tnode
+	distinct map[[2]int]bool
+}
+
+func (s *state) clone() *state {
+	c := &state{r: s.r, tc: s.tc, unfold: s.unfold, nodes: make([]*tnode, len(s.nodes)), distinct: make(map[[2]int]bool, len(s.distinct))}
+	for i, n := range s.nodes {
+		cp := &tnode{id: n.id, parent: n.parent, pruned: n.pruned, labelStr: n.labelStr, edgeStr: n.edgeStr}
+		cp.roles = make(map[Role]bool, len(n.roles))
+		for r := range n.roles {
+			cp.roles[r] = true
+		}
+		cp.label = make(map[string]Concept, len(n.label))
+		for k, v := range n.label {
+			cp.label[k] = v
+		}
+		cp.children = append([]int(nil), n.children...)
+		c.nodes[i] = cp
+	}
+	for k := range s.distinct {
+		c.distinct[k] = true
+	}
+	return c
+}
+
+func (s *state) newNode(parent int, roles []Role) *tnode {
+	n := &tnode{id: len(s.nodes), parent: parent, roles: make(map[Role]bool), label: make(map[string]Concept)}
+	for _, r := range roles {
+		n.roles[r] = true
+	}
+	s.nodes = append(s.nodes, n)
+	if parent >= 0 {
+		s.nodes[parent].children = append(s.nodes[parent].children, n.id)
+	}
+	if len(s.nodes) > s.r.Stats.Nodes {
+		s.r.Stats.Nodes = len(s.nodes)
+	}
+	return n
+}
+
+// addConcept inserts c into the node's label, flattening conjunctions.
+// It reports whether the label changed.
+func (s *state) addConcept(n *tnode, c Concept) bool {
+	switch x := c.(type) {
+	case Top:
+		return false
+	case And:
+		changed := false
+		for _, sub := range x.Cs {
+			if s.addConcept(n, sub) {
+				changed = true
+			}
+		}
+		return changed
+	}
+	k := c.Key()
+	if _, ok := n.label[k]; ok {
+		return false
+	}
+	n.label[k] = c
+	n.labelStr = ""
+	if atom, ok := c.(Atom); ok {
+		for _, u := range s.unfold[atom.Name] {
+			s.addConcept(n, u)
+		}
+	}
+	return true
+}
+
+func (s *state) has(n *tnode, c Concept) bool {
+	_, ok := n.label[c.Key()]
+	return ok
+}
+
+// holds reports whether the node's label entails c syntactically: ⊤ holds
+// everywhere; conjunctions hold when every conjunct does (addConcept
+// flattens ⊓ into the label, so the composite key is never present
+// itself); disjunctions when some disjunct does; everything else by label
+// membership (the tableau convention "C ∈ L(y)").
+func (s *state) holds(n *tnode, c Concept) bool {
+	switch x := c.(type) {
+	case Top:
+		return true
+	case And:
+		for _, sub := range x.Cs {
+			if !s.holds(n, sub) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		if s.has(n, c) {
+			return true
+		}
+		for _, sub := range x.Cs {
+			if s.holds(n, sub) {
+				return true
+			}
+		}
+		return false
+	}
+	return s.has(n, c)
+}
+
+// neighbors returns the ids of the node's r-neighbors: children reached
+// by r and the parent when the edge carries r's inverse.
+func (s *state) neighbors(x *tnode, r Role) []int {
+	var out []int
+	for _, cid := range x.children {
+		c := s.nodes[cid]
+		if !c.pruned && c.roles[r] {
+			out = append(out, cid)
+		}
+	}
+	if x.parent >= 0 && x.roles[r.Inverse()] {
+		out = append(out, x.parent)
+	}
+	return out
+}
+
+// labelKey canonicalizes a node's label set (cached until the label
+// changes).
+func labelKey(n *tnode) string {
+	if n.labelStr == "" {
+		keys := make([]string, 0, len(n.label))
+		for k := range n.label {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		n.labelStr = "\x01" + strings.Join(keys, "|")
+	}
+	return n.labelStr
+}
+
+// edgeKey canonicalizes a node's incoming-edge role set (cached until the
+// roles change).
+func edgeKey(n *tnode) string {
+	if n.edgeStr == "" {
+		keys := make([]string, 0, len(n.roles))
+		for r := range n.roles {
+			keys = append(keys, r.String())
+		}
+		sort.Strings(keys)
+		n.edgeStr = "\x01" + strings.Join(keys, "|")
+	}
+	return n.edgeStr
+}
+
+// directlyBlocked implements pairwise (double) blocking: x with parent x'
+// is blocked by an ancestor w with parent w' when L(x) = L(w),
+// L(x') = L(w'), and the incoming edges carry the same roles.
+func (s *state) directlyBlocked(x *tnode) bool {
+	if x.parent < 0 {
+		return false
+	}
+	xp := s.nodes[x.parent]
+	lx, lxp, ex := labelKey(x), labelKey(xp), edgeKey(x)
+	w := s.nodes[x.parent]
+	for w.parent >= 0 {
+		wp := s.nodes[w.parent]
+		if labelKey(w) == lx && labelKey(wp) == lxp && edgeKey(w) == ex {
+			return true
+		}
+		w = wp
+	}
+	return false
+}
+
+// indirectlyBlocked reports whether a proper ancestor is directly blocked.
+func (s *state) indirectlyBlocked(x *tnode) bool {
+	for p := x.parent; p >= 0; {
+		n := s.nodes[p]
+		if s.directlyBlocked(n) {
+			return true
+		}
+		p = n.parent
+	}
+	return false
+}
+
+func pair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (s *state) markDistinct(a, b int) { s.distinct[pair(a, b)] = true }
+
+func (s *state) areDistinct(a, b int) bool { return s.distinct[pair(a, b)] }
+
+// existsKPairwiseDistinct reports whether k of the candidates are
+// pairwise marked distinct (exact search; k is tiny in practice).
+func (s *state) existsKPairwiseDistinct(cands []int, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if len(cands) < k {
+		return false
+	}
+	var chosen []int
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(chosen) == k {
+			return true
+		}
+		for i := start; i < len(cands); i++ {
+			ok := true
+			for _, c := range chosen {
+				if !s.areDistinct(c, cands[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			chosen = append(chosen, cands[i])
+			if rec(i + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func (s *state) step() error {
+	s.r.Stats.Steps++
+	if s.r.Stats.Steps > s.r.MaxSteps {
+		return ErrResourceLimit
+	}
+	return nil
+}
+
+// hasClash checks all clash conditions.
+func (s *state) hasClash() bool {
+	for _, n := range s.nodes {
+		if n.pruned {
+			continue
+		}
+		for _, c := range n.label {
+			switch x := c.(type) {
+			case Bottom:
+				return true
+			case Not:
+				if s.has(n, x.C) {
+					return true
+				}
+			case AtMost:
+				var with []int
+				for _, y := range s.neighbors(n, x.R) {
+					if s.holds(s.nodes[y], x.C) {
+						with = append(with, y)
+					}
+				}
+				if s.existsKPairwiseDistinct(with, x.N+1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// applyDeterministic applies one round of ∀- and ≥-rules, reporting
+// whether anything changed.
+func (s *state) applyDeterministic() (bool, error) {
+	changed := false
+	for _, n := range s.nodes {
+		if n.pruned || s.indirectlyBlocked(n) {
+			continue
+		}
+		// Collect label snapshot: rules may extend labels of other
+		// nodes; extending n's own label is impossible for these rules
+		// (∀ adds to neighbors, ≥ creates children).
+		for _, c := range n.label {
+			switch x := c.(type) {
+			case Forall:
+				for _, y := range s.neighbors(n, x.R) {
+					if s.addConcept(s.nodes[y], x.C) {
+						s.addConcept(s.nodes[y], s.tc)
+						changed = true
+						if err := s.step(); err != nil {
+							return false, err
+						}
+					}
+				}
+			case AtLeast:
+				if s.directlyBlocked(n) {
+					continue
+				}
+				var with []int
+				for _, y := range s.neighbors(n, x.R) {
+					if s.holds(s.nodes[y], x.C) {
+						with = append(with, y)
+					}
+				}
+				if s.existsKPairwiseDistinct(with, x.N) {
+					continue
+				}
+				if len(s.nodes)+x.N > s.r.MaxNodes {
+					return false, ErrResourceLimit
+				}
+				fresh := make([]int, x.N)
+				for i := 0; i < x.N; i++ {
+					y := s.newNode(n.id, []Role{x.R})
+					s.addConcept(y, x.C)
+					s.addConcept(y, s.tc)
+					fresh[i] = y.id
+				}
+				for i := 0; i < len(fresh); i++ {
+					for j := i + 1; j < len(fresh); j++ {
+						s.markDistinct(fresh[i], fresh[j])
+					}
+				}
+				changed = true
+				if err := s.step(); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	return changed, nil
+}
+
+// alternative is one nondeterministic branch: a mutation of a clone.
+type alternative func(*state)
+
+// findNondeterministic locates the first applicable nondeterministic rule
+// and returns the branch alternatives (nil when none applies).
+func (s *state) findNondeterministic() []alternative {
+	for _, n := range s.nodes {
+		if n.pruned || s.indirectlyBlocked(n) {
+			continue
+		}
+		nid := n.id
+		// Deterministic iteration over label for reproducibility.
+		keys := make([]string, 0, len(n.label))
+		for k := range n.label {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch x := n.label[k].(type) {
+			case Or:
+				present := false
+				for _, d := range x.Cs {
+					if s.has(n, d) {
+						present = true
+						break
+					}
+				}
+				if present {
+					continue
+				}
+				var alts []alternative
+				for _, d := range x.Cs {
+					d := d
+					alts = append(alts, func(c *state) {
+						c.addConcept(c.nodes[nid], d)
+					})
+				}
+				return alts
+			case AtMost:
+				notC := Complement(x.C)
+				// choose-rule: neighbors undecided about C.
+				for _, y := range s.neighbors(n, x.R) {
+					yn := s.nodes[y]
+					if s.holds(yn, x.C) || s.holds(yn, notC) {
+						continue
+					}
+					yid := y
+					return []alternative{
+						func(c *state) {
+							c.addConcept(c.nodes[yid], x.C)
+							c.addConcept(c.nodes[yid], c.tc)
+						},
+						func(c *state) {
+							c.addConcept(c.nodes[yid], notC)
+							c.addConcept(c.nodes[yid], c.tc)
+						},
+					}
+				}
+				// merge-rule: too many neighbors with C; merge a
+				// non-distinct pair.
+				var with []int
+				for _, y := range s.neighbors(n, x.R) {
+					if s.holds(s.nodes[y], x.C) {
+						with = append(with, y)
+					}
+				}
+				if len(with) <= x.N {
+					continue
+				}
+				var alts []alternative
+				for i := 0; i < len(with); i++ {
+					for j := i + 1; j < len(with); j++ {
+						if s.areDistinct(with[i], with[j]) {
+							continue
+						}
+						a, b := with[i], with[j]
+						alts = append(alts, func(c *state) {
+							c.merge(nid, a, b)
+						})
+					}
+				}
+				if len(alts) > 0 {
+					return alts
+				}
+				// >N neighbors with C and none mergeable: the clash
+				// check will fire if N+1 of them are pairwise
+				// distinct; otherwise the situation is saturated.
+			}
+		}
+	}
+	return nil
+}
+
+// merge merges neighbor y of x into neighbor z of x (the standard
+// Merge(y, z): labels are unioned, edges rerouted, y's subtree pruned).
+// When one of the two is x's parent, it plays the role of z.
+func (s *state) merge(x, y, z int) {
+	xp := s.nodes[x].parent
+	if y == xp {
+		y, z = z, y
+	}
+	yn, zn := s.nodes[y], s.nodes[z]
+	// Union labels.
+	for _, c := range yn.label {
+		s.addConcept(zn, c)
+	}
+	// Reroute the edge x→y.
+	if z == xp {
+		// z is x's parent: make z reachable from x by y's roles.
+		for r := range yn.roles {
+			s.nodes[x].roles[r.Inverse()] = true
+		}
+		s.nodes[x].edgeStr = ""
+	} else {
+		// Sibling merge: union edge labels on x→z.
+		for r := range yn.roles {
+			zn.roles[r] = true
+		}
+		zn.edgeStr = ""
+	}
+	// Inherit distinctness.
+	for p := range s.distinct {
+		var other int
+		switch {
+		case p[0] == y:
+			other = p[1]
+		case p[1] == y:
+			other = p[0]
+		default:
+			continue
+		}
+		if other != z {
+			s.markDistinct(z, other)
+		}
+	}
+	// Prune y's subtree.
+	s.prune(y)
+}
+
+func (s *state) prune(id int) {
+	n := s.nodes[id]
+	n.pruned = true
+	for _, c := range n.children {
+		s.prune(c)
+	}
+}
+
+// run saturates the tableau, branching depth-first over nondeterministic
+// alternatives. It returns true when a complete clash-free tableau is
+// found (the concept is satisfiable).
+func (s *state) run() (bool, error) {
+	for {
+		if s.hasClash() {
+			return false, nil
+		}
+		changed, err := s.applyDeterministic()
+		if err != nil {
+			return false, err
+		}
+		if changed {
+			continue
+		}
+		alts := s.findNondeterministic()
+		if alts == nil {
+			return true, nil
+		}
+		s.r.Stats.Branches++
+		if err := s.step(); err != nil {
+			return false, err
+		}
+		for _, alt := range alts {
+			c := s.clone()
+			alt(c)
+			ok, err := c.run()
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}

@@ -1,0 +1,440 @@
+// Package gen generates Property Graphs from schemas: conformant graphs
+// for tests and benchmarks (strong satisfaction by construction), and
+// targeted violation injection that mutates a conformant graph to break
+// exactly one chosen rule.
+//
+// Generation is deterministic for a fixed seed and configuration.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+	"pgschema/internal/values"
+)
+
+// Config controls conformant-graph generation.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// NodesPerType is the number of nodes created for each object type.
+	// Defaults to 10 when zero.
+	NodesPerType int
+	// ExtraEdges is the expected number of additional edges per source
+	// node on list-typed relationship fields (beyond those needed to
+	// satisfy the constraints). Defaults to 1.0 when negative.
+	ExtraEdges float64
+	// OptionalPropProbability is the chance an optional property is
+	// populated. Defaults to 0.5 when negative.
+	OptionalPropProbability float64
+	// ListLen is the length of generated list property values.
+	// Defaults to 2 when zero.
+	ListLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NodesPerType == 0 {
+		c.NodesPerType = 10
+	}
+	if c.ExtraEdges < 0 {
+		c.ExtraEdges = 1.0
+	}
+	if c.OptionalPropProbability < 0 {
+		c.OptionalPropProbability = 0.5
+	}
+	if c.ListLen == 0 {
+		c.ListLen = 2
+	}
+	return c
+}
+
+// generator carries the state of one generation run.
+type generator struct {
+	s     *schema.Schema
+	g     *pg.Graph
+	cfg   Config
+	rnd   *rand.Rand
+	seq   int // global counter for unique key values
+	state map[string]*fieldState
+}
+
+// Conformant generates a Property Graph that strongly satisfies the
+// schema. It returns an error when the schema's constraints cannot be met
+// with the configured node counts (e.g. a non-list @requiredForTarget
+// field with more targets than available sources); it does not attempt to
+// solve arbitrary satisfiability — use the sat package to decide that.
+func Conformant(s *schema.Schema, cfg Config) (*pg.Graph, error) {
+	cfg = cfg.withDefaults()
+	gen := &generator{s: s, g: pg.New(), cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed))}
+
+	// 1. Nodes: cfg.NodesPerType per object type (skip the GraphQL root
+	// operation names if present; they are ordinary object types, and
+	// populating them is harmless, so no special case is needed).
+	for _, td := range s.ObjectTypes() {
+		for i := 0; i < cfg.NodesPerType; i++ {
+			gen.g.AddNode(td.Name)
+		}
+	}
+
+	// 2. Node properties.
+	for _, td := range s.ObjectTypes() {
+		keyed := keyFields(td)
+		for _, node := range gen.g.NodesLabeled(td.Name) {
+			for _, f := range td.Fields {
+				if !s.IsAttribute(f) {
+					continue
+				}
+				required := schema.HasDirective(f.Directives, schema.DirRequired)
+				if !required && gen.rnd.Float64() >= cfg.OptionalPropProbability {
+					continue
+				}
+				gen.g.SetNodeProp(node, f.Name, gen.sampleValue(f.Type, keyed[f.Name]))
+			}
+			// Key fields must be present to discriminate nodes, even
+			// when not @required (two absent values agree under DS7).
+			for name := range keyed {
+				if _, ok := gen.g.NodeProp(node, name); ok {
+					continue
+				}
+				f := td.Field(name)
+				if f == nil || !s.IsAttribute(f) {
+					continue
+				}
+				gen.g.SetNodeProp(node, name, gen.sampleValue(f.Type, true))
+			}
+		}
+	}
+
+	// 3. Edges. Nodes carry object-type labels only, so wiring iterates
+	// over object types; directives declared on interface fields apply
+	// to the implementing types (the DS rules quantify with ⊑S), so the
+	// effective directive set of a field is the union over the object
+	// type and every interface that declares the field. Cross-type
+	// constraint state (@uniqueForTarget, @distinct) is shared per field
+	// name, which is conservative: it may generate fewer edges than
+	// allowed but never violating ones.
+	gen.state = make(map[string]*fieldState)
+	for _, td := range s.ObjectTypes() {
+		for _, f := range td.Fields {
+			if !s.IsRelationship(f) {
+				continue
+			}
+			if err := gen.wireField(td, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return gen.g, nil
+}
+
+// fieldState is the constraint bookkeeping shared across object types for
+// one relationship field name.
+type fieldState struct {
+	usedTargets map[pg.NodeID]bool    // targets taken under @uniqueForTarget
+	pairs       map[[2]pg.NodeID]bool // (src, dst) pairs under @distinct
+}
+
+// effectiveDirectives collects the directives on (td, f) together with
+// those on the same field in every interface td implements.
+func (gen *generator) effectiveDirectives(td *schema.TypeDef, f *schema.FieldDef) []schema.Applied {
+	out := append([]schema.Applied(nil), f.Directives...)
+	for _, in := range td.Interfaces {
+		it := gen.s.Type(in)
+		if it == nil {
+			continue
+		}
+		if itf := it.Field(f.Name); itf != nil {
+			out = append(out, itf.Directives...)
+		}
+	}
+	return out
+}
+
+// keyFields returns the set of field names participating in any @key of t.
+func keyFields(td *schema.TypeDef) map[string]bool {
+	out := make(map[string]bool)
+	for _, set := range td.KeyFieldSets() {
+		for _, f := range set {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+// wireField creates the edges for one relationship declaration (t, f),
+// honouring WS4, DS1, DS2, DS3, DS4, and DS6.
+func (gen *generator) wireField(td *schema.TypeDef, f *schema.FieldDef) error {
+	sources := gen.g.NodesLabeled(td.Name)
+	targets := gen.nodesOfType(f.Type.Base())
+	if len(sources) == 0 {
+		return nil
+	}
+	dirs := gen.effectiveDirectives(td, f)
+	required := schema.HasDirective(dirs, schema.DirRequired)
+	distinct := schema.HasDirective(dirs, schema.DirDistinct)
+	noLoops := schema.HasDirective(dirs, schema.DirNoLoops)
+	uft := schema.HasDirective(dirs, schema.DirUniqueForTarget)
+	rft := schema.HasDirective(dirs, schema.DirRequiredForTarget)
+	isList := f.Type.IsList()
+
+	if (required || rft) && len(targets) == 0 {
+		return fmt.Errorf("gen: field %s.%s requires edges but type %s has no instances", td.Name, f.Name, f.Type.Base())
+	}
+
+	st := gen.state[f.Name]
+	if st == nil {
+		st = &fieldState{usedTargets: make(map[pg.NodeID]bool), pairs: make(map[[2]pg.NodeID]bool)}
+		gen.state[f.Name] = st
+	}
+	usedTargets := st.usedTargets        // for @uniqueForTarget
+	pairs := st.pairs                    // for @distinct
+	perSource := make(map[pg.NodeID]int) // for WS4 on non-list fields
+	addEdge := func(src, dst pg.NodeID) {
+		gen.decorateEdge(gen.g.MustAddEdge(src, dst, f.Name), f)
+		usedTargets[dst] = true
+		perSource[src]++
+		pairs[[2]pg.NodeID{src, dst}] = true
+	}
+
+	// Phase A: @requiredForTarget — every target needs an incoming edge.
+	if rft {
+		si := 0
+		for _, dst := range targets {
+			if uft && usedTargets[dst] {
+				// Another type already wired this target's unique
+				// incoming edge; a fresh one would violate DS3.
+				return fmt.Errorf("gen: @requiredForTarget and @uniqueForTarget on %s.%s conflict across declaring types for target %d",
+					td.Name, f.Name, dst)
+			}
+			tries := 0
+			for {
+				if si >= len(sources) {
+					si = 0
+					if !isList {
+						return fmt.Errorf("gen: cannot satisfy @requiredForTarget on non-list %s.%s: more %s targets than available %s sources",
+							td.Name, f.Name, f.Type.Base(), td.Name)
+					}
+				}
+				src := sources[si]
+				si++
+				tries++
+				if tries > 2*len(sources) {
+					return fmt.Errorf("gen: cannot satisfy @requiredForTarget on %s.%s (constraints too tight)", td.Name, f.Name)
+				}
+				if noLoops && src == dst {
+					continue
+				}
+				if !isList && perSource[src] > 0 {
+					continue
+				}
+				addEdge(src, dst)
+				break
+			}
+		}
+	}
+
+	// Phase B: @required — every source needs an outgoing edge.
+	if required {
+		for _, src := range sources {
+			if perSource[src] > 0 {
+				continue
+			}
+			dst, ok := gen.pickTarget(src, targets, usedTargets, pairs, uft, distinct, noLoops)
+			if !ok {
+				return fmt.Errorf("gen: cannot satisfy @required on %s.%s: no admissible target", td.Name, f.Name)
+			}
+			addEdge(src, dst)
+		}
+	}
+
+	// Phase C: optional extra edges on list fields.
+	if isList && gen.cfg.ExtraEdges > 0 {
+		for _, src := range sources {
+			n := gen.poissonish(gen.cfg.ExtraEdges)
+			for i := 0; i < n; i++ {
+				dst, ok := gen.pickTarget(src, targets, usedTargets, pairs, uft, distinct, noLoops)
+				if !ok {
+					break
+				}
+				addEdge(src, dst)
+			}
+		}
+	} else if !isList && !required {
+		// Optionally give some sources their single edge.
+		for _, src := range sources {
+			if perSource[src] > 0 || gen.rnd.Float64() >= gen.cfg.OptionalPropProbability {
+				continue
+			}
+			dst, ok := gen.pickTarget(src, targets, usedTargets, pairs, uft, distinct, noLoops)
+			if !ok {
+				continue
+			}
+			addEdge(src, dst)
+		}
+	}
+	return nil
+}
+
+// pickTarget selects an admissible target for src under the directives.
+func (gen *generator) pickTarget(src pg.NodeID, targets []pg.NodeID, usedTargets map[pg.NodeID]bool, pairs map[[2]pg.NodeID]bool, uft, distinct, noLoops bool) (pg.NodeID, bool) {
+	if len(targets) == 0 {
+		return 0, false
+	}
+	start := gen.rnd.Intn(len(targets))
+	for i := 0; i < len(targets); i++ {
+		dst := targets[(start+i)%len(targets)]
+		if uft && usedTargets[dst] {
+			continue
+		}
+		if noLoops && src == dst {
+			continue
+		}
+		if distinct && pairs[[2]pg.NodeID{src, dst}] {
+			continue
+		}
+		return dst, true
+	}
+	return 0, false
+}
+
+// decorateEdge sets edge properties for the field's argument definitions.
+func (gen *generator) decorateEdge(e pg.EdgeID, f *schema.FieldDef) {
+	for _, arg := range f.Args {
+		if !arg.Type.NonNull && gen.rnd.Float64() >= gen.cfg.OptionalPropProbability {
+			continue
+		}
+		gen.g.SetEdgeProp(e, arg.Name, gen.sampleValue(arg.Type, false))
+	}
+}
+
+// poissonish returns a small non-negative integer with the given mean.
+func (gen *generator) poissonish(mean float64) int {
+	n := 0
+	for gen.rnd.Float64() < mean/(mean+1) && n < 8 {
+		n++
+	}
+	return n
+}
+
+// nodesOfType returns the nodes with labels ⊑ the named type.
+func (gen *generator) nodesOfType(named string) []pg.NodeID {
+	var out []pg.NodeID
+	for _, label := range gen.s.ConcreteTargets(named) {
+		out = append(out, gen.g.NodesLabeled(label)...)
+	}
+	return out
+}
+
+// sampleValue draws a value from valuesW(t) \ {null}. With unique set, the
+// value is globally unique across the run (for key fields).
+func (gen *generator) sampleValue(t schema.TypeRef, unique bool) values.Value {
+	if t.IsList() {
+		n := gen.cfg.ListLen
+		elems := make([]values.Value, n)
+		for i := range elems {
+			elems[i] = gen.sampleScalar(t.Base(), unique)
+		}
+		return values.List(elems...)
+	}
+	return gen.sampleScalar(t.Base(), unique)
+}
+
+func (gen *generator) sampleScalar(name string, unique bool) values.Value {
+	gen.seq++
+	td := gen.s.Type(name)
+	if td != nil && td.Kind == schema.Enum {
+		if unique {
+			// Enums cannot be globally unique in general; fall back to
+			// cycling, which is the best discrimination available.
+			return values.Enum(td.EnumValues[gen.seq%len(td.EnumValues)])
+		}
+		return values.Enum(td.EnumValues[gen.rnd.Intn(len(td.EnumValues))])
+	}
+	switch name {
+	case "Int":
+		if unique {
+			return values.Int(int64(gen.seq))
+		}
+		return values.Int(int64(gen.rnd.Intn(1000)))
+	case "Float":
+		if unique {
+			return values.Float(float64(gen.seq) + 0.5)
+		}
+		return values.Float(gen.rnd.Float64() * 100)
+	case "Boolean":
+		if unique {
+			return values.Boolean(gen.seq%2 == 0) // best effort
+		}
+		return values.Boolean(gen.rnd.Intn(2) == 0)
+	case "ID":
+		if unique {
+			return values.ID(fmt.Sprintf("id-%d", gen.seq))
+		}
+		return values.ID(fmt.Sprintf("id-%d", gen.rnd.Intn(1_000_000)))
+	default: // String and custom scalars
+		if unique {
+			return values.String(fmt.Sprintf("v-%d", gen.seq))
+		}
+		return values.String(fmt.Sprintf("v-%d", gen.rnd.Intn(1_000_000)))
+	}
+}
+
+// PopulateRequiredProperties sets every @required attribute and every
+// @key field of every node to a fresh unique value of the declared type.
+// It is used by the sat package to turn a bare node/edge skeleton (from
+// the bounded model search) into a strongly-satisfying Property Graph:
+// the paper's Theorem 3 proof notes that property values can always be
+// chosen to satisfy WS1, DS5, and DS7 when value sets are infinite.
+func PopulateRequiredProperties(s *schema.Schema, g *pg.Graph) {
+	gen := &generator{s: s, g: g, cfg: Config{}.withDefaults(), rnd: rand.New(rand.NewSource(0))}
+	for _, td := range s.ObjectTypes() {
+		keyed := keyFields(td)
+		for _, node := range g.NodesLabeled(td.Name) {
+			for _, f := range td.Fields {
+				if !gen.s.IsAttribute(f) {
+					continue
+				}
+				required := schema.HasDirective(f.Directives, schema.DirRequired)
+				if !required && !keyed[f.Name] {
+					continue
+				}
+				if _, ok := g.NodeProp(node, f.Name); ok {
+					continue
+				}
+				g.SetNodeProp(node, f.Name, gen.sampleValue(f.Type, true))
+			}
+		}
+	}
+	// Interface-declared @required attributes apply to implementers.
+	for _, td := range s.InterfaceTypes() {
+		for _, f := range td.Fields {
+			if !gen.s.IsAttribute(f) || !schema.HasDirective(f.Directives, schema.DirRequired) {
+				continue
+			}
+			for _, impl := range s.Implementers(td.Name) {
+				for _, node := range g.NodesLabeled(impl) {
+					if _, ok := g.NodeProp(node, f.Name); !ok {
+						g.SetNodeProp(node, f.Name, gen.sampleValue(f.Type, true))
+					}
+				}
+			}
+		}
+	}
+	// Mandatory edge properties (non-null field arguments).
+	for _, e := range g.Edges() {
+		src, _ := g.Endpoints(e)
+		fd := s.Field(g.NodeLabel(src), g.EdgeLabel(e))
+		if fd == nil {
+			continue
+		}
+		for _, arg := range fd.Args {
+			if arg.Type.NonNull {
+				if _, ok := g.EdgeProp(e, arg.Name); !ok {
+					g.SetEdgeProp(e, arg.Name, gen.sampleValue(arg.Type, false))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+	"pgschema/internal/validate"
+	"pgschema/internal/values"
+)
+
+// Inject mutates the graph (in place) so that it violates the given rule
+// against the schema, returning a description of the mutation. It returns
+// an error when the schema offers no opportunity to violate the rule
+// (e.g. DS2 requires some field annotated @noLoops). The graph should be
+// conformant beforehand; Inject makes the smallest mutation it can, but
+// a single mutation may as a side effect also trip other rules (the
+// paper's rules overlap — e.g. removing a @required key property trips
+// both DS5 and DS7).
+func Inject(s *schema.Schema, g *pg.Graph, rule validate.Rule, seed int64) (string, error) {
+	inj := &injector{s: s, g: g, rnd: rand.New(rand.NewSource(seed))}
+	switch rule {
+	case validate.WS1:
+		return inj.ws1()
+	case validate.WS2:
+		return inj.ws2()
+	case validate.WS3:
+		return inj.ws3()
+	case validate.WS4:
+		return inj.ws4()
+	case validate.DS1:
+		return inj.withDirective(schema.DirDistinct, inj.ds1)
+	case validate.DS2:
+		return inj.withDirective(schema.DirNoLoops, inj.ds2)
+	case validate.DS3:
+		return inj.withDirective(schema.DirUniqueForTarget, inj.ds3)
+	case validate.DS4:
+		return inj.withDirective(schema.DirRequiredForTarget, inj.ds4)
+	case validate.DS5:
+		return inj.ds5()
+	case validate.DS6:
+		return inj.ds6()
+	case validate.DS7:
+		return inj.ds7()
+	case validate.SS1:
+		g.AddNode("__UnjustifiedLabel")
+		return "added a node with an undeclared label", nil
+	case validate.SS2:
+		return inj.ss2()
+	case validate.SS3:
+		return inj.ss3()
+	case validate.SS4:
+		return inj.ss4()
+	}
+	return "", fmt.Errorf("gen: unknown rule %s", rule)
+}
+
+type injector struct {
+	s   *schema.Schema
+	g   *pg.Graph
+	rnd *rand.Rand
+}
+
+// pickNode returns a random node with the given label, if any.
+func (inj *injector) pickNode(label string) (pg.NodeID, bool) {
+	ids := inj.g.NodesLabeled(label)
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[inj.rnd.Intn(len(ids))], true
+}
+
+// nodesOfType mirrors the validator's λ(v) ⊑ t node enumeration.
+func (inj *injector) nodesOfType(named string) []pg.NodeID {
+	var out []pg.NodeID
+	for _, label := range inj.s.ConcreteTargets(named) {
+		out = append(out, inj.g.NodesLabeled(label)...)
+	}
+	return out
+}
+
+// attributeFields yields (type, field) pairs for attribute definitions on
+// object types with at least one instance node.
+func (inj *injector) attributeFields(pred func(*schema.FieldDef) bool) (*schema.TypeDef, *schema.FieldDef, pg.NodeID, bool) {
+	for _, td := range inj.s.ObjectTypes() {
+		for _, f := range td.Fields {
+			if !inj.s.IsAttribute(f) || !pred(f) {
+				continue
+			}
+			if v, ok := inj.pickNode(td.Name); ok {
+				return td, f, v, true
+			}
+		}
+	}
+	return nil, nil, 0, false
+}
+
+// relationshipFields yields a relationship declaration with instances.
+func (inj *injector) relationshipFields(pred func(*schema.FieldDef) bool) (*schema.TypeDef, *schema.FieldDef, pg.NodeID, bool) {
+	for _, td := range inj.s.ObjectTypes() {
+		for _, f := range td.Fields {
+			if !inj.s.IsRelationship(f) || !pred(f) {
+				continue
+			}
+			if v, ok := inj.pickNode(td.Name); ok {
+				return td, f, v, true
+			}
+		}
+	}
+	return nil, nil, 0, false
+}
+
+func (inj *injector) ws1() (string, error) {
+	// Prefer a built-in scalar field so the bogus value is surely wrong
+	// (custom scalars accept anything by default).
+	td, f, v, ok := inj.attributeFields(func(f *schema.FieldDef) bool {
+		base := f.Type.Base()
+		return values.IsBuiltinScalar(base) && base != "ID" && base != "String" || inj.s.Type(base) != nil && inj.s.Type(base).Kind == schema.Enum
+	})
+	if !ok {
+		return "", fmt.Errorf("gen: no typed attribute field to corrupt for WS1")
+	}
+	bogus := values.Value(values.Boolean(true))
+	if f.Type.Base() == "Boolean" {
+		bogus = values.Int(123456)
+	}
+	inj.g.SetNodeProp(v, f.Name, bogus)
+	return fmt.Sprintf("set %s.%s on node %d to a value outside valuesW(%s)", td.Name, f.Name, v, f.Type), nil
+}
+
+func (inj *injector) ws2() (string, error) {
+	for _, e := range inj.g.Edges() {
+		src, _ := inj.g.Endpoints(e)
+		fd := inj.s.Field(inj.g.NodeLabel(src), inj.g.EdgeLabel(e))
+		if fd == nil {
+			continue
+		}
+		for _, arg := range fd.Args {
+			base := arg.Type.Base()
+			if base == "Int" || base == "Float" || base == "Boolean" {
+				inj.g.SetEdgeProp(e, arg.Name, values.String("bogus"))
+				return fmt.Sprintf("set edge property %s on edge %d to a string (declared %s)", arg.Name, e, arg.Type), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("gen: no numeric/boolean edge property to corrupt for WS2")
+}
+
+func (inj *injector) ws3() (string, error) {
+	// Find a relationship declaration and a node that is NOT a valid
+	// target; redirect by adding a fresh edge to it.
+	for _, td := range inj.s.ObjectTypes() {
+		for _, f := range td.Fields {
+			if !inj.s.IsRelationship(f) {
+				continue
+			}
+			src, ok := inj.pickNode(td.Name)
+			if !ok {
+				continue
+			}
+			for _, other := range inj.s.ObjectTypes() {
+				if inj.s.SubtypeNamed(other.Name, f.Type.Base()) {
+					continue
+				}
+				if bad, ok := inj.pickNode(other.Name); ok {
+					// Avoid tripping WS4 instead: on non-list fields,
+					// swap one existing edge for the mistyped one.
+					if !f.Type.IsList() {
+						if existing := inj.g.OutEdgesLabeled(src, f.Name); len(existing) > 0 {
+							inj.g.RemoveEdge(existing[0])
+						}
+					}
+					inj.g.MustAddEdge(src, bad, f.Name)
+					return fmt.Sprintf("added %s edge from node %d to node %d of non-target type %s", f.Name, src, bad, other.Name), nil
+				}
+			}
+		}
+	}
+	return "", fmt.Errorf("gen: no mistypable relationship for WS3")
+}
+
+func (inj *injector) ws4() (string, error) {
+	td, f, src, ok := inj.relationshipFields(func(f *schema.FieldDef) bool { return !f.Type.IsList() })
+	if !ok {
+		return "", fmt.Errorf("gen: no non-list relationship field for WS4")
+	}
+	targets := inj.nodesOfType(f.Type.Base())
+	if len(targets) == 0 {
+		return "", fmt.Errorf("gen: no targets for WS4 injection on %s.%s", td.Name, f.Name)
+	}
+	need := 2 - inj.g.OutDegreeLabeled(src, f.Name)
+	for i := 0; i < need; i++ {
+		inj.g.MustAddEdge(src, targets[inj.rnd.Intn(len(targets))], f.Name)
+	}
+	return fmt.Sprintf("gave node %d two %s edges on non-list field %s.%s", src, f.Name, td.Name, f.Name), nil
+}
+
+// withDirective locates a relationship declaration carrying the directive
+// (on the object type itself or inherited from an interface) and applies
+// the mutation fn to it.
+func (inj *injector) withDirective(dir string, fn func(td *schema.TypeDef, f *schema.FieldDef) (string, error)) (string, error) {
+	for _, td := range inj.s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		for _, f := range td.Fields {
+			if inj.s.IsRelationship(f) && schema.HasDirective(f.Directives, dir) {
+				return fn(td, f)
+			}
+		}
+	}
+	return "", fmt.Errorf("gen: schema has no relationship field with @%s", dir)
+}
+
+func (inj *injector) ds1(td *schema.TypeDef, f *schema.FieldDef) (string, error) {
+	sources := inj.nodesOfType(td.Name)
+	targets := inj.nodesOfType(f.Type.Base())
+	if len(sources) == 0 || len(targets) == 0 {
+		return "", fmt.Errorf("gen: no instances to violate @distinct on %s.%s", td.Name, f.Name)
+	}
+	src := sources[inj.rnd.Intn(len(sources))]
+	dst := targets[inj.rnd.Intn(len(targets))]
+	inj.g.MustAddEdge(src, dst, f.Name)
+	inj.g.MustAddEdge(src, dst, f.Name)
+	return fmt.Sprintf("added two parallel %s edges %d→%d despite @distinct", f.Name, src, dst), nil
+}
+
+func (inj *injector) ds2(td *schema.TypeDef, f *schema.FieldDef) (string, error) {
+	for _, src := range inj.nodesOfType(td.Name) {
+		if inj.s.SubtypeNamed(inj.g.NodeLabel(src), f.Type.Base()) {
+			inj.g.MustAddEdge(src, src, f.Name)
+			return fmt.Sprintf("added %s loop on node %d despite @noLoops", f.Name, src), nil
+		}
+	}
+	return "", fmt.Errorf("gen: no node can form a loop on %s.%s", td.Name, f.Name)
+}
+
+func (inj *injector) ds3(td *schema.TypeDef, f *schema.FieldDef) (string, error) {
+	sources := inj.nodesOfType(td.Name)
+	targets := inj.nodesOfType(f.Type.Base())
+	if len(sources) < 2 || len(targets) == 0 {
+		return "", fmt.Errorf("gen: need two sources to violate @uniqueForTarget on %s.%s", td.Name, f.Name)
+	}
+	dst := targets[inj.rnd.Intn(len(targets))]
+	inj.g.MustAddEdge(sources[0], dst, f.Name)
+	inj.g.MustAddEdge(sources[1], dst, f.Name)
+	return fmt.Sprintf("gave node %d two incoming %s edges despite @uniqueForTarget", dst, f.Name), nil
+}
+
+func (inj *injector) ds4(td *schema.TypeDef, f *schema.FieldDef) (string, error) {
+	// A fresh target node with no incoming edge violates DS4.
+	labels := inj.s.ConcreteTargets(f.Type.Base())
+	if len(labels) == 0 {
+		return "", fmt.Errorf("gen: no concrete target type for %s.%s", td.Name, f.Name)
+	}
+	v := inj.g.AddNode(labels[0])
+	return fmt.Sprintf("added %s node %d with no incoming %s edge despite @requiredForTarget", labels[0], v, f.Name), nil
+}
+
+func (inj *injector) ds5() (string, error) {
+	td, f, v, ok := inj.attributeFields(func(f *schema.FieldDef) bool {
+		return schema.HasDirective(f.Directives, schema.DirRequired)
+	})
+	if !ok {
+		return "", fmt.Errorf("gen: no @required attribute field for DS5")
+	}
+	inj.g.DeleteNodeProp(v, f.Name)
+	return fmt.Sprintf("removed @required property %s.%s from node %d", td.Name, f.Name, v), nil
+}
+
+func (inj *injector) ds6() (string, error) {
+	td, f, _, ok := inj.relationshipFields(func(f *schema.FieldDef) bool {
+		return schema.HasDirective(f.Directives, schema.DirRequired)
+	})
+	if !ok {
+		return "", fmt.Errorf("gen: no @required relationship field for DS6")
+	}
+	v := inj.g.AddNode(td.Name)
+	// Keep the new node's @required attributes satisfied so only DS6
+	// (and possibly DS7 key bucketing) fires... attributes first.
+	for _, af := range td.Fields {
+		if inj.s.IsAttribute(af) && schema.HasDirective(af.Directives, schema.DirRequired) {
+			inj.g.SetNodeProp(v, af.Name, values.String(fmt.Sprintf("inj-%d", v)))
+		}
+	}
+	return fmt.Sprintf("added %s node %d without the @required %s edge", td.Name, v, f.Name), nil
+}
+
+func (inj *injector) ds7() (string, error) {
+	for _, td := range inj.s.Types() {
+		sets := td.KeyFieldSets()
+		if len(sets) == 0 {
+			continue
+		}
+		nodes := inj.nodesOfType(td.Name)
+		if len(nodes) < 2 {
+			continue
+		}
+		// Copy every key property of nodes[0] onto nodes[1].
+		for _, set := range sets {
+			for _, fname := range set {
+				if val, ok := inj.g.NodeProp(nodes[0], fname); ok {
+					inj.g.SetNodeProp(nodes[1], fname, val)
+				} else {
+					inj.g.DeleteNodeProp(nodes[1], fname)
+				}
+			}
+		}
+		return fmt.Sprintf("copied key properties of node %d onto node %d (type %s)", nodes[0], nodes[1], td.Name), nil
+	}
+	return "", fmt.Errorf("gen: no @key type with two instances for DS7")
+}
+
+func (inj *injector) ss2() (string, error) {
+	nodes := inj.g.Nodes()
+	if len(nodes) == 0 {
+		return "", fmt.Errorf("gen: empty graph")
+	}
+	v := nodes[inj.rnd.Intn(len(nodes))]
+	inj.g.SetNodeProp(v, "__unjustified", values.Int(1))
+	return fmt.Sprintf("added undeclared property to node %d", v), nil
+}
+
+func (inj *injector) ss3() (string, error) {
+	edges := inj.g.Edges()
+	if len(edges) == 0 {
+		return "", fmt.Errorf("gen: graph has no edges")
+	}
+	e := edges[inj.rnd.Intn(len(edges))]
+	inj.g.SetEdgeProp(e, "__unjustified", values.Int(1))
+	return fmt.Sprintf("added undeclared property to edge %d", e), nil
+}
+
+func (inj *injector) ss4() (string, error) {
+	nodes := inj.g.Nodes()
+	if len(nodes) < 2 {
+		return "", fmt.Errorf("gen: need two nodes")
+	}
+	src := nodes[inj.rnd.Intn(len(nodes))]
+	dst := nodes[inj.rnd.Intn(len(nodes))]
+	inj.g.MustAddEdge(src, dst, "__unjustifiedEdge")
+	return fmt.Sprintf("added edge with undeclared label %d→%d", src, dst), nil
+}

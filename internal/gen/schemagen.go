@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pgschema/internal/parser"
+	"pgschema/internal/schema"
+)
+
+// SchemaConfig controls random schema generation.
+type SchemaConfig struct {
+	Seed int64
+	// Types is the number of object types (default 5).
+	Types int
+	// AttrsPerType is the maximum number of attribute fields per type
+	// (default 4).
+	AttrsPerType int
+	// RelsPerType is the maximum number of relationship fields per type
+	// (default 2).
+	RelsPerType int
+	// Unions also generates union types used as relationship targets.
+	Unions bool
+}
+
+func (c SchemaConfig) withDefaults() SchemaConfig {
+	if c.Types == 0 {
+		c.Types = 5
+	}
+	if c.AttrsPerType == 0 {
+		c.AttrsPerType = 4
+	}
+	if c.RelsPerType == 0 {
+		c.RelsPerType = 2
+	}
+	return c
+}
+
+// RandomSchema generates a random consistent SDL schema whose constraint
+// combinations are always generatable by Conformant with equal per-type
+// populations: every relationship field name is globally unique (so the
+// cross-type constraint state never conflicts), and @requiredForTarget is
+// only combined with cardinalities that a matching can satisfy.
+//
+// The generated SDL text is returned together with the built schema, so
+// callers can exercise the whole parse/build pipeline.
+func RandomSchema(cfg SchemaConfig) (*schema.Schema, string, error) {
+	cfg = cfg.withDefaults()
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	var b strings.Builder
+
+	b.WriteString("enum Color { RED GREEN BLUE }\n")
+	b.WriteString("scalar Stamp\n")
+
+	typeName := func(i int) string { return fmt.Sprintf("T%d", i) }
+
+	// Optional unions over object-type pairs.
+	unionOf := map[int]string{}
+	if cfg.Unions && cfg.Types >= 2 {
+		n := rnd.Intn(cfg.Types/2) + 1
+		for u := 0; u < n; u++ {
+			a := rnd.Intn(cfg.Types)
+			bb := rnd.Intn(cfg.Types)
+			if a == bb {
+				bb = (bb + 1) % cfg.Types
+			}
+			name := fmt.Sprintf("U%d", u)
+			fmt.Fprintf(&b, "union %s = %s | %s\n", name, typeName(a), typeName(bb))
+			unionOf[u] = name
+		}
+	}
+
+	scalarTypes := []string{"Int", "Float", "String", "Boolean", "ID", "Color", "Stamp"}
+	fieldSeq := 0
+	for i := 0; i < cfg.Types; i++ {
+		fmt.Fprintf(&b, "type %s", typeName(i))
+		// Single-field keys only (they stay inside the Angles-
+		// translatable fragment and the generator can always make the
+		// values unique).
+		hasKey := rnd.Intn(3) == 0
+		keyField := ""
+		if hasKey {
+			keyField = fmt.Sprintf("k%d", i)
+			fmt.Fprintf(&b, " @key(fields: [%q])", keyField)
+		}
+		b.WriteString(" {\n")
+		if hasKey {
+			fmt.Fprintf(&b, "  %s: ID! @required\n", keyField)
+		}
+		nAttrs := 1 + rnd.Intn(cfg.AttrsPerType)
+		for a := 0; a < nAttrs; a++ {
+			st := scalarTypes[rnd.Intn(len(scalarTypes))]
+			ref := st
+			switch rnd.Intn(4) {
+			case 0:
+				ref = st + "!"
+			case 1:
+				ref = "[" + st + "!]"
+			}
+			req := ""
+			if rnd.Intn(3) == 0 {
+				req = " @required"
+			}
+			fmt.Fprintf(&b, "  a%d_%d: %s%s\n", i, a, ref, req)
+		}
+		nRels := rnd.Intn(cfg.RelsPerType + 1)
+		for r := 0; r < nRels; r++ {
+			target := typeName(rnd.Intn(cfg.Types))
+			if cfg.Unions && len(unionOf) > 0 && rnd.Intn(4) == 0 {
+				target = unionOf[rnd.Intn(len(unionOf))]
+			}
+			isList := rnd.Intn(2) == 0
+			ref := target
+			if isList {
+				ref = "[" + target + "]"
+			}
+			var dirs []string
+			if rnd.Intn(3) == 0 {
+				dirs = append(dirs, "@required")
+			}
+			if isList && rnd.Intn(3) == 0 {
+				dirs = append(dirs, "@distinct")
+			}
+			if target == typeName(i) && rnd.Intn(2) == 0 {
+				dirs = append(dirs, "@noLoops")
+			}
+			// @uniqueForTarget alone is always satisfiable with a
+			// matching; combined with @requiredForTarget it needs
+			// sources ≥ targets, which equal populations give — but
+			// only on list fields, where one source can cover
+			// several targets if the matching is uneven.
+			switch rnd.Intn(6) {
+			case 0:
+				dirs = append(dirs, "@uniqueForTarget")
+			case 1:
+				if isList {
+					dirs = append(dirs, "@requiredForTarget")
+				}
+			}
+			fieldSeq++
+			suffix := ""
+			if len(dirs) > 0 {
+				suffix = " " + strings.Join(dirs, " ")
+			}
+			// Edge properties on some relationships.
+			args := ""
+			if rnd.Intn(3) == 0 {
+				args = "(w: Float!, note: String)"
+			}
+			fmt.Fprintf(&b, "  r%d%s: %s%s\n", fieldSeq, args, ref, suffix)
+		}
+		b.WriteString("}\n")
+	}
+
+	src := b.String()
+	doc, err := parser.Parse(src)
+	if err != nil {
+		return nil, src, fmt.Errorf("gen: generated SDL does not parse: %w", err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		return nil, src, fmt.Errorf("gen: generated SDL does not build: %w", err)
+	}
+	return s, src, nil
+}

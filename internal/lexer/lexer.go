@@ -1,0 +1,348 @@
+// Package lexer tokenizes GraphQL SDL source text (June 2018 edition).
+//
+// The lexer implements §2.1 (Source Text) of the GraphQL specification:
+// Unicode input, "#" comments to end of line, commas as ignored tokens,
+// names, integer and float literals, and both quoted and block strings with
+// their escape and indentation-stripping semantics.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"pgschema/internal/token"
+)
+
+// Lexer scans an SDL source string into tokens.
+type Lexer struct {
+	src    string
+	offset int // byte offset of the next rune to read
+	line   int
+	col    int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// All tokenizes the whole input, always ending with an EOF token (or an
+// Illegal token followed by EOF if a lexical error occurs).
+func All(src string) []token.Token {
+	lx := New(src)
+	var out []token.Token
+	for {
+		t := lx.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF || t.Kind == token.Illegal {
+			if t.Kind == token.Illegal {
+				out = append(out, token.Token{Kind: token.EOF, Pos: t.Pos})
+			}
+			return out
+		}
+	}
+}
+
+func (l *Lexer) pos() token.Position {
+	return token.Position{Offset: l.offset, Line: l.line, Column: l.col}
+}
+
+// peek returns the next rune without consuming it, or -1 at EOF.
+func (l *Lexer) peek() rune {
+	if l.offset >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.offset:])
+	return r
+}
+
+// peekAt returns the rune n bytes ahead (for ASCII lookahead only).
+func (l *Lexer) peekAt(n int) rune {
+	if l.offset+n >= len(l.src) {
+		return -1
+	}
+	return rune(l.src[l.offset+n])
+}
+
+// advance consumes the next rune and maintains line/column accounting.
+func (l *Lexer) advance() rune {
+	r, size := utf8.DecodeRuneInString(l.src[l.offset:])
+	l.offset += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipIgnored consumes whitespace, commas, comments, and BOM (§2.1.7).
+func (l *Lexer) skipIgnored() {
+	for {
+		switch r := l.peek(); r {
+		case ' ', '\t', '\n', '\r', ',', '\ufeff':
+			l.advance()
+		case '#':
+			for l.peek() != -1 && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z')
+}
+
+func isNameCont(r rune) bool { return isNameStart(r) || isDigit(r) }
+
+func isDigit(r rune) bool { return '0' <= r && r <= '9' }
+
+func (l *Lexer) illegal(pos token.Position, format string, args ...any) token.Token {
+	return token.Token{Kind: token.Illegal, Literal: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+// Next returns the next token in the input.
+func (l *Lexer) Next() token.Token {
+	l.skipIgnored()
+	pos := l.pos()
+	r := l.peek()
+	switch {
+	case r == -1:
+		return token.Token{Kind: token.EOF, Pos: pos}
+	case isNameStart(r):
+		return l.scanName(pos)
+	case isDigit(r) || r == '-':
+		return l.scanNumber(pos)
+	case r == '"':
+		if l.peekAt(1) == '"' && l.peekAt(2) == '"' {
+			return l.scanBlockString(pos)
+		}
+		return l.scanString(pos)
+	}
+	l.advance()
+	punct := map[rune]token.Kind{
+		'!': token.Bang, '$': token.Dollar, '&': token.Amp,
+		'(': token.ParenL, ')': token.ParenR, ':': token.Colon,
+		'=': token.Equals, '@': token.At, '[': token.BracketL,
+		']': token.BracketR, '{': token.BraceL, '}': token.BraceR,
+		'|': token.Pipe,
+	}
+	if k, ok := punct[r]; ok {
+		return token.Token{Kind: k, Pos: pos}
+	}
+	if r == '.' {
+		if l.peek() == '.' && l.peekAt(1) == '.' {
+			l.advance()
+			l.advance()
+			return token.Token{Kind: token.Spread, Pos: pos}
+		}
+		return l.illegal(pos, "unexpected '.'; did you mean '...'?")
+	}
+	return l.illegal(pos, "unexpected character %q", r)
+}
+
+func (l *Lexer) scanName(pos token.Position) token.Token {
+	start := l.offset
+	for isNameCont(l.peek()) {
+		l.advance()
+	}
+	return token.Token{Kind: token.Name, Literal: l.src[start:l.offset], Pos: pos}
+}
+
+// scanNumber scans Int and Float literals (§2.9.1, §2.9.2).
+func (l *Lexer) scanNumber(pos token.Position) token.Token {
+	start := l.offset
+	if l.peek() == '-' {
+		l.advance()
+	}
+	if !isDigit(l.peek()) {
+		return l.illegal(pos, "expected digit after '-'")
+	}
+	if l.peek() == '0' {
+		l.advance()
+		if isDigit(l.peek()) {
+			return l.illegal(pos, "integer literal must not have a leading zero")
+		}
+	} else {
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	isFloat := false
+	if l.peek() == '.' {
+		isFloat = true
+		l.advance()
+		if !isDigit(l.peek()) {
+			return l.illegal(pos, "expected digit after '.' in float literal")
+		}
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if r := l.peek(); r == 'e' || r == 'E' {
+		isFloat = true
+		l.advance()
+		if r := l.peek(); r == '+' || r == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			return l.illegal(pos, "expected digit in float exponent")
+		}
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	// A number must not run directly into a name ("123abc").
+	if isNameStart(l.peek()) {
+		return l.illegal(pos, "invalid number literal: unexpected %q", l.peek())
+	}
+	lit := l.src[start:l.offset]
+	if isFloat {
+		return token.Token{Kind: token.Float, Literal: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.Int, Literal: lit, Pos: pos}
+}
+
+// scanString scans a quoted string literal with escapes (§2.9.4).
+func (l *Lexer) scanString(pos token.Position) token.Token {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.peek()
+		switch {
+		case r == -1 || r == '\n' || r == '\r':
+			return l.illegal(pos, "unterminated string literal")
+		case r == '"':
+			l.advance()
+			return token.Token{Kind: token.String, Literal: b.String(), Pos: pos}
+		case r == '\\':
+			l.advance()
+			esc := l.peek()
+			if esc == -1 {
+				return l.illegal(pos, "unterminated string literal")
+			}
+			l.advance()
+			switch esc {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case '/':
+				b.WriteByte('/')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case 'u':
+				cp := 0
+				for i := 0; i < 4; i++ {
+					h := l.peek()
+					d := hexVal(h)
+					if d < 0 {
+						return l.illegal(pos, "invalid \\u escape in string literal")
+					}
+					l.advance()
+					cp = cp*16 + d
+				}
+				b.WriteRune(rune(cp))
+			default:
+				return l.illegal(pos, "invalid escape character %q in string literal", esc)
+			}
+		default:
+			b.WriteRune(l.advance())
+		}
+	}
+}
+
+func hexVal(r rune) int {
+	switch {
+	case '0' <= r && r <= '9':
+		return int(r - '0')
+	case 'a' <= r && r <= 'f':
+		return int(r-'a') + 10
+	case 'A' <= r && r <= 'F':
+		return int(r-'A') + 10
+	}
+	return -1
+}
+
+// scanBlockString scans a triple-quoted block string (§2.9.4) and applies
+// the BlockStringValue indentation-stripping algorithm.
+func (l *Lexer) scanBlockString(pos token.Position) token.Token {
+	l.advance()
+	l.advance()
+	l.advance() // opening """
+	var raw strings.Builder
+	for {
+		r := l.peek()
+		if r == -1 {
+			return l.illegal(pos, "unterminated block string literal")
+		}
+		if r == '"' && l.peekAt(1) == '"' && l.peekAt(2) == '"' {
+			l.advance()
+			l.advance()
+			l.advance()
+			return token.Token{Kind: token.BlockString, Literal: blockStringValue(raw.String()), Pos: pos}
+		}
+		if r == '\\' && l.peekAt(1) == '"' && l.peekAt(2) == '"' && l.peekAt(3) == '"' {
+			l.advance()
+			l.advance()
+			l.advance()
+			l.advance()
+			raw.WriteString(`"""`)
+			continue
+		}
+		raw.WriteRune(l.advance())
+	}
+}
+
+// blockStringValue implements the spec's BlockStringValue(rawValue)
+// algorithm: strip common indentation and leading/trailing blank lines.
+func blockStringValue(raw string) string {
+	lines := strings.Split(strings.ReplaceAll(raw, "\r\n", "\n"), "\n")
+	commonIndent := -1
+	for i, line := range lines {
+		if i == 0 {
+			continue
+		}
+		indent := leadingWhitespace(line)
+		if indent < len(line) && (commonIndent == -1 || indent < commonIndent) {
+			commonIndent = indent
+		}
+	}
+	if commonIndent > 0 {
+		for i := 1; i < len(lines); i++ {
+			if commonIndent < len(lines[i]) {
+				lines[i] = lines[i][commonIndent:]
+			} else {
+				lines[i] = strings.TrimLeft(lines[i], " \t")
+			}
+		}
+	}
+	for len(lines) > 0 && strings.TrimLeft(lines[0], " \t") == "" {
+		lines = lines[1:]
+	}
+	for len(lines) > 0 && strings.TrimLeft(lines[len(lines)-1], " \t") == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func leadingWhitespace(s string) int {
+	n := 0
+	for n < len(s) && (s[n] == ' ' || s[n] == '\t') {
+		n++
+	}
+	return n
+}

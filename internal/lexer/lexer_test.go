@@ -1,0 +1,203 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pgschema/internal/token"
+)
+
+// kinds extracts the token kinds of an input, excluding the trailing EOF.
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks := All(src)
+	out := make([]token.Kind, 0, len(toks)-1)
+	for _, tk := range toks {
+		if tk.Kind == token.EOF {
+			break
+		}
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestPunctuators(t *testing.T) {
+	src := "! $ & ( ) ... : = @ [ ] { } |"
+	want := []token.Kind{
+		token.Bang, token.Dollar, token.Amp, token.ParenL, token.ParenR,
+		token.Spread, token.Colon, token.Equals, token.At,
+		token.BracketL, token.BracketR, token.BraceL, token.BraceR, token.Pipe,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, name := range []string{"a", "_", "_a", "Type", "snake_case", "x123", "__typename"} {
+		toks := All(name)
+		if toks[0].Kind != token.Name || toks[0].Literal != name {
+			t.Errorf("lexing %q: got %v", name, toks[0])
+		}
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	for _, tc := range []struct{ src, lit string }{
+		{"0", "0"}, {"42", "42"}, {"-7", "-7"}, {"-0", "-0"}, {"1234567890", "1234567890"},
+	} {
+		toks := All(tc.src)
+		if toks[0].Kind != token.Int || toks[0].Literal != tc.lit {
+			t.Errorf("lexing %q: got %v, want Int(%s)", tc.src, toks[0], tc.lit)
+		}
+	}
+}
+
+func TestFloatLiterals(t *testing.T) {
+	for _, src := range []string{"1.5", "-1.5", "0.0", "1e10", "1E10", "1e+10", "1e-10", "6.022e23", "-1.5e-3"} {
+		toks := All(src)
+		if toks[0].Kind != token.Float || toks[0].Literal != src {
+			t.Errorf("lexing %q: got %v, want Float(%s)", src, toks[0], src)
+		}
+	}
+}
+
+func TestBadNumbers(t *testing.T) {
+	for _, src := range []string{"01", "-", "1.", "1.e3", "1e", "1e+", "123abc", "1.2.3"} {
+		toks := All(src)
+		found := false
+		for _, tk := range toks {
+			if tk.Kind == token.Illegal {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("lexing %q: expected an Illegal token, got %v", src, toks)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{`"hello"`, "hello"},
+		{`""`, ""},
+		{`"a\"b"`, `a"b`},
+		{`"a\\b"`, `a\b`},
+		{`"a\nb"`, "a\nb"},
+		{`"a\tb"`, "a\tb"},
+		{`"A"`, "A"},
+		{`"é"`, "é"},
+		{`"unicode ☃"`, "unicode ☃"},
+	} {
+		toks := All(tc.src)
+		if toks[0].Kind != token.String || toks[0].Literal != tc.want {
+			t.Errorf("lexing %s: got %v, want String(%q)", tc.src, toks[0], tc.want)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	for _, src := range []string{`"abc`, `"abc` + "\n" + `def"`, `"a\`} {
+		toks := All(src)
+		if toks[0].Kind != token.Illegal {
+			t.Errorf("lexing %q: expected Illegal, got %v", src, toks[0])
+		}
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	src := "\"\"\"\n    Hello,\n      World!\n\n    Yours,\n      GraphQL.\n  \"\"\""
+	want := "Hello,\n  World!\n\nYours,\n  GraphQL."
+	toks := All(src)
+	if toks[0].Kind != token.BlockString {
+		t.Fatalf("got %v, want BlockString", toks[0])
+	}
+	if toks[0].Literal != want {
+		t.Errorf("block string value:\ngot  %q\nwant %q", toks[0].Literal, want)
+	}
+}
+
+func TestBlockStringEscapedTripleQuote(t *testing.T) {
+	src := `"""contains \""" inside"""`
+	toks := All(src)
+	if toks[0].Kind != token.BlockString || toks[0].Literal != `contains """ inside` {
+		t.Errorf("got %v", toks[0])
+	}
+}
+
+func TestCommentsAndCommasIgnored(t *testing.T) {
+	src := "a, b # comment with , and \"\nc"
+	got := kinds(t, src)
+	if len(got) != 3 {
+		t.Fatalf("got %d tokens, want 3 names: %v", len(got), All(src))
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "type User {\n  id: ID!\n}"
+	toks := All(src)
+	// "id" is the 4th token, at line 2 column 3.
+	id := toks[3]
+	if id.Literal != "id" {
+		t.Fatalf("expected token 'id', got %v", id)
+	}
+	if id.Pos.Line != 2 || id.Pos.Column != 3 {
+		t.Errorf("position of 'id': got %v, want 2:3", id.Pos)
+	}
+}
+
+func TestBOMSkipped(t *testing.T) {
+	src := "\ufefftype"
+	toks := All(src)
+	if toks[0].Kind != token.Name || toks[0].Literal != "type" {
+		t.Errorf("BOM not skipped: %v", toks[0])
+	}
+}
+
+func TestEOFOnly(t *testing.T) {
+	for _, src := range []string{"", "   ", "\n\n", "# just a comment", ",,,"} {
+		toks := All(src)
+		if len(toks) != 1 || toks[0].Kind != token.EOF {
+			t.Errorf("lexing %q: got %v, want only EOF", src, toks)
+		}
+	}
+}
+
+// TestLexerNeverPanics feeds random strings; the lexer must terminate and
+// produce a token stream ending in EOF for any input.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		toks := All(s)
+		return len(toks) >= 1 && toks[len(toks)-1].Kind == token.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNameRoundTrip checks that any lexed name token reproduces its input.
+func TestNameRoundTrip(t *testing.T) {
+	f := func(raw string) bool {
+		// Construct a valid name from arbitrary input.
+		var b strings.Builder
+		b.WriteByte('_')
+		for _, r := range raw {
+			if r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9') {
+				b.WriteRune(r)
+			}
+		}
+		name := b.String()
+		toks := All(name)
+		return toks[0].Kind == token.Name && toks[0].Literal == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

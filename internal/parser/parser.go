@@ -1,0 +1,584 @@
+// Package parser implements a recursive-descent parser for GraphQL SDL
+// documents (June 2018 edition, type-system definitions).
+//
+// The accepted grammar is the TypeSystemDocument production of the GraphQL
+// specification: schema definitions, scalar/object/interface/union/enum/
+// input-object type definitions, and directive definitions, each with
+// optional descriptions and applied directives.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"pgschema/internal/ast"
+	"pgschema/internal/lexer"
+	"pgschema/internal/token"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse parses a complete SDL document.
+func Parse(src string) (*ast.Document, error) {
+	p := &parser{lx: lexer.New(src)}
+	p.next()
+	doc := &ast.Document{}
+	for p.tok.Kind != token.EOF {
+		def, err := p.parseDefinition()
+		if err != nil {
+			return nil, err
+		}
+		doc.Definitions = append(doc.Definitions, def)
+	}
+	return doc, nil
+}
+
+type parser struct {
+	lx  *lexer.Lexer
+	tok token.Token
+}
+
+func (p *parser) next() {
+	p.tok = p.lx.Next()
+}
+
+func (p *parser) errorf(pos token.Position, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) unexpected(context string) error {
+	if p.tok.Kind == token.Illegal {
+		return p.errorf(p.tok.Pos, "%s", p.tok.Literal)
+	}
+	return p.errorf(p.tok.Pos, "unexpected %s in %s", p.tok, context)
+}
+
+// expect consumes a token of kind k or fails.
+func (p *parser) expect(k token.Kind, context string) (token.Token, error) {
+	if p.tok.Kind != k {
+		return token.Token{}, p.errorf(p.tok.Pos, "expected %s in %s, found %s", k, context, p.tok)
+	}
+	t := p.tok
+	p.next()
+	return t, nil
+}
+
+// expectName consumes a Name token and returns its literal.
+func (p *parser) expectName(context string) (string, token.Position, error) {
+	t, err := p.expect(token.Name, context)
+	if err != nil {
+		return "", token.Position{}, err
+	}
+	return t.Literal, t.Pos, nil
+}
+
+// expectKeyword consumes a Name token with the given literal.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.Kind != token.Name || p.tok.Literal != kw {
+		return p.errorf(p.tok.Pos, "expected keyword %q, found %s", kw, p.tok)
+	}
+	p.next()
+	return nil
+}
+
+// skipIf consumes the next token if it has kind k.
+func (p *parser) skipIf(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseDescription consumes an optional leading description string.
+func (p *parser) parseDescription() string {
+	if p.tok.Kind == token.String || p.tok.Kind == token.BlockString {
+		desc := p.tok.Literal
+		p.next()
+		return desc
+	}
+	return ""
+}
+
+func (p *parser) parseDefinition() (ast.Definition, error) {
+	desc := p.parseDescription()
+	if p.tok.Kind != token.Name {
+		return nil, p.unexpected("document")
+	}
+	kw := p.tok.Literal
+	pos := p.tok.Pos
+	switch kw {
+	case "schema":
+		return p.parseSchemaDefinition(desc, pos)
+	case "scalar":
+		return p.parseScalarDefinition(desc, pos)
+	case "type":
+		return p.parseObjectDefinition(desc, pos)
+	case "interface":
+		return p.parseInterfaceDefinition(desc, pos)
+	case "union":
+		return p.parseUnionDefinition(desc, pos)
+	case "enum":
+		return p.parseEnumDefinition(desc, pos)
+	case "input":
+		return p.parseInputObjectDefinition(desc, pos)
+	case "directive":
+		return p.parseDirectiveDefinition(desc, pos)
+	}
+	return nil, p.errorf(pos, "unexpected definition keyword %q", kw)
+}
+
+func (p *parser) parseSchemaDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "schema"
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.BraceL, "schema definition"); err != nil {
+		return nil, err
+	}
+	var roots []ast.RootOperation
+	for p.tok.Kind != token.BraceR {
+		op, opPos, err := p.expectName("schema definition")
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "query", "mutation", "subscription":
+		default:
+			return nil, p.errorf(opPos, "invalid root operation %q (want query, mutation, or subscription)", op)
+		}
+		if _, err := p.expect(token.Colon, "schema definition"); err != nil {
+			return nil, err
+		}
+		typ, _, err := p.expectName("schema definition")
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, ast.RootOperation{Operation: op, Type: typ, Pos: opPos})
+	}
+	p.next() // "}"
+	return &ast.SchemaDefinition{Description: desc, Directives: dirs, RootOperations: roots, Pos: pos}, nil
+}
+
+func (p *parser) parseScalarDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "scalar"
+	name, _, err := p.expectName("scalar definition")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return nil, err
+	}
+	def := &ast.ScalarTypeDefinition{}
+	def.Description, def.Name, def.Directives, def.Pos = desc, name, dirs, pos
+	return def, nil
+}
+
+func (p *parser) parseObjectDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "type"
+	name, _, err := p.expectName("object type definition")
+	if err != nil {
+		return nil, err
+	}
+	var ifaces []string
+	if p.tok.Kind == token.Name && p.tok.Literal == "implements" {
+		p.next()
+		p.skipIf(token.Amp)
+		for {
+			in, _, err := p.expectName("implements clause")
+			if err != nil {
+				return nil, err
+			}
+			ifaces = append(ifaces, in)
+			if !p.skipIf(token.Amp) {
+				break
+			}
+		}
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.parseFieldsBlock("object type definition")
+	if err != nil {
+		return nil, err
+	}
+	def := &ast.ObjectTypeDefinition{Interfaces: ifaces, Fields: fields}
+	def.Description, def.Name, def.Directives, def.Pos = desc, name, dirs, pos
+	return def, nil
+}
+
+func (p *parser) parseInterfaceDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "interface"
+	name, _, err := p.expectName("interface definition")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.parseFieldsBlock("interface definition")
+	if err != nil {
+		return nil, err
+	}
+	def := &ast.InterfaceTypeDefinition{Fields: fields}
+	def.Description, def.Name, def.Directives, def.Pos = desc, name, dirs, pos
+	return def, nil
+}
+
+func (p *parser) parseUnionDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "union"
+	name, _, err := p.expectName("union definition")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return nil, err
+	}
+	var members []string
+	if p.skipIf(token.Equals) {
+		p.skipIf(token.Pipe)
+		for {
+			m, _, err := p.expectName("union member list")
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, m)
+			if !p.skipIf(token.Pipe) {
+				break
+			}
+		}
+	}
+	def := &ast.UnionTypeDefinition{Members: members}
+	def.Description, def.Name, def.Directives, def.Pos = desc, name, dirs, pos
+	return def, nil
+}
+
+func (p *parser) parseEnumDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "enum"
+	name, _, err := p.expectName("enum definition")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return nil, err
+	}
+	var vals []ast.EnumValueDefinition
+	if p.skipIf(token.BraceL) {
+		for p.tok.Kind != token.BraceR {
+			vdesc := p.parseDescription()
+			vname, vpos, err := p.expectName("enum value definition")
+			if err != nil {
+				return nil, err
+			}
+			switch vname {
+			case "true", "false", "null":
+				return nil, p.errorf(vpos, "enum value must not be %q", vname)
+			}
+			vdirs, err := p.parseDirectives()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, ast.EnumValueDefinition{Description: vdesc, Name: vname, Directives: vdirs, Pos: vpos})
+		}
+		p.next() // "}"
+	}
+	def := &ast.EnumTypeDefinition{Values: vals}
+	def.Description, def.Name, def.Directives, def.Pos = desc, name, dirs, pos
+	return def, nil
+}
+
+func (p *parser) parseInputObjectDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "input"
+	name, _, err := p.expectName("input object definition")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return nil, err
+	}
+	var fields []ast.InputValueDefinition
+	if p.skipIf(token.BraceL) {
+		for p.tok.Kind != token.BraceR {
+			f, err := p.parseInputValueDefinition("input object definition")
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+		}
+		p.next() // "}"
+	}
+	def := &ast.InputObjectTypeDefinition{Fields: fields}
+	def.Description, def.Name, def.Directives, def.Pos = desc, name, dirs, pos
+	return def, nil
+}
+
+func (p *parser) parseDirectiveDefinition(desc string, pos token.Position) (ast.Definition, error) {
+	p.next() // "directive"
+	if _, err := p.expect(token.At, "directive definition"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.expectName("directive definition")
+	if err != nil {
+		return nil, err
+	}
+	var args []ast.InputValueDefinition
+	if p.skipIf(token.ParenL) {
+		for p.tok.Kind != token.ParenR {
+			a, err := p.parseInputValueDefinition("directive definition")
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		p.next() // ")"
+	}
+	repeatable := false
+	if p.tok.Kind == token.Name && p.tok.Literal == "repeatable" {
+		repeatable = true
+		p.next()
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	p.skipIf(token.Pipe)
+	var locs []string
+	for {
+		loc, _, err := p.expectName("directive locations")
+		if err != nil {
+			return nil, err
+		}
+		locs = append(locs, loc)
+		if !p.skipIf(token.Pipe) {
+			break
+		}
+	}
+	return &ast.DirectiveDefinition{
+		Description: desc, Name: name, Arguments: args,
+		Locations: locs, Repeatable: repeatable, Pos: pos,
+	}, nil
+}
+
+// parseFieldsBlock parses an optional `{ field... }` block.
+func (p *parser) parseFieldsBlock(context string) ([]ast.FieldDefinition, error) {
+	if !p.skipIf(token.BraceL) {
+		return nil, nil
+	}
+	var fields []ast.FieldDefinition
+	for p.tok.Kind != token.BraceR {
+		f, err := p.parseFieldDefinition(context)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, f)
+	}
+	p.next() // "}"
+	return fields, nil
+}
+
+func (p *parser) parseFieldDefinition(context string) (ast.FieldDefinition, error) {
+	desc := p.parseDescription()
+	name, pos, err := p.expectName(context)
+	if err != nil {
+		return ast.FieldDefinition{}, err
+	}
+	var args []ast.InputValueDefinition
+	if p.skipIf(token.ParenL) {
+		for p.tok.Kind != token.ParenR {
+			a, err := p.parseInputValueDefinition("field argument definition")
+			if err != nil {
+				return ast.FieldDefinition{}, err
+			}
+			args = append(args, a)
+		}
+		p.next() // ")"
+	}
+	if _, err := p.expect(token.Colon, "field definition"); err != nil {
+		return ast.FieldDefinition{}, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return ast.FieldDefinition{}, err
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return ast.FieldDefinition{}, err
+	}
+	return ast.FieldDefinition{
+		Description: desc, Name: name, Arguments: args,
+		Type: typ, Directives: dirs, Pos: pos,
+	}, nil
+}
+
+func (p *parser) parseInputValueDefinition(context string) (ast.InputValueDefinition, error) {
+	desc := p.parseDescription()
+	name, pos, err := p.expectName(context)
+	if err != nil {
+		return ast.InputValueDefinition{}, err
+	}
+	if _, err := p.expect(token.Colon, context); err != nil {
+		return ast.InputValueDefinition{}, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return ast.InputValueDefinition{}, err
+	}
+	var def ast.Value
+	if p.skipIf(token.Equals) {
+		def, err = p.parseValue()
+		if err != nil {
+			return ast.InputValueDefinition{}, err
+		}
+	}
+	dirs, err := p.parseDirectives()
+	if err != nil {
+		return ast.InputValueDefinition{}, err
+	}
+	return ast.InputValueDefinition{
+		Description: desc, Name: name, Type: typ,
+		Default: def, Directives: dirs, Pos: pos,
+	}, nil
+}
+
+// parseType parses a type reference: Name, [Type], with optional "!".
+func (p *parser) parseType() (ast.Type, error) {
+	var inner ast.Type
+	switch p.tok.Kind {
+	case token.Name:
+		inner = &ast.NamedType{Name: p.tok.Literal, Pos: p.tok.Pos}
+		p.next()
+	case token.BracketL:
+		pos := p.tok.Pos
+		p.next()
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.BracketR, "list type"); err != nil {
+			return nil, err
+		}
+		inner = &ast.ListType{Elem: elem, Pos: pos}
+	default:
+		return nil, p.unexpected("type reference")
+	}
+	if p.tok.Kind == token.Bang {
+		pos := p.tok.Pos
+		p.next()
+		return &ast.NonNullType{Elem: inner, Pos: pos}, nil
+	}
+	return inner, nil
+}
+
+// parseDirectives parses zero or more applied directives.
+func (p *parser) parseDirectives() ([]ast.Directive, error) {
+	var dirs []ast.Directive
+	for p.tok.Kind == token.At {
+		pos := p.tok.Pos
+		p.next()
+		name, _, err := p.expectName("directive")
+		if err != nil {
+			return nil, err
+		}
+		var args []ast.Argument
+		if p.skipIf(token.ParenL) {
+			for p.tok.Kind != token.ParenR {
+				aname, apos, err := p.expectName("directive argument")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.Colon, "directive argument"); err != nil {
+					return nil, err
+				}
+				v, err := p.parseValue()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, ast.Argument{Name: aname, Value: v, Pos: apos})
+			}
+			p.next() // ")"
+		}
+		dirs = append(dirs, ast.Directive{Name: name, Arguments: args, Pos: pos})
+	}
+	return dirs, nil
+}
+
+// parseValue parses a const value literal (§2.9, without variables).
+func (p *parser) parseValue() (ast.Value, error) {
+	switch p.tok.Kind {
+	case token.Int:
+		v := ast.IntValue{Raw: p.tok.Literal}
+		if _, err := strconv.ParseInt(p.tok.Literal, 10, 64); err != nil {
+			return nil, p.errorf(p.tok.Pos, "integer literal out of range: %s", p.tok.Literal)
+		}
+		p.next()
+		return v, nil
+	case token.Float:
+		v := ast.FloatValue{Raw: p.tok.Literal}
+		if _, err := strconv.ParseFloat(p.tok.Literal, 64); err != nil {
+			return nil, p.errorf(p.tok.Pos, "float literal out of range: %s", p.tok.Literal)
+		}
+		p.next()
+		return v, nil
+	case token.String, token.BlockString:
+		v := ast.StringValue{Value: p.tok.Literal}
+		p.next()
+		return v, nil
+	case token.Name:
+		lit := p.tok.Literal
+		p.next()
+		switch lit {
+		case "true":
+			return ast.BooleanValue{Value: true}, nil
+		case "false":
+			return ast.BooleanValue{Value: false}, nil
+		case "null":
+			return ast.NullValue{}, nil
+		}
+		return ast.EnumValue{Name: lit}, nil
+	case token.BracketL:
+		p.next()
+		var vals []ast.Value
+		for p.tok.Kind != token.BracketR {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		p.next() // "]"
+		return ast.ListValue{Values: vals}, nil
+	case token.BraceL:
+		p.next()
+		var fields []ast.ObjectField
+		for p.tok.Kind != token.BraceR {
+			name, _, err := p.expectName("object value")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Colon, "object value"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, ast.ObjectField{Name: name, Value: v})
+		}
+		p.next() // "}"
+		return ast.ObjectValue{Fields: fields}, nil
+	}
+	return nil, p.unexpected("value literal")
+}

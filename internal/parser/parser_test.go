@@ -1,0 +1,299 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"pgschema/internal/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Document {
+	t.Helper()
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return doc
+}
+
+func parseErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse(%q): expected error containing %q, got nil", src, wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("Parse(%q): error %q does not contain %q", src, err, wantSubstr)
+	}
+}
+
+func TestObjectType(t *testing.T) {
+	doc := mustParse(t, `
+		type User {
+			id: ID!
+			login: String! @required
+			nicknames: [String!]!
+		}`)
+	if len(doc.Definitions) != 1 {
+		t.Fatalf("got %d definitions", len(doc.Definitions))
+	}
+	obj, ok := doc.Definitions[0].(*ast.ObjectTypeDefinition)
+	if !ok {
+		t.Fatalf("got %T", doc.Definitions[0])
+	}
+	if obj.Name != "User" || len(obj.Fields) != 3 {
+		t.Fatalf("got %q with %d fields", obj.Name, len(obj.Fields))
+	}
+	if got := obj.Fields[0].Type.String(); got != "ID!" {
+		t.Errorf("field 0 type: %s", got)
+	}
+	if got := obj.Fields[2].Type.String(); got != "[String!]!" {
+		t.Errorf("field 2 type: %s", got)
+	}
+	if len(obj.Fields[1].Directives) != 1 || obj.Fields[1].Directives[0].Name != "required" {
+		t.Errorf("field 1 directives: %+v", obj.Fields[1].Directives)
+	}
+}
+
+func TestPaperExample31(t *testing.T) {
+	// The paper's first example schema (Example 3.1).
+	doc := mustParse(t, `
+		type UserSession {
+			id: ID! @required
+			user: User! @required
+			startTime: Time! @required
+			endTime: Time!
+		}
+		type User {
+			id: ID! @required
+			login: String! @required
+			nicknames: [String!]!
+		}
+		scalar Time`)
+	if len(doc.Definitions) != 3 {
+		t.Fatalf("got %d definitions, want 3", len(doc.Definitions))
+	}
+	if _, ok := doc.Definitions[2].(*ast.ScalarTypeDefinition); !ok {
+		t.Errorf("definition 2: got %T, want scalar", doc.Definitions[2])
+	}
+}
+
+func TestKeyDirectiveWithArguments(t *testing.T) {
+	// Example 3.4: repeated @key directives with a list argument.
+	doc := mustParse(t, `type User @key(fields:["id"]) @key(fields:["login"]) { id: ID! }`)
+	obj := doc.Definitions[0].(*ast.ObjectTypeDefinition)
+	if len(obj.Directives) != 2 {
+		t.Fatalf("got %d directives", len(obj.Directives))
+	}
+	for i, d := range obj.Directives {
+		if d.Name != "key" || len(d.Arguments) != 1 || d.Arguments[0].Name != "fields" {
+			t.Errorf("directive %d: %+v", i, d)
+		}
+		lv, ok := d.Arguments[0].Value.(ast.ListValue)
+		if !ok || len(lv.Values) != 1 {
+			t.Errorf("directive %d value: %+v", i, d.Arguments[0].Value)
+		}
+	}
+}
+
+func TestFieldArguments(t *testing.T) {
+	// Example 3.12: edge properties via field arguments.
+	doc := mustParse(t, `
+		type UserSession {
+			user(certainty: Float! comment: String): User! @required
+		}`)
+	obj := doc.Definitions[0].(*ast.ObjectTypeDefinition)
+	f := obj.Fields[0]
+	if len(f.Arguments) != 2 {
+		t.Fatalf("got %d arguments", len(f.Arguments))
+	}
+	if f.Arguments[0].Name != "certainty" || f.Arguments[0].Type.String() != "Float!" {
+		t.Errorf("arg 0: %+v", f.Arguments[0])
+	}
+	if f.Arguments[1].Name != "comment" || f.Arguments[1].Type.String() != "String" {
+		t.Errorf("arg 1: %+v", f.Arguments[1])
+	}
+}
+
+func TestArgumentDefault(t *testing.T) {
+	// Appendix Figure 1, line 4: length(unit: LenUnit = METER): Float.
+	doc := mustParse(t, `type Starship { length(unit: LenUnit = METER): Float }`)
+	obj := doc.Definitions[0].(*ast.ObjectTypeDefinition)
+	arg := obj.Fields[0].Arguments[0]
+	ev, ok := arg.Default.(ast.EnumValue)
+	if !ok || ev.Name != "METER" {
+		t.Errorf("default: %+v", arg.Default)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	doc := mustParse(t, `union Food = Pizza | Pasta`)
+	u := doc.Definitions[0].(*ast.UnionTypeDefinition)
+	if u.Name != "Food" || len(u.Members) != 2 || u.Members[0] != "Pizza" || u.Members[1] != "Pasta" {
+		t.Errorf("union: %+v", u)
+	}
+}
+
+func TestUnionLeadingPipe(t *testing.T) {
+	doc := mustParse(t, "union SearchResult =\n  | Human\n  | Droid\n  | Starship")
+	u := doc.Definitions[0].(*ast.UnionTypeDefinition)
+	if len(u.Members) != 3 {
+		t.Errorf("members: %v", u.Members)
+	}
+}
+
+func TestInterfaceAndImplements(t *testing.T) {
+	doc := mustParse(t, `
+		interface Character {
+			id: ID!
+			friends: [Character]
+		}
+		type Human implements Character {
+			id: ID!
+			friends: [Character]
+		}
+		type Cyborg implements Character & Machine {
+			id: ID!
+			friends: [Character]
+		}
+		interface Machine { }`)
+	h := doc.Definitions[1].(*ast.ObjectTypeDefinition)
+	if len(h.Interfaces) != 1 || h.Interfaces[0] != "Character" {
+		t.Errorf("Human interfaces: %v", h.Interfaces)
+	}
+	c := doc.Definitions[2].(*ast.ObjectTypeDefinition)
+	if len(c.Interfaces) != 2 {
+		t.Errorf("Cyborg interfaces: %v", c.Interfaces)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	doc := mustParse(t, `enum Episode { NEWHOPE EMPIRE JEDI }`)
+	e := doc.Definitions[0].(*ast.EnumTypeDefinition)
+	if len(e.Values) != 3 || e.Values[1].Name != "EMPIRE" {
+		t.Errorf("enum: %+v", e)
+	}
+}
+
+func TestEnumReservedValue(t *testing.T) {
+	parseErr(t, `enum Bad { true }`, "enum value must not be")
+	parseErr(t, `enum Bad { null }`, "enum value must not be")
+}
+
+func TestSchemaDefinition(t *testing.T) {
+	doc := mustParse(t, `
+		type Query { x: Int }
+		schema { query: Query }`)
+	sd := doc.Definitions[1].(*ast.SchemaDefinition)
+	if len(sd.RootOperations) != 1 || sd.RootOperations[0].Operation != "query" || sd.RootOperations[0].Type != "Query" {
+		t.Errorf("schema: %+v", sd)
+	}
+}
+
+func TestSchemaDefinitionBadOperation(t *testing.T) {
+	parseErr(t, `schema { foo: Query }`, "invalid root operation")
+}
+
+func TestInputObject(t *testing.T) {
+	doc := mustParse(t, `input Point { x: Float = 0.0 y: Float = 0.0 }`)
+	in := doc.Definitions[0].(*ast.InputObjectTypeDefinition)
+	if in.Name != "Point" || len(in.Fields) != 2 {
+		t.Errorf("input: %+v", in)
+	}
+	if fv, ok := in.Fields[0].Default.(ast.FloatValue); !ok || fv.Raw != "0.0" {
+		t.Errorf("default: %+v", in.Fields[0].Default)
+	}
+}
+
+func TestDirectiveDefinition(t *testing.T) {
+	doc := mustParse(t, `directive @key(fields: [String!]!) repeatable on OBJECT | INTERFACE`)
+	d := doc.Definitions[0].(*ast.DirectiveDefinition)
+	if d.Name != "key" || !d.Repeatable || len(d.Locations) != 2 || len(d.Arguments) != 1 {
+		t.Errorf("directive: %+v", d)
+	}
+	if d.Arguments[0].Type.String() != "[String!]!" {
+		t.Errorf("arg type: %s", d.Arguments[0].Type)
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	doc := mustParse(t, `
+		"A user of the system"
+		type User {
+			"Opaque identifier"
+			id: ID!
+		}`)
+	obj := doc.Definitions[0].(*ast.ObjectTypeDefinition)
+	if obj.Description != "A user of the system" {
+		t.Errorf("type description: %q", obj.Description)
+	}
+	if obj.Fields[0].Description != "Opaque identifier" {
+		t.Errorf("field description: %q", obj.Fields[0].Description)
+	}
+}
+
+func TestBlockStringDescription(t *testing.T) {
+	doc := mustParse(t, "\"\"\"\nMulti-line\ndescription\n\"\"\"\ntype T { x: Int }")
+	obj := doc.Definitions[0].(*ast.ObjectTypeDefinition)
+	if obj.Description != "Multi-line\ndescription" {
+		t.Errorf("description: %q", obj.Description)
+	}
+}
+
+func TestValueLiterals(t *testing.T) {
+	doc := mustParse(t, `type T { f(a: X = {k: [1, 2.5, "s", true, null, EV]}): Int }`)
+	arg := doc.Definitions[0].(*ast.ObjectTypeDefinition).Fields[0].Arguments[0]
+	ov, ok := arg.Default.(ast.ObjectValue)
+	if !ok || len(ov.Fields) != 1 {
+		t.Fatalf("default: %+v", arg.Default)
+	}
+	lv := ov.Fields[0].Value.(ast.ListValue)
+	if len(lv.Values) != 6 {
+		t.Fatalf("list: %+v", lv)
+	}
+	if lv.String() != `[1, 2.5, "s", true, null, EV]` {
+		t.Errorf("rendered: %s", lv.String())
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	parseErr(t, `type`, "expected Name")
+	parseErr(t, `type T { f }`, "expected ':'")
+	parseErr(t, `type T { f: }`, "type reference")
+	parseErr(t, `type T { f: [Int }`, "expected ']'")
+	parseErr(t, `frobnicate T {}`, "unexpected definition keyword")
+	parseErr(t, `type T @d(a:) {}`, "value literal")
+	parseErr(t, `directive @d on`, "expected Name")
+	parseErr(t, `type T { f: Int`, "found EOF")
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("type T {\n  f\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Pos.Line != 3 { // the '}' that is not a ':'
+		t.Errorf("error line: %d (%v)", perr.Pos.Line, err)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	doc := mustParse(t, "  # nothing here\n")
+	if len(doc.Definitions) != 0 {
+		t.Errorf("got %d definitions", len(doc.Definitions))
+	}
+}
+
+func TestNestedListTypesParse(t *testing.T) {
+	// Nested lists are valid GraphQL even though the Property Graph
+	// formalization later rejects them; the parser must accept them.
+	doc := mustParse(t, `type T { m: [[Int]] }`)
+	f := doc.Definitions[0].(*ast.ObjectTypeDefinition).Fields[0]
+	if f.Type.String() != "[[Int]]" {
+		t.Errorf("type: %s", f.Type)
+	}
+}

@@ -1,0 +1,245 @@
+package pg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pgschema/internal/values"
+)
+
+// ReadCSV loads a graph from two CSV streams in the common
+// "nodes file + edges file" layout used by bulk importers:
+//
+//	nodes:  id,label,<prop1>,<prop2>,...
+//	edges:  source,target,label,<prop1>,...
+//
+// Empty cells mean "property absent". Cell values are typed by sniffing:
+// integers, floats, booleans, and a JSON-style [a,b,c] list form; anything
+// else is a string.
+func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
+	g := New()
+	byName := make(map[string]NodeID)
+
+	nr := csv.NewReader(nodes)
+	nr.FieldsPerRecord = -1
+	nh, err := nr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("pg: reading node CSV header: %w", err)
+	}
+	if len(nh) < 2 || nh[0] != "id" || nh[1] != "label" {
+		return nil, fmt.Errorf("pg: node CSV header must start with id,label")
+	}
+	for line := 2; ; line++ {
+		rec, err := nr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pg: node CSV line %d: %w", line, err)
+		}
+		if _, dup := byName[rec[0]]; dup {
+			return nil, fmt.Errorf("pg: node CSV line %d: duplicate node id %q", line, rec[0])
+		}
+		id := g.AddNode(rec[1])
+		byName[rec[0]] = id
+		for i := 2; i < len(rec) && i < len(nh); i++ {
+			if rec[i] == "" {
+				continue
+			}
+			g.SetNodeProp(id, nh[i], SniffValue(rec[i]))
+		}
+	}
+
+	er := csv.NewReader(edges)
+	er.FieldsPerRecord = -1
+	eh, err := er.Read()
+	if err != nil {
+		return nil, fmt.Errorf("pg: reading edge CSV header: %w", err)
+	}
+	if len(eh) < 3 || eh[0] != "source" || eh[1] != "target" || eh[2] != "label" {
+		return nil, fmt.Errorf("pg: edge CSV header must start with source,target,label")
+	}
+	for line := 2; ; line++ {
+		rec, err := er.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pg: edge CSV line %d: %w", line, err)
+		}
+		src, ok := byName[rec[0]]
+		if !ok {
+			return nil, fmt.Errorf("pg: edge CSV line %d: unknown source %q", line, rec[0])
+		}
+		dst, ok := byName[rec[1]]
+		if !ok {
+			return nil, fmt.Errorf("pg: edge CSV line %d: unknown target %q", line, rec[1])
+		}
+		eid, err := g.AddEdge(src, dst, rec[2])
+		if err != nil {
+			return nil, err
+		}
+		for i := 3; i < len(rec) && i < len(eh); i++ {
+			if rec[i] == "" {
+				continue
+			}
+			g.SetEdgeProp(eid, eh[i], SniffValue(rec[i]))
+		}
+	}
+	return g, nil
+}
+
+// SniffValue types a CSV cell: int, float, bool, "[a,b]" list (elements
+// sniffed recursively), quoted string, or plain string.
+func SniffValue(cell string) values.Value {
+	s := strings.TrimSpace(cell)
+	switch s {
+	case "true":
+		return values.Boolean(true)
+	case "false":
+		return values.Boolean(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return values.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return values.Float(f)
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if uq, err := strconv.Unquote(s); err == nil {
+			return values.String(uq)
+		}
+	}
+	if len(s) >= 2 && s[0] == '[' && s[len(s)-1] == ']' {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return values.List()
+		}
+		parts := splitTopLevel(inner)
+		elems := make([]values.Value, len(parts))
+		for i, p := range parts {
+			elems[i] = SniffValue(p)
+		}
+		return values.List(elems...)
+	}
+	return values.String(s)
+}
+
+// splitTopLevel splits on commas that are not inside quotes or brackets.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' && (i == 0 || s[i-1] != '\\'):
+			inQuote = !inQuote
+		case inQuote:
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// WriteCSV writes the graph in the two-file CSV layout ReadCSV accepts:
+// node and edge property columns are the union of property names present,
+// in sorted order; absent properties are empty cells.
+func (g *Graph) WriteCSV(nodes, edges io.Writer) error {
+	nodeCols := map[string]bool{}
+	for _, id := range g.Nodes() {
+		for _, name := range g.NodePropNames(id) {
+			nodeCols[name] = true
+		}
+	}
+	edgeCols := map[string]bool{}
+	for _, id := range g.Edges() {
+		for _, name := range g.EdgePropNames(id) {
+			edgeCols[name] = true
+		}
+	}
+	nCols := sortedKeys(nodeCols)
+	eCols := sortedKeys(edgeCols)
+
+	nw := csv.NewWriter(nodes)
+	if err := nw.Write(append([]string{"id", "label"}, nCols...)); err != nil {
+		return err
+	}
+	name := make(map[NodeID]string, g.NumNodes())
+	for _, id := range g.Nodes() {
+		nm := fmt.Sprintf("n%d", id)
+		name[id] = nm
+		rec := []string{nm, g.NodeLabel(id)}
+		for _, col := range nCols {
+			rec = append(rec, cellValue(g.nodes[id].props[col], g.nodes[id].props, col))
+		}
+		if err := nw.Write(rec); err != nil {
+			return err
+		}
+	}
+	nw.Flush()
+	if err := nw.Error(); err != nil {
+		return err
+	}
+
+	ew := csv.NewWriter(edges)
+	if err := ew.Write(append([]string{"source", "target", "label"}, eCols...)); err != nil {
+		return err
+	}
+	for _, id := range g.Edges() {
+		src, dst := g.Endpoints(id)
+		rec := []string{name[src], name[dst], g.EdgeLabel(id)}
+		for _, col := range eCols {
+			rec = append(rec, cellValue(g.edges[id].props[col], g.edges[id].props, col))
+		}
+		if err := ew.Write(rec); err != nil {
+			return err
+		}
+	}
+	ew.Flush()
+	return ew.Error()
+}
+
+// cellValue renders a property value in a form SniffValue decodes back to
+// an equal value; absent properties become the empty cell.
+func cellValue(v values.Value, props map[string]values.Value, col string) string {
+	if _, ok := props[col]; !ok {
+		return ""
+	}
+	return renderCell(v)
+}
+
+func renderCell(v values.Value) string {
+	switch v.Kind() {
+	case values.KindList:
+		parts := make([]string, v.Len())
+		for i := range parts {
+			parts[i] = renderCell(v.Elem(i))
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case values.KindString, values.KindID, values.KindEnum:
+		// Quote so that numeric-looking and comma-containing strings
+		// survive the sniffer.
+		return strconv.Quote(v.AsString())
+	default:
+		return v.String()
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

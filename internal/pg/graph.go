@@ -1,0 +1,380 @@
+// Package pg implements the Property Graph data model of Definition 2.1
+// (Angles et al.): a directed multigraph G = (V, E, ρ, λ, σ) where every
+// node and edge carries exactly one label (λ) and a partial map from
+// property names to values (σ).
+//
+// The Graph type is an in-memory store with label and adjacency indexes
+// sized for validation workloads: out- and in-edges are grouped per node
+// and can be filtered by label without scanning E.
+package pg
+
+import (
+	"fmt"
+	"sort"
+
+	"pgschema/internal/values"
+)
+
+// NodeID identifies a node in V. IDs are dense and start at 0.
+type NodeID int
+
+// EdgeID identifies an edge in E. IDs are dense and start at 0.
+type EdgeID int
+
+// node holds λ(v), σ(v, ·), and the adjacency lists for one node.
+type node struct {
+	label   string
+	props   map[string]values.Value
+	out     []EdgeID
+	in      []EdgeID
+	removed bool
+}
+
+// edge holds ρ(e), λ(e), and σ(e, ·) for one edge.
+type edge struct {
+	src, dst NodeID
+	label    string
+	props    map[string]values.Value
+	removed  bool
+}
+
+// Graph is a mutable Property Graph. The zero value is an empty graph
+// ready to use. Graph is not safe for concurrent mutation; concurrent
+// readers are safe once mutation has stopped.
+type Graph struct {
+	nodes []node
+	edges []edge
+
+	byLabel      map[string][]NodeID
+	removedNodes int
+	removedEdges int
+}
+
+// New returns an empty Property Graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode adds a node with label λ(v) = label and returns its ID.
+func (g *Graph) AddNode(label string) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, node{label: label})
+	if g.byLabel == nil {
+		g.byLabel = make(map[string][]NodeID)
+	}
+	g.byLabel[label] = append(g.byLabel[label], id)
+	return id
+}
+
+// AddEdge adds an edge e with ρ(e) = (src, dst) and λ(e) = label.
+func (g *Graph) AddEdge(src, dst NodeID, label string) (EdgeID, error) {
+	if !g.validNode(src) {
+		return 0, fmt.Errorf("pg: AddEdge: invalid source node %d", src)
+	}
+	if !g.validNode(dst) {
+		return 0, fmt.Errorf("pg: AddEdge: invalid target node %d", dst)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, edge{src: src, dst: dst, label: label})
+	g.nodes[src].out = append(g.nodes[src].out, id)
+	g.nodes[dst].in = append(g.nodes[dst].in, id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for known-valid endpoints; it panics on error.
+func (g *Graph) MustAddEdge(src, dst NodeID, label string) EdgeID {
+	id, err := g.AddEdge(src, dst, label)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (g *Graph) validNode(id NodeID) bool {
+	return id >= 0 && int(id) < len(g.nodes) && !g.nodes[id].removed
+}
+
+func (g *Graph) validEdge(id EdgeID) bool {
+	return id >= 0 && int(id) < len(g.edges) && !g.edges[id].removed
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) - g.removedNodes }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) - g.removedEdges }
+
+// Nodes returns the IDs of all nodes in insertion order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, g.NumNodes())
+	for i := range g.nodes {
+		if !g.nodes[i].removed {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Edges returns the IDs of all edges in insertion order.
+func (g *Graph) Edges() []EdgeID {
+	out := make([]EdgeID, 0, g.NumEdges())
+	for i := range g.edges {
+		if !g.edges[i].removed {
+			out = append(out, EdgeID(i))
+		}
+	}
+	return out
+}
+
+// HasNode reports whether id is a live node.
+func (g *Graph) HasNode(id NodeID) bool { return g.validNode(id) }
+
+// HasEdge reports whether id is a live edge.
+func (g *Graph) HasEdge(id EdgeID) bool { return g.validEdge(id) }
+
+// NodeLabel returns λ(v).
+func (g *Graph) NodeLabel(id NodeID) string { return g.nodes[id].label }
+
+// EdgeLabel returns λ(e).
+func (g *Graph) EdgeLabel(id EdgeID) string { return g.edges[id].label }
+
+// Endpoints returns ρ(e) = (src, dst).
+func (g *Graph) Endpoints(id EdgeID) (src, dst NodeID) {
+	e := &g.edges[id]
+	return e.src, e.dst
+}
+
+// SetNodeLabel relabels a node, maintaining the label index.
+func (g *Graph) SetNodeLabel(id NodeID, label string) {
+	old := g.nodes[id].label
+	if old == label {
+		return
+	}
+	g.byLabel[old] = removeID(g.byLabel[old], id)
+	g.nodes[id].label = label
+	if g.byLabel == nil {
+		g.byLabel = make(map[string][]NodeID)
+	}
+	g.byLabel[label] = append(g.byLabel[label], id)
+}
+
+// SetEdgeLabel relabels an edge.
+func (g *Graph) SetEdgeLabel(id EdgeID, label string) { g.edges[id].label = label }
+
+// SetNodeProp sets σ(v, name) = v.
+func (g *Graph) SetNodeProp(id NodeID, name string, v values.Value) {
+	n := &g.nodes[id]
+	if n.props == nil {
+		n.props = make(map[string]values.Value)
+	}
+	n.props[name] = v
+}
+
+// SetEdgeProp sets σ(e, name) = v.
+func (g *Graph) SetEdgeProp(id EdgeID, name string, v values.Value) {
+	e := &g.edges[id]
+	if e.props == nil {
+		e.props = make(map[string]values.Value)
+	}
+	e.props[name] = v
+}
+
+// DeleteNodeProp removes (v, name) from dom(σ).
+func (g *Graph) DeleteNodeProp(id NodeID, name string) { delete(g.nodes[id].props, name) }
+
+// DeleteEdgeProp removes (e, name) from dom(σ).
+func (g *Graph) DeleteEdgeProp(id EdgeID, name string) { delete(g.edges[id].props, name) }
+
+// NodeProp returns σ(v, name) and whether (v, name) ∈ dom(σ).
+func (g *Graph) NodeProp(id NodeID, name string) (values.Value, bool) {
+	v, ok := g.nodes[id].props[name]
+	return v, ok
+}
+
+// EdgeProp returns σ(e, name) and whether (e, name) ∈ dom(σ).
+func (g *Graph) EdgeProp(id EdgeID, name string) (values.Value, bool) {
+	v, ok := g.edges[id].props[name]
+	return v, ok
+}
+
+// NodePropNames returns the sorted property names defined on the node.
+func (g *Graph) NodePropNames(id NodeID) []string { return sortedPropNames(g.nodes[id].props) }
+
+// EdgePropNames returns the sorted property names defined on the edge.
+func (g *Graph) EdgePropNames(id EdgeID) []string { return sortedPropNames(g.edges[id].props) }
+
+func sortedPropNames(m map[string]values.Value) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesLabeled returns the IDs of all live nodes with λ(v) = label.
+func (g *Graph) NodesLabeled(label string) []NodeID {
+	ids := g.byLabel[label]
+	out := make([]NodeID, 0, len(ids))
+	for _, id := range ids {
+		if !g.nodes[id].removed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// OutEdges returns the live outgoing edges of the node.
+func (g *Graph) OutEdges(id NodeID) []EdgeID { return g.liveEdges(g.nodes[id].out) }
+
+// InEdges returns the live incoming edges of the node.
+func (g *Graph) InEdges(id NodeID) []EdgeID { return g.liveEdges(g.nodes[id].in) }
+
+func (g *Graph) liveEdges(ids []EdgeID) []EdgeID {
+	out := make([]EdgeID, 0, len(ids))
+	for _, id := range ids {
+		if !g.edges[id].removed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// OutEdgesLabeled returns the node's live outgoing edges with λ(e) = label.
+func (g *Graph) OutEdgesLabeled(id NodeID, label string) []EdgeID {
+	var out []EdgeID
+	for _, eid := range g.nodes[id].out {
+		if e := &g.edges[eid]; !e.removed && e.label == label {
+			out = append(out, eid)
+		}
+	}
+	return out
+}
+
+// InEdgesLabeled returns the node's live incoming edges with λ(e) = label.
+func (g *Graph) InEdgesLabeled(id NodeID, label string) []EdgeID {
+	var out []EdgeID
+	for _, eid := range g.nodes[id].in {
+		if e := &g.edges[eid]; !e.removed && e.label == label {
+			out = append(out, eid)
+		}
+	}
+	return out
+}
+
+// OutDegreeLabeled counts the node's live outgoing edges with the label.
+func (g *Graph) OutDegreeLabeled(id NodeID, label string) int {
+	n := 0
+	for _, eid := range g.nodes[id].out {
+		if e := &g.edges[eid]; !e.removed && e.label == label {
+			n++
+		}
+	}
+	return n
+}
+
+// RemoveEdge deletes an edge. The ID is never reused.
+func (g *Graph) RemoveEdge(id EdgeID) {
+	if !g.validEdge(id) {
+		return
+	}
+	g.edges[id].removed = true
+	g.removedEdges++
+}
+
+// RemoveNode deletes a node together with all its incident edges.
+func (g *Graph) RemoveNode(id NodeID) {
+	if !g.validNode(id) {
+		return
+	}
+	for _, eid := range g.nodes[id].out {
+		g.RemoveEdge(eid)
+	}
+	for _, eid := range g.nodes[id].in {
+		g.RemoveEdge(eid)
+	}
+	n := &g.nodes[id]
+	n.removed = true
+	g.removedNodes++
+	g.byLabel[n.label] = removeID(g.byLabel[n.label], id)
+}
+
+func removeID(ids []NodeID, id NodeID) []NodeID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Labels returns the distinct node labels present in the graph, sorted.
+func (g *Graph) Labels() []string {
+	out := make([]string, 0, len(g.byLabel))
+	for l, ids := range g.byLabel {
+		live := false
+		for _, id := range ids {
+			if !g.nodes[id].removed {
+				live = true
+				break
+			}
+		}
+		if live {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the graph. Property values are immutable
+// and shared; property maps and adjacency lists are copied.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:        make([]node, len(g.nodes)),
+		edges:        make([]edge, len(g.edges)),
+		byLabel:      make(map[string][]NodeID, len(g.byLabel)),
+		removedNodes: g.removedNodes,
+		removedEdges: g.removedEdges,
+	}
+	for i, n := range g.nodes {
+		cp := n
+		cp.props = cloneProps(n.props)
+		cp.out = append([]EdgeID(nil), n.out...)
+		cp.in = append([]EdgeID(nil), n.in...)
+		c.nodes[i] = cp
+	}
+	for i, e := range g.edges {
+		cp := e
+		cp.props = cloneProps(e.props)
+		c.edges[i] = cp
+	}
+	for l, ids := range g.byLabel {
+		c.byLabel[l] = append([]NodeID(nil), ids...)
+	}
+	return c
+}
+
+func cloneProps(m map[string]values.Value) map[string]values.Value {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]values.Value, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// AllOutEdges returns the node's outgoing edges including removed ones
+// (tombstones keep their endpoints). Incremental validation uses this to
+// find the region a node mutation influences.
+func (g *Graph) AllOutEdges(id NodeID) []EdgeID {
+	return append([]EdgeID(nil), g.nodes[id].out...)
+}
+
+// AllInEdges returns the node's incoming edges including removed ones.
+func (g *Graph) AllInEdges(id NodeID) []EdgeID {
+	return append([]EdgeID(nil), g.nodes[id].in...)
+}

@@ -1,0 +1,172 @@
+// Package printer renders SDL abstract syntax trees back to canonical SDL
+// source text. Printing a parsed document and re-parsing it yields an
+// equivalent tree, which the tests verify (round-trip property).
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"pgschema/internal/ast"
+)
+
+// Print renders the document as canonical SDL text.
+func Print(doc *ast.Document) string {
+	var b strings.Builder
+	for i, def := range doc.Definitions {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printDefinition(&b, def)
+	}
+	return b.String()
+}
+
+func printDefinition(b *strings.Builder, def ast.Definition) {
+	switch d := def.(type) {
+	case *ast.SchemaDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("schema")
+		printDirectives(b, d.Directives)
+		b.WriteString(" {\n")
+		for _, r := range d.RootOperations {
+			fmt.Fprintf(b, "  %s: %s\n", r.Operation, r.Type)
+		}
+		b.WriteString("}\n")
+	case *ast.ScalarTypeDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("scalar " + d.Name)
+		printDirectives(b, d.Directives)
+		b.WriteString("\n")
+	case *ast.ObjectTypeDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("type " + d.Name)
+		if len(d.Interfaces) > 0 {
+			b.WriteString(" implements " + strings.Join(d.Interfaces, " & "))
+		}
+		printDirectives(b, d.Directives)
+		printFields(b, d.Fields)
+	case *ast.InterfaceTypeDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("interface " + d.Name)
+		printDirectives(b, d.Directives)
+		printFields(b, d.Fields)
+	case *ast.UnionTypeDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("union " + d.Name)
+		printDirectives(b, d.Directives)
+		if len(d.Members) > 0 {
+			b.WriteString(" = " + strings.Join(d.Members, " | "))
+		}
+		b.WriteString("\n")
+	case *ast.EnumTypeDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("enum " + d.Name)
+		printDirectives(b, d.Directives)
+		if len(d.Values) > 0 {
+			b.WriteString(" {\n")
+			for _, v := range d.Values {
+				printDescription(b, v.Description, "  ")
+				b.WriteString("  " + v.Name)
+				printDirectives(b, v.Directives)
+				b.WriteString("\n")
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
+	case *ast.InputObjectTypeDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("input " + d.Name)
+		printDirectives(b, d.Directives)
+		if len(d.Fields) > 0 {
+			b.WriteString(" {\n")
+			for _, f := range d.Fields {
+				printDescription(b, f.Description, "  ")
+				b.WriteString("  ")
+				printInputValue(b, f)
+				b.WriteString("\n")
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
+	case *ast.DirectiveDefinition:
+		printDescription(b, d.Description, "")
+		b.WriteString("directive @" + d.Name)
+		printArgumentDefs(b, d.Arguments)
+		if d.Repeatable {
+			b.WriteString(" repeatable")
+		}
+		b.WriteString(" on " + strings.Join(d.Locations, " | "))
+		b.WriteString("\n")
+	}
+}
+
+func printFields(b *strings.Builder, fields []ast.FieldDefinition) {
+	if len(fields) == 0 {
+		b.WriteString("\n")
+		return
+	}
+	b.WriteString(" {\n")
+	for _, f := range fields {
+		printDescription(b, f.Description, "  ")
+		b.WriteString("  " + f.Name)
+		printArgumentDefs(b, f.Arguments)
+		b.WriteString(": " + f.Type.String())
+		printDirectives(b, f.Directives)
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+}
+
+func printArgumentDefs(b *strings.Builder, args []ast.InputValueDefinition) {
+	if len(args) == 0 {
+		return
+	}
+	b.WriteString("(")
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		printInputValue(b, a)
+	}
+	b.WriteString(")")
+}
+
+func printInputValue(b *strings.Builder, iv ast.InputValueDefinition) {
+	b.WriteString(iv.Name + ": " + iv.Type.String())
+	if iv.Default != nil {
+		b.WriteString(" = " + iv.Default.String())
+	}
+	printDirectives(b, iv.Directives)
+}
+
+func printDirectives(b *strings.Builder, dirs []ast.Directive) {
+	for _, d := range dirs {
+		b.WriteString(" @" + d.Name)
+		if len(d.Arguments) > 0 {
+			b.WriteString("(")
+			for i, a := range d.Arguments {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(a.Name + ": " + a.Value.String())
+			}
+			b.WriteString(")")
+		}
+	}
+}
+
+func printDescription(b *strings.Builder, desc, indent string) {
+	if desc == "" {
+		return
+	}
+	if strings.Contains(desc, "\n") {
+		b.WriteString(indent + `"""` + "\n")
+		for _, line := range strings.Split(desc, "\n") {
+			b.WriteString(indent + line + "\n")
+		}
+		b.WriteString(indent + `"""` + "\n")
+		return
+	}
+	b.WriteString(indent + ast.StringValue{Value: desc}.String() + "\n")
+}

@@ -1,0 +1,190 @@
+package printer
+
+import (
+	"reflect"
+	"testing"
+
+	"pgschema/internal/ast"
+	"pgschema/internal/parser"
+	"pgschema/internal/token"
+)
+
+// stripPositions zeroes all position fields so trees can be compared.
+func stripPositions(doc *ast.Document) {
+	for _, def := range doc.Definitions {
+		switch d := def.(type) {
+		case *ast.SchemaDefinition:
+			d.Pos = zero()
+			for i := range d.RootOperations {
+				d.RootOperations[i].Pos = zero()
+			}
+			stripDirs(d.Directives)
+		case *ast.ScalarTypeDefinition:
+			d.Pos = zero()
+			stripDirs(d.Directives)
+		case *ast.ObjectTypeDefinition:
+			d.Pos = zero()
+			stripDirs(d.Directives)
+			stripFields(d.Fields)
+		case *ast.InterfaceTypeDefinition:
+			d.Pos = zero()
+			stripDirs(d.Directives)
+			stripFields(d.Fields)
+		case *ast.UnionTypeDefinition:
+			d.Pos = zero()
+			stripDirs(d.Directives)
+		case *ast.EnumTypeDefinition:
+			d.Pos = zero()
+			stripDirs(d.Directives)
+			for i := range d.Values {
+				d.Values[i].Pos = zero()
+				stripDirs(d.Values[i].Directives)
+			}
+		case *ast.InputObjectTypeDefinition:
+			d.Pos = zero()
+			stripDirs(d.Directives)
+			stripInputs(d.Fields)
+		case *ast.DirectiveDefinition:
+			d.Pos = zero()
+			stripInputs(d.Arguments)
+		}
+	}
+}
+
+func stripFields(fields []ast.FieldDefinition) {
+	for i := range fields {
+		fields[i].Pos = zero()
+		fields[i].Type = stripType(fields[i].Type)
+		stripDirs(fields[i].Directives)
+		stripInputs(fields[i].Arguments)
+	}
+}
+
+func stripInputs(ivs []ast.InputValueDefinition) {
+	for i := range ivs {
+		ivs[i].Pos = zero()
+		ivs[i].Type = stripType(ivs[i].Type)
+		stripDirs(ivs[i].Directives)
+	}
+}
+
+func stripDirs(dirs []ast.Directive) {
+	for i := range dirs {
+		dirs[i].Pos = zero()
+		for j := range dirs[i].Arguments {
+			dirs[i].Arguments[j].Pos = zero()
+		}
+	}
+}
+
+func stripType(t ast.Type) ast.Type {
+	switch x := t.(type) {
+	case *ast.NamedType:
+		return &ast.NamedType{Name: x.Name}
+	case *ast.ListType:
+		return &ast.ListType{Elem: stripType(x.Elem)}
+	case *ast.NonNullType:
+		return &ast.NonNullType{Elem: stripType(x.Elem)}
+	}
+	return t
+}
+
+func zero() token.Position { return token.Position{} }
+
+var corpus = []string{
+	`type User @key(fields: ["id"]) {
+  id: ID! @required
+  login: String! @required
+  nicknames: [String!]!
+}`,
+	`type UserSession {
+  user(certainty: Float!, comment: String): User! @required
+}
+type User { id: ID! }
+scalar Time`,
+	`interface Food { name: String! }
+type Pizza implements Food { name: String! toppings: [String!]! }
+union Meal = Pizza`,
+	`enum Episode { NEWHOPE EMPIRE JEDI }
+directive @weight(value: Float = 1.0) on FIELD_DEFINITION`,
+	`"A described type"
+type T {
+  "a described field"
+  f(x: Int = 3): [T!]
+}`,
+	`type Query { hero(episode: Episode): Character }
+interface Character { id: ID! }
+enum Episode { JEDI }
+schema { query: Query }`,
+}
+
+// TestRoundTrip checks parse → print → parse yields an equivalent tree.
+func TestRoundTrip(t *testing.T) {
+	for i, src := range corpus {
+		doc1, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		printed := Print(doc1)
+		doc2, err := parser.Parse(printed)
+		if err != nil {
+			t.Fatalf("corpus %d: reparsing printed output: %v\n%s", i, err, printed)
+		}
+		stripPositions(doc1)
+		stripPositions(doc2)
+		if !reflect.DeepEqual(doc1, doc2) {
+			t.Errorf("corpus %d: round trip changed the tree.\noriginal: %#v\nreparsed: %#v\nprinted:\n%s", i, doc1, doc2, printed)
+		}
+	}
+}
+
+// TestIdempotent checks print(parse(print(parse(x)))) == print(parse(x)).
+func TestIdempotent(t *testing.T) {
+	for i, src := range corpus {
+		doc1, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		p1 := Print(doc1)
+		doc2, err := parser.Parse(p1)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		p2 := Print(doc2)
+		if p1 != p2 {
+			t.Errorf("corpus %d: printing is not idempotent:\n--- first\n%s\n--- second\n%s", i, p1, p2)
+		}
+	}
+}
+
+// TestPrintMoreShapes extends the round-trip corpus with the remaining
+// definition shapes: schema blocks with directives, multi-line
+// descriptions, enum value directives, and input object directives.
+func TestPrintMoreShapes(t *testing.T) {
+	more := []string{
+		"\"\"\"\nA multi-line\ndescription\n\"\"\"\ntype T { f: Int }",
+		`enum E { "described" A @required B }
+		directive @required on ENUM_VALUE`,
+		`input P @oneOf { x: Int y: Int }
+		directive @oneOf on INPUT_OBJECT`,
+		`scalar S @specifiedBy(url: "https://example.com")
+		directive @specifiedBy(url: String!) on SCALAR`,
+		`type Q { f: Int }
+		schema @dir { query: Q }
+		directive @dir on SCHEMA`,
+	}
+	for i, src := range more {
+		doc1, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		printed := Print(doc1)
+		doc2, err := parser.Parse(printed)
+		if err != nil {
+			t.Fatalf("corpus %d: reparse: %v\n%s", i, err, printed)
+		}
+		if Print(doc2) != printed {
+			t.Errorf("corpus %d: not idempotent:\n%s", i, printed)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package query implements the executable side of the paper's §3.6
+// outlook: a GraphQL query language subset evaluated directly over a
+// Property Graph, using the API-schema conventions of the apigen package
+// (synthesized query root fields and inverse traversal fields).
+//
+// The supported language is the read-only core of the June 2018 GraphQL
+// specification: named and anonymous query operations, selection sets,
+// field arguments with constant values, aliases, named fragments, inline
+// fragments with type conditions, and __typename. Variables, mutations,
+// subscriptions, and selection directives are out of scope (the paper's
+// proposal has no write semantics to map them to).
+//
+// Field arguments on relationship fields filter traversal by edge
+// property: `author(role: "editor")` follows only author-edges whose
+// "role" property equals "editor" — the natural reading of the paper's
+// §3.5 edge-property arguments when a schema is used as an API.
+package query
+
+import "pgschema/internal/token"
+
+// Document is a parsed executable document.
+type Document struct {
+	Operations []*Operation
+	Fragments  map[string]*Fragment
+}
+
+// Operation is one query operation.
+type Operation struct {
+	Name       string // "" for anonymous
+	Selections []Selection
+	Pos        token.Position
+}
+
+// Fragment is a named fragment definition.
+type Fragment struct {
+	Name          string
+	TypeCondition string
+	Selections    []Selection
+	Pos           token.Position
+}
+
+// Selection is a field, fragment spread, or inline fragment.
+type Selection interface{ sel() }
+
+// Field is a field selection with optional alias, arguments, and
+// sub-selections.
+type Field struct {
+	Alias      string // defaults to Name when empty
+	Name       string
+	Arguments  []Argument
+	Selections []Selection // nil for leaf fields
+	Pos        token.Position
+}
+
+// Key returns the response key: the alias if present, else the name.
+func (f *Field) Key() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Name
+}
+
+// Argument is a constant argument value.
+type Argument struct {
+	Name  string
+	Value Value
+	Pos   token.Position
+}
+
+// FragmentSpread references a named fragment.
+type FragmentSpread struct {
+	Name string
+	Pos  token.Position
+}
+
+// InlineFragment restricts sub-selections to a type condition.
+type InlineFragment struct {
+	TypeCondition string // "" means no condition
+	Selections    []Selection
+	Pos           token.Position
+}
+
+func (*Field) sel()          {}
+func (*FragmentSpread) sel() {}
+func (*InlineFragment) sel() {}
+
+// Value is a constant literal in a query (a restriction of the SDL value
+// grammar: no object literals, no variables).
+type Value struct {
+	Kind  ValueKind
+	Text  string  // String/Enum
+	Int   int64   // Int
+	Float float64 // Float
+	Bool  bool    // Boolean
+	List  []Value // List
+}
+
+// ValueKind enumerates query literal kinds.
+type ValueKind int
+
+// The literal kinds.
+const (
+	ValNull ValueKind = iota
+	ValInt
+	ValFloat
+	ValString
+	ValBool
+	ValEnum
+	ValList
+)

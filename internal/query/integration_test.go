@@ -1,0 +1,93 @@
+package query
+
+import (
+	"testing"
+
+	"pgschema/internal/apigen"
+	"pgschema/internal/gen"
+	"pgschema/internal/schema"
+)
+
+// TestQueriesOverRandomSchemas is the cross-system property: for random
+// schemas, (1) the apigen extension builds a valid GraphQL schema, and
+// (2) executing `{ all<T> { __typename } }` over a generated conformant
+// graph returns exactly the nodes of T, each reporting its own label.
+func TestQueriesOverRandomSchemas(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		s, src, err := gen.RandomSchema(gen.SchemaConfig{Seed: seed, Unions: seed%2 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := apigen.ExtendSDL(s, apigen.Options{}); err != nil {
+			t.Fatalf("seed %d: apigen: %v\n%s", seed, err, src)
+		}
+		g, err := gen.Conformant(s, gen.Config{Seed: seed, NodesPerType: 7})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, td := range s.ObjectTypes() {
+			q := "{ " + apigen.ListFieldName(td.Name) + " { __typename } }"
+			out, err := ExecuteQuery(s, g, q)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, q, err)
+			}
+			list := out[apigen.ListFieldName(td.Name)].([]any)
+			if len(list) != len(g.NodesLabeled(td.Name)) {
+				t.Fatalf("seed %d: %s returned %d, graph has %d", seed, q, len(list), len(g.NodesLabeled(td.Name)))
+			}
+			for _, item := range list {
+				if item.(map[string]any)["__typename"] != td.Name {
+					t.Fatalf("seed %d: wrong __typename in %v", seed, item)
+				}
+			}
+		}
+	}
+}
+
+// TestRelationshipTraversalMatchesGraph: for random schemas, traversing a
+// relationship field via the executor returns exactly the graph's
+// adjacency for that label.
+func TestRelationshipTraversalMatchesGraph(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, _, err := gen.RandomSchema(gen.SchemaConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := gen.Conformant(s, gen.Config{Seed: seed, NodesPerType: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, td := range s.ObjectTypes() {
+			for _, f := range td.Fields {
+				if !isRelationship(s, td, f.Name) {
+					continue
+				}
+				q := "{ " + apigen.ListFieldName(td.Name) + " { " + f.Name + " { __typename } } }"
+				out, err := ExecuteQuery(s, g, q)
+				if err != nil {
+					t.Fatalf("seed %d: %s: %v", seed, q, err)
+				}
+				list := out[apigen.ListFieldName(td.Name)].([]any)
+				nodes := g.NodesLabeled(td.Name)
+				for i, item := range list {
+					got := item.(map[string]any)[f.Name]
+					deg := g.OutDegreeLabeled(nodes[i], f.Name)
+					if fd := td.Field(f.Name); fd.Type.IsList() {
+						if len(got.([]any)) != deg {
+							t.Fatalf("seed %d: %s.%s: executor %d vs graph %d", seed, td.Name, f.Name, len(got.([]any)), deg)
+						}
+					} else {
+						if (got != nil) != (deg > 0) {
+							t.Fatalf("seed %d: %s.%s: executor %v vs degree %d", seed, td.Name, f.Name, got, deg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func isRelationship(s *schema.Schema, td *schema.TypeDef, name string) bool {
+	f := td.Field(name)
+	return f != nil && s.IsRelationship(f)
+}

@@ -1,0 +1,267 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"pgschema/internal/lexer"
+	"pgschema/internal/token"
+)
+
+// Error is a query parse or execution error with a source position when
+// one is available.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// Parse parses an executable GraphQL document (queries and fragments).
+// The shorthand form `{ field … }` is accepted as an anonymous query.
+func Parse(src string) (*Document, error) {
+	p := &parser{lx: lexer.New(src)}
+	p.next()
+	doc := &Document{Fragments: make(map[string]*Fragment)}
+	for p.tok.Kind != token.EOF {
+		switch {
+		case p.tok.Kind == token.BraceL:
+			sels, err := p.selectionSet()
+			if err != nil {
+				return nil, err
+			}
+			doc.Operations = append(doc.Operations, &Operation{Selections: sels, Pos: p.tok.Pos})
+		case p.tok.Kind == token.Name && p.tok.Literal == "query":
+			pos := p.tok.Pos
+			p.next()
+			name := ""
+			if p.tok.Kind == token.Name {
+				name = p.tok.Literal
+				p.next()
+			}
+			sels, err := p.selectionSet()
+			if err != nil {
+				return nil, err
+			}
+			doc.Operations = append(doc.Operations, &Operation{Name: name, Selections: sels, Pos: pos})
+		case p.tok.Kind == token.Name && p.tok.Literal == "fragment":
+			frag, err := p.fragment()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := doc.Fragments[frag.Name]; dup {
+				return nil, p.errorf(frag.Pos, "fragment %q defined twice", frag.Name)
+			}
+			doc.Fragments[frag.Name] = frag
+		case p.tok.Kind == token.Name && (p.tok.Literal == "mutation" || p.tok.Literal == "subscription"):
+			return nil, p.errorf(p.tok.Pos, "%s operations are not supported (Property Graph schemas define no write semantics)", p.tok.Literal)
+		default:
+			return nil, p.unexpected("document")
+		}
+	}
+	if len(doc.Operations) == 0 {
+		return nil, &Error{Msg: "document contains no operations"}
+	}
+	return doc, nil
+}
+
+type parser struct {
+	lx  *lexer.Lexer
+	tok token.Token
+}
+
+func (p *parser) next() { p.tok = p.lx.Next() }
+
+func (p *parser) errorf(pos token.Position, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) unexpected(context string) error {
+	if p.tok.Kind == token.Illegal {
+		return p.errorf(p.tok.Pos, "%s", p.tok.Literal)
+	}
+	return p.errorf(p.tok.Pos, "unexpected %s in %s", p.tok, context)
+}
+
+func (p *parser) expect(k token.Kind, context string) (token.Token, error) {
+	if p.tok.Kind != k {
+		return token.Token{}, p.errorf(p.tok.Pos, "expected %s in %s, found %s", k, context, p.tok)
+	}
+	t := p.tok
+	p.next()
+	return t, nil
+}
+
+func (p *parser) fragment() (*Fragment, error) {
+	pos := p.tok.Pos
+	p.next() // "fragment"
+	name, err := p.expect(token.Name, "fragment definition")
+	if err != nil {
+		return nil, err
+	}
+	if name.Literal == "on" {
+		return nil, p.errorf(name.Pos, "fragment name must not be \"on\"")
+	}
+	on, err := p.expect(token.Name, "fragment definition")
+	if err != nil {
+		return nil, err
+	}
+	if on.Literal != "on" {
+		return nil, p.errorf(on.Pos, "expected keyword \"on\", found %q", on.Literal)
+	}
+	cond, err := p.expect(token.Name, "fragment type condition")
+	if err != nil {
+		return nil, err
+	}
+	sels, err := p.selectionSet()
+	if err != nil {
+		return nil, err
+	}
+	return &Fragment{Name: name.Literal, TypeCondition: cond.Literal, Selections: sels, Pos: pos}, nil
+}
+
+func (p *parser) selectionSet() ([]Selection, error) {
+	if _, err := p.expect(token.BraceL, "selection set"); err != nil {
+		return nil, err
+	}
+	var out []Selection
+	for p.tok.Kind != token.BraceR {
+		sel, err := p.selection()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sel)
+	}
+	p.next() // "}"
+	if len(out) == 0 {
+		return nil, p.errorf(p.tok.Pos, "selection set must not be empty")
+	}
+	return out, nil
+}
+
+func (p *parser) selection() (Selection, error) {
+	if p.tok.Kind == token.Spread {
+		pos := p.tok.Pos
+		p.next()
+		if p.tok.Kind == token.Name && p.tok.Literal == "on" {
+			p.next()
+			cond, err := p.expect(token.Name, "inline fragment")
+			if err != nil {
+				return nil, err
+			}
+			sels, err := p.selectionSet()
+			if err != nil {
+				return nil, err
+			}
+			return &InlineFragment{TypeCondition: cond.Literal, Selections: sels, Pos: pos}, nil
+		}
+		if p.tok.Kind == token.BraceL {
+			sels, err := p.selectionSet()
+			if err != nil {
+				return nil, err
+			}
+			return &InlineFragment{Selections: sels, Pos: pos}, nil
+		}
+		name, err := p.expect(token.Name, "fragment spread")
+		if err != nil {
+			return nil, err
+		}
+		return &FragmentSpread{Name: name.Literal, Pos: pos}, nil
+	}
+
+	name, err := p.expect(token.Name, "field selection")
+	if err != nil {
+		return nil, err
+	}
+	f := &Field{Name: name.Literal, Pos: name.Pos}
+	if p.tok.Kind == token.Colon {
+		p.next()
+		real, err := p.expect(token.Name, "aliased field")
+		if err != nil {
+			return nil, err
+		}
+		f.Alias, f.Name = f.Name, real.Literal
+	}
+	if p.tok.Kind == token.ParenL {
+		p.next()
+		for p.tok.Kind != token.ParenR {
+			aname, err := p.expect(token.Name, "field argument")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Colon, "field argument"); err != nil {
+				return nil, err
+			}
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			f.Arguments = append(f.Arguments, Argument{Name: aname.Literal, Value: v, Pos: aname.Pos})
+		}
+		p.next() // ")"
+	}
+	if p.tok.Kind == token.BraceL {
+		sels, err := p.selectionSet()
+		if err != nil {
+			return nil, err
+		}
+		f.Selections = sels
+	}
+	return f, nil
+}
+
+func (p *parser) value() (Value, error) {
+	switch p.tok.Kind {
+	case token.Int:
+		i, err := strconv.ParseInt(p.tok.Literal, 10, 64)
+		if err != nil {
+			return Value{}, p.errorf(p.tok.Pos, "integer literal out of range: %s", p.tok.Literal)
+		}
+		p.next()
+		return Value{Kind: ValInt, Int: i}, nil
+	case token.Float:
+		f, err := strconv.ParseFloat(p.tok.Literal, 64)
+		if err != nil {
+			return Value{}, p.errorf(p.tok.Pos, "float literal out of range: %s", p.tok.Literal)
+		}
+		p.next()
+		return Value{Kind: ValFloat, Float: f}, nil
+	case token.String, token.BlockString:
+		v := Value{Kind: ValString, Text: p.tok.Literal}
+		p.next()
+		return v, nil
+	case token.Name:
+		lit := p.tok.Literal
+		p.next()
+		switch lit {
+		case "true":
+			return Value{Kind: ValBool, Bool: true}, nil
+		case "false":
+			return Value{Kind: ValBool, Bool: false}, nil
+		case "null":
+			return Value{Kind: ValNull}, nil
+		}
+		return Value{Kind: ValEnum, Text: lit}, nil
+	case token.BracketL:
+		p.next()
+		var elems []Value
+		for p.tok.Kind != token.BracketR {
+			v, err := p.value()
+			if err != nil {
+				return Value{}, err
+			}
+			elems = append(elems, v)
+		}
+		p.next()
+		return Value{Kind: ValList, List: elems}, nil
+	case token.Dollar:
+		return Value{}, p.errorf(p.tok.Pos, "variables are not supported")
+	}
+	return Value{}, p.unexpected("argument value")
+}

@@ -1,0 +1,227 @@
+// Package reduction implements the polynomial reduction behind Theorem 2
+// (NP-hardness of object-type satisfiability): a propositional CNF
+// formula φ is mapped to a GraphQL schema with a distinguished object
+// type OT such that OT is satisfiable — some Property Graph strongly
+// satisfying the schema contains an OT node — iff φ is satisfiable.
+//
+// Following the proof sketch in Appendix B:
+//
+//  1. an object type OT is introduced;
+//  2. for each clause ψi an interface type Ci whose field f: [OT] carries
+//     @requiredForTarget — every OT node needs an incoming f-edge from a
+//     node whose type implements Ci, i.e. the clause must be "satisfied";
+//  3. for each literal occurrence αij an object type Lij implementing Ci;
+//  4. for each complementary pair of occurrences (αij = ¬αkl) an
+//     interface type Pij_kl implemented by both occurrence types, whose
+//     field f: [OT] carries @uniqueForTarget — an OT node can receive an
+//     f-edge from at most one of the two, so a variable cannot be used
+//     both positively and negatively.
+//
+// The packages also provides the two directions of the correspondence as
+// executable artifacts: WitnessGraph builds a strongly-satisfying
+// Property Graph from a satisfying assignment, and DecodeAssignment
+// recovers a satisfying assignment from such a graph.
+package reduction
+
+import (
+	"fmt"
+	"strings"
+
+	"pgschema/internal/cnf"
+	"pgschema/internal/parser"
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+)
+
+// FieldName is the single relationship field name used by the reduction
+// (the proof's f).
+const FieldName = "f"
+
+// ObjectTypeName is the distinguished object type (the proof's ot).
+const ObjectTypeName = "OT"
+
+// Result carries the reduced schema and the name mappings needed to move
+// between the propositional and the graph world.
+type Result struct {
+	Schema *schema.Schema
+	SDL    string // the schema as SDL source text
+
+	// Formula is the reduced formula (retained for decoding).
+	Formula *cnf.Formula
+
+	// literalType[i][j] is the object type of occurrence j in clause i.
+	literalTypes [][]string
+}
+
+// ClauseInterface returns the interface type name for clause i (0-based).
+func ClauseInterface(i int) string { return fmt.Sprintf("C%d", i+1) }
+
+// LiteralType returns the object type name for occurrence j of clause i.
+func (r *Result) LiteralType(i, j int) string { return r.literalTypes[i][j] }
+
+// FromCNF builds the reduction. Clauses must be non-tautological for the
+// intended semantics (a clause containing x and ¬x would create a
+// conflict interface between two occurrences of the same clause, which is
+// still correct but never useful); empty clauses are admitted and make OT
+// unsatisfiable, as they must.
+func FromCNF(f *cnf.Formula) (*Result, error) {
+	var b strings.Builder
+	b.WriteString("type " + ObjectTypeName + " {\n}\n")
+
+	litTypes := make([][]string, len(f.Clauses))
+	// occurrences[v] lists (clause, index, positive) for variable v.
+	type occ struct {
+		i, j     int
+		positive bool
+	}
+	occurrences := make(map[int][]occ)
+	for i, cl := range f.Clauses {
+		b.WriteString(fmt.Sprintf("interface %s {\n  %s: [%s] @requiredForTarget\n}\n", ClauseInterface(i), FieldName, ObjectTypeName))
+		litTypes[i] = make([]string, len(cl))
+		for j, lit := range cl {
+			name := fmt.Sprintf("L%d_%d", i+1, j+1)
+			litTypes[i][j] = name
+			occurrences[lit.Var()] = append(occurrences[lit.Var()], occ{i, j, lit > 0})
+		}
+	}
+
+	// Conflict interfaces for complementary occurrence pairs, visited in
+	// variable order for deterministic output.
+	memberConflicts := make(map[string][]string)
+	vars := f.Vars()
+	for _, v := range vars {
+		occs := occurrences[v]
+		for a := 0; a < len(occs); a++ {
+			for b2 := a + 1; b2 < len(occs); b2++ {
+				if occs[a].positive == occs[b2].positive {
+					continue
+				}
+				t1 := litTypes[occs[a].i][occs[a].j]
+				t2 := litTypes[occs[b2].i][occs[b2].j]
+				name := fmt.Sprintf("P%s__%s", t1, t2)
+				memberConflicts[t1] = append(memberConflicts[t1], name)
+				memberConflicts[t2] = append(memberConflicts[t2], name)
+			}
+		}
+	}
+	// Deterministic emission order.
+	for i, cl := range f.Clauses {
+		for j := range cl {
+			t := litTypes[i][j]
+			impls := append([]string{ClauseInterface(i)}, memberConflicts[t]...)
+			b.WriteString(fmt.Sprintf("type %s implements %s {\n  %s: [%s]\n}\n", t, strings.Join(impls, " & "), FieldName, ObjectTypeName))
+		}
+	}
+	emitted := make(map[string]bool)
+	for i, cl := range f.Clauses {
+		for j := range cl {
+			for _, name := range memberConflicts[litTypes[i][j]] {
+				if emitted[name] {
+					continue
+				}
+				emitted[name] = true
+				b.WriteString(fmt.Sprintf("interface %s {\n  %s: [%s] @uniqueForTarget\n}\n", name, FieldName, ObjectTypeName))
+			}
+		}
+	}
+
+	sdl := b.String()
+	doc, err := parser.Parse(sdl)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: generated SDL does not parse: %w", err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("reduction: generated schema does not build: %w", err)
+	}
+	return &Result{Schema: s, SDL: sdl, Formula: f, literalTypes: litTypes}, nil
+}
+
+// WitnessGraph constructs a Property Graph that strongly satisfies the
+// reduced schema and contains an OT node, from a satisfying assignment of
+// the formula. It returns an error if the assignment does not satisfy
+// some clause (in which case no witness exists for that choice).
+func (r *Result) WitnessGraph(a cnf.Assignment) (*pg.Graph, error) {
+	g := pg.New()
+	v0 := g.AddNode(ObjectTypeName)
+	for i, cl := range r.Formula.Clauses {
+		chosen := -1
+		for j, lit := range cl {
+			v := lit.Var()
+			if v < len(a) && (a[v] == (lit > 0)) {
+				chosen = j
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("reduction: assignment does not satisfy clause %d", i+1)
+		}
+		u := g.AddNode(r.LiteralType(i, chosen))
+		g.MustAddEdge(u, v0, FieldName)
+	}
+	return g, nil
+}
+
+// DecodeAssignment extracts a satisfying assignment for the formula from
+// a Property Graph that strongly satisfies the reduced schema and
+// contains at least one OT node. Variables not fixed by the graph are
+// assigned false.
+func (r *Result) DecodeAssignment(g *pg.Graph) (cnf.Assignment, error) {
+	ots := g.NodesLabeled(ObjectTypeName)
+	if len(ots) == 0 {
+		return nil, fmt.Errorf("reduction: graph contains no %s node", ObjectTypeName)
+	}
+	v0 := ots[0]
+	a := make(cnf.Assignment, r.Formula.NumVars+1)
+	fixed := make([]bool, r.Formula.NumVars+1)
+	for _, e := range g.InEdgesLabeled(v0, FieldName) {
+		src, _ := g.Endpoints(e)
+		label := g.NodeLabel(src)
+		i, j, ok := r.locate(label)
+		if !ok {
+			continue
+		}
+		lit := r.Formula.Clauses[i][j]
+		want := lit > 0
+		v := lit.Var()
+		if fixed[v] && a[v] != want {
+			return nil, fmt.Errorf("reduction: graph selects variable %d both ways (constraint DS3 should have prevented this)", v)
+		}
+		a[v] = want
+		fixed[v] = true
+	}
+	if !r.Formula.Satisfies(a) {
+		return nil, fmt.Errorf("reduction: decoded assignment does not satisfy the formula (graph does not strongly satisfy the schema?)")
+	}
+	return a, nil
+}
+
+// locate maps a literal type name back to its (clause, occurrence).
+func (r *Result) locate(typeName string) (int, int, bool) {
+	var i, j int
+	if _, err := fmt.Sscanf(typeName, "L%d_%d", &i, &j); err != nil {
+		return 0, 0, false
+	}
+	i--
+	j--
+	if i < 0 || i >= len(r.literalTypes) || j < 0 || j >= len(r.literalTypes[i]) {
+		return 0, 0, false
+	}
+	return i, j, true
+}
+
+// Size reports the reduction's output size (types and directives) for the
+// polynomiality measurement in experiment E4.
+func (r *Result) Size() (types, fields, directives int) {
+	for _, td := range r.Schema.Types() {
+		switch td.Kind {
+		case schema.Object, schema.Interface:
+			types++
+			fields += len(td.Fields)
+			for _, f := range td.Fields {
+				directives += len(f.Directives)
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,205 @@
+package reduction
+
+import (
+	"strings"
+	"testing"
+
+	"pgschema/internal/cnf"
+	"pgschema/internal/pg"
+	"pgschema/internal/validate"
+)
+
+func TestPaperExampleFormula(t *testing.T) {
+	// The Appendix B example: (A ∨ ¬B ∨ C) ∧ (¬A ∨ ¬C) ∧ (D ∨ B)
+	// with A=1, B=2, C=3, D=4.
+	f := cnf.NewFormula(4)
+	f.AddClause(1, -2, 3)
+	f.AddClause(-1, -3)
+	f.AddClause(4, 2)
+	r, err := FromCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 OT + 7 literal types = 8 object types; 3 clause interfaces;
+	// conflict interfaces for pairs (A,¬A), (¬B,B), (C,¬C) = 3.
+	types, fields, directives := r.Size()
+	if types != 8+3+3 {
+		t.Errorf("types: %d, want 14\n%s", types, r.SDL)
+	}
+	if fields == 0 || directives == 0 {
+		t.Errorf("fields %d directives %d", fields, directives)
+	}
+	// The formula is satisfiable (e.g. A=1, C=0, B=0, D=1): a witness
+	// graph exists and strongly satisfies the schema.
+	a := make(cnf.Assignment, 5)
+	a[1], a[2], a[3], a[4] = true, false, false, true
+	if !f.Satisfies(a) {
+		t.Fatal("test assignment should satisfy the formula")
+	}
+	g, err := r.WitnessGraph(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := validate.Validate(r.Schema, g, validate.Options{})
+	if !res.OK() {
+		t.Fatalf("witness graph does not strongly satisfy the schema: %v", res.Violations)
+	}
+	// And the assignment can be decoded back.
+	back, err := r.DecodeAssignment(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Satisfies(back) {
+		t.Error("decoded assignment does not satisfy the formula")
+	}
+}
+
+func TestWitnessFailsForBadAssignment(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	r, err := FromCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make(cnf.Assignment, 2) // x1 = false does not satisfy (x1)
+	if _, err := r.WitnessGraph(bad); err == nil {
+		t.Error("expected error for non-satisfying assignment")
+	}
+}
+
+func TestConflictingGraphRejected(t *testing.T) {
+	// (A) ∧ (¬A): unsatisfiable. A graph trying to satisfy both clause
+	// constraints must violate @uniqueForTarget.
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	r, err := FromCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Schema // silence linters
+	_ = g
+	// Hand-build the only candidate: OT node + both literal nodes.
+	graph := mustWitnessBoth(t, r)
+	res := validate.Validate(r.Schema, graph, validate.Options{})
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == validate.DS3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a DS3 violation, got %v", res.Violations)
+	}
+}
+
+// mustWitnessBoth builds the graph selecting both complementary literals.
+func mustWitnessBoth(t *testing.T, r *Result) *pg.Graph {
+	t.Helper()
+	g := pg.New()
+	v0 := g.AddNode(ObjectTypeName)
+	u1 := g.AddNode(r.LiteralType(0, 0))
+	u2 := g.AddNode(r.LiteralType(1, 0))
+	g.MustAddEdge(u1, v0, FieldName)
+	g.MustAddEdge(u2, v0, FieldName)
+	return g
+}
+
+func TestEmptyClauseUnsatisfiable(t *testing.T) {
+	// An empty clause yields a clause interface with no implementers;
+	// any OT node then violates DS4 and no witness exists.
+	f := cnf.NewFormula(0)
+	f.Clauses = append(f.Clauses, cnf.Clause{})
+	r, err := FromCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pg.New()
+	g.AddNode(ObjectTypeName)
+	res := validate.Validate(r.Schema, g, validate.Options{})
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == validate.DS4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected DS4, got %v", res.Violations)
+	}
+}
+
+func TestReductionSizePolynomial(t *testing.T) {
+	// |types| must be 1 + Σ|ψi| + |clauses| + O(occurrence pairs): for a
+	// 3-CNF with m clauses, at most 1 + 3m + m + 9·(pairs) — verify the
+	// quadratic bound empirically.
+	for _, m := range []int{5, 10, 20, 40} {
+		f := cnf.Random3SAT(10, m, 7)
+		r, err := FromCNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		types, _, _ := r.Size()
+		bound := 1 + 4*m + 9*m*m
+		if types > bound {
+			t.Errorf("m=%d: %d types exceeds the quadratic bound %d", m, types, bound)
+		}
+	}
+}
+
+func TestRandomFormulasWitnessable(t *testing.T) {
+	// For every satisfiable random formula, the DPLL model yields a
+	// witness graph that strongly satisfies the reduced schema, and the
+	// decoded assignment satisfies the formula.
+	sat, unsat := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		f := cnf.Random3SAT(6, 10+int(seed), seed)
+		r, err := FromCNF(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, ok := cnf.Solve(f)
+		if !ok {
+			unsat++
+			continue
+		}
+		sat++
+		g, err := r.WitnessGraph(a)
+		if err != nil {
+			t.Fatalf("seed %d: witness: %v", seed, err)
+		}
+		res := validate.Validate(r.Schema, g, validate.Options{})
+		if !res.OK() {
+			t.Fatalf("seed %d: witness invalid: %v\nSDL:\n%s", seed, res.Violations, r.SDL)
+		}
+		if _, err := r.DecodeAssignment(g); err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+	}
+	if sat == 0 {
+		t.Error("no satisfiable instances exercised")
+	}
+}
+
+func TestSDLContainsExpectedShapes(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(1, -2)
+	r, err := FromCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"type OT",
+		"interface C1",
+		"@requiredForTarget",
+		"type L1_1 implements C1",
+		"type L1_2 implements C1",
+	} {
+		if !strings.Contains(r.SDL, want) {
+			t.Errorf("SDL missing %q:\n%s", want, r.SDL)
+		}
+	}
+	// x1 and x2 never occur with both polarities: no conflict interfaces.
+	if strings.Contains(r.SDL, "@uniqueForTarget") {
+		t.Errorf("unexpected conflict interface:\n%s", r.SDL)
+	}
+}

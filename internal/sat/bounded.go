@@ -1,0 +1,340 @@
+package sat
+
+import (
+	"pgschema/internal/cnf"
+	"pgschema/internal/gen"
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+	"pgschema/internal/validate"
+)
+
+// BoundedSearch looks for a Property Graph with at most k nodes that
+// strongly satisfies the schema and contains a node of the queried object
+// type. It SAT-encodes the node/edge skeleton (properties never constrain
+// satisfiability when value sets are infinite — Theorem 3's argument),
+// solves with DPLL, decorates the decoded skeleton with the required
+// properties, and re-validates the result with the actual validator
+// before returning it as a witness.
+//
+// The encoding assumes witness graphs without parallel edges, which is
+// without loss of generality: deleting duplicate (source, target, label)
+// edges preserves strong satisfaction (lower-bound rules keep a witness,
+// upper-bound rules only get easier), so if any witness exists, a simple
+// one does.
+func BoundedSearch(s *schema.Schema, queryType string, k int) (*pg.Graph, bool) {
+	return boundedSearch(s, queryType, "", k)
+}
+
+// BoundedSearchEdge is BoundedSearch with the additional requirement that
+// the slot-0 node (of the queried type) has an outgoing edge labeled
+// fieldName — used to decide edge-definition satisfiability (§6.2).
+func BoundedSearchEdge(s *schema.Schema, queryType, fieldName string, k int) (*pg.Graph, bool) {
+	return boundedSearch(s, queryType, fieldName, k)
+}
+
+func boundedSearch(s *schema.Schema, queryType, forcedField string, k int) (*pg.Graph, bool) {
+	if k <= 0 {
+		return nil, false
+	}
+	enc := newEncoder(s, k)
+	if !enc.encode(queryType) {
+		return nil, false // query type unknown
+	}
+	if forcedField != "" {
+		fi, ok := enc.fIndex[forcedField]
+		if !ok {
+			return nil, false
+		}
+		cl := make([]cnf.Lit, 0, k)
+		for j := 0; j < k; j++ {
+			cl = append(cl, enc.edge(0, j, fi))
+		}
+		enc.f.AddClause(cl...)
+	}
+	assignment, ok := cnf.Solve(enc.f)
+	if !ok {
+		return nil, false
+	}
+	g := enc.decode(assignment)
+	gen.PopulateRequiredProperties(s, g)
+	res := validate.Validate(s, g, validate.Options{})
+	if !res.OK() {
+		// The skeleton encoding abstracts properties; if population
+		// could not discharge a residual constraint (only possible
+		// with finite value domains such as Boolean keys), refuse the
+		// witness rather than report a wrong SAT.
+		return nil, false
+	}
+	if len(g.NodesLabeled(queryType)) == 0 {
+		return nil, false
+	}
+	return g, true
+}
+
+type encoder struct {
+	s *schema.Schema
+	k int
+	f *cnf.Formula
+
+	objects []*schema.TypeDef
+	otIndex map[string]int
+	fields  []string // relationship field names (sorted via schema order)
+	fIndex  map[string]int
+
+	// declaresRel[t][f] is the relationship FieldDef or nil.
+	label func(i, t int) cnf.Lit
+	edge  func(i, j, f int) cnf.Lit
+}
+
+func newEncoder(s *schema.Schema, k int) *encoder {
+	e := &encoder{s: s, k: k, f: cnf.NewFormula(0), otIndex: make(map[string]int), fIndex: make(map[string]int)}
+	e.objects = s.ObjectTypes()
+	for i, td := range e.objects {
+		e.otIndex[td.Name] = i
+	}
+	seen := make(map[string]bool)
+	for _, td := range s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		for _, f := range td.Fields {
+			if s.IsRelationship(f) && !seen[f.Name] {
+				seen[f.Name] = true
+				e.fIndex[f.Name] = len(e.fields)
+				e.fields = append(e.fields, f.Name)
+			}
+		}
+	}
+	nT := len(e.objects)
+	nF := len(e.fields)
+	// Variable layout: labels first, then edges.
+	e.label = func(i, t int) cnf.Lit { return cnf.Lit(1 + i*nT + t) }
+	e.edge = func(i, j, f int) cnf.Lit { return cnf.Lit(1 + k*nT + (i*k+j)*nF + f) }
+	e.f.NumVars = k*nT + k*k*nF
+	return e
+}
+
+// srcTypesOf returns the object-type indices ⊑ t that declare field f as
+// a relationship.
+func (e *encoder) srcTypesOf(declaring string, field string) []int {
+	var out []int
+	for _, src := range e.s.ConcreteTargets(declaring) {
+		if fd := e.s.Field(src, field); fd != nil && e.s.IsRelationship(fd) {
+			if idx, ok := e.otIndex[src]; ok {
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}
+
+func (e *encoder) encode(queryType string) bool {
+	q, ok := e.otIndex[queryType]
+	if !ok {
+		return false
+	}
+	k, nT := e.k, len(e.objects)
+
+	// The query type is instantiated at slot 0.
+	e.f.AddClause(e.label(0, q))
+
+	// At most one label per slot.
+	for i := 0; i < k; i++ {
+		for t1 := 0; t1 < nT; t1++ {
+			for t2 := t1 + 1; t2 < nT; t2++ {
+				e.f.AddClause(e.label(i, t1).Neg(), e.label(i, t2).Neg())
+			}
+		}
+	}
+
+	// Symmetry breaking (slots other than the pinned slot 0 are
+	// interchangeable): unused slots form a suffix, and used slots carry
+	// non-decreasing label indices. Any witness can be permuted into
+	// this form, so no models are lost — but the DPLL search no longer
+	// explores the (k-1)! slot permutations of each candidate,
+	// which matters most when refuting unsatisfiable instances.
+	for i := 1; i+1 < k; i++ {
+		// If slot i+1 is labeled, slot i is labeled.
+		for t2 := 0; t2 < nT; t2++ {
+			cl := []cnf.Lit{e.label(i+1, t2).Neg()}
+			for t1 := 0; t1 < nT; t1++ {
+				cl = append(cl, e.label(i, t1))
+			}
+			e.f.AddClause(cl...)
+		}
+		// Label indices are non-decreasing: ¬(x_{i,t} ∧ x_{i+1,t'})
+		// for t' < t.
+		for t1 := 0; t1 < nT; t1++ {
+			for t2 := 0; t2 < t1; t2++ {
+				e.f.AddClause(e.label(i, t1).Neg(), e.label(i+1, t2).Neg())
+			}
+		}
+	}
+
+	// SS4: an f-edge needs a source label that declares f.
+	for fi, fname := range e.fields {
+		var declarers []int
+		for t, td := range e.objects {
+			if fd := td.Field(fname); fd != nil && e.s.IsRelationship(fd) {
+				declarers = append(declarers, t)
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				cl := []cnf.Lit{e.edge(i, j, fi).Neg()}
+				for _, t := range declarers {
+					cl = append(cl, e.label(i, t))
+				}
+				e.f.AddClause(cl...)
+			}
+		}
+	}
+
+	// Per object-type declaration: WS3 and WS4.
+	for t, td := range e.objects {
+		for _, fd := range td.Fields {
+			if !e.s.IsRelationship(fd) {
+				continue
+			}
+			fi := e.fIndex[fd.Name]
+			var targets []int
+			for _, tt := range e.s.ConcreteTargets(fd.Type.Base()) {
+				if idx, ok := e.otIndex[tt]; ok {
+					targets = append(targets, idx)
+				}
+			}
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					// WS3: ¬x_{i,t} ∨ ¬e_{i,j,f} ∨ ∨_{tt} x_{j,tt}.
+					cl := []cnf.Lit{e.label(i, t).Neg(), e.edge(i, j, fi).Neg()}
+					for _, tt := range targets {
+						cl = append(cl, e.label(j, tt))
+					}
+					e.f.AddClause(cl...)
+				}
+				if !fd.Type.IsList() {
+					// WS4: at most one f-edge from an i labeled t.
+					for j1 := 0; j1 < k; j1++ {
+						for j2 := j1 + 1; j2 < k; j2++ {
+							e.f.AddClause(e.label(i, t).Neg(), e.edge(i, j1, fi).Neg(), e.edge(i, j2, fi).Neg())
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Directive constraints per declaration.
+	for _, td := range e.s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		for _, fd := range td.Fields {
+			if !e.s.IsRelationship(fd) {
+				continue
+			}
+			fi := e.fIndex[fd.Name]
+			srcs := e.srcTypesOf(td.Name, fd.Name)
+			var tgts []int
+			for _, tt := range e.s.ConcreteTargets(fd.Type.Base()) {
+				if idx, ok := e.otIndex[tt]; ok {
+					tgts = append(tgts, idx)
+				}
+			}
+			if schema.HasDirective(fd.Directives, schema.DirRequired) {
+				// DS6: every ⊑t node has an outgoing f-edge.
+				for _, src := range srcs {
+					for i := 0; i < k; i++ {
+						cl := []cnf.Lit{e.label(i, src).Neg()}
+						for j := 0; j < k; j++ {
+							cl = append(cl, e.edge(i, j, fi))
+						}
+						e.f.AddClause(cl...)
+					}
+				}
+			}
+			if schema.HasDirective(fd.Directives, schema.DirNoLoops) {
+				// DS2: no loops from ⊑t sources.
+				for _, src := range srcs {
+					for i := 0; i < k; i++ {
+						e.f.AddClause(e.label(i, src).Neg(), e.edge(i, i, fi).Neg())
+					}
+				}
+			}
+			if schema.HasDirective(fd.Directives, schema.DirUniqueForTarget) {
+				// DS3: each target has ≤1 incoming f-edge from ⊑t
+				// sources.
+				for j := 0; j < k; j++ {
+					for i1 := 0; i1 < k; i1++ {
+						for i2 := i1 + 1; i2 < k; i2++ {
+							for _, s1 := range srcs {
+								for _, s2 := range srcs {
+									e.f.AddClause(
+										e.edge(i1, j, fi).Neg(), e.label(i1, s1).Neg(),
+										e.edge(i2, j, fi).Neg(), e.label(i2, s2).Neg(),
+									)
+								}
+							}
+						}
+					}
+				}
+			}
+			if schema.HasDirective(fd.Directives, schema.DirRequiredForTarget) {
+				// DS4: every ⊑tt node has an incoming f-edge from a
+				// ⊑t source. Auxiliary y_{i,j} ≡ "edge i→j justified
+				// by a ⊑t source label at i".
+				for j := 0; j < k; j++ {
+					for _, tt := range tgts {
+						cl := []cnf.Lit{e.label(j, tt).Neg()}
+						for i := 0; i < k; i++ {
+							y := e.f.NewVar()
+							// y → e_{i,j,f}
+							e.f.AddClause(y.Neg(), e.edge(i, j, fi))
+							// y → ∨ x_{i,src}
+							impl := []cnf.Lit{y.Neg()}
+							for _, src := range srcs {
+								impl = append(impl, e.label(i, src))
+							}
+							e.f.AddClause(impl...)
+							cl = append(cl, y)
+						}
+						e.f.AddClause(cl...)
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// decode builds the node/edge skeleton from a satisfying assignment.
+func (e *encoder) decode(a cnf.Assignment) *pg.Graph {
+	g := pg.New()
+	ids := make(map[int]pg.NodeID, e.k)
+	for i := 0; i < e.k; i++ {
+		for t, td := range e.objects {
+			if a[e.label(i, t).Var()] {
+				ids[i] = g.AddNode(td.Name)
+				break
+			}
+		}
+	}
+	for i := 0; i < e.k; i++ {
+		src, ok := ids[i]
+		if !ok {
+			continue
+		}
+		for j := 0; j < e.k; j++ {
+			dst, ok := ids[j]
+			if !ok {
+				continue
+			}
+			for fi, fname := range e.fields {
+				if a[e.edge(i, j, fi).Var()] {
+					g.MustAddEdge(src, dst, fname)
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,225 @@
+package sat
+
+import (
+	"errors"
+	"fmt"
+
+	"pgschema/internal/dl"
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+)
+
+// Verdict is the outcome of a satisfiability check.
+type Verdict int
+
+// The verdicts.
+const (
+	Unknown Verdict = iota
+	Satisfiable
+	Unsatisfiable
+)
+
+var verdictNames = [...]string{"unknown", "satisfiable", "unsatisfiable"}
+
+// String returns the verdict in lowercase English.
+func (v Verdict) String() string {
+	if v < 0 || int(v) >= len(verdictNames) {
+		return "invalid"
+	}
+	return verdictNames[v]
+}
+
+// Report is the detailed outcome of Check.
+type Report struct {
+	Type    string
+	Verdict Verdict
+	// Method names the procedure that settled the verdict: "counting",
+	// "tableau", or "bounded(k=N)".
+	Method string
+	// Witness is a Property Graph that strongly satisfies the schema
+	// and populates the type (Satisfiable verdicts from the bounded
+	// search only).
+	Witness *pg.Graph
+	// Detail explains Unknown verdicts and records auxiliary signals
+	// (e.g. that the tableau found the ALCQI translation satisfiable,
+	// which rules out "unsatisfiable for infinite models too").
+	Detail string
+}
+
+// Options configures Check.
+type Options struct {
+	// MaxGraphNodes bounds the finite-model search (default 6).
+	MaxGraphNodes int
+	// TableauMaxSteps bounds the tableau search (default: the dl
+	// package default).
+	TableauMaxSteps int
+	// SkipCounting, SkipTableau, and SkipBounded disable individual
+	// portfolio stages (for the ablation benchmarks).
+	SkipCounting bool
+	SkipTableau  bool
+	SkipBounded  bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxGraphNodes == 0 {
+		o.MaxGraphNodes = 6
+	}
+	if o.TableauMaxSteps == 0 {
+		// The tableau excels at hierarchical/structural conflicts but
+		// explodes on SAT-shaped schemas (the problem is NP-hard, and
+		// choose-rule branching is no match for DPLL there); a modest
+		// budget makes it bail out to the bounded search quickly.
+		o.TableauMaxSteps = 50000
+	}
+	return o
+}
+
+// Check decides object-type satisfiability for the named type using the
+// three-stage portfolio described in the package comment. For interface
+// and union types it reduces to the implementing/member object types (the
+// paper's closing remark in §6.2).
+func Check(s *schema.Schema, typeName string, opts Options) Report {
+	opts = opts.withDefaults()
+	td := s.Type(typeName)
+	if td == nil {
+		return Report{Type: typeName, Verdict: Unsatisfiable, Method: "lookup", Detail: "type is not declared"}
+	}
+	switch td.Kind {
+	case schema.Object:
+		return checkObject(s, typeName, opts)
+	case schema.Interface, schema.Union:
+		// Satisfiable iff some implementing/member object type is.
+		members := s.ConcreteTargets(typeName)
+		if len(members) == 0 {
+			return Report{Type: typeName, Verdict: Unsatisfiable, Method: "hierarchy", Detail: "no implementing object types"}
+		}
+		var lastUnknown *Report
+		for _, m := range members {
+			r := checkObject(s, m, opts)
+			switch r.Verdict {
+			case Satisfiable:
+				r.Type = typeName
+				r.Detail = fmt.Sprintf("via object type %s; %s", m, r.Detail)
+				return r
+			case Unknown:
+				lastUnknown = &r
+			}
+		}
+		if lastUnknown != nil {
+			lastUnknown.Type = typeName
+			return *lastUnknown
+		}
+		return Report{Type: typeName, Verdict: Unsatisfiable, Method: "hierarchy", Detail: "every implementing object type is unsatisfiable"}
+	default:
+		// Scalars and enums: trivially satisfiable (§6.2: "the
+		// satisfiability problem for properties is trivial").
+		return Report{Type: typeName, Verdict: Satisfiable, Method: "trivial", Detail: "scalar and enum types always have values"}
+	}
+}
+
+func checkObject(s *schema.Schema, typeName string, opts Options) Report {
+	rep := Report{Type: typeName}
+
+	// Stage 1: counting feasibility (sound for UNSAT; catches finite-
+	// only conflicts such as Example 6.1(b)).
+	if !opts.SkipCounting {
+		lp := CountingLP(s, typeName)
+		if !lp.Feasible() {
+			rep.Verdict = Unsatisfiable
+			rep.Method = "counting"
+			rep.Detail = "the population/edge-count inequalities are infeasible over the rationals"
+			return rep
+		}
+	}
+
+	// Stage 2: ALCQI tableau on the Theorem 3 translation (sound for
+	// UNSAT; a SAT answer only rules out infinite-model unsatisfiability).
+	tableauSat := false
+	tableauRan := false
+	if !opts.SkipTableau {
+		tbox := Translate(s)
+		r := &dl.Reasoner{MaxSteps: opts.TableauMaxSteps}
+		ok, err := r.Satisfiable(dl.Atom{Name: typeName}, tbox)
+		switch {
+		case err == nil && !ok:
+			rep.Verdict = Unsatisfiable
+			rep.Method = "tableau"
+			rep.Detail = "the ALCQI translation of the schema makes the type's concept unsatisfiable"
+			return rep
+		case err == nil && ok:
+			tableauSat = true
+			tableauRan = true
+		case errors.Is(err, dl.ErrResourceLimit):
+			// inconclusive
+		}
+	}
+
+	// Stage 3: bounded finite-model search (sound for SAT).
+	if !opts.SkipBounded {
+		for k := 1; k <= opts.MaxGraphNodes; k++ {
+			if g, ok := BoundedSearch(s, typeName, k); ok {
+				rep.Verdict = Satisfiable
+				rep.Method = fmt.Sprintf("bounded(k=%d)", k)
+				rep.Witness = g
+				rep.Detail = fmt.Sprintf("witness Property Graph with %d nodes and %d edges", g.NumNodes(), g.NumEdges())
+				return rep
+			}
+		}
+	}
+
+	rep.Verdict = Unknown
+	switch {
+	case tableauSat:
+		rep.Detail = fmt.Sprintf("the ALCQI translation is satisfiable (possibly only by infinite models), but no Property Graph with ≤ %d nodes exists", opts.MaxGraphNodes)
+	case tableauRan:
+		rep.Detail = fmt.Sprintf("no Property Graph with ≤ %d nodes exists and the tableau was inconclusive", opts.MaxGraphNodes)
+	default:
+		rep.Detail = fmt.Sprintf("no Property Graph with ≤ %d nodes exists; tableau and counting were skipped or inconclusive", opts.MaxGraphNodes)
+	}
+	return rep
+}
+
+// CheckField decides the satisfiability of an edge definition (t, f): is
+// there a strongly-satisfying Property Graph with an f-edge declared by
+// (t, f)? Following §6.2, this reduces to type satisfiability after
+// making the field required — implemented here by querying the bounded
+// search for a graph containing such an edge, with the tableau deciding
+// t ⊓ ∃f.tt for the UNSAT direction.
+func CheckField(s *schema.Schema, typeName, fieldName string, opts Options) Report {
+	opts = opts.withDefaults()
+	rep := Report{Type: typeName + "." + fieldName}
+	fd := s.Field(typeName, fieldName)
+	if fd == nil || !s.IsRelationship(fd) {
+		rep.Verdict = Unsatisfiable
+		rep.Method = "lookup"
+		rep.Detail = "no such relationship field"
+		return rep
+	}
+	if !opts.SkipTableau {
+		tbox := Translate(s)
+		concept := dl.And{Cs: []dl.Concept{
+			dl.Atom{Name: typeName},
+			dl.Exists{R: dl.R(fieldName), C: dl.Atom{Name: fd.Type.Base()}},
+		}}
+		r := &dl.Reasoner{MaxSteps: opts.TableauMaxSteps}
+		if ok, err := r.Satisfiable(concept, tbox); err == nil && !ok {
+			rep.Verdict = Unsatisfiable
+			rep.Method = "tableau"
+			rep.Detail = "no model gives a " + typeName + " node an outgoing " + fieldName + " edge"
+			return rep
+		}
+	}
+	if !opts.SkipBounded {
+		for k := 1; k <= opts.MaxGraphNodes; k++ {
+			if g, ok := BoundedSearchEdge(s, typeName, fieldName, k); ok {
+				rep.Verdict = Satisfiable
+				rep.Method = fmt.Sprintf("bounded(k=%d)", k)
+				rep.Witness = g
+				return rep
+			}
+		}
+	}
+	rep.Verdict = Unknown
+	rep.Detail = "no bounded witness exhibits the edge"
+	return rep
+}

@@ -1,0 +1,475 @@
+package sat
+
+import (
+	"math/big"
+	"testing"
+
+	"pgschema/internal/cnf"
+	"pgschema/internal/dl"
+	"pgschema/internal/parser"
+	"pgschema/internal/reduction"
+	"pgschema/internal/schema"
+	"pgschema/internal/validate"
+)
+
+func build(t *testing.T, src string, skipConsistency bool) *schema.Schema {
+	t.Helper()
+	doc, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := schema.Build(doc, schema.Options{SkipConsistencyCheck: skipConsistency})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return s
+}
+
+func TestLPFeasibleTrivial(t *testing.T) {
+	lp := NewLP(2)
+	one := big.NewRat(1, 1)
+	if !lp.Feasible() {
+		t.Error("empty system must be feasible")
+	}
+	// x0 ≥ 1, x0 ≤ 2.
+	lp.Add("a", map[int]*big.Rat{0: one}, GE, one)
+	lp.Add("b", map[int]*big.Rat{0: one}, LE, big.NewRat(2, 1))
+	if !lp.Feasible() {
+		t.Error("1 ≤ x0 ≤ 2 must be feasible")
+	}
+	// Add x0 ≤ 0: infeasible.
+	lp.Add("c", map[int]*big.Rat{0: one}, LE, new(big.Rat))
+	if lp.Feasible() {
+		t.Error("x0 ≥ 1 ∧ x0 ≤ 0 must be infeasible")
+	}
+}
+
+func TestLPChainInequalities(t *testing.T) {
+	// x0 ≥ 1, x0 ≤ x1, x1 ≤ x2, x2 ≤ x0 - 1 → infeasible.
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	lp := NewLP(3)
+	lp.Add("q", map[int]*big.Rat{0: one}, GE, one)
+	lp.Add("a", map[int]*big.Rat{0: one, 1: negOne}, LE, new(big.Rat))
+	lp.Add("b", map[int]*big.Rat{1: one, 2: negOne}, LE, new(big.Rat))
+	lp.Add("c", map[int]*big.Rat{2: one, 0: negOne}, LE, big.NewRat(-1, 1))
+	if lp.Feasible() {
+		t.Error("cyclic strict chain must be infeasible")
+	}
+	// Relax the last to x2 ≤ x0: feasible.
+	lp2 := NewLP(3)
+	lp2.Add("q", map[int]*big.Rat{0: one}, GE, one)
+	lp2.Add("a", map[int]*big.Rat{0: one, 1: negOne}, LE, new(big.Rat))
+	lp2.Add("b", map[int]*big.Rat{1: one, 2: negOne}, LE, new(big.Rat))
+	lp2.Add("c", map[int]*big.Rat{2: one, 0: negOne}, LE, new(big.Rat))
+	if !lp2.Feasible() {
+		t.Error("cyclic weak chain must be feasible")
+	}
+}
+
+func TestLPEquality(t *testing.T) {
+	one := big.NewRat(1, 1)
+	lp := NewLP(2)
+	// x0 + x1 = 1, x0 ≥ 1, x1 ≥ 1 → infeasible (x ≥ 0).
+	lp.Add("sum", map[int]*big.Rat{0: one, 1: one}, EQ, one)
+	lp.Add("a", map[int]*big.Rat{0: one}, GE, one)
+	lp.Add("b", map[int]*big.Rat{1: one}, GE, one)
+	if lp.Feasible() {
+		t.Error("must be infeasible")
+	}
+}
+
+const simpleSchema = `
+type UserSession {
+	id: ID! @required
+	user: User! @required
+}
+type User {
+	id: ID! @required
+}`
+
+func TestCheckSimpleSatisfiable(t *testing.T) {
+	s := build(t, simpleSchema, false)
+	for _, tc := range []struct {
+		typeName string
+		minNodes int
+	}{
+		{"User", 1},
+		{"UserSession", 2}, // needs its User target
+	} {
+		rep := Check(s, tc.typeName, Options{})
+		if rep.Verdict != Satisfiable {
+			t.Fatalf("%s: %s (%s) %s", tc.typeName, rep.Verdict, rep.Method, rep.Detail)
+		}
+		if rep.Witness == nil {
+			t.Fatalf("%s: no witness", tc.typeName)
+		}
+		if rep.Witness.NumNodes() < tc.minNodes {
+			t.Errorf("%s: witness has %d nodes, want ≥ %d", tc.typeName, rep.Witness.NumNodes(), tc.minNodes)
+		}
+		res := validate.Validate(s, rep.Witness, validate.Options{})
+		if !res.OK() {
+			t.Errorf("%s: witness does not strongly satisfy: %v", tc.typeName, res.Violations)
+		}
+	}
+}
+
+func TestCheckUndeclaredType(t *testing.T) {
+	s := build(t, simpleSchema, false)
+	rep := Check(s, "Ghost", Options{})
+	if rep.Verdict != Unsatisfiable {
+		t.Errorf("undeclared type: %s", rep.Verdict)
+	}
+}
+
+func TestCheckScalar(t *testing.T) {
+	s := build(t, simpleSchema, false)
+	if rep := Check(s, "String", Options{}); rep.Verdict != Satisfiable {
+		t.Errorf("scalar: %s", rep.Verdict)
+	}
+}
+
+// example61a is the paper's Example 6.1 schema, verbatim. As written it is
+// interface-inconsistent under Definition 4.3 ([OT1] is not ⊑ OT1), which
+// appears to be an oversight in the paper; satisfiability analysis does
+// not depend on consistency, so it is built with the check disabled.
+const example61a = `
+type OT1 {
+}
+interface IT {
+	hasOT1: OT1 @uniqueForTarget
+}
+type OT2 implements IT {
+	hasOT1: [OT1] @requiredForTarget
+}
+type OT3 implements IT {
+	hasOT1: [OT1] @requiredForTarget
+}`
+
+func TestExample61a(t *testing.T) {
+	s := build(t, example61a, true)
+	rep := Check(s, "OT1", Options{})
+	if rep.Verdict != Unsatisfiable {
+		t.Fatalf("OT1 must be unsatisfiable, got %s (%s): %s", rep.Verdict, rep.Method, rep.Detail)
+	}
+	// OT2 and OT3 are satisfiable (no OT1 nodes needed).
+	for _, name := range []string{"OT2", "OT3"} {
+		rep := Check(s, name, Options{})
+		if rep.Verdict != Satisfiable {
+			t.Errorf("%s must be satisfiable, got %s: %s", name, rep.Verdict, rep.Detail)
+		}
+	}
+}
+
+func TestExample61aTableauAgrees(t *testing.T) {
+	// Diagram (a) is unsatisfiable even for infinite models: the
+	// tableau alone must find it.
+	s := build(t, example61a, true)
+	rep := Check(s, "OT1", Options{SkipCounting: true, SkipBounded: true})
+	if rep.Verdict != Unsatisfiable || rep.Method != "tableau" {
+		t.Errorf("tableau should decide (a): %s (%s)", rep.Verdict, rep.Method)
+	}
+	// And counting alone too.
+	rep = Check(s, "OT1", Options{SkipTableau: true, SkipBounded: true})
+	if rep.Verdict != Unsatisfiable || rep.Method != "counting" {
+		t.Errorf("counting should decide (a): %s (%s)", rep.Verdict, rep.Method)
+	}
+}
+
+// example61b realizes diagram (b): a satisfying graph with an OT2 node
+// needs an infinite alternating chain of OT1 and OT3 nodes, so the type
+// is finitely unsatisfiable although the ALCQI translation (which admits
+// infinite models) is satisfiable.
+const example61b = `
+interface IT {
+	f: [OT1] @uniqueForTarget @requiredForTarget
+}
+type OT2 implements IT {
+	f: [OT1] @required
+}
+type OT3 implements IT {
+	f: [OT1] @required
+}
+type OT1 {
+	g: [OT3] @required @uniqueForTarget
+}`
+
+func TestExample61b(t *testing.T) {
+	s := build(t, example61b, false)
+	rep := Check(s, "OT2", Options{})
+	if rep.Verdict != Unsatisfiable {
+		t.Fatalf("OT2 must be finitely unsatisfiable, got %s (%s): %s", rep.Verdict, rep.Method, rep.Detail)
+	}
+	if rep.Method != "counting" {
+		t.Errorf("only the counting stage can prove (b); got %s", rep.Method)
+	}
+}
+
+func TestExample61bInfiniteModelExists(t *testing.T) {
+	// The finite/infinite gap, exhibited: the ALCQI translation of (b)
+	// is satisfiable (an infinite chain model), so the tableau must
+	// report SAT — which is exactly why the paper's PSPACE procedure
+	// alone does not decide Property Graph satisfiability.
+	s := build(t, example61b, false)
+	tbox := Translate(s)
+	var r dl.Reasoner
+	ok, err := r.Satisfiable(dl.Atom{Name: "OT2"}, tbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the ALCQI translation of (b) should be satisfiable by an infinite model")
+	}
+}
+
+// example61c realizes diagram (c): every OT2 node must coincide with an
+// OT3 node reached through an OT1 node, which the one-label-per-node rule
+// forbids.
+const example61c = `
+interface IT {
+	f: [OT1] @uniqueForTarget
+}
+type OT2 implements IT {
+	f: [OT1] @required
+}
+type OT3 implements IT {
+	f: [OT1] @requiredForTarget
+}
+type OT1 {
+}`
+
+func TestExample61c(t *testing.T) {
+	s := build(t, example61c, false)
+	rep := Check(s, "OT2", Options{})
+	if rep.Verdict != Unsatisfiable {
+		t.Fatalf("OT2 must be unsatisfiable, got %s (%s): %s", rep.Verdict, rep.Method, rep.Detail)
+	}
+	// OT3 without OT1 nodes is fine.
+	if rep := Check(s, "OT3", Options{}); rep.Verdict != Satisfiable {
+		t.Errorf("OT3 must be satisfiable: %s (%s)", rep.Verdict, rep.Detail)
+	}
+}
+
+func TestBookSchemaAllSatisfiable(t *testing.T) {
+	s := build(t, `
+		type Author {
+			favoriteBook: Book
+			relatedAuthor: [Author] @distinct @noLoops
+		}
+		type Book {
+			title: String!
+			author: [Author] @required @distinct
+		}
+		type BookSeries {
+			contains: [Book] @required @uniqueForTarget
+		}
+		type Publisher {
+			published: [Book] @uniqueForTarget @requiredForTarget
+		}`, false)
+	for _, name := range []string{"Author", "Book", "BookSeries", "Publisher"} {
+		rep := Check(s, name, Options{})
+		if rep.Verdict != Satisfiable {
+			t.Errorf("%s: %s (%s) %s", name, rep.Verdict, rep.Method, rep.Detail)
+			continue
+		}
+		res := validate.Validate(s, rep.Witness, validate.Options{})
+		if !res.OK() {
+			t.Errorf("%s: witness invalid: %v", name, res.Violations)
+		}
+	}
+}
+
+func TestInterfaceAndUnionSatisfiability(t *testing.T) {
+	s := build(t, `
+		interface Food { name: String! }
+		type Pizza implements Food { name: String! }
+		union Meal = Pizza
+		interface Phantom { x: Int }`, false)
+	if rep := Check(s, "Food", Options{}); rep.Verdict != Satisfiable {
+		t.Errorf("Food: %s", rep.Verdict)
+	}
+	if rep := Check(s, "Meal", Options{}); rep.Verdict != Satisfiable {
+		t.Errorf("Meal: %s", rep.Verdict)
+	}
+	if rep := Check(s, "Phantom", Options{}); rep.Verdict != Unsatisfiable {
+		t.Errorf("interface without implementers: %s", rep.Verdict)
+	}
+}
+
+func TestCheckField(t *testing.T) {
+	s := build(t, simpleSchema, false)
+	rep := CheckField(s, "UserSession", "user", Options{})
+	if rep.Verdict != Satisfiable {
+		t.Errorf("UserSession.user: %s (%s)", rep.Verdict, rep.Detail)
+	}
+	rep = CheckField(s, "User", "id", Options{})
+	if rep.Verdict != Unsatisfiable {
+		t.Errorf("attribute field should not be a relationship: %s", rep.Verdict)
+	}
+	// A relationship whose source type is unsatisfiable.
+	s2 := build(t, example61c, false)
+	rep = CheckField(s2, "OT2", "f", Options{})
+	if rep.Verdict == Satisfiable {
+		t.Errorf("OT2.f in (c): %s", rep.Verdict)
+	}
+}
+
+// TestReductionAgreement is the core of experiment E4: DPLL's verdict on
+// a random formula must agree with the satisfiability verdict of the
+// reduced schema's distinguished type. Reduction schemas have a
+// small-model property — a satisfiable OT always has a witness with at
+// most 1 + #clauses nodes (one OT node plus one literal node per clause)
+// — so the bounded search alone decides them: exhausting the bound IS an
+// unsatisfiability proof. The tableau stage is skipped: choose-rule
+// branching is hopeless against SAT-shaped schemas (the problem is
+// NP-hard; DPLL is the right engine).
+func TestReductionAgreement(t *testing.T) {
+	// Random satisfiable-leaning instances plus crafted unsatisfiable
+	// ones (random 3-CNF at these sizes is almost always satisfiable,
+	// and large unsatisfiable reductions are slow to refute).
+	formulas := make([]*cnf.Formula, 0, 12)
+	for seed := int64(0); seed < 8; seed++ {
+		formulas = append(formulas, cnf.Random3SAT(3, 4+int(seed%3), seed))
+	}
+	// (x1)(¬x1): minimal conflict.
+	f1 := cnf.NewFormula(1)
+	f1.AddClause(1)
+	f1.AddClause(-1)
+	formulas = append(formulas, f1)
+	// Complete assignment cube over two variables.
+	f2 := cnf.NewFormula(2)
+	f2.AddClause(1, 2)
+	f2.AddClause(1, -2)
+	f2.AddClause(-1, 2)
+	f2.AddClause(-1, -2)
+	formulas = append(formulas, f2)
+
+	satCount, unsatCount := 0, 0
+	for seed, f := range formulas {
+		want, _ := cnf.Solve(f)
+		wantSat := want != nil
+		red, err := reduction.FromCNF(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Witness graphs for reduction schemas have exactly 1+m nodes
+		// (the OT node plus one literal node per clause): a clause's
+		// incoming-edge requirement can only be met by that clause's
+		// own literal types, so smaller graphs are pigeonhole-
+		// infeasible and larger ones are unnecessary. Search only
+		// that bound.
+		witness, gotSat := BoundedSearch(red.Schema, reduction.ObjectTypeName, 1+len(f.Clauses))
+		if gotSat != wantSat {
+			t.Errorf("seed %d: formula sat=%v but bounded search says %v", seed, wantSat, gotSat)
+			continue
+		}
+		if wantSat {
+			satCount++
+			if _, err := red.DecodeAssignment(witness); err != nil {
+				t.Errorf("seed %d: decoding witness: %v", seed, err)
+			}
+		} else {
+			unsatCount++
+		}
+	}
+	t.Logf("coverage: %d sat, %d unsat", satCount, unsatCount)
+	if satCount == 0 {
+		t.Error("no satisfiable instances exercised")
+	}
+}
+
+func TestCountingLPShape(t *testing.T) {
+	s := build(t, example61b, false)
+	lp := CountingLP(s, "OT2")
+	if lp.NumVars == 0 || len(lp.Constraints) == 0 {
+		t.Fatalf("degenerate LP: %d vars, %d constraints", lp.NumVars, len(lp.Constraints))
+	}
+	if lp.Feasible() {
+		t.Errorf("LP for (b) must be infeasible:\n%s", lp.String())
+	}
+	// The same system without the query constraint is feasible (all
+	// populations zero).
+	lp2 := CountingLP(s, "NoSuchType")
+	if !lp2.Feasible() {
+		t.Error("zero population must be feasible")
+	}
+}
+
+func TestBoundedSearchMinimality(t *testing.T) {
+	// UserSession requires two nodes; k=1 must fail, k=2 succeed.
+	s := build(t, simpleSchema, false)
+	if _, ok := BoundedSearch(s, "UserSession", 1); ok {
+		t.Error("k=1 should not suffice for UserSession")
+	}
+	g, ok := BoundedSearch(s, "UserSession", 2)
+	if !ok {
+		t.Fatal("k=2 should suffice for UserSession")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("witness shape: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSelfReferentialSchema(t *testing.T) {
+	// A type that must point at itself but may not loop: two nodes.
+	s := build(t, `type Node { next: Node! @required @noLoops }`, false)
+	rep := Check(s, "Node", Options{})
+	if rep.Verdict != Satisfiable {
+		t.Fatalf("Node: %s (%s) %s", rep.Verdict, rep.Method, rep.Detail)
+	}
+	if rep.Witness.NumNodes() < 2 {
+		t.Errorf("witness must have ≥ 2 nodes, got %d", rep.Witness.NumNodes())
+	}
+}
+
+func TestTranslateShapes(t *testing.T) {
+	s := build(t, example61a, true)
+	tbox := Translate(s)
+	if len(tbox.Axioms) == 0 {
+		t.Fatal("empty TBox")
+	}
+	// Disjointness of the three object types: 3 axioms; interface
+	// equivalence: 2; per-field axioms: WS3 for IT/OT2/OT3 fields (3),
+	// non-list functional on IT.hasOT1 (1), @uniqueForTarget on IT (1),
+	// @requiredForTarget on OT2 and OT3 (2).
+	if len(tbox.Axioms) != 3+2+3+1+1+2 {
+		t.Errorf("axiom count: %d\n%v", len(tbox.Axioms), tbox.Axioms)
+	}
+}
+
+// TestUnknownVerdict: with the counting stage disabled, diagram (b) is
+// beyond both remaining procedures (the tableau finds an infinite model,
+// the bounded search cannot exhaust finite models), so the checker must
+// answer Unknown — never a wrong Satisfiable/Unsatisfiable.
+func TestUnknownVerdict(t *testing.T) {
+	s := build(t, example61b, false)
+	rep := Check(s, "OT2", Options{SkipCounting: true, MaxGraphNodes: 4})
+	if rep.Verdict != Unknown {
+		t.Fatalf("got %s (%s): %s", rep.Verdict, rep.Method, rep.Detail)
+	}
+	if rep.Detail == "" {
+		t.Error("Unknown verdicts must carry an explanation")
+	}
+}
+
+// TestPortfolioStagesIndependent: each single-stage configuration gives a
+// sound (never contradictory) verdict on a satisfiable schema.
+func TestPortfolioStagesIndependent(t *testing.T) {
+	s := build(t, simpleSchema, false)
+	configs := []Options{
+		{SkipTableau: true, SkipBounded: true},  // counting only: can't prove SAT
+		{SkipCounting: true, SkipBounded: true}, // tableau only: can't prove finite SAT
+		{SkipCounting: true, SkipTableau: true}, // bounded only: proves SAT
+	}
+	for i, opts := range configs {
+		rep := Check(s, "User", opts)
+		if rep.Verdict == Unsatisfiable {
+			t.Errorf("config %d: wrongly unsatisfiable (%s)", i, rep.Method)
+		}
+	}
+	// The bounded-only config must actually find the witness.
+	rep := Check(s, "User", Options{SkipCounting: true, SkipTableau: true})
+	if rep.Verdict != Satisfiable {
+		t.Errorf("bounded-only: %s", rep.Verdict)
+	}
+}

@@ -1,0 +1,206 @@
+package sat
+
+import (
+	"math/big"
+
+	"pgschema/internal/dl"
+	"pgschema/internal/schema"
+)
+
+// Translate builds the ALCQI TBox of the Theorem 3 proof from a schema:
+//
+//   - a union type (or an interface type with its implementations)
+//     t1 | … | tn yields ut ≡ t1 ⊔ … ⊔ tn;
+//   - a relationship field f on t with base type tt yields
+//     ∃f⁻.t ⊑ tt (edge targets are correctly typed, WS3);
+//   - a non-list field adds t ⊑ ≤1 f.tt (WS4);
+//   - @required adds t ⊑ ∃f.tt (DS6);
+//   - @requiredForTarget adds tt ⊑ ∃f⁻.t (DS4);
+//   - @uniqueForTarget adds tt ⊑ ≤1 f⁻.t (DS3);
+//   - object types are pairwise disjoint (a node has exactly one label).
+//
+// @distinct, @noLoops, @key, and all scalar-valued fields are ignored,
+// exactly as the proof argues they do not affect satisfiability (assuming
+// infinite scalar value sets).
+//
+// The proof's covering axiom ⊤ ≡ ot1 ⊔ … ⊔ otn is intentionally omitted:
+// restricting a model to its typed individuals preserves all constraints
+// (every lower-bound witness is typed by its qualifier, and upper bounds
+// survive substructures), so the axiom does not change satisfiability but
+// would add an n-way disjunction to every tableau node.
+func Translate(s *schema.Schema) *dl.TBox {
+	tbox := &dl.TBox{}
+	atom := func(name string) dl.Concept { return dl.Atom{Name: name} }
+
+	// Union and interface hierarchies.
+	for _, td := range s.UnionTypes() {
+		var cs []dl.Concept
+		for _, m := range td.Members {
+			cs = append(cs, atom(m))
+		}
+		tbox.AddEquiv(atom(td.Name), dl.Or{Cs: cs})
+	}
+	for _, td := range s.InterfaceTypes() {
+		impls := s.Implementers(td.Name)
+		if len(impls) == 0 {
+			// An interface with no implementers has no instances.
+			tbox.Add(atom(td.Name), dl.Bottom{})
+			continue
+		}
+		var cs []dl.Concept
+		for _, m := range impls {
+			cs = append(cs, atom(m))
+		}
+		tbox.AddEquiv(atom(td.Name), dl.Or{Cs: cs})
+	}
+
+	// Object types are pairwise disjoint.
+	objects := s.ObjectTypes()
+	for i := 0; i < len(objects); i++ {
+		for j := i + 1; j < len(objects); j++ {
+			tbox.Add(dl.And{Cs: []dl.Concept{atom(objects[i].Name), atom(objects[j].Name)}}, dl.Bottom{})
+		}
+	}
+
+	// Relationship declarations.
+	for _, td := range s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		t := atom(td.Name)
+		for _, f := range td.Fields {
+			if !s.IsRelationship(f) {
+				continue
+			}
+			role := dl.R(f.Name)
+			tt := atom(f.Type.Base())
+			// WS3: ∃f⁻.t ⊑ tt.
+			tbox.Add(dl.Exists{R: role.Inverse(), C: t}, tt)
+			// WS4: non-list fields are functional.
+			if !f.Type.IsList() {
+				tbox.Add(t, dl.AtMost{N: 1, R: role, C: tt})
+			}
+			if schema.HasDirective(f.Directives, schema.DirRequired) {
+				tbox.Add(t, dl.Exists{R: role, C: tt})
+			}
+			if schema.HasDirective(f.Directives, schema.DirRequiredForTarget) {
+				tbox.Add(tt, dl.Exists{R: role.Inverse(), C: t})
+			}
+			if schema.HasDirective(f.Directives, schema.DirUniqueForTarget) {
+				tbox.Add(tt, dl.AtMost{N: 1, R: role.Inverse(), C: t})
+			}
+		}
+	}
+	return tbox
+}
+
+// CountingLP builds the Lenzerini–Nobili-style population feasibility
+// system for the schema: variables are node counts N_ot per object type
+// and edge counts E_{ot,f} per (object type, relationship field), with
+//
+//	WS4  (non-list f on ot):            E_{ot,f} ≤ N_ot
+//	DS6  (@required on (t,f)):          E_{ot,f} ≥ N_ot          for ot ⊑ t
+//	DS3  (@uniqueForTarget on (t,f)):   Σ_{ot⊑t} E_{ot,f} ≤ Σ_{tt'⊑tt} N_tt'
+//	DS4  (@requiredForTarget on (t,f)): Σ_{ot⊑t} E_{ot,f} ≥ Σ_{tt'⊑tt} N_tt'
+//
+// plus N_{query} ≥ 1. Infeasibility over the rationals implies that no
+// finite Property Graph strongly satisfies the schema with an instance of
+// the queried type (every finite graph induces an integer and hence
+// rational solution) — this is the procedure that catches the
+// infinite-chain conflict of Example 6.1(b).
+func CountingLP(s *schema.Schema, queryType string) *LP {
+	objects := s.ObjectTypes()
+	nodeVar := make(map[string]int, len(objects))
+	var names []string
+	for i, td := range objects {
+		nodeVar[td.Name] = i
+		names = append(names, "N_"+td.Name)
+	}
+	edgeVar := make(map[[2]string]int)
+	varCount := len(objects)
+	edgeVarOf := func(ot, field string) int {
+		key := [2]string{ot, field}
+		if v, ok := edgeVar[key]; ok {
+			return v
+		}
+		edgeVar[key] = varCount
+		names = append(names, "E_"+ot+"."+field)
+		varCount++
+		return edgeVar[key]
+	}
+
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	zero := new(big.Rat)
+
+	lp := NewLP(0)
+
+	// WS4 upper bounds per object-type declaration.
+	for _, ot := range objects {
+		for _, f := range ot.Fields {
+			if !s.IsRelationship(f) {
+				continue
+			}
+			ev := edgeVarOf(ot.Name, f.Name)
+			if !f.Type.IsList() {
+				lp.Add("WS4 "+ot.Name+"."+f.Name,
+					map[int]*big.Rat{ev: one, nodeVar[ot.Name]: negOne}, LE, zero)
+			}
+		}
+	}
+
+	// Directive constraints per declaration (object or interface).
+	for _, td := range s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		for _, f := range td.Fields {
+			if !s.IsRelationship(f) {
+				continue
+			}
+			// Only sources that actually declare the field can have
+			// justified f-edges (SS4); interface consistency makes
+			// this the full implementer set for interface fields.
+			var srcTypes []string
+			for _, src := range s.ConcreteTargets(td.Name) { // ot ⊑ t
+				if sf := s.Field(src, f.Name); sf != nil && s.IsRelationship(sf) {
+					srcTypes = append(srcTypes, src)
+				}
+			}
+			tgtTypes := s.ConcreteTargets(f.Type.Base()) // ot ⊑ tt
+			if schema.HasDirective(f.Directives, schema.DirRequired) {
+				for _, src := range srcTypes {
+					lp.Add("DS6 "+td.Name+"."+f.Name+"@"+src,
+						map[int]*big.Rat{edgeVarOf(src, f.Name): one, nodeVar[src]: negOne}, GE, zero)
+				}
+			}
+			if schema.HasDirective(f.Directives, schema.DirUniqueForTarget) {
+				coef := make(map[int]*big.Rat)
+				for _, src := range srcTypes {
+					coef[edgeVarOf(src, f.Name)] = one
+				}
+				for _, tgt := range tgtTypes {
+					coef[nodeVar[tgt]] = negOne
+				}
+				lp.Add("DS3 "+td.Name+"."+f.Name, coef, LE, zero)
+			}
+			if schema.HasDirective(f.Directives, schema.DirRequiredForTarget) {
+				coef := make(map[int]*big.Rat)
+				for _, src := range srcTypes {
+					coef[edgeVarOf(src, f.Name)] = one
+				}
+				for _, tgt := range tgtTypes {
+					coef[nodeVar[tgt]] = negOne
+				}
+				lp.Add("DS4 "+td.Name+"."+f.Name, coef, GE, zero)
+			}
+		}
+	}
+
+	if qv, ok := nodeVar[queryType]; ok {
+		lp.Add("query "+queryType, map[int]*big.Rat{qv: one}, GE, one)
+	}
+	lp.NumVars = varCount
+	lp.VarNames = names
+	return lp
+}

@@ -1,0 +1,428 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"pgschema/internal/ast"
+	"pgschema/internal/token"
+	"pgschema/internal/values"
+)
+
+// BuildError is a schema construction or consistency error with a source
+// position when one is available.
+type BuildError struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *BuildError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// ErrorList is a non-empty collection of build errors.
+type ErrorList []*BuildError
+
+// Error implements the error interface, reporting the first error and the
+// total count.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+// Options configures Build.
+type Options struct {
+	// AllowUnknownDirectives makes Build ignore applications of
+	// undeclared directives instead of reporting an error, following the
+	// paper's rule (§3.6) that unsupported schema features are ignored.
+	AllowUnknownDirectives bool
+
+	// SkipConsistencyCheck suppresses the interface- and directives-
+	// consistency validation (Definitions 4.3–4.5). Intended for tests
+	// that need to construct inconsistent schemas on purpose.
+	SkipConsistencyCheck bool
+}
+
+type builder struct {
+	opts Options
+	s    *Schema
+	errs ErrorList
+
+	// inputTypes records input object type names, which are recognized
+	// but ignored for Property Graph schemas (§3.6).
+	inputTypes map[string]bool
+}
+
+func (b *builder) errorf(pos token.Position, format string, args ...any) {
+	b.errs = append(b.errs, &BuildError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Build constructs the formal schema S of Definition 4.1 from a parsed SDL
+// document, declares the built-in scalar types and the six paper
+// directives, resolves all type references, and — unless disabled —
+// verifies schema consistency (Definition 4.5). On failure it returns an
+// ErrorList describing every problem found.
+func Build(doc *ast.Document, opts Options) (*Schema, error) {
+	b := &builder{
+		opts: opts,
+		s: &Schema{
+			types:        make(map[string]*TypeDef),
+			directives:   make(map[string]*DirectiveDef),
+			implementers: make(map[string][]string),
+		},
+	}
+	b.declareBuiltins()
+	b.collect(doc)
+	b.resolve(doc)
+	if len(b.errs) > 0 {
+		return nil, b.errs
+	}
+	b.s.typeNames = sortedKeys(b.s.types)
+	if !opts.SkipConsistencyCheck {
+		if errs := b.s.CheckConsistency(); len(errs) > 0 {
+			return nil, errs
+		}
+	}
+	return b.s, nil
+}
+
+// declareBuiltins installs the five built-in scalar types (§4.1) and the
+// six constraint directives with the argument types given at the end of
+// §4.3: all argument-free except @key(fields: [String!]!).
+func (b *builder) declareBuiltins() {
+	for _, name := range values.BuiltinScalars {
+		b.s.types[name] = &TypeDef{Kind: Scalar, Name: name}
+	}
+	noArgs := func(name string) *DirectiveDef {
+		return &DirectiveDef{Name: name, BuiltIn: true}
+	}
+	for _, name := range []string{DirRequired, DirDistinct, DirNoLoops, DirUniqueForTarget, DirRequiredForTarget} {
+		b.s.directives[name] = noArgs(name)
+	}
+	keyArg := &ArgDef{Name: "fields", Type: NonNullOf(ListOf(NonNullOf(Named("String"))))}
+	b.s.directives[DirKey] = &DirectiveDef{
+		Name:      DirKey,
+		Args:      []*ArgDef{keyArg},
+		argByName: map[string]*ArgDef{"fields": keyArg},
+		BuiltIn:   true,
+	}
+}
+
+// collect performs the first pass: register every named type and directive
+// declaration so that references can be resolved in the second pass.
+func (b *builder) collect(doc *ast.Document) {
+	for _, def := range doc.Definitions {
+		name := def.DefinitionName()
+		switch d := def.(type) {
+		case *ast.SchemaDefinition:
+			// Root operation bindings are ignored (§3.6).
+			continue
+		case *ast.InputObjectTypeDefinition:
+			// Input object types are recognized so that references
+			// resolve, but otherwise ignored (§3.6).
+			if b.inputTypes == nil {
+				b.inputTypes = make(map[string]bool)
+			}
+			b.inputTypes[name] = true
+			continue
+		case *ast.DirectiveDefinition:
+			if prev, dup := b.s.directives[name]; dup && !prev.BuiltIn {
+				b.errorf(def.Position(), "directive @%s declared more than once", name)
+				continue
+			}
+			dd := &DirectiveDef{Name: name, argByName: make(map[string]*ArgDef)}
+			for _, a := range d.Arguments {
+				arg, ok := b.buildArg(a)
+				if !ok {
+					continue
+				}
+				if dd.argByName[arg.Name] != nil {
+					b.errorf(a.Pos, "directive @%s declares argument %q more than once", name, arg.Name)
+					continue
+				}
+				dd.Args = append(dd.Args, arg)
+				dd.argByName[arg.Name] = arg
+			}
+			b.s.directives[name] = dd
+		default:
+			if prev := b.s.types[name]; prev != nil {
+				b.errorf(def.Position(), "type %q declared more than once", name)
+				continue
+			}
+			td := &TypeDef{Name: name}
+			switch def.(type) {
+			case *ast.ScalarTypeDefinition:
+				td.Kind = Scalar
+			case *ast.ObjectTypeDefinition:
+				td.Kind = Object
+			case *ast.InterfaceTypeDefinition:
+				td.Kind = Interface
+			case *ast.UnionTypeDefinition:
+				td.Kind = Union
+			case *ast.EnumTypeDefinition:
+				td.Kind = Enum
+			}
+			b.s.types[name] = td
+		}
+	}
+}
+
+// resolve performs the second pass: fields, arguments, members,
+// interfaces, enum values, and applied directives.
+func (b *builder) resolve(doc *ast.Document) {
+	for _, def := range doc.Definitions {
+		switch d := def.(type) {
+		case *ast.ScalarTypeDefinition:
+			td := b.s.types[d.Name]
+			td.Description = d.Description
+			td.Directives = b.buildApplied(d.Directives, d.Pos)
+		case *ast.EnumTypeDefinition:
+			td := b.s.types[d.Name]
+			td.Description = d.Description
+			td.Directives = b.buildApplied(d.Directives, d.Pos)
+			td.enumSet = make(map[string]bool, len(d.Values))
+			for _, v := range d.Values {
+				if td.enumSet[v.Name] {
+					b.errorf(v.Pos, "enum %s declares value %q more than once", d.Name, v.Name)
+					continue
+				}
+				td.enumSet[v.Name] = true
+				td.EnumValues = append(td.EnumValues, v.Name)
+			}
+			if len(td.EnumValues) == 0 {
+				b.errorf(d.Pos, "enum %s must declare at least one value", d.Name)
+			}
+		case *ast.UnionTypeDefinition:
+			td := b.s.types[d.Name]
+			td.Description = d.Description
+			td.Directives = b.buildApplied(d.Directives, d.Pos)
+			seen := make(map[string]bool)
+			for _, m := range d.Members {
+				mt := b.s.types[m]
+				switch {
+				case mt == nil:
+					b.errorf(d.Pos, "union %s references undeclared type %q", d.Name, m)
+				case mt.Kind != Object:
+					b.errorf(d.Pos, "union %s member %q must be an object type, not a %s type", d.Name, m, mt.Kind)
+				case seen[m]:
+					b.errorf(d.Pos, "union %s lists member %q more than once", d.Name, m)
+				default:
+					seen[m] = true
+					td.Members = append(td.Members, m)
+				}
+			}
+			if len(td.Members) == 0 {
+				b.errorf(d.Pos, "union %s must have at least one member (unionS assigns nonempty sets)", d.Name)
+			}
+		case *ast.InterfaceTypeDefinition:
+			td := b.s.types[d.Name]
+			td.Description = d.Description
+			td.Directives = b.buildApplied(d.Directives, d.Pos)
+			b.buildFields(td, d.Fields)
+		case *ast.ObjectTypeDefinition:
+			td := b.s.types[d.Name]
+			td.Description = d.Description
+			td.Directives = b.buildApplied(d.Directives, d.Pos)
+			seen := make(map[string]bool)
+			for _, in := range d.Interfaces {
+				it := b.s.types[in]
+				switch {
+				case it == nil:
+					b.errorf(d.Pos, "type %s implements undeclared interface %q", d.Name, in)
+				case it.Kind != Interface:
+					b.errorf(d.Pos, "type %s implements %q which is a %s type, not an interface", d.Name, in, it.Kind)
+				case seen[in]:
+					b.errorf(d.Pos, "type %s implements %q more than once", d.Name, in)
+				default:
+					seen[in] = true
+					td.Interfaces = append(td.Interfaces, in)
+					b.s.implementers[in] = append(b.s.implementers[in], d.Name)
+				}
+			}
+			b.buildFields(td, d.Fields)
+		}
+	}
+	for _, list := range b.s.implementers {
+		sort.Strings(list)
+	}
+}
+
+func (b *builder) buildFields(td *TypeDef, fields []ast.FieldDefinition) {
+	td.fieldByName = make(map[string]*FieldDef, len(fields))
+	for _, f := range fields {
+		if td.fieldByName[f.Name] != nil {
+			b.errorf(f.Pos, "type %s declares field %q more than once", td.Name, f.Name)
+			continue
+		}
+		ft, err := FromAST(f.Type)
+		if err != nil {
+			b.errorf(f.Pos, "field %s.%s: %v", td.Name, f.Name, err)
+			continue
+		}
+		base := b.s.types[ft.Base()]
+		if base == nil {
+			b.errorf(f.Pos, "field %s.%s references undeclared type %q", td.Name, f.Name, ft.Base())
+			continue
+		}
+		fd := &FieldDef{
+			Name:        f.Name,
+			Description: f.Description,
+			Type:        ft,
+			Owner:       td.Name,
+			Directives:  b.buildApplied(f.Directives, f.Pos),
+			argByName:   make(map[string]*ArgDef),
+		}
+		// Field arguments are edge-property definitions and are only
+		// meaningful on relationship fields, and only with scalar or
+		// enum (list) types; everything else is ignored (§3.5, §3.6).
+		attribute := base.Kind == Scalar || base.Kind == Enum
+		for _, a := range f.Arguments {
+			if attribute {
+				fd.IgnoredArgs = append(fd.IgnoredArgs, a.Name)
+				continue
+			}
+			at, err := FromAST(a.Type)
+			if err != nil {
+				b.errorf(a.Pos, "argument %s.%s(%s): %v", td.Name, f.Name, a.Name, err)
+				continue
+			}
+			abase := b.s.types[at.Base()]
+			if abase == nil {
+				if b.inputTypes[at.Base()] {
+					fd.IgnoredArgs = append(fd.IgnoredArgs, a.Name)
+					continue
+				}
+				b.errorf(a.Pos, "argument %s.%s(%s) references undeclared type %q", td.Name, f.Name, a.Name, at.Base())
+				continue
+			}
+			if abase.Kind != Scalar && abase.Kind != Enum {
+				fd.IgnoredArgs = append(fd.IgnoredArgs, a.Name)
+				continue
+			}
+			if fd.argByName[a.Name] != nil {
+				b.errorf(a.Pos, "field %s.%s declares argument %q more than once", td.Name, f.Name, a.Name)
+				continue
+			}
+			arg, ok := b.buildArg(a)
+			if !ok {
+				continue
+			}
+			fd.Args = append(fd.Args, arg)
+			fd.argByName[a.Name] = arg
+		}
+		td.Fields = append(td.Fields, fd)
+		td.fieldByName[f.Name] = fd
+	}
+}
+
+func (b *builder) buildArg(a ast.InputValueDefinition) (*ArgDef, bool) {
+	at, err := FromAST(a.Type)
+	if err != nil {
+		b.errorf(a.Pos, "argument %s: %v", a.Name, err)
+		return nil, false
+	}
+	arg := &ArgDef{Name: a.Name, Description: a.Description, Type: at}
+	arg.Directives = b.buildApplied(a.Directives, a.Pos)
+	if a.Default != nil {
+		v, err := LiteralValue(a.Default)
+		if err != nil {
+			b.errorf(a.Pos, "argument %s default: %v", a.Name, err)
+			return nil, false
+		}
+		arg.Default = v
+		arg.HasDefault = true
+	}
+	return arg, true
+}
+
+// buildApplied converts applied AST directives to (d, argvals) pairs,
+// dropping (or erroring on) directives that are not declared.
+func (b *builder) buildApplied(dirs []ast.Directive, pos token.Position) []Applied {
+	var out []Applied
+	for _, d := range dirs {
+		name := canonicalDirective(d.Name)
+		if b.s.directives[name] == nil {
+			if b.opts.AllowUnknownDirectives {
+				continue
+			}
+			b.errorf(d.Pos, "directive @%s is not declared", d.Name)
+			continue
+		}
+		app := Applied{Name: name, Args: make(map[string]values.Value, len(d.Arguments))}
+		for _, a := range d.Arguments {
+			v, err := LiteralValue(a.Value)
+			if err != nil {
+				b.errorf(a.Pos, "directive @%s argument %s: %v", d.Name, a.Name, err)
+				continue
+			}
+			if _, dup := app.Args[a.Name]; dup {
+				b.errorf(a.Pos, "directive @%s supplies argument %q more than once", d.Name, a.Name)
+				continue
+			}
+			app.Args[a.Name] = v
+		}
+		out = append(out, app)
+	}
+	_ = pos
+	return out
+}
+
+// canonicalDirective maps the paper's alternate spelling "@noloops" (§3.3)
+// to the formalization's "@noLoops" (§4.3).
+func canonicalDirective(name string) string {
+	if name == "noloops" {
+		return DirNoLoops
+	}
+	return name
+}
+
+// LiteralValue converts an SDL value literal to a runtime value. Object
+// literals are rejected: they belong to input types, which the paper
+// ignores (§3.6).
+func LiteralValue(v ast.Value) (values.Value, error) {
+	switch x := v.(type) {
+	case ast.IntValue:
+		i, err := strconv.ParseInt(x.Raw, 10, 64)
+		if err != nil {
+			return values.Null, fmt.Errorf("bad integer literal %q", x.Raw)
+		}
+		return values.Int(i), nil
+	case ast.FloatValue:
+		f, err := strconv.ParseFloat(x.Raw, 64)
+		if err != nil {
+			return values.Null, fmt.Errorf("bad float literal %q", x.Raw)
+		}
+		return values.Float(f), nil
+	case ast.StringValue:
+		return values.String(x.Value), nil
+	case ast.BooleanValue:
+		return values.Boolean(x.Value), nil
+	case ast.NullValue:
+		return values.Null, nil
+	case ast.EnumValue:
+		return values.Enum(x.Name), nil
+	case ast.ListValue:
+		elems := make([]values.Value, len(x.Values))
+		for i, e := range x.Values {
+			ev, err := LiteralValue(e)
+			if err != nil {
+				return values.Null, err
+			}
+			elems[i] = ev
+		}
+		return values.List(elems...), nil
+	case ast.ObjectValue:
+		return values.Null, fmt.Errorf("object literals are not supported (input types are ignored for Property Graph schemas)")
+	}
+	return values.Null, fmt.Errorf("unknown literal %T", v)
+}

@@ -1,0 +1,111 @@
+package schema
+
+import "pgschema/internal/token"
+
+// CheckConsistency verifies schema consistency in the sense of
+// Definition 4.5: the schema must be interface consistent (Definition 4.3)
+// and directives consistent (Definition 4.4). It returns every violation
+// found, or nil when the schema is consistent.
+func (s *Schema) CheckConsistency() ErrorList {
+	var b builder
+	b.s = s
+	b.checkInterfaceConsistency()
+	b.checkDirectivesConsistency()
+	if len(b.errs) == 0 {
+		return nil
+	}
+	return b.errs
+}
+
+// checkInterfaceConsistency implements Definition 4.3: every object type
+// implementing an interface must (1) declare each interface field with a
+// subtype of the interface's field type, (2) declare each interface field
+// argument with the identical type, and (3) not add required (non-null)
+// arguments of its own.
+func (b *builder) checkInterfaceConsistency() {
+	for _, itName := range sortedKeys(b.s.implementers) {
+		it := b.s.types[itName]
+		if it == nil || it.Kind != Interface {
+			continue
+		}
+		for _, otName := range b.s.implementers[itName] {
+			ot := b.s.types[otName]
+			for _, itField := range it.Fields {
+				otField := ot.Field(itField.Name)
+				if otField == nil {
+					b.errorf(noPos(), "interface consistency: type %s implements %s but lacks field %q", otName, itName, itField.Name)
+					continue
+				}
+				if !b.s.Subtype(otField.Type, itField.Type) {
+					b.errorf(noPos(), "interface consistency: field %s.%s has type %s which is not a subtype of %s.%s's type %s",
+						otName, itField.Name, otField.Type, itName, itField.Name, itField.Type)
+				}
+				for _, itArg := range itField.Args {
+					otArg := otField.Arg(itArg.Name)
+					if otArg == nil {
+						b.errorf(noPos(), "interface consistency: field %s.%s lacks argument %q required by interface %s", otName, itField.Name, itArg.Name, itName)
+						continue
+					}
+					if otArg.Type != itArg.Type {
+						b.errorf(noPos(), "interface consistency: argument %s.%s(%s) has type %s, but interface %s declares %s",
+							otName, itField.Name, itArg.Name, otArg.Type, itName, itArg.Type)
+					}
+				}
+				for _, otArg := range otField.Args {
+					if itField.Arg(otArg.Name) == nil && otArg.Type.NonNull {
+						b.errorf(noPos(), "interface consistency: argument %s.%s(%s) is non-null but not declared by interface %s",
+							otName, itField.Name, otArg.Name, itName)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkDirectivesConsistency implements Definition 4.4 for every applied
+// directive (d, argvals) anywhere in the schema: (1) every non-null
+// declared argument of d must be supplied, and (2) every supplied argument
+// value must be in valuesW of its declared type (unknown argument names
+// therefore also fail).
+func (b *builder) checkDirectivesConsistency() {
+	check := func(where string, apps []Applied) {
+		for _, app := range apps {
+			dd := b.s.directives[app.Name]
+			if dd == nil {
+				b.errorf(noPos(), "directives consistency: %s applies undeclared directive @%s", where, app.Name)
+				continue
+			}
+			for _, decl := range dd.Args {
+				if !decl.Type.NonNull {
+					continue
+				}
+				if _, ok := app.Args[decl.Name]; !ok {
+					b.errorf(noPos(), "directives consistency: %s applies @%s without required argument %q", where, app.Name, decl.Name)
+				}
+			}
+			for _, name := range sortedKeys(app.Args) {
+				decl := dd.Arg(name)
+				if decl == nil {
+					b.errorf(noPos(), "directives consistency: %s applies @%s with undeclared argument %q", where, app.Name, name)
+					continue
+				}
+				if !b.s.MemberOfW(app.Args[name], decl.Type) {
+					b.errorf(noPos(), "directives consistency: %s applies @%s with argument %s = %s not in valuesW(%s)",
+						where, app.Name, name, app.Args[name], decl.Type)
+				}
+			}
+		}
+	}
+	for _, tName := range sortedKeys(b.s.types) {
+		td := b.s.types[tName]
+		check("type "+tName, td.Directives)
+		for _, f := range td.Fields {
+			check("field "+tName+"."+f.Name, f.Directives)
+			for _, a := range f.Args {
+				check("argument "+tName+"."+f.Name+"("+a.Name+")", a.Directives)
+			}
+		}
+	}
+}
+
+func noPos() token.Position { return token.Position{} }

@@ -1,0 +1,65 @@
+package schema
+
+import "pgschema/internal/values"
+
+// MemberOfW implements the generalized membership test v ∈ valuesW(t) of
+// §4.1 for types t ∈ S ∪ WS:
+//
+//	(1) t ∈ Scalars:  valuesW(t) = values(t) ∪ {null}
+//	(2) t = tt!:      valuesW(t) = valuesW(tt) \ {null}
+//	(3) t = [tt]:     valuesW(t) = L(valuesW(tt)) ∪ {null}
+//
+// Enum types are treated as scalars whose value set is the set of declared
+// value names (following the paper's simplification in §4.1, footnote 1).
+// For a custom scalar with no registered validator, every atomic value is
+// accepted.
+func (s *Schema) MemberOfW(v values.Value, t TypeRef) bool {
+	if t.List {
+		if v.IsNull() {
+			return !t.NonNull
+		}
+		if v.Kind() != values.KindList {
+			return false
+		}
+		elem := t.Elem()
+		for i := 0; i < v.Len(); i++ {
+			if !s.MemberOfW(v.Elem(i), elem) {
+				return false
+			}
+		}
+		return true
+	}
+	if v.IsNull() {
+		return !t.NonNull
+	}
+	return s.MemberOf(v, t.Name)
+}
+
+// MemberOf implements values(t) for named scalar and enum types t ∈ S:
+// it reports whether the non-null, non-list value v ∈ values(t).
+func (s *Schema) MemberOf(v values.Value, name string) bool {
+	if v.IsNull() || v.Kind() == values.KindList {
+		return false
+	}
+	td := s.types[name]
+	if td == nil {
+		return false
+	}
+	switch td.Kind {
+	case Scalar:
+		if values.IsBuiltinScalar(name) {
+			return values.BuiltinMember(name, v)
+		}
+		if fn := s.scalarValidators[name]; fn != nil {
+			return fn(v)
+		}
+		return true // custom scalar without validator: any atomic value
+	case Enum:
+		switch v.Kind() {
+		case values.KindEnum, values.KindString, values.KindID:
+			return td.enumSet[v.AsString()]
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package schema
+
+import (
+	"sort"
+
+	"pgschema/internal/values"
+)
+
+// TypeKind classifies the named types of a schema: T is the disjoint union
+// of object types OT, interface types IT, union types UT, and scalars S
+// (which, following the paper's simplification, include enum types).
+type TypeKind int
+
+// The type kinds.
+const (
+	Scalar TypeKind = iota
+	Enum
+	Object
+	Interface
+	Union
+)
+
+var typeKindNames = [...]string{"scalar", "enum", "object", "interface", "union"}
+
+// String returns the kind's lowercase SDL keyword.
+func (k TypeKind) String() string {
+	if k < 0 || int(k) >= len(typeKindNames) {
+		return "invalid"
+	}
+	return typeKindNames[k]
+}
+
+// Schema is a consistent-checkable GraphQL schema S over (F, A, T, S, D)
+// in the sense of Definition 4.1. It is immutable after Build.
+type Schema struct {
+	types      map[string]*TypeDef
+	directives map[string]*DirectiveDef
+
+	// scalarValidators implements values(t) for custom scalar types; a
+	// missing entry means every atomic value is accepted.
+	scalarValidators map[string]func(values.Value) bool
+
+	// implementers maps an interface name to the sorted names of the
+	// object types implementing it (implementationS, inverted for speed).
+	implementers map[string][]string
+
+	typeNames []string // sorted, for deterministic iteration
+}
+
+// TypeDef is a named type t ∈ T with everything Definition 4.1 assigns to
+// it: its fields (typeF), its directives (directivesT), the union members
+// (unionS) or implemented interfaces (feeding implementationS), and enum
+// values for enum types.
+type TypeDef struct {
+	Kind        TypeKind
+	Name        string
+	Description string
+
+	Fields      []*FieldDef // object and interface types, in source order
+	fieldByName map[string]*FieldDef
+
+	Interfaces []string // object types: names of implemented interfaces
+	Members    []string // union types: names of member object types
+
+	EnumValues []string // enum types, in source order
+	enumSet    map[string]bool
+
+	Directives []Applied // directivesT(t)
+}
+
+// FieldDef is a field f ∈ fieldsS(t) with its type typeF(t, f), argument
+// definitions, and applied directives directivesF(t, f).
+type FieldDef struct {
+	Name        string
+	Description string
+	Type        TypeRef
+	Owner       string // the defining type's name
+
+	Args      []*ArgDef // only arguments with scalar/enum(-list) types; see §3.6
+	argByName map[string]*ArgDef
+
+	Directives []Applied // directivesF(t, f)
+
+	// IgnoredArgs lists argument names whose types are complex input
+	// types; the paper (§3.6) prescribes ignoring them.
+	IgnoredArgs []string
+}
+
+// ArgDef is a field argument a with its type typeAF((t,f), a) and its
+// applied directives directivesAF((t,f), a).
+type ArgDef struct {
+	Name        string
+	Description string
+	Type        TypeRef
+	Default     values.Value
+	HasDefault  bool
+	Directives  []Applied
+}
+
+// DirectiveDef declares a directive d ∈ D with its argument types
+// typeAD(d, ·).
+type DirectiveDef struct {
+	Name      string
+	Args      []*ArgDef
+	argByName map[string]*ArgDef
+	BuiltIn   bool // one of the six paper directives, declared implicitly
+}
+
+// Applied is an applied directive: a pair (d, argvals) ∈ D × AV.
+type Applied struct {
+	Name string
+	Args map[string]values.Value // argvals, a partial function A ⇀ values
+}
+
+// Arg returns argvals(name) and whether it is defined.
+func (a Applied) Arg(name string) (values.Value, bool) {
+	v, ok := a.Args[name]
+	return v, ok
+}
+
+// The six constraint directives the paper introduces (§3, §4.3).
+const (
+	DirRequired          = "required"
+	DirKey               = "key"
+	DirDistinct          = "distinct"
+	DirNoLoops           = "noLoops"
+	DirUniqueForTarget   = "uniqueForTarget"
+	DirRequiredForTarget = "requiredForTarget"
+)
+
+// Type returns the named type t ∈ T, or nil if not declared.
+func (s *Schema) Type(name string) *TypeDef { return s.types[name] }
+
+// Types returns all named types in deterministic (sorted) order.
+func (s *Schema) Types() []*TypeDef {
+	out := make([]*TypeDef, 0, len(s.typeNames))
+	for _, n := range s.typeNames {
+		out = append(out, s.types[n])
+	}
+	return out
+}
+
+// TypesOfKind returns all named types of the given kind, sorted by name.
+func (s *Schema) TypesOfKind(kind TypeKind) []*TypeDef {
+	var out []*TypeDef
+	for _, n := range s.typeNames {
+		if t := s.types[n]; t.Kind == kind {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ObjectTypes returns OT sorted by name.
+func (s *Schema) ObjectTypes() []*TypeDef { return s.TypesOfKind(Object) }
+
+// InterfaceTypes returns IT sorted by name.
+func (s *Schema) InterfaceTypes() []*TypeDef { return s.TypesOfKind(Interface) }
+
+// UnionTypes returns UT sorted by name.
+func (s *Schema) UnionTypes() []*TypeDef { return s.TypesOfKind(Union) }
+
+// Directive returns the declaration of directive d, or nil.
+func (s *Schema) Directive(name string) *DirectiveDef { return s.directives[name] }
+
+// Field returns the field definition for (t, f) ∈ dom(typeF), or nil.
+func (s *Schema) Field(typeName, fieldName string) *FieldDef {
+	t := s.types[typeName]
+	if t == nil {
+		return nil
+	}
+	return t.fieldByName[fieldName]
+}
+
+// Field returns the field named f, or nil. (fieldsS(t) membership.)
+func (t *TypeDef) Field(name string) *FieldDef {
+	if t.fieldByName == nil {
+		return nil
+	}
+	return t.fieldByName[name]
+}
+
+// HasEnumValue reports whether name is a declared value of the enum type.
+func (t *TypeDef) HasEnumValue(name string) bool { return t.enumSet[name] }
+
+// Arg returns the argument definition named a, or nil. (argsS(t,f).)
+func (f *FieldDef) Arg(name string) *ArgDef {
+	if f.argByName == nil {
+		return nil
+	}
+	return f.argByName[name]
+}
+
+// Arg returns the declared directive argument named a, or nil. (argsS(d).)
+func (d *DirectiveDef) Arg(name string) *ArgDef {
+	if d.argByName == nil {
+		return nil
+	}
+	return d.argByName[name]
+}
+
+// Implementers returns implementationS(it) — the names of the object types
+// implementing interface it — in sorted order.
+func (s *Schema) Implementers(interfaceName string) []string {
+	return s.implementers[interfaceName]
+}
+
+// IsScalarish reports whether the named type is in S: a scalar or enum
+// type, following the paper's convention that Scalars includes enums.
+func (s *Schema) IsScalarish(name string) bool {
+	t := s.types[name]
+	return t != nil && (t.Kind == Scalar || t.Kind == Enum)
+}
+
+// IsAttribute reports whether the field is an attribute definition (§3.1):
+// its base type is a scalar or enum type. Such fields declare node
+// properties.
+func (s *Schema) IsAttribute(f *FieldDef) bool { return s.IsScalarish(f.Type.Base()) }
+
+// IsRelationship reports whether the field is a relationship definition
+// (§3.1): its base type is an object, interface, or union type. Such
+// fields declare outgoing edges.
+func (s *Schema) IsRelationship(f *FieldDef) bool {
+	t := s.types[f.Type.Base()]
+	return t != nil && (t.Kind == Object || t.Kind == Interface || t.Kind == Union)
+}
+
+// HasDirective reports whether (d, ·) appears in the applied list.
+func HasDirective(applied []Applied, name string) bool {
+	for _, a := range applied {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectivesNamed returns all applications of directive name (a directive
+// such as @key may be applied repeatedly, cf. Example 3.4).
+func DirectivesNamed(applied []Applied, name string) []Applied {
+	var out []Applied
+	for _, a := range applied {
+		if a.Name == name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// KeyFieldSets returns the field-name lists of all @key directives applied
+// to the type, in application order (DS7 operates on each separately).
+func (t *TypeDef) KeyFieldSets() [][]string {
+	var out [][]string
+	for _, a := range DirectivesNamed(t.Directives, DirKey) {
+		fv, ok := a.Arg("fields")
+		if !ok || fv.Kind() != values.KindList {
+			continue
+		}
+		var names []string
+		for i := 0; i < fv.Len(); i++ {
+			names = append(names, fv.Elem(i).AsString())
+		}
+		out = append(out, names)
+	}
+	return out
+}
+
+// SetScalarValidator installs a membership predicate implementing
+// values(t) for a custom scalar type. Without a validator every atomic
+// (non-null, non-list) value is accepted for custom scalars.
+func (s *Schema) SetScalarValidator(scalarName string, fn func(values.Value) bool) {
+	if s.scalarValidators == nil {
+		s.scalarValidators = make(map[string]func(values.Value) bool)
+	}
+	s.scalarValidators[scalarName] = fn
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

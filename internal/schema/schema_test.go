@@ -1,0 +1,495 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"pgschema/internal/parser"
+	"pgschema/internal/values"
+)
+
+func build(t *testing.T, src string) *Schema {
+	t.Helper()
+	doc, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := Build(doc, Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return s
+}
+
+func buildErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	doc, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Build(doc, Options{})
+	if err == nil {
+		t.Fatalf("Build: expected error containing %q", wantSubstr)
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	for _, e := range list {
+		if strings.Contains(e.Error(), wantSubstr) {
+			return
+		}
+	}
+	t.Fatalf("no error contains %q; got %v", wantSubstr, list)
+}
+
+const paperExample31 = `
+type UserSession {
+	id: ID! @required
+	user: User! @required
+	startTime: Time! @required
+	endTime: Time!
+}
+type User {
+	id: ID! @required
+	login: String! @required
+	nicknames: [String!]!
+}
+scalar Time`
+
+func TestBuildPaperExample31(t *testing.T) {
+	s := build(t, paperExample31)
+	us := s.Type("UserSession")
+	if us == nil || us.Kind != Object {
+		t.Fatalf("UserSession: %+v", us)
+	}
+	if got := len(us.Fields); got != 4 {
+		t.Fatalf("UserSession fields: %d", got)
+	}
+	// Example 3.2: user is a relationship, the rest are attributes.
+	if !s.IsRelationship(us.Field("user")) {
+		t.Error("user should be a relationship definition")
+	}
+	for _, f := range []string{"id", "startTime", "endTime"} {
+		if !s.IsAttribute(us.Field(f)) {
+			t.Errorf("%s should be an attribute definition", f)
+		}
+	}
+	if s.Type("Time").Kind != Scalar {
+		t.Error("Time should be a custom scalar")
+	}
+}
+
+func TestBuiltinsPresent(t *testing.T) {
+	s := build(t, `type T { x: Int }`)
+	for _, name := range values.BuiltinScalars {
+		if td := s.Type(name); td == nil || td.Kind != Scalar {
+			t.Errorf("built-in scalar %s missing", name)
+		}
+	}
+	for _, d := range []string{DirRequired, DirKey, DirDistinct, DirNoLoops, DirUniqueForTarget, DirRequiredForTarget} {
+		if s.Directive(d) == nil {
+			t.Errorf("built-in directive @%s missing", d)
+		}
+	}
+	if s.Directive(DirKey).Arg("fields") == nil {
+		t.Error("@key must declare the fields argument")
+	}
+	if got := s.Directive(DirKey).Arg("fields").Type.String(); got != "[String!]!" {
+		t.Errorf("@key fields type: %s", got)
+	}
+}
+
+func TestTypeRefShapes(t *testing.T) {
+	s := build(t, `type T { a: Int b: Int! c: [Int] d: [Int!] e: [Int]! f: [Int!]! }`)
+	want := map[string]string{
+		"a": "Int", "b": "Int!", "c": "[Int]", "d": "[Int!]", "e": "[Int]!", "f": "[Int!]!",
+	}
+	for f, w := range want {
+		if got := s.Field("T", f).Type.String(); got != w {
+			t.Errorf("field %s: got %s, want %s", f, got, w)
+		}
+	}
+	if !s.Field("T", "e").Type.IsList() || s.Field("T", "b").Type.IsList() {
+		t.Error("IsList broken")
+	}
+	if s.Field("T", "f").Type.Base() != "Int" {
+		t.Error("basetype broken")
+	}
+}
+
+func TestNestedListRejected(t *testing.T) {
+	buildErr(t, `type T { m: [[Int]] }`, "nested list")
+}
+
+func TestDuplicateDetection(t *testing.T) {
+	buildErr(t, `type T { x: Int } type T { y: Int }`, "declared more than once")
+	buildErr(t, `type T { x: Int x: Int }`, "declares field")
+	buildErr(t, `enum E { A A }`, "declares value")
+	buildErr(t, `type A { f: B } type B { g: A } union U = A | A`, "more than once")
+}
+
+func TestUndeclaredReferences(t *testing.T) {
+	buildErr(t, `type T { x: Missing }`, "undeclared type")
+	buildErr(t, `type T implements Nope { x: Int }`, "undeclared interface")
+	buildErr(t, `union U = Ghost`, "undeclared type")
+	buildErr(t, `type T { x: Int @nope }`, "not declared")
+}
+
+func TestUnknownDirectiveAllowed(t *testing.T) {
+	doc, err := parser.Parse(`type T { x: Int @deprecated(reason: "old") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(doc, Options{AllowUnknownDirectives: true})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(s.Field("T", "x").Directives) != 0 {
+		t.Error("unknown directive should have been dropped")
+	}
+}
+
+func TestUnionMemberMustBeObject(t *testing.T) {
+	buildErr(t, `interface I { x: Int } union U = I`, "must be an object type")
+	buildErr(t, `union U = Int`, "must be an object type")
+	buildErr(t, `type A { f: Int } union Empty = A union None`, "at least one member")
+}
+
+func TestEmptyEnumRejected(t *testing.T) {
+	buildErr(t, `enum E`, "at least one value")
+}
+
+func TestNoloopsAlias(t *testing.T) {
+	// The paper writes @noloops in §3.3 and @noLoops in §4.3; both work.
+	s := build(t, `type A { rel: [A] @distinct @noloops }`)
+	if !HasDirective(s.Field("A", "rel").Directives, DirNoLoops) {
+		t.Error("@noloops alias not canonicalized to @noLoops")
+	}
+}
+
+func TestSubtypeNamed(t *testing.T) {
+	s := build(t, `
+		interface Food { name: String! }
+		type Pizza implements Food { name: String! }
+		type Pasta implements Food { name: String! }
+		union Lunch = Pizza
+		type Person { likes: Food }`)
+	cases := []struct {
+		t, sup string
+		want   bool
+	}{
+		{"Pizza", "Pizza", true},   // rule 1
+		{"Pizza", "Food", true},    // rule 2
+		{"Pasta", "Food", true},    // rule 2
+		{"Pizza", "Lunch", true},   // rule 3
+		{"Pasta", "Lunch", false},  // not a member
+		{"Food", "Pizza", false},   // not symmetric
+		{"Person", "Food", false},  // unrelated
+		{"Food", "Food", true},     // rule 1 on interfaces
+		{"Lunch", "Lunch", true},   // rule 1 on unions
+		{"Missing", "Food", false}, // undeclared
+	}
+	for _, c := range cases {
+		if got := s.SubtypeNamed(c.t, c.sup); got != c.want {
+			t.Errorf("SubtypeNamed(%s, %s) = %v, want %v", c.t, c.sup, got, c.want)
+		}
+	}
+}
+
+func TestSubtypeWrapped(t *testing.T) {
+	s := build(t, `
+		interface I { x: Int }
+		type A implements I { x: Int }`)
+	aT, iT := Named("A"), Named("I")
+	cases := []struct {
+		a, b TypeRef
+		want bool
+	}{
+		{aT, iT, true},                                       // rule 2
+		{aT, ListOf(iT), true},                               // rule 5
+		{ListOf(aT), ListOf(iT), true},                       // rule 4
+		{NonNullOf(aT), iT, true},                            // rule 6
+		{NonNullOf(aT), NonNullOf(iT), true},                 // rule 7
+		{aT, NonNullOf(iT), false},                           // no rule adds ! on the right
+		{ListOf(aT), iT, false},                              // no rule removes a list
+		{NonNullOf(ListOf(NonNullOf(aT))), ListOf(iT), true}, // [A!]! ⊑ [I]
+		{ListOf(NonNullOf(aT)), ListOf(iT), true},            // [A!] ⊑ [I] via 4+6
+		{NonNullOf(aT), ListOf(iT), true},                    // A! ⊑ [I] via 6+5
+		{aT, ListOf(NonNullOf(iT)), false},                   // A ⊑ [I!] needs ! introduction
+		{NonNullOf(aT), ListOf(NonNullOf(iT)), true},         // A! ⊑ [I!] via rules 7 then 5
+		{NonNullOf(ListOf(aT)), ListOf(aT), true},            // [A]! ⊑ [A] via rule 6
+	}
+	for _, c := range cases {
+		if got := s.Subtype(c.a, c.b); got != c.want {
+			t.Errorf("Subtype(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubtypeRule5ThenRule7(t *testing.T) {
+	// A! ⊑ [I!] is derivable: A ⊑ I (rule 2), A! ⊑ I! (rule 7),
+	// A! ⊑ [I!] (rule 5). Verify the implementation finds it.
+	s := build(t, `
+		interface I { x: Int }
+		type A implements I { x: Int }`)
+	if !s.Subtype(NonNullOf(Named("A")), ListOf(NonNullOf(Named("I")))) {
+		t.Error("A! ⊑ [I!] should hold via rules 7 then 5")
+	}
+}
+
+func TestConcreteTargets(t *testing.T) {
+	s := build(t, `
+		interface Food { name: String! }
+		type Pizza implements Food { name: String! }
+		type Pasta implements Food { name: String! }
+		union Course = Pasta | Pizza
+		type Person { x: Int }`)
+	if got := s.ConcreteTargets("Food"); len(got) != 2 || got[0] != "Pasta" || got[1] != "Pizza" {
+		t.Errorf("Food targets: %v", got)
+	}
+	if got := s.ConcreteTargets("Course"); len(got) != 2 {
+		t.Errorf("Course targets: %v", got)
+	}
+	if got := s.ConcreteTargets("Person"); len(got) != 1 || got[0] != "Person" {
+		t.Errorf("Person targets: %v", got)
+	}
+	if got := s.ConcreteTargets("Int"); got != nil {
+		t.Errorf("Int targets: %v", got)
+	}
+}
+
+func TestMemberOfW(t *testing.T) {
+	s := build(t, `enum Color { RED GREEN } scalar Time type T { x: Int }`)
+	intT := Named("Int")
+	cases := []struct {
+		v    values.Value
+		t    TypeRef
+		want bool
+	}{
+		{values.Int(3), intT, true},
+		{values.Null, intT, true},             // rule 1 adds null
+		{values.Null, NonNullOf(intT), false}, // rule 2 removes null
+		{values.Int(3), NonNullOf(intT), true},
+		{values.List(values.Int(1), values.Null), ListOf(intT), true},             // [Int] allows null elements
+		{values.List(values.Int(1), values.Null), ListOf(NonNullOf(intT)), false}, // [Int!] does not
+		{values.Null, ListOf(intT), true},                                         // rule 3 adds null
+		{values.Null, NonNullOf(ListOf(intT)), false},                             // [Int]! removes it
+		{values.Int(5), ListOf(intT), false},                                      // scalar is not a list
+		{values.List(), ListOf(intT), true},                                       // empty list is a list
+		{values.Enum("RED"), Named("Color"), true},
+		{values.String("GREEN"), Named("Color"), true}, // stores keep enum values as strings
+		{values.String("BLUE"), Named("Color"), false},
+		{values.Int(1), Named("Color"), false},
+		{values.String("2019-06-30"), Named("Time"), true}, // custom scalar: any atomic
+		{values.Int(1561852800), Named("Time"), true},
+		{values.List(values.Int(1)), Named("Time"), false}, // but not lists
+	}
+	for _, c := range cases {
+		if got := s.MemberOfW(c.v, c.t); got != c.want {
+			t.Errorf("MemberOfW(%v, %s) = %v, want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+func TestScalarValidator(t *testing.T) {
+	s := build(t, `scalar Time type T { x: Time }`)
+	s.SetScalarValidator("Time", func(v values.Value) bool {
+		return v.Kind() == values.KindString && strings.Contains(v.AsString(), ":")
+	})
+	if !s.MemberOfW(values.String("12:30"), Named("Time")) {
+		t.Error("validator should accept 12:30")
+	}
+	if s.MemberOfW(values.String("noon"), Named("Time")) {
+		t.Error("validator should reject noon")
+	}
+}
+
+func TestInterfaceConsistencyViolations(t *testing.T) {
+	// Missing field.
+	buildErr(t, `
+		interface I { f: Int }
+		type A implements I { g: Int }`, "lacks field")
+	// Field type not a subtype.
+	buildErr(t, `
+		interface I { f: Int }
+		type A implements I { f: String }`, "not a subtype")
+	// Missing argument.
+	buildErr(t, `
+		type B { x: Int }
+		interface I { f(a: Int): B }
+		type A implements I { f: B }`, "lacks argument")
+	// Argument type mismatch.
+	buildErr(t, `
+		type B { x: Int }
+		interface I { f(a: Int): B }
+		type A implements I { f(a: Float): B }`, "interface consistency: argument")
+	// Extra non-null argument.
+	buildErr(t, `
+		type B { x: Int }
+		interface I { f: B }
+		type A implements I { f(extra: Int!): B }`, "non-null but not declared")
+}
+
+func TestInterfaceConsistencyCovariance(t *testing.T) {
+	// Covariant field types via ⊑ are allowed (Definition 4.3 (1)).
+	build(t, `
+		interface Node { self: Node }
+		type Doc implements Node { self: Doc }`)
+	build(t, `
+		interface I { f: I }
+		type A implements I { f: A! }`) // A! ⊑ I via rules 6, 2
+}
+
+func TestDirectivesConsistencyViolations(t *testing.T) {
+	// @key without its required fields argument.
+	buildErr(t, `type T @key { x: Int }`, "without required argument")
+	// @key with a wrongly typed argument.
+	buildErr(t, `type T @key(fields: 3) { x: Int }`, "not in valuesW")
+	buildErr(t, `type T @key(fields: [3]) { x: Int }`, "not in valuesW")
+	buildErr(t, `type T @key(fields: [null]) { x: Int }`, "not in valuesW")
+	// Undeclared argument.
+	buildErr(t, `type T @required(x: 1) { f: Int }`, "undeclared argument")
+}
+
+func TestDirectivesConsistencyCustomDirective(t *testing.T) {
+	build(t, `
+		directive @weight(value: Float!) on FIELD_DEFINITION
+		type T { f: Int @weight(value: 0.5) }`)
+	buildErr(t, `
+		directive @weight(value: Float!) on FIELD_DEFINITION
+		type T { f: Int @weight }`, "without required argument")
+	// Int coerces into Float per the value system.
+	build(t, `
+		directive @weight(value: Float!) on FIELD_DEFINITION
+		type T { f: Int @weight(value: 2) }`)
+}
+
+func TestKeyFieldSets(t *testing.T) {
+	s := build(t, `type User @key(fields: ["id"]) @key(fields: ["login", "realm"]) {
+		id: ID!
+		login: String!
+		realm: String!
+	}`)
+	sets := s.Type("User").KeyFieldSets()
+	if len(sets) != 2 {
+		t.Fatalf("got %d key sets", len(sets))
+	}
+	if len(sets[0]) != 1 || sets[0][0] != "id" {
+		t.Errorf("set 0: %v", sets[0])
+	}
+	if len(sets[1]) != 2 || sets[1][1] != "realm" {
+		t.Errorf("set 1: %v", sets[1])
+	}
+}
+
+func TestIgnoredFieldArguments(t *testing.T) {
+	// Arguments on attribute definitions are ignored (§3.6), as are
+	// arguments whose type is an input object.
+	s := build(t, `
+		input Opts { flag: Boolean }
+		type B { x: Int }
+		type T {
+			attr(units: String): Int
+			rel(weight: Float, opts: Opts): B
+		}`)
+	attr := s.Field("T", "attr")
+	if len(attr.Args) != 0 || len(attr.IgnoredArgs) != 1 {
+		t.Errorf("attribute args: %+v ignored %v", attr.Args, attr.IgnoredArgs)
+	}
+	rel := s.Field("T", "rel")
+	if len(rel.Args) != 1 || rel.Args[0].Name != "weight" {
+		t.Errorf("relationship args: %+v", rel.Args)
+	}
+	if len(rel.IgnoredArgs) != 1 || rel.IgnoredArgs[0] != "opts" {
+		t.Errorf("ignored args: %v", rel.IgnoredArgs)
+	}
+}
+
+func TestFormalExample42(t *testing.T) {
+	// Example 4.2 formalizes the Example 3.9 schema; check the
+	// assignments the paper lists.
+	s := build(t, `
+		type Person { name: String! favoriteFood: Food }
+		union Food = Pizza | Pasta
+		type Pizza { name: String! toppings: [String!]! }
+		type Pasta { name: String! }`)
+	if got := s.Field("Person", "name").Type.String(); got != "String!" {
+		t.Errorf("typeF(Person, name) = %s", got)
+	}
+	if got := s.Field("Person", "favoriteFood").Type.String(); got != "Food" {
+		t.Errorf("typeF(Person, favoriteFood) = %s", got)
+	}
+	if got := s.Field("Pizza", "toppings").Type.String(); got != "[String!]!" {
+		t.Errorf("typeF(Pizza, toppings) = %s", got)
+	}
+	food := s.Type("Food")
+	if food.Kind != Union || len(food.Members) != 2 {
+		t.Errorf("unionS(Food) = %+v", food.Members)
+	}
+	if len(s.ObjectTypes()) != 3 {
+		t.Errorf("OT: %d", len(s.ObjectTypes()))
+	}
+}
+
+// TestSubtypePartialOrder: ⊑S is reflexive and transitive over randomly
+// built wrapped types (antisymmetry holds only up to equivalence, which
+// the rules do not create for distinct named types, so it is checked on
+// the named level implicitly by transitivity + reflexivity tests).
+func TestSubtypePartialOrder(t *testing.T) {
+	s := build(t, `
+		interface I { x: Int }
+		type A implements I { x: Int }
+		type B implements I { x: Int }
+		union U = A | B
+		type C { x: Int }`)
+	names := []string{"A", "B", "C", "I", "U"}
+	var refs []TypeRef
+	for _, n := range names {
+		base := Named(n)
+		refs = append(refs, base, NonNullOf(base), ListOf(base),
+			ListOf(NonNullOf(base)), NonNullOf(ListOf(base)), NonNullOf(ListOf(NonNullOf(base))))
+	}
+	for _, a := range refs {
+		if !s.Subtype(a, a) {
+			t.Errorf("⊑ not reflexive at %s", a)
+		}
+	}
+	for _, a := range refs {
+		for _, b := range refs {
+			if !s.Subtype(a, b) {
+				continue
+			}
+			for _, c := range refs {
+				if s.Subtype(b, c) && !s.Subtype(a, c) {
+					t.Errorf("⊑ not transitive: %s ⊑ %s ⊑ %s but %s ⋢ %s", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+// TestArgumentDirectives: directivesAF (Definition 4.1) is captured and
+// checked by directives consistency (Definition 4.4).
+func TestArgumentDirectives(t *testing.T) {
+	s := build(t, `
+		directive @sensitive(level: Int!) on ARGUMENT_DEFINITION
+		type B { x: Int }
+		type T { rel(token: String @sensitive(level: 2)): B }`)
+	arg := s.Field("T", "rel").Arg("token")
+	if len(arg.Directives) != 1 || arg.Directives[0].Name != "sensitive" {
+		t.Fatalf("argument directives: %+v", arg.Directives)
+	}
+	if v, ok := arg.Directives[0].Arg("level"); !ok || v.AsInt() != 2 {
+		t.Errorf("argvals: %v %v", v, ok)
+	}
+	// Consistency violations on argument directives are caught.
+	buildErr(t, `
+		directive @sensitive(level: Int!) on ARGUMENT_DEFINITION
+		type B { x: Int }
+		type T { rel(token: String @sensitive): B }`, "without required argument")
+	buildErr(t, `
+		directive @sensitive(level: Int!) on ARGUMENT_DEFINITION
+		type B { x: Int }
+		type T { rel(token: String @sensitive(level: "high")): B }`, "not in valuesW")
+}

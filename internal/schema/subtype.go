@@ -1,0 +1,106 @@
+package schema
+
+// SubtypeNamed implements ⊑S restricted to named types: reflexivity
+// (rule 1), interface implementation (rule 2), and union membership
+// (rule 3). Implementation and union hierarchies are one level deep in
+// GraphQL, so no transitive closure is needed beyond these three rules.
+func (s *Schema) SubtypeNamed(t, sup string) bool {
+	if t == sup {
+		return true
+	}
+	supDef := s.types[sup]
+	if supDef == nil {
+		return false
+	}
+	switch supDef.Kind {
+	case Interface:
+		tDef := s.types[t]
+		if tDef == nil || tDef.Kind != Object {
+			return false
+		}
+		for _, in := range tDef.Interfaces {
+			if in == sup {
+				return true
+			}
+		}
+	case Union:
+		for _, m := range supDef.Members {
+			if m == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Subtype implements the full subtype relation ⊑S over T ∪ WT, defined in
+// §4.3 as the smallest relation closed under rules 1–7:
+//
+//	(1) t ⊑ t
+//	(2) t ∈ implementation(s) ⟹ t ⊑ s
+//	(3) t ∈ union(s)          ⟹ t ⊑ s
+//	(4) t ⊑ s ⟹ [t] ⊑ [s]
+//	(5) t ⊑ s ⟹ t ⊑ [s]
+//	(6) t ⊑ s ⟹ t! ⊑ s
+//	(7) t ⊑ s ⟹ t! ⊑ s!
+func (s *Schema) Subtype(a, b TypeRef) bool {
+	stripNN := func(t TypeRef) TypeRef {
+		t.NonNull = false
+		return t
+	}
+	if a == b {
+		return true // rule 1
+	}
+	if b.NonNull {
+		// Only rule 7 introduces a non-null wrapper on the right, and
+		// it requires one on the left.
+		return a.NonNull && s.Subtype(stripNN(a), stripNN(b))
+	}
+	if b.List {
+		// Rule 5: t ⊑ [s] whenever t ⊑ s (t may itself be non-null,
+		// e.g. A! ⊑ [I!] via rules 7 then 5).
+		if !a.List && s.Subtype(a, b.Elem()) {
+			return true
+		}
+		// Rule 4: [t] ⊑ [s] whenever t ⊑ s.
+		if a.List && !a.NonNull && s.Subtype(a.Elem(), b.Elem()) {
+			return true
+		}
+		// Rule 6: t! ⊑ [s] whenever t ⊑ [s].
+		return a.NonNull && s.Subtype(stripNN(a), b)
+	}
+	// b is a plain named type.
+	if a.NonNull {
+		return s.Subtype(stripNN(a), b) // rule 6
+	}
+	if a.List {
+		return false // no rule removes a list wrapper
+	}
+	return s.SubtypeNamed(a.Name, b.Name)
+}
+
+// NodeLabelSubtype reports λ(v) ⊑S t for a node label and a (possibly
+// wrapped) schema type — the test used throughout Definitions 5.1–5.3.
+func (s *Schema) NodeLabelSubtype(label string, t TypeRef) bool {
+	return s.Subtype(Named(label), t)
+}
+
+// ConcreteTargets returns the object types ot with ot ⊑S named — the node
+// labels an edge may point at when the relationship's base type is named.
+// For an object type that is the type itself; for interfaces the
+// implementers; for unions the members.
+func (s *Schema) ConcreteTargets(named string) []string {
+	t := s.types[named]
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case Object:
+		return []string{t.Name}
+	case Interface:
+		return s.implementers[t.Name]
+	case Union:
+		return t.Members
+	}
+	return nil
+}

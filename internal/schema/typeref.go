@@ -1,0 +1,94 @@
+// Package schema implements the paper's formalization of GraphQL schemas
+// (Section 4): the schema assignments of Definition 4.1, wrapping types and
+// the basetype function (§4.1), the valuesW semantics of wrapped scalar
+// types, the subtype relation ⊑S (§4.3), and schema consistency
+// (Definitions 4.3–4.5). It also provides the Property-Graph-oriented
+// field classification of Section 3 (attribute vs. relationship
+// definitions).
+package schema
+
+import (
+	"fmt"
+
+	"pgschema/internal/ast"
+)
+
+// TypeRef is a reference to a named type, possibly wrapped (§4.1). The
+// GraphQL SDL admits exactly the wrapping shapes t, t!, [t], [t!], [t]!,
+// and [t!]!, all of which this flat representation covers.
+type TypeRef struct {
+	Name        string // the underlying named type: basetype(t)
+	List        bool   // wrapped in a list type
+	NonNull     bool   // outermost non-null wrapper
+	ElemNonNull bool   // non-null wrapper inside the list (only if List)
+}
+
+// Named returns an unwrapped reference to the named type.
+func Named(name string) TypeRef { return TypeRef{Name: name} }
+
+// NonNullOf marks t's outermost wrapper as non-null (t → t!).
+func NonNullOf(t TypeRef) TypeRef {
+	t.NonNull = true
+	return t
+}
+
+// ListOf wraps elem in a list type (elem must not itself be a list).
+func ListOf(elem TypeRef) TypeRef {
+	return TypeRef{Name: elem.Name, List: true, ElemNonNull: elem.NonNull}
+}
+
+// Base returns basetype(t): the underlying named type (§4.1).
+func (t TypeRef) Base() string { return t.Name }
+
+// IsList reports whether the type is a list type or a list type wrapped in
+// a non-null type — the condition used by rule WS4.
+func (t TypeRef) IsList() bool { return t.List }
+
+// Elem returns the element type of a list type. It panics for non-lists.
+func (t TypeRef) Elem() TypeRef {
+	if !t.List {
+		panic("schema: Elem of non-list TypeRef")
+	}
+	return TypeRef{Name: t.Name, NonNull: t.ElemNonNull}
+}
+
+// String renders the type in SDL syntax, e.g. "[String!]!".
+func (t TypeRef) String() string {
+	s := t.Name
+	if t.List {
+		if t.ElemNonNull {
+			s += "!"
+		}
+		s = "[" + s + "]"
+	}
+	if t.NonNull {
+		s += "!"
+	}
+	return s
+}
+
+// FromAST converts an ast.Type to a TypeRef. It rejects nesting deeper
+// than one list level, which the paper's formalization (§4.1) does not
+// admit for Property Graph schemas.
+func FromAST(t ast.Type) (TypeRef, error) {
+	switch x := t.(type) {
+	case *ast.NamedType:
+		return Named(x.Name), nil
+	case *ast.NonNullType:
+		inner, err := FromAST(x.Elem)
+		if err != nil {
+			return TypeRef{}, err
+		}
+		return NonNullOf(inner), nil
+	case *ast.ListType:
+		inner, err := FromAST(x.Elem)
+		if err != nil {
+			return TypeRef{}, err
+		}
+		if inner.List {
+			return TypeRef{}, fmt.Errorf("nested list type %s is not admitted by the Property Graph schema formalization", t.String())
+		}
+		return ListOf(inner), nil
+	}
+	return TypeRef{}, fmt.Errorf("unknown AST type %T", t)
+}

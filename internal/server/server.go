@@ -1,0 +1,135 @@
+// Package server exposes a Property Graph behind a GraphQL HTTP endpoint
+// — the deployment shape the paper's §3.6 outlook describes. The handler
+// speaks the de-facto GraphQL-over-HTTP protocol: POST a JSON body
+// {"query": …, "operationName": …} (or GET with a ?query= parameter) to
+// /graphql and receive {"data": …} or {"errors": [{"message": …}]}.
+//
+// The endpoint is read-only by construction: the query executor supports
+// no mutations, so a handler over a shared graph is safe for concurrent
+// requests.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"pgschema/internal/apigen"
+	"pgschema/internal/pg"
+	"pgschema/internal/query"
+	"pgschema/internal/schema"
+)
+
+// Handler serves GraphQL queries over a fixed schema and graph.
+type Handler struct {
+	s      *schema.Schema
+	g      *pg.Graph
+	apiSDL string
+}
+
+// New builds a handler. The graph must not be mutated while the handler
+// is serving.
+func New(s *schema.Schema, g *pg.Graph) (*Handler, error) {
+	apiSDL, err := apigen.ExtendSDL(s, apigen.Options{})
+	if err != nil {
+		// A schema that already declares Query still works for
+		// querying; the SDL endpoint just reports the original.
+		apiSDL = ""
+	}
+	return &Handler{s: s, g: g, apiSDL: apiSDL}, nil
+}
+
+// Mux returns an http.Handler with the full route table:
+//
+//	POST/GET /graphql   query execution
+//	GET      /schema    the generated API schema as SDL text
+//	GET      /healthz   liveness
+func (h *Handler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/graphql", h.serveGraphQL)
+	mux.HandleFunc("/schema", h.serveSchema)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// request is the GraphQL-over-HTTP request body.
+type request struct {
+	Query         string `json:"query"`
+	OperationName string `json:"operationName"`
+}
+
+// response is the GraphQL-over-HTTP response body.
+type response struct {
+	Data   map[string]any `json:"data,omitempty"`
+	Errors []respError    `json:"errors,omitempty"`
+}
+
+type respError struct {
+	Message string `json:"message"`
+}
+
+func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
+	var req request
+	switch r.Method {
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("query")
+		req.OperationName = r.URL.Query().Get("operationName")
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "request body is not valid JSON: "+err.Error())
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "no query provided")
+		return
+	}
+	doc, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusOK, err.Error()) // GraphQL errors are 200s
+		return
+	}
+	data, err := query.Execute(h.s, h.g, doc, req.OperationName)
+	if err != nil {
+		writeError(w, http.StatusOK, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, response{Data: data})
+}
+
+func (h *Handler) serveSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if h.apiSDL == "" {
+		writeError(w, http.StatusNotFound, "no generated API schema available")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, h.apiSDL)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, response{Errors: []respError{{Message: msg}}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

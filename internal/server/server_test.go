@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pgschema/internal/parser"
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+	"pgschema/internal/values"
+)
+
+func newTestHandler(t *testing.T) *Handler {
+	t.Helper()
+	doc, err := parser.Parse(`
+		type City @key(fields: ["name"]) {
+			name: String! @required
+			twin: [City] @distinct @noLoops
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pg.New()
+	lk := g.AddNode("City")
+	g.SetNodeProp(lk, "name", values.String("Linköping"))
+	ams := g.AddNode("City")
+	g.SetNodeProp(ams, "name", values.String("Amsterdam"))
+	g.MustAddEdge(lk, ams, "twin")
+	h, err := New(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func do(t *testing.T, h *Handler, method, url, body string) (*http.Response, response) {
+	t.Helper()
+	var reader *strings.Reader
+	if body == "" {
+		reader = strings.NewReader("")
+	} else {
+		reader = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, url, reader)
+	rec := httptest.NewRecorder()
+	h.Mux().ServeHTTP(rec, req)
+	res := rec.Result()
+	var out response
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil && res.Header.Get("Content-Type") == "application/json" {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return res, out
+}
+
+func TestPostQuery(t *testing.T) {
+	h := newTestHandler(t)
+	res, out := do(t, h, "POST", "/graphql",
+		`{"query": "{ city(name: \"Linköping\") { name twin { name } } }"}`)
+	if res.StatusCode != 200 || len(out.Errors) > 0 {
+		t.Fatalf("status %d, errors %v", res.StatusCode, out.Errors)
+	}
+	city := out.Data["city"].(map[string]any)
+	if city["name"] != "Linköping" {
+		t.Errorf("data: %v", out.Data)
+	}
+	twins := city["twin"].([]any)
+	if len(twins) != 1 || twins[0].(map[string]any)["name"] != "Amsterdam" {
+		t.Errorf("twins: %v", twins)
+	}
+}
+
+func TestGetQuery(t *testing.T) {
+	h := newTestHandler(t)
+	res, out := do(t, h, "GET", "/graphql?query="+strings.ReplaceAll("{ allCities { name } }", " ", "%20"), "")
+	if res.StatusCode != 200 || len(out.Errors) > 0 {
+		t.Fatalf("status %d, errors %v", res.StatusCode, out.Errors)
+	}
+	if len(out.Data["allCities"].([]any)) != 2 {
+		t.Errorf("data: %v", out.Data)
+	}
+}
+
+func TestOperationName(t *testing.T) {
+	h := newTestHandler(t)
+	body := `{"query": "query A { allCities { name } } query B { city(name: \"Amsterdam\") { name } }", "operationName": "B"}`
+	res, out := do(t, h, "POST", "/graphql", body)
+	if res.StatusCode != 200 || len(out.Errors) > 0 {
+		t.Fatalf("status %d, errors %v", res.StatusCode, out.Errors)
+	}
+	if out.Data["city"].(map[string]any)["name"] != "Amsterdam" {
+		t.Errorf("data: %v", out.Data)
+	}
+}
+
+func TestGraphQLErrorsAre200s(t *testing.T) {
+	h := newTestHandler(t)
+	res, out := do(t, h, "POST", "/graphql", `{"query": "{ nope { x } }"}`)
+	if res.StatusCode != 200 {
+		t.Errorf("status: %d", res.StatusCode)
+	}
+	if len(out.Errors) != 1 || !strings.Contains(out.Errors[0].Message, "unknown query field") {
+		t.Errorf("errors: %v", out.Errors)
+	}
+	// Syntax error likewise.
+	_, out = do(t, h, "POST", "/graphql", `{"query": "{ broken"}`)
+	if len(out.Errors) != 1 {
+		t.Errorf("errors: %v", out.Errors)
+	}
+}
+
+func TestTransportErrors(t *testing.T) {
+	h := newTestHandler(t)
+	res, _ := do(t, h, "POST", "/graphql", `not json`)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", res.StatusCode)
+	}
+	res, _ = do(t, h, "POST", "/graphql", `{}`)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query: status %d", res.StatusCode)
+	}
+	res, _ = do(t, h, "DELETE", "/graphql", "")
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("bad method: status %d", res.StatusCode)
+	}
+}
+
+func TestSchemaAndHealthEndpoints(t *testing.T) {
+	h := newTestHandler(t)
+	req := httptest.NewRequest("GET", "/schema", nil)
+	rec := httptest.NewRecorder()
+	h.Mux().ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "allCities") {
+		t.Errorf("schema endpoint: %d\n%s", rec.Code, rec.Body.String())
+	}
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	rec = httptest.NewRecorder()
+	h.Mux().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Errorf("healthz: %d", rec.Code)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	h := newTestHandler(t)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			req := httptest.NewRequest("GET", "/graphql?query=%7B%20allCities%20%7B%20name%20%7D%20%7D", nil)
+			rec := httptest.NewRecorder()
+			h.Mux().ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				done <- http.ErrAbortHandler
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package token defines the lexical tokens of the GraphQL Schema Definition
+// Language (SDL), June 2018 edition, together with source positions.
+//
+// The token set follows §2 (Language) of the GraphQL specification: the
+// punctuators, names, and the Int, Float, and String (including block
+// string) literal forms. Comments and commas are "ignored tokens" in the
+// spec; the lexer discards them and they never appear here.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The token kinds of the SDL grammar.
+const (
+	// Special tokens.
+	Illegal Kind = iota // a lexical error; Literal holds the message
+	EOF                 // end of input
+
+	// Lexical classes with a literal value.
+	Name        // Letter followed by letters, digits, underscores
+	Int         // integer literal, e.g. 42, -7
+	Float       // float literal, e.g. 3.14, -1e10
+	String      // quoted string literal, value is the *decoded* text
+	BlockString // triple-quoted string literal, value is the decoded text
+
+	// Punctuators (§2.1.8).
+	Bang      // !
+	Dollar    // $
+	Amp       // &
+	ParenL    // (
+	ParenR    // )
+	Spread    // ...
+	Colon     // :
+	Equals    // =
+	At        // @
+	BracketL  // [
+	BracketR  // ]
+	BraceL    // {
+	BraceR    // }
+	Pipe      // |
+	numTokens // sentinel; keep last
+)
+
+var kindNames = [...]string{
+	Illegal:     "Illegal",
+	EOF:         "EOF",
+	Name:        "Name",
+	Int:         "Int",
+	Float:       "Float",
+	String:      "String",
+	BlockString: "BlockString",
+	Bang:        "'!'",
+	Dollar:      "'$'",
+	Amp:         "'&'",
+	ParenL:      "'('",
+	ParenR:      "')'",
+	Spread:      "'...'",
+	Colon:       "':'",
+	Equals:      "'='",
+	At:          "'@'",
+	BracketL:    "'['",
+	BracketR:    "']'",
+	BraceL:      "'{'",
+	BraceR:      "'}'",
+	Pipe:        "'|'",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Position is a line/column location in an SDL source text. Lines and
+// columns are 1-based; Offset is the 0-based byte offset.
+type Position struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+// String formats the position as "line:column".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// IsValid reports whether the position has been set.
+func (p Position) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its decoded literal and position.
+type Token struct {
+	Kind    Kind
+	Literal string // decoded value for Name/Int/Float/String/BlockString; message for Illegal
+	Pos     Position
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Name, Int, Float:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Literal)
+	case String, BlockString:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Literal)
+	case Illegal:
+		return fmt.Sprintf("Illegal(%s)", t.Literal)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,47 @@
+package token
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Illegal: "Illegal", EOF: "EOF", Name: "Name", Int: "Int",
+		Float: "Float", String: "String", BlockString: "BlockString",
+		Bang: "'!'", Spread: "'...'", Pipe: "'|'",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(-1).String(); got != "Kind(-1)" {
+		t.Errorf("out of range: %q", got)
+	}
+}
+
+func TestPosition(t *testing.T) {
+	p := Position{Offset: 10, Line: 2, Column: 5}
+	if p.String() != "2:5" {
+		t.Errorf("String: %q", p.String())
+	}
+	if !p.IsValid() || (Position{}).IsValid() {
+		t.Error("IsValid broken")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: Name, Literal: "foo"}, "Name(foo)"},
+		{Token{Kind: Int, Literal: "42"}, "Int(42)"},
+		{Token{Kind: String, Literal: "a b"}, `String("a b")`},
+		{Token{Kind: Illegal, Literal: "boom"}, "Illegal(boom)"},
+		{Token{Kind: BraceL}, "'{'"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package validate
+
+import (
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+)
+
+// Delta lists the graph elements touched by a mutation batch: nodes that
+// were added, relabeled, or had properties changed, and edges that were
+// added, removed, or had properties changed. Removed edges may be listed
+// (their endpoints are still resolvable); removed nodes should instead be
+// covered by listing their former neighbours.
+type Delta struct {
+	Nodes []pg.NodeID
+	Edges []pg.EdgeID
+	// Labels lists additional node types whose @key buckets must be
+	// recomputed: the former labels of relabeled nodes (the current
+	// label is derived from Nodes automatically). Without this, a
+	// relabeled node could leave a stale key-conflict report behind.
+	Labels []string
+}
+
+// Revalidate produces the full validation result after a mutation without
+// re-checking the entire graph: it re-runs each rule only over the region
+// the delta can influence and splices the fresh findings into prev.
+//
+// The influence regions per rule:
+//
+//	WS1, SS1, SS2, DS5      the delta nodes themselves
+//	WS2, WS3, SS3, SS4      the delta edges themselves
+//	WS4, DS1, DS2, DS6      delta nodes and sources of delta edges
+//	DS3, DS4                delta nodes and targets of delta edges
+//	DS7                     every node type ⊒-related to a delta node
+//	                        (key buckets are global per type)
+//
+// prev must be a Strong-mode result for the same schema over the graph
+// state before the mutation; the returned result equals what a full
+// Validate would produce on the current state (the equivalence the tests
+// verify).
+func Revalidate(s *schema.Schema, g *pg.Graph, prev *Result, delta Delta) *Result {
+	r := &runner{s: s, g: g}
+
+	nodeSet := make(map[pg.NodeID]bool)
+	edgeSet := make(map[pg.EdgeID]bool)
+	sourceSet := make(map[pg.NodeID]bool) // delta nodes ∪ sources of delta edges
+	targetSet := make(map[pg.NodeID]bool) // delta nodes ∪ targets of delta edges
+	for _, n := range delta.Nodes {
+		nodeSet[n] = true
+		sourceSet[n] = true
+		targetSet[n] = true
+		// A node's label and existence feed into the edge-scoped rules
+		// of every incident edge (WS2/WS3/SS3/SS4 key off λ(v1) and
+		// λ(v2)), so incident edges — including freshly removed ones —
+		// join the region.
+		for _, e := range g.AllOutEdges(n) {
+			edgeSet[e] = true
+		}
+		for _, e := range g.AllInEdges(n) {
+			edgeSet[e] = true
+		}
+	}
+	for _, e := range delta.Edges {
+		edgeSet[e] = true
+	}
+	for e := range edgeSet {
+		src, dst := g.Endpoints(e)
+		sourceSet[src] = true
+		targetSet[dst] = true
+	}
+	// Node types whose key buckets may have shifted. Removed nodes
+	// still expose their former label, so they contribute too.
+	affectedTypes := make(map[string]bool)
+	for n := range nodeSet {
+		affectedTypes[g.NodeLabel(n)] = true
+	}
+	for _, l := range delta.Labels {
+		affectedTypes[l] = true
+	}
+
+	// Fresh violations from the affected region: each rule runs with its
+	// element space restricted to the region it can newly fire in.
+	c := newCollector(0)
+	run := func(rule Rule, only map[pg.NodeID]bool, onlyEdges map[pg.EdgeID]bool) {
+		r.onlyNodes, r.onlyEdges, r.onlyTypes = only, onlyEdges, nil
+		r.runRule(rule, c.emit, 0, 1)
+	}
+	for _, rule := range []Rule{WS1, SS1, SS2, DS5} {
+		run(rule, nodeSet, nil)
+	}
+	for _, rule := range []Rule{WS2, WS3, SS3, SS4} {
+		run(rule, nil, edgeSet)
+	}
+	for _, rule := range []Rule{WS4, DS1, DS2, DS6} {
+		run(rule, sourceSet, nil)
+	}
+	for _, rule := range []Rule{DS3, DS4} {
+		run(rule, targetSet, nil)
+	}
+	// DS7 needs the full key buckets of the affected types.
+	r.onlyNodes, r.onlyEdges, r.onlyTypes = nil, nil, affectedTypes
+	r.runRule(DS7, c.emit, 0, 1)
+	fresh := c.result()
+
+	// Splice: drop prior violations anchored in the affected region,
+	// keep the rest, add the fresh findings.
+	out := newCollector(0)
+	for _, v := range prev.Violations {
+		if staleViolation(r, v, nodeSet, edgeSet, sourceSet, targetSet, affectedTypes) {
+			continue
+		}
+		out.emit(v)
+	}
+	for _, v := range fresh.Violations {
+		out.emit(v)
+	}
+	return out.result()
+}
+
+// staleViolation reports whether a prior violation lies in the region the
+// delta invalidates (and was therefore recomputed).
+func staleViolation(r *runner, v Violation, nodeSet map[pg.NodeID]bool, edgeSet map[pg.EdgeID]bool, sourceSet, targetSet map[pg.NodeID]bool, affectedTypes map[string]bool) bool {
+	switch v.Rule {
+	case WS1, SS1, SS2, DS5:
+		return nodeSet[v.Node] || !r.g.HasNode(v.Node)
+	case WS2, WS3, SS3, SS4:
+		return edgeSet[v.Edge] || !r.g.HasEdge(v.Edge)
+	case WS4, DS1, DS2, DS6:
+		return sourceSet[v.Node] || !r.g.HasNode(v.Node)
+	case DS3, DS4:
+		return targetSet[v.Node] || !r.g.HasNode(v.Node)
+	case DS7:
+		if !r.g.HasNode(v.Node) {
+			return true
+		}
+		for label := range affectedTypes {
+			if r.s.SubtypeNamed(label, v.TypeName) {
+				return true
+			}
+		}
+		return false
+	}
+	return true // unknown rule: be safe, recompute path dropped it
+}

@@ -1,0 +1,119 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgschema/internal/pg"
+	"pgschema/internal/values"
+)
+
+// TestWeakSubsetOfStrong: on arbitrarily mutated graphs, the violations
+// reported in Weak mode are exactly the WS-rule subset of the Strong-mode
+// violations (Definition 5.3 extends Definition 5.1 without altering it).
+func TestWeakSubsetOfStrong(t *testing.T) {
+	s := build(t, bookSchema)
+	for seed := int64(0); seed < 20; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		g := bookGraph()
+		for i := 0; i < 10; i++ {
+			applyRandomMutation(g, rnd)
+		}
+		weak := Validate(s, g, Options{Mode: Weak})
+		strong := Validate(s, g, Options{Mode: Strong})
+		var strongWS []Violation
+		for _, v := range strong.Violations {
+			switch v.Rule {
+			case WS1, WS2, WS3, WS4:
+				strongWS = append(strongWS, v)
+			}
+		}
+		if len(weak.Violations) != len(strongWS) {
+			t.Fatalf("seed %d: weak %d vs strong-WS %d", seed, len(weak.Violations), len(strongWS))
+		}
+		for i := range strongWS {
+			if weak.Violations[i] != strongWS[i] {
+				t.Fatalf("seed %d: violation %d differs", seed, i)
+			}
+		}
+		// Directives mode likewise.
+		dir := Validate(s, g, Options{Mode: Directives})
+		var strongDS []Violation
+		for _, v := range strong.Violations {
+			switch v.Rule {
+			case DS1, DS2, DS3, DS4, DS5, DS6, DS7:
+				strongDS = append(strongDS, v)
+			}
+		}
+		if len(dir.Violations) != len(strongDS) {
+			t.Fatalf("seed %d: directives %d vs strong-DS %d", seed, len(dir.Violations), len(strongDS))
+		}
+	}
+}
+
+// TestDS4UnionTarget: @requiredForTarget through a union constrains every
+// member type's nodes.
+func TestDS4UnionTarget(t *testing.T) {
+	s := build(t, `
+		union Doc = Memo | Report
+		type Registry { tracks: [Doc] @requiredForTarget }
+		type Memo { x: Int }
+		type Report { y: Int }`)
+	g := pg.New()
+	reg := g.AddNode("Registry")
+	m := g.AddNode("Memo")
+	r := g.AddNode("Report")
+	g.MustAddEdge(reg, m, "tracks")
+	// The Report lacks an incoming tracks edge: DS4.
+	check(t, s, g, Options{}, DS4)
+	g.MustAddEdge(reg, r, "tracks")
+	check(t, s, g, Options{})
+}
+
+// TestDS3InterfaceSources: @uniqueForTarget declared on an interface
+// counts incoming edges from ALL implementing types together.
+func TestDS3InterfaceSources(t *testing.T) {
+	s := build(t, `
+		interface Owner { owns: [Asset] @uniqueForTarget }
+		type Person implements Owner { owns: [Asset] }
+		type Company implements Owner { owns: [Asset] }
+		type Asset { x: Int }`)
+	g := pg.New()
+	p := g.AddNode("Person")
+	c := g.AddNode("Company")
+	a := g.AddNode("Asset")
+	g.MustAddEdge(p, a, "owns")
+	check(t, s, g, Options{})
+	g.MustAddEdge(c, a, "owns") // second incoming from a ⊑Owner source
+	check(t, s, g, Options{}, DS3)
+}
+
+// TestMaxViolationsParallel: the cap holds under the parallel engine too.
+func TestMaxViolationsParallel(t *testing.T) {
+	s := build(t, sessionSchema)
+	g := pg.New()
+	for i := 0; i < 200; i++ {
+		g.AddNode("Ghost")
+	}
+	res := Validate(s, g, Options{MaxViolations: 7, Workers: 4})
+	if len(res.Violations) != 7 || !res.Truncated {
+		t.Errorf("got %d violations, truncated=%v", len(res.Violations), res.Truncated)
+	}
+}
+
+// TestEnumPropertyValues: enum-typed attributes accept declared values in
+// both Enum and String representation and reject everything else.
+func TestEnumPropertyValues(t *testing.T) {
+	s := build(t, `
+		enum Status { OPEN CLOSED }
+		type Ticket { status: Status! @required history: [Status!] }`)
+	g := pg.New()
+	tk := g.AddNode("Ticket")
+	g.SetNodeProp(tk, "status", values.Enum("OPEN"))
+	g.SetNodeProp(tk, "history", values.List(values.String("CLOSED"), values.Enum("OPEN")))
+	check(t, s, g, Options{})
+	g.SetNodeProp(tk, "status", values.String("REOPENED"))
+	check(t, s, g, Options{}, WS1)
+	g.SetNodeProp(tk, "status", values.Int(1))
+	check(t, s, g, Options{}, WS1)
+}

@@ -1,0 +1,323 @@
+// Package values implements the scalar value system of the paper's §4.1:
+// the set Vals of scalar values, the special value null, finite lists over
+// values, and the membership function values(t) for the five built-in
+// GraphQL scalar types (Int, Float, String, Boolean, ID).
+//
+// Property Graph property values (the range of σ in Definition 2.1) and
+// GraphQL argument values are both represented by the immutable Value type.
+package values
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic kinds of a Value.
+type Kind int
+
+// The value kinds. Null represents the distinguished value null that is
+// not in Vals (§4.1); List represents finite lists L(X).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBoolean
+	KindID
+	KindEnum
+	KindList
+)
+
+var kindNames = [...]string{"Null", "Int", "Float", "String", "Boolean", "ID", "Enum", "List"}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Value is an immutable scalar value, enum value, list of values, or null.
+// The zero Value is null.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	b    bool
+	s    string
+	list []Value
+}
+
+// Null is the distinguished null value (not a member of Vals).
+var Null = Value{kind: KindNull}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Boolean returns a boolean value.
+func Boolean(v bool) Value { return Value{kind: KindBoolean, b: v} }
+
+// ID returns an identifier value.
+func ID(v string) Value { return Value{kind: KindID, s: v} }
+
+// Enum returns an enum value (a bare name).
+func Enum(name string) Value { return Value{kind: KindEnum, s: name} }
+
+// List returns a list value over the given elements. The elements are
+// copied, so later mutation of the argument slice does not affect the list.
+func List(elems ...Value) Value {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	return Value{kind: KindList, list: cp}
+}
+
+// Kind returns the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; valid only for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric payload as float64 for KindFloat or KindInt.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the textual payload for KindString, KindID, and KindEnum.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload; valid only for KindBoolean.
+func (v Value) AsBool() bool { return v.b }
+
+// Len returns the number of elements for KindList, else 0.
+func (v Value) Len() int { return len(v.list) }
+
+// Elem returns the i-th list element; valid only for KindList.
+func (v Value) Elem(i int) Value { return v.list[i] }
+
+// Elems returns a copy of the list elements (nil for non-lists).
+func (v Value) Elems() []Value {
+	if v.kind != KindList {
+		return nil
+	}
+	cp := make([]Value, len(v.list))
+	copy(cp, v.list)
+	return cp
+}
+
+// Equal reports deep structural equality. Int and Float values compare
+// across kinds when numerically equal (3 == 3.0), matching the coercion
+// behaviour of the GraphQL value system; String and ID compare across
+// kinds when textually equal, as Property Graph stores do not distinguish
+// identifier strings from plain strings.
+func (v Value) Equal(w Value) bool {
+	if v.kind == KindList || w.kind == KindList {
+		if v.kind != KindList || w.kind != KindList || len(v.list) != len(w.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(w.list[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if isNumeric(v.kind) && isNumeric(w.kind) {
+		if v.kind == KindInt && w.kind == KindInt {
+			return v.i == w.i
+		}
+		return v.AsFloat() == w.AsFloat()
+	}
+	if isTextual(v.kind) && isTextual(w.kind) {
+		return v.s == w.s
+	}
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBoolean:
+		return v.b == w.b
+	}
+	return false
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+func isTextual(k Kind) bool { return k == KindString || k == KindID || k == KindEnum }
+
+// String renders the value in GraphQL literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString, KindID:
+		return strconv.Quote(v.s)
+	case KindEnum:
+		return v.s
+	case KindBoolean:
+		return strconv.FormatBool(v.b)
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return "?"
+}
+
+// Key returns a canonical string usable as a map key for deduplication,
+// consistent with Equal (values that are Equal yield the same key).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindInt:
+		return "f:" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "f:" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString, KindID, KindEnum:
+		return "s:" + v.s
+	case KindBoolean:
+		return "b:" + strconv.FormatBool(v.b)
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.Key()
+		}
+		return "l:[" + strings.Join(parts, ",") + "]"
+	}
+	return "?"
+}
+
+// BuiltinScalars lists the five built-in scalar type names of §4.1.
+var BuiltinScalars = []string{"Int", "Float", "String", "Boolean", "ID"}
+
+// IsBuiltinScalar reports whether name is one of the five built-ins.
+func IsBuiltinScalar(name string) bool {
+	switch name {
+	case "Int", "Float", "String", "Boolean", "ID":
+		return true
+	}
+	return false
+}
+
+// BuiltinMember implements values(t) for the built-in scalar types:
+// it reports whether v ∈ values(t). Null is never a member (null is added
+// by valuesW, not values). The membership rules follow the result-coercion
+// rules of the GraphQL specification:
+//
+//   - Int:     integer values within 32-bit range (§3.5.1)
+//   - Float:   float or integer values (§3.5.2)
+//   - String:  string values (§3.5.3)
+//   - Boolean: boolean values (§3.5.4)
+//   - ID:      string or integer values (§3.5.5)
+func BuiltinMember(name string, v Value) bool {
+	if v.kind == KindNull || v.kind == KindList {
+		return false
+	}
+	switch name {
+	case "Int":
+		return v.kind == KindInt && v.i >= math.MinInt32 && v.i <= math.MaxInt32
+	case "Float":
+		return v.kind == KindFloat || v.kind == KindInt
+	case "String":
+		return v.kind == KindString || v.kind == KindID
+	case "Boolean":
+		return v.kind == KindBoolean
+	case "ID":
+		return v.kind == KindID || v.kind == KindString || v.kind == KindInt
+	}
+	return false
+}
+
+// MarshalJSON encodes the value as JSON. Enum values encode as strings.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindNull:
+		return []byte("null"), nil
+	case KindInt:
+		return json.Marshal(v.i)
+	case KindFloat:
+		return json.Marshal(v.f)
+	case KindString, KindID, KindEnum:
+		return json.Marshal(v.s)
+	case KindBoolean:
+		return json.Marshal(v.b)
+	case KindList:
+		if v.list == nil {
+			return []byte("[]"), nil
+		}
+		return json.Marshal(v.list)
+	}
+	return nil, fmt.Errorf("values: cannot marshal kind %v", v.kind)
+}
+
+// UnmarshalJSON decodes a JSON value. Numbers without fraction or exponent
+// decode as Int, others as Float; strings decode as String.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	parsed, err := fromJSON(raw)
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
+}
+
+func fromJSON(raw any) (Value, error) {
+	switch x := raw.(type) {
+	case nil:
+		return Null, nil
+	case bool:
+		return Boolean(x), nil
+	case string:
+		return String(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil && !strings.ContainsAny(x.String(), ".eE") {
+			return Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return Null, fmt.Errorf("values: bad number %q", x.String())
+		}
+		return Float(f), nil
+	case []any:
+		elems := make([]Value, len(x))
+		for i, e := range x {
+			v, err := fromJSON(e)
+			if err != nil {
+				return Null, err
+			}
+			elems[i] = v
+		}
+		return Value{kind: KindList, list: elems}, nil
+	}
+	return Null, fmt.Errorf("values: unsupported JSON value %T", raw)
+}

@@ -1,0 +1,333 @@
+package values
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Int(3), KindInt},
+		{Float(3.5), KindFloat},
+		{String("x"), KindString},
+		{Boolean(true), KindBoolean},
+		{ID("u1"), KindID},
+		{Enum("METER"), KindEnum},
+		{List(Int(1), Int(2)), KindList},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestEqualBasics(t *testing.T) {
+	if !Int(3).Equal(Int(3)) || Int(3).Equal(Int(4)) {
+		t.Error("Int equality broken")
+	}
+	if !Null.Equal(Null) || Null.Equal(Int(0)) {
+		t.Error("Null equality broken")
+	}
+	if !Boolean(true).Equal(Boolean(true)) || Boolean(true).Equal(Boolean(false)) {
+		t.Error("Boolean equality broken")
+	}
+}
+
+func TestEqualCrossKind(t *testing.T) {
+	// Numeric coercion: 3 == 3.0.
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	// Textual coercion: ID and String with the same text are equal.
+	if !ID("a").Equal(String("a")) {
+		t.Error("ID and String with same text should be equal")
+	}
+	if !Enum("E").Equal(String("E")) {
+		t.Error("Enum and String with same text should be equal")
+	}
+	// But text never equals a number or boolean.
+	if String("3").Equal(Int(3)) || String("true").Equal(Boolean(true)) {
+		t.Error("cross-category equality must fail")
+	}
+}
+
+func TestEqualLists(t *testing.T) {
+	a := List(Int(1), String("x"))
+	b := List(Int(1), String("x"))
+	c := List(Int(1))
+	d := List(String("x"), Int(1))
+	if !a.Equal(b) {
+		t.Error("equal lists not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) || a.Equal(Int(1)) {
+		t.Error("unequal lists reported Equal")
+	}
+	if !List().Equal(List()) {
+		t.Error("empty lists should be equal")
+	}
+}
+
+func TestListImmutability(t *testing.T) {
+	src := []Value{Int(1), Int(2)}
+	l := List(src...)
+	src[0] = Int(99)
+	if l.Elem(0).AsInt() != 1 {
+		t.Error("List captured caller's slice instead of copying")
+	}
+	elems := l.Elems()
+	elems[1] = Int(99)
+	if l.Elem(1).AsInt() != 2 {
+		t.Error("Elems returned the internal slice")
+	}
+}
+
+func TestKeyConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(3), Float(3.0)},
+		{ID("a"), String("a")},
+		{List(Int(1), Int(2)), List(Float(1), Float(2))},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Errorf("%v should equal %v", p[0], p[1])
+		}
+		if p[0].Key() != p[1].Key() {
+			t.Errorf("Equal values with different keys: %q vs %q", p[0].Key(), p[1].Key())
+		}
+	}
+	// Distinguishable values must have distinct keys.
+	distinct := []Value{Null, Int(1), Int(2), String("1"), Boolean(true), List(Int(1)), List(), String("")}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		if prev, ok := seen[v.Key()]; ok {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[v.Key()] = v
+	}
+}
+
+func TestBuiltinMemberInt(t *testing.T) {
+	if !BuiltinMember("Int", Int(0)) || !BuiltinMember("Int", Int(math.MaxInt32)) || !BuiltinMember("Int", Int(math.MinInt32)) {
+		t.Error("in-range ints rejected")
+	}
+	if BuiltinMember("Int", Int(math.MaxInt32+1)) || BuiltinMember("Int", Int(math.MinInt32-1)) {
+		t.Error("out-of-range ints accepted (GraphQL Int is 32-bit)")
+	}
+	if BuiltinMember("Int", Float(3)) || BuiltinMember("Int", String("3")) {
+		t.Error("non-int accepted as Int")
+	}
+}
+
+func TestBuiltinMemberFloat(t *testing.T) {
+	if !BuiltinMember("Float", Float(2.5)) || !BuiltinMember("Float", Int(7)) {
+		t.Error("Float must accept floats and ints")
+	}
+	if BuiltinMember("Float", String("2.5")) {
+		t.Error("Float must reject strings")
+	}
+}
+
+func TestBuiltinMemberStringBooleanID(t *testing.T) {
+	if !BuiltinMember("String", String("x")) || !BuiltinMember("String", ID("x")) {
+		t.Error("String membership broken")
+	}
+	if BuiltinMember("String", Int(1)) {
+		t.Error("String must reject ints")
+	}
+	if !BuiltinMember("Boolean", Boolean(false)) || BuiltinMember("Boolean", String("false")) {
+		t.Error("Boolean membership broken")
+	}
+	if !BuiltinMember("ID", ID("u1")) || !BuiltinMember("ID", String("u1")) || !BuiltinMember("ID", Int(4)) {
+		t.Error("ID must accept ids, strings, and ints")
+	}
+	if BuiltinMember("ID", Float(1.5)) || BuiltinMember("ID", Boolean(true)) {
+		t.Error("ID must reject floats and booleans")
+	}
+}
+
+func TestNullAndListNeverBuiltinMembers(t *testing.T) {
+	for _, s := range BuiltinScalars {
+		if BuiltinMember(s, Null) {
+			t.Errorf("null accepted as values(%s); null is added by valuesW only", s)
+		}
+		if BuiltinMember(s, List(Int(1))) {
+			t.Errorf("list accepted as values(%s)", s)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null, Int(42), Int(-1), Float(2.5), String("hello"),
+		Boolean(true), List(Int(1), String("two"), List(Boolean(false))),
+		List(),
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !v.Equal(back) {
+			t.Errorf("round trip %v -> %s -> %v", v, data, back)
+		}
+	}
+}
+
+func TestJSONIntStaysInt(t *testing.T) {
+	var v Value
+	if err := json.Unmarshal([]byte("7"), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != KindInt {
+		t.Errorf("7 decoded as %v, want Int", v.Kind())
+	}
+	if err := json.Unmarshal([]byte("7.0"), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != KindFloat {
+		t.Errorf("7.0 decoded as %v, want Float", v.Kind())
+	}
+}
+
+// Property: Equal is reflexive and symmetric over randomly built values.
+func TestEqualReflexiveSymmetric(t *testing.T) {
+	gen := func(i int64, f float64, s string, b bool) Value {
+		switch i % 6 {
+		case 0:
+			return Int(i)
+		case 1:
+			return Float(f)
+		case 2:
+			return String(s)
+		case 3:
+			return Boolean(b)
+		case 4:
+			return List(Int(i), String(s))
+		default:
+			return Null
+		}
+	}
+	prop := func(i int64, f float64, s string, b bool, j int64) bool {
+		v := gen(i, f, s, b)
+		w := gen(j, f, s, !b)
+		if !v.Equal(v) {
+			return false
+		}
+		return v.Equal(w) == w.Equal(v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key agrees with Equal on random values.
+func TestKeyAgreesWithEqual(t *testing.T) {
+	prop := func(i, j int64, s1, s2 string, useStr bool) bool {
+		var v, w Value
+		if useStr {
+			v, w = String(s1), String(s2)
+		} else {
+			v, w = Int(i), Int(j)
+		}
+		return v.Equal(w) == (v.Key() == w.Key())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"null":       Null,
+		"42":         Int(42),
+		"2.5":        Float(2.5),
+		`"hi"`:       String("hi"),
+		`"u1"`:       ID("u1"),
+		"METER":      Enum("METER"),
+		"true":       Boolean(true),
+		"[1, \"a\"]": List(Int(1), String("a")),
+		"[]":         List(),
+		"[[2]]":      List(List(Int(2))),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "Null", KindInt: "Int", KindFloat: "Float",
+		KindString: "String", KindBoolean: "Boolean", KindID: "ID",
+		KindEnum: "Enum", KindList: "List",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d: %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("out of range: %q", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("AsFloat on Int")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat on Float")
+	}
+	if !Boolean(true).AsBool() {
+		t.Error("AsBool")
+	}
+	if Enum("E").AsString() != "E" || ID("i").AsString() != "i" {
+		t.Error("AsString")
+	}
+	if Int(1).Len() != 0 || Null.Elems() != nil {
+		t.Error("list accessors on non-lists")
+	}
+	l := List(Int(1), Int(2))
+	if l.Len() != 2 || l.Elem(1).AsInt() != 2 {
+		t.Error("Elem/Len")
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	var v Value
+	if err := v.UnmarshalJSON([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if err := v.UnmarshalJSON([]byte(`{"k": 1}`)); err == nil {
+		t.Error("object accepted (property values are scalars/lists)")
+	}
+}
+
+func TestEnumJSONEncodesAsString(t *testing.T) {
+	data, err := json.Marshal(Enum("METER"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"METER"` {
+		t.Errorf("enum JSON: %s", data)
+	}
+	// Marshaling a nil-backed empty list yields [].
+	data, err = json.Marshal(List())
+	if err != nil || string(data) != "[]" {
+		t.Errorf("empty list JSON: %s (%v)", data, err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package pgschema is a complete implementation of "Defining Schemas for
+// Property Graphs by using the GraphQL Schema Definition Language"
+// (Hartig and Hidders, GRADES-NDA 2019).
+//
+// The package repurposes the GraphQL SDL (June 2018 edition) as a schema
+// language for Property Graphs: object types name node labels, attribute
+// fields declare node properties, relationship fields declare outgoing
+// edges, field arguments declare edge properties, and six directives
+// (@required, @key, @distinct, @noLoops, @uniqueForTarget,
+// @requiredForTarget) express the paper's constraint repertoire.
+//
+// Three capabilities are exposed:
+//
+//   - ParseSchema compiles SDL text into the paper's formal schema
+//     (Definition 4.1), verifying interface and directives consistency
+//     (Definitions 4.3–4.5);
+//   - ValidateGraph decides strong/weak/directives satisfaction
+//     (Definitions 5.1–5.3) of a Property Graph, reporting every
+//     violation with its rule (WS1–WS4, DS1–DS7, SS1–SS4);
+//   - CheckType decides object-type satisfiability (§6.2) with a
+//     three-stage portfolio (counting, ALCQI tableau, bounded
+//     finite-model search) and produces witness graphs.
+//
+// The subsystems live in internal packages and are re-exported here as
+// type aliases, so this package is the entire public surface.
+package pgschema
+
+import (
+	"io"
+
+	"pgschema/internal/apigen"
+	"pgschema/internal/gen"
+	"pgschema/internal/parser"
+	"pgschema/internal/pg"
+	"pgschema/internal/printer"
+	"pgschema/internal/query"
+	"pgschema/internal/sat"
+	"pgschema/internal/schema"
+	"pgschema/internal/validate"
+	"pgschema/internal/values"
+)
+
+// Schema is the formal GraphQL schema of Definition 4.1.
+type Schema = schema.Schema
+
+// TypeDef is a named type with its fields and directives.
+type TypeDef = schema.TypeDef
+
+// FieldDef is a field definition with its type and arguments.
+type FieldDef = schema.FieldDef
+
+// TypeRef is a possibly wrapped type reference (t, t!, [t], [t!], [t]!,
+// [t!]!).
+type TypeRef = schema.TypeRef
+
+// BuildOptions configures ParseSchema.
+type BuildOptions = schema.Options
+
+// Graph is a Property Graph (V, E, ρ, λ, σ) per Definition 2.1.
+type Graph = pg.Graph
+
+// NodeID identifies a node in a Graph.
+type NodeID = pg.NodeID
+
+// EdgeID identifies an edge in a Graph.
+type EdgeID = pg.EdgeID
+
+// Value is a property value: a scalar, an enum value, a list, or null.
+type Value = values.Value
+
+// Violation is one failed rule instance from a validation run.
+type Violation = validate.Violation
+
+// Rule identifies a satisfaction rule (WS1–WS4, DS1–DS7, SS1–SS4).
+type Rule = validate.Rule
+
+// ValidationResult is the outcome of ValidateGraph.
+type ValidationResult = validate.Result
+
+// ValidateOptions configures ValidateGraph.
+type ValidateOptions = validate.Options
+
+// SatReport is the outcome of CheckType / CheckField.
+type SatReport = sat.Report
+
+// SatOptions configures CheckType / CheckField.
+type SatOptions = sat.Options
+
+// GenConfig configures GenerateConformant.
+type GenConfig = gen.Config
+
+// Validation modes (which satisfaction notion ValidateGraph checks).
+const (
+	Strong     = validate.Strong
+	Weak       = validate.Weak
+	Directives = validate.Directives
+)
+
+// Satisfiability verdicts.
+const (
+	Satisfiable   = sat.Satisfiable
+	Unsatisfiable = sat.Unsatisfiable
+	Unknown       = sat.Unknown
+)
+
+// Value constructors.
+var (
+	// Null is the distinguished null value.
+	Null = values.Null
+)
+
+// Int returns an integer property value.
+func Int(v int64) Value { return values.Int(v) }
+
+// Float returns a floating-point property value.
+func Float(v float64) Value { return values.Float(v) }
+
+// String returns a string property value.
+func String(v string) Value { return values.String(v) }
+
+// Boolean returns a boolean property value.
+func Boolean(v bool) Value { return values.Boolean(v) }
+
+// ID returns an identifier property value.
+func ID(v string) Value { return values.ID(v) }
+
+// Enum returns an enum property value.
+func Enum(name string) Value { return values.Enum(name) }
+
+// List returns a list property value.
+func List(elems ...Value) Value { return values.List(elems...) }
+
+// ParseSchema parses SDL source text and builds a consistent schema.
+func ParseSchema(src string) (*Schema, error) {
+	return ParseSchemaWithOptions(src, BuildOptions{})
+}
+
+// ParseSchemaWithOptions parses SDL source with explicit build options
+// (e.g. ignoring unknown directives, or skipping the consistency check).
+func ParseSchemaWithOptions(src string, opts BuildOptions) (*Schema, error) {
+	doc, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return schema.Build(doc, opts)
+}
+
+// FormatSchema parses SDL source and renders it canonically.
+func FormatSchema(src string) (string, error) {
+	doc, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return printer.Print(doc), nil
+}
+
+// NewGraph returns an empty Property Graph.
+func NewGraph() *Graph { return pg.New() }
+
+// ReadGraphJSON loads a Property Graph from its JSON interchange form.
+func ReadGraphJSON(r io.Reader) (*Graph, error) { return pg.ReadJSON(r) }
+
+// ReadGraphCSV loads a Property Graph from nodes/edges CSV streams.
+func ReadGraphCSV(nodes, edges io.Reader) (*Graph, error) { return pg.ReadCSV(nodes, edges) }
+
+// ValidateGraph checks the satisfaction notion selected in opts (strong
+// satisfaction by default) and returns all violations.
+func ValidateGraph(s *Schema, g *Graph, opts ValidateOptions) *ValidationResult {
+	return validate.Validate(s, g, opts)
+}
+
+// Delta describes a graph mutation batch for incremental revalidation.
+type Delta = validate.Delta
+
+// Revalidate updates a previous strong-validation result after a mutation
+// without re-checking the whole graph; the result equals what a full
+// ValidateGraph would produce.
+func Revalidate(s *Schema, g *Graph, prev *ValidationResult, delta Delta) *ValidationResult {
+	return validate.Revalidate(s, g, prev, delta)
+}
+
+// CheckType decides object-type satisfiability for the named type.
+func CheckType(s *Schema, typeName string, opts SatOptions) SatReport {
+	return sat.Check(s, typeName, opts)
+}
+
+// CheckField decides edge-definition satisfiability for (typeName,
+// fieldName) per the closing remark of §6.2.
+func CheckField(s *Schema, typeName, fieldName string, opts SatOptions) SatReport {
+	return sat.CheckField(s, typeName, fieldName, opts)
+}
+
+// GenerateConformant generates a Property Graph that strongly satisfies
+// the schema (for tests, demos, and benchmarks).
+func GenerateConformant(s *Schema, cfg GenConfig) (*Graph, error) {
+	return gen.Conformant(s, cfg)
+}
+
+// APIOptions configures ExtendToAPISchema.
+type APIOptions = apigen.Options
+
+// ExtendToAPISchema performs the §3.6 extension step: it turns a Property
+// Graph schema into a GraphQL API schema by synthesizing a query root
+// type and — unless disabled — inverse fields for bidirectional edge
+// traversal, returning the result as SDL text.
+func ExtendToAPISchema(s *Schema, opts APIOptions) (string, error) {
+	return apigen.ExtendSDL(s, opts)
+}
+
+// ExecuteQuery evaluates a GraphQL query directly against a Property
+// Graph under the conventions of ExtendToAPISchema: root fields
+// `all<Plural>` and `<type>(key: …)`, attribute/relationship fields,
+// inverse `_<field>Of<Type>` traversal, fragments, and `__typename`.
+// Relationship-field arguments filter traversal by edge-property
+// equality. The result is a JSON-ready tree.
+func ExecuteQuery(s *Schema, g *Graph, querySrc string) (map[string]any, error) {
+	return query.ExecuteQuery(s, g, querySrc)
+}
