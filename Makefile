@@ -1,0 +1,20 @@
+# Tier-1 gate: everything must build, vet clean, and pass the test
+# suite under the race detector.
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem -run=^$$ ./...

@@ -4,6 +4,7 @@ package pgschema_test
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -135,5 +136,32 @@ func TestFacadeParseErrors(t *testing.T) {
 	}
 	if _, err := pgschema.ReadGraphJSON(strings.NewReader("nope")); err == nil {
 		t.Error("bad graph JSON accepted")
+	}
+}
+
+func TestFacadeHTTPHandler(t *testing.T) {
+	s, err := pgschema.ParseSchema(facadeSDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pgschema.GenerateConformant(s, pgschema.GenConfig{Seed: 1, NodesPerType: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pgschema.NewHTTPHandler(s, g, pgschema.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/validate", strings.NewReader("{}")))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok": true`) {
+		t.Errorf("POST /validate: %d\n%s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "pgschema_validation_runs_total 1") {
+		t.Errorf("GET /metrics: %d\n%s", rec.Code, rec.Body.String())
 	}
 }

@@ -21,11 +21,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"pgschema/internal/apigen"
 	"pgschema/internal/cnf"
@@ -351,6 +358,10 @@ func cmdQuery(args []string) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	reqTimeout := fs.Duration("timeout", 30*time.Second, "per-request handler timeout (0 disables)")
+	maxInFlight := fs.Int("max-inflight", 1024, "concurrent request limit, excess sheds with 503 (0 = unlimited)")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+	quiet := fs.Bool("quiet", false, "disable access logging")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("serve: want schema and graph files")
@@ -363,12 +374,66 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	h, err := server.New(s, g)
+	cfg := server.Config{
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInFlight,
+		MaxBodyBytes:   *maxBody,
+	}
+	if !*quiet {
+		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	h, err := server.New(s, g, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving GraphQL on %s (POST /graphql, GET /schema, GET /healthz)\n", *addr)
-	return http.ListenAndServe(*addr, h.Mux())
+
+	// WriteTimeout must outlast the handler timeout, or the connection
+	// dies before the 504 is written.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h.Mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      *reqTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if *reqTimeout <= 0 {
+		srv.WriteTimeout = 0
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving on %s (POST /graphql /validate /revalidate, GET /schema /metrics /healthz)\n",
+		ln.Addr())
+	return serveUntilSignal(srv, ln)
+}
+
+// serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM
+// arrives, then drains in-flight requests via graceful Shutdown (bounded
+// to 15s) before returning.
+func serveUntilSignal(srv *http.Server, ln net.Listener) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Fprintln(os.Stderr, "signal received, draining in-flight requests ...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "server stopped")
+		return nil
+	}
 }
 
 func cmdReduce(args []string) error {

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral port and releases it for the server
+// under test. The tiny reuse window is acceptable in tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitForServer polls url until it answers 200 or the deadline passes.
+func waitForServer(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := http.Get(url)
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", url)
+}
+
+// TestCmdServeGracefulSIGINT: `pgschema serve` answers requests, then
+// exits cleanly (nil error) when the process receives SIGINT.
+func TestCmdServeGracefulSIGINT(t *testing.T) {
+	dir := t.TempDir()
+	schema := write(t, dir, "s.graphql", testSchema)
+	graph := write(t, dir, "g.json", testGraph)
+	addr := freePort(t)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := capture(t, func() error {
+			return cmdServe([]string{"-addr", addr, "-quiet", schema, graph})
+		})
+		done <- err
+	}()
+	base := "http://" + addr
+	waitForServer(t, base+"/healthz")
+
+	// The service actually serves: a validation run over the graph.
+	res, err := http.Post(base+"/validate", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok": true`) {
+		t.Fatalf("validate: %d %s", res.StatusCode, body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve exited with error after SIGINT: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not exit within 5s of SIGINT")
+	}
+}
+
+// TestServeUntilSignalDrains: a request in flight when the signal
+// arrives still completes before serveUntilSignal returns.
+func TestServeUntilSignalDrains(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var served atomic.Bool
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		served.Store(true)
+		fmt.Fprint(w, "drained")
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(srv, ln) }()
+
+	reqDone := make(chan string, 1)
+	go func() {
+		res, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			reqDone <- err.Error()
+			return
+		}
+		defer res.Body.Close()
+		body, _ := io.ReadAll(res.Body)
+		reqDone <- string(body)
+	}()
+	<-entered
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	// Give Shutdown a moment to begin, then let the handler finish.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("serveUntilSignal returned before in-flight request finished")
+	default:
+	}
+	close(release)
+
+	if got := <-reqDone; got != "drained" {
+		t.Errorf("in-flight request: got %q", got)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serveUntilSignal: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntilSignal did not return after drain")
+	}
+	if !served.Load() {
+		t.Error("handler never completed")
+	}
+}

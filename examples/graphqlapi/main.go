@@ -2,7 +2,10 @@
 // Graph schema is extended into a GraphQL API schema, a conformant graph
 // is generated, and GraphQL queries are executed directly against the
 // graph — including the bidirectional traversal the paper notes plain
-// PG schemas cannot offer.
+// PG schemas cannot offer. It then stands up the full HTTP service and
+// drives the validation endpoints: a full run via POST /validate, an
+// incremental run via POST /revalidate after a mutation, and the
+// operational counters via GET /metrics.
 //
 // Run with: go run ./examples/graphqlapi
 package main
@@ -10,7 +13,11 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"pgschema"
 )
@@ -105,5 +112,47 @@ func main() {
 		}
 		blob, _ := json.MarshalIndent(out, "", "  ")
 		fmt.Printf("=== %s ===\n%s\n\n", qc.title, blob)
+	}
+
+	// The same schema and graph as an HTTP validation service.
+	handler, err := pgschema.NewHTTPHandler(s, g, pgschema.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	post := func(path, body string) string {
+		res, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer res.Body.Close()
+		blob, _ := io.ReadAll(res.Body)
+		return strings.TrimSpace(string(blob))
+	}
+
+	fmt.Println("=== POST /validate (full strong run) ===")
+	fmt.Println(post("/validate", `{"workers": 2}`))
+	fmt.Println()
+
+	// Mutate the graph — a member edge duplicating an existing one
+	// violates @distinct (DS1) — and revalidate just the delta.
+	dup := g.MustAddEdge(band, ada, "member")
+	fmt.Println("=== POST /revalidate (after adding a duplicate member edge) ===")
+	fmt.Println(post("/revalidate", fmt.Sprintf(`{"edges": [%d]}`, dup)))
+	fmt.Println()
+
+	fmt.Println("=== GET /metrics (validation series) ===")
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Body.Close()
+	blob, _ := io.ReadAll(res.Body)
+	for _, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(line, "pgschema_validation_") {
+			fmt.Println(line)
+		}
 	}
 }

@@ -19,6 +19,7 @@
 package apigen
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -44,6 +45,13 @@ type Options struct {
 	NoInverseFields bool
 }
 
+// ErrQueryTypeDeclared reports that the input schema already declares a
+// type with the query root's name, so no API schema can be synthesized
+// for it. Callers that can serve such schemas anyway (the original SDL
+// still describes a valid Property Graph schema) detect this case with
+// errors.Is and degrade instead of failing.
+var ErrQueryTypeDeclared = errors.New("query root type name already declared")
+
 // Extend builds the GraphQL API schema document for a Property Graph
 // schema. The schema must have been built by schema.Build.
 func Extend(s *schema.Schema, opts Options) (*ast.Document, error) {
@@ -51,7 +59,7 @@ func Extend(s *schema.Schema, opts Options) (*ast.Document, error) {
 		opts.QueryTypeName = "Query"
 	}
 	if s.Type(opts.QueryTypeName) != nil {
-		return nil, fmt.Errorf("apigen: schema already declares a type named %q", opts.QueryTypeName)
+		return nil, fmt.Errorf("apigen: schema already declares a type named %q: %w", opts.QueryTypeName, ErrQueryTypeDeclared)
 	}
 	doc := &ast.Document{}
 

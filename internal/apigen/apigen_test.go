@@ -1,6 +1,7 @@
 package apigen
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -167,8 +168,14 @@ func TestKeepConstraintDirectives(t *testing.T) {
 
 func TestQueryNameCollision(t *testing.T) {
 	s := build(t, `type Query { x: Int }`)
-	if _, err := Extend(s, Options{}); err == nil {
+	_, err := Extend(s, Options{})
+	if err == nil {
 		t.Error("expected an error for an existing Query type")
+	}
+	// The collision is detectable as the sentinel, so callers can
+	// degrade instead of treating it as a generation failure.
+	if !errors.Is(err, ErrQueryTypeDeclared) {
+		t.Errorf("error %v does not wrap ErrQueryTypeDeclared", err)
 	}
 	// An alternate name works.
 	if _, err := Extend(s, Options{QueryTypeName: "Root"}); err != nil {

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pgschema/internal/validate"
+)
+
+// latencyBuckets are the cumulative histogram bounds for request
+// latency, exponential from 1ms to 10s.
+var latencyBuckets = []time.Duration{
+	1 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram. counts[i] holds
+// observations ≤ latencyBuckets[i]; the implicit +Inf bucket is count.
+type histogram struct {
+	counts []int64
+	sum    time.Duration
+	count  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.sum += d
+	h.count++
+	for i, le := range latencyBuckets {
+		if d <= le {
+			h.counts[i]++
+		}
+	}
+}
+
+// metrics is the in-process registry behind GET /metrics: request counts
+// and latency by route, plus validation run counts and cumulative
+// per-rule timings.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]int64 // route -> status -> count
+	latency  map[string]*histogram    // route -> histogram
+
+	validationRuns int64
+	ruleTime       map[validate.Rule]time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]int64),
+		latency:  make(map[string]*histogram),
+		ruleTime: make(map[validate.Rule]time.Duration),
+	}
+}
+
+// knownRoutes keeps the metrics label space bounded: arbitrary request
+// paths (scans, typos) all fold into "other".
+var knownRoutes = map[string]bool{
+	"/graphql":    true,
+	"/schema":     true,
+	"/validate":   true,
+	"/revalidate": true,
+	"/metrics":    true,
+	"/healthz":    true,
+}
+
+func (m *metrics) recordRequest(path string, status int, d time.Duration) {
+	if !knownRoutes[path] {
+		path = "other"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[path]
+	if byStatus == nil {
+		byStatus = make(map[int]int64)
+		m.requests[path] = byStatus
+	}
+	byStatus[status]++
+	hist := m.latency[path]
+	if hist == nil {
+		hist = newHistogram()
+		m.latency[path] = hist
+	}
+	hist.observe(d)
+}
+
+func (m *metrics) recordValidation(ruleTime map[validate.Rule]time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.validationRuns++
+	for rule, d := range ruleTime {
+		m.ruleTime[rule] += d
+	}
+}
+
+// render writes the registry in the Prometheus text exposition format,
+// with series sorted for deterministic output.
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("# HELP pgschema_http_requests_total Requests served, by path and status.\n")
+	b.WriteString("# TYPE pgschema_http_requests_total counter\n")
+	for _, path := range sortedKeys(m.requests) {
+		byStatus := m.requests[path]
+		statuses := make([]int, 0, len(byStatus))
+		for s := range byStatus {
+			statuses = append(statuses, s)
+		}
+		sort.Ints(statuses)
+		for _, s := range statuses {
+			fmt.Fprintf(&b, "pgschema_http_requests_total{path=%q,status=\"%d\"} %d\n", path, s, byStatus[s])
+		}
+	}
+
+	b.WriteString("# HELP pgschema_http_request_duration_seconds Request latency, by path.\n")
+	b.WriteString("# TYPE pgschema_http_request_duration_seconds histogram\n")
+	for _, path := range sortedKeys(m.latency) {
+		hist := m.latency[path]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(&b, "pgschema_http_request_duration_seconds_bucket{path=%q,le=\"%g\"} %d\n",
+				path, le.Seconds(), hist.counts[i])
+		}
+		fmt.Fprintf(&b, "pgschema_http_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", path, hist.count)
+		fmt.Fprintf(&b, "pgschema_http_request_duration_seconds_sum{path=%q} %g\n", path, hist.sum.Seconds())
+		fmt.Fprintf(&b, "pgschema_http_request_duration_seconds_count{path=%q} %d\n", path, hist.count)
+	}
+
+	b.WriteString("# HELP pgschema_validation_runs_total Validation runs served by /validate.\n")
+	b.WriteString("# TYPE pgschema_validation_runs_total counter\n")
+	fmt.Fprintf(&b, "pgschema_validation_runs_total %d\n", m.validationRuns)
+
+	b.WriteString("# HELP pgschema_validation_rule_duration_seconds_total Cumulative time spent per validation rule.\n")
+	b.WriteString("# TYPE pgschema_validation_rule_duration_seconds_total counter\n")
+	rules := make([]string, 0, len(m.ruleTime))
+	for rule := range m.ruleTime {
+		rules = append(rules, string(rule))
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		fmt.Fprintf(&b, "pgschema_validation_rule_duration_seconds_total{rule=%q} %g\n",
+			rule, m.ruleTime[validate.Rule(rule)].Seconds())
+	}
+
+	_, _ = io.WriteString(w, b.String())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.metrics.render(w)
+}

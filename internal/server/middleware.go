@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code a downstream handler writes,
+// for access logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// observe is the outermost middleware: it records request count and
+// latency into the metrics registry and emits one structured access-log
+// line per request when Config.AccessLog is set.
+func (h *Handler) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		h.metrics.recordRequest(r.URL.Path, rec.status, elapsed)
+		if h.cfg.AccessLog != nil {
+			h.cfg.AccessLog.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"duration_ms", float64(elapsed)/float64(time.Millisecond),
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}
+
+// recoverPanics turns a panicking handler into a 500 instead of tearing
+// down the connection (and, under http.Server, the whole goroutine's
+// request). http.ErrAbortHandler is re-raised: it is the sanctioned way
+// to abort a response.
+func (h *Handler) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if h.cfg.AccessLog != nil {
+				h.cfg.AccessLog.Error("panic in handler",
+					"path", r.URL.Path, "value", fmt.Sprint(v), "stack", string(debug.Stack()))
+			}
+			// Best effort: if the handler already wrote headers this
+			// write fails silently, and the client sees a broken body.
+			writeError(w, http.StatusInternalServerError, "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitInFlight caps concurrently executing requests, shedding excess
+// load with 503 instead of queueing it — queued requests would only pile
+// up behind a saturated handler and time out anyway.
+func (h *Handler) limitInFlight(next http.Handler) http.Handler {
+	if h.cfg.MaxInFlight <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, h.cfg.MaxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("server is at its limit of %d concurrent requests", h.cfg.MaxInFlight))
+		}
+	})
+}
+
+// bufferedResponse collects a handler's response in memory so withTimeout
+// can discard it wholesale when the deadline fires; only one goroutine
+// ever touches it (the handler goroutine), and the parent reads it only
+// after that goroutine finished.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	dst := w.Header()
+	for k, vs := range b.header {
+		dst[k] = vs
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.body.Bytes())
+}
+
+// withTimeout bounds handler execution per request. The handler runs in
+// its own goroutine against a buffered response; if the deadline fires
+// first the client receives 504 and the response under construction is
+// abandoned (the goroutine sees its request context cancelled and its
+// writes go nowhere). A panic in the handler goroutine is forwarded to
+// the serving goroutine so recoverPanics sees it.
+func (h *Handler) withTimeout(next http.Handler) http.Handler {
+	d := h.cfg.RequestTimeout
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		buf := &bufferedResponse{header: make(http.Header)}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					panicked <- v
+					return
+				}
+				close(done)
+			}()
+			next.ServeHTTP(buf, r)
+		}()
+		select {
+		case <-done:
+			buf.flushTo(w)
+		case v := <-panicked:
+			panic(v)
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("request exceeded the %s handler timeout", d))
+		}
+	})
+}

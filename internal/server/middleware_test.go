@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimeoutMiddleware: a handler that outlives the deadline gets cut
+// off with 504; a fast handler's buffered response passes through intact.
+func TestTimeoutMiddleware(t *testing.T) {
+	h := newTestHandler(t)
+	h.cfg.RequestTimeout = 20 * time.Millisecond
+
+	release := make(chan struct{})
+	slow := h.withTimeout(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		fmt.Fprint(w, "too late")
+	}))
+	rec := httptest.NewRecorder()
+	slow.ServeHTTP(rec, httptest.NewRequest("GET", "/graphql", nil))
+	close(release)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("slow handler: status %d, want 504", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), "too late") {
+		t.Errorf("abandoned response leaked through: %s", rec.Body.String())
+	}
+
+	fast := h.withTimeout(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Fast", "yes")
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "done")
+	}))
+	rec = httptest.NewRecorder()
+	fast.ServeHTTP(rec, httptest.NewRequest("GET", "/graphql", nil))
+	if rec.Code != http.StatusTeapot || rec.Body.String() != "done" || rec.Header().Get("X-Fast") != "yes" {
+		t.Errorf("fast handler mangled: status %d, body %q, headers %v", rec.Code, rec.Body.String(), rec.Header())
+	}
+}
+
+// TestRecoveryMiddleware: a panicking handler becomes a 500, including
+// when the panic happens inside the timeout middleware's goroutine.
+func TestRecoveryMiddleware(t *testing.T) {
+	h := newTestHandler(t)
+	panicky := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})
+
+	rec := httptest.NewRecorder()
+	h.recoverPanics(panicky).ServeHTTP(rec, httptest.NewRequest("GET", "/graphql", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("direct panic: status %d, want 500", rec.Code)
+	}
+
+	h.cfg.RequestTimeout = time.Second
+	rec = httptest.NewRecorder()
+	h.recoverPanics(h.withTimeout(panicky)).ServeHTTP(rec, httptest.NewRequest("GET", "/graphql", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panic through timeout goroutine: status %d, want 500", rec.Code)
+	}
+}
+
+// TestConcurrencyLimit: with MaxInFlight slots occupied, the next
+// request is shed with 503 instead of queued.
+func TestConcurrencyLimit(t *testing.T) {
+	h := newTestHandler(t)
+	h.cfg.MaxInFlight = 2
+
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	limited := h.limitInFlight(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		entered <- struct{}{}
+		<-release
+		fmt.Fprint(w, "ok")
+	}))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			limited.ServeHTTP(rec, httptest.NewRequest("GET", "/graphql", nil))
+			if rec.Code != http.StatusOK {
+				t.Errorf("in-limit request: status %d", rec.Code)
+			}
+		}()
+	}
+	<-entered
+	<-entered // both slots held
+
+	rec := httptest.NewRecorder()
+	limited.ServeHTTP(rec, httptest.NewRequest("GET", "/graphql", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("over-limit request: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("shed response lacks Retry-After")
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+// TestBodyLimit413: oversized POST bodies get 413, not a JSON parse
+// error; a body exactly at the limit still parses.
+func TestBodyLimit413(t *testing.T) {
+	h := newTestHandler(t)
+	h.cfg.MaxBodyBytes = 64
+	mux := h.Mux()
+
+	big := `{"query": "` + strings.Repeat("x", 100) + `"}`
+	req := httptest.NewRequest("POST", "/graphql", strings.NewReader(big))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413 (body %s)", rec.Code, rec.Body.String())
+	}
+
+	exact := `{"query": "{ allCities { name } }"}`
+	exact += strings.Repeat(" ", 64-len(exact)) // pad to exactly the limit
+	req = httptest.NewRequest("POST", "/graphql", strings.NewReader(exact))
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("at-limit body: status %d, want 200 (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBodyLimitDefault1MiB pins the acceptance criterion: a >1 MiB POST
+// against the default configuration returns 413.
+func TestBodyLimitDefault1MiB(t *testing.T) {
+	h := newTestHandler(t)
+	mux := h.Mux()
+	big := `{"query": "` + strings.Repeat("x", DefaultMaxBodyBytes) + `"}`
+	req := httptest.NewRequest("POST", "/graphql", strings.NewReader(big))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("1 MiB+ body: status %d, want 413", rec.Code)
+	}
+}
+
+// TestHealthzBypassesLimit: probes answer even when the API routes are
+// saturated at the concurrency limit.
+func TestHealthzBypassesLimit(t *testing.T) {
+	h := newTestHandler(t)
+	h.cfg.MaxInFlight = 1
+	h.cfg.RequestTimeout = 5 * time.Second
+	mux := h.Mux()
+
+	// Saturate the single slot with a request parked on a body read
+	// that blocks until released; reading proves it holds the slot.
+	body := &blockedBody{ch: make(chan struct{}), reading: make(chan struct{})}
+	go func() {
+		req := httptest.NewRequest("POST", "/graphql", body)
+		mux.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	<-body.reading
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/graphql?query=%7B%20allCities%20%7B%20name%20%7D%20%7D", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("API route under saturation: status %d, want 503", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz under saturation: status %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("metrics under saturation: status %d, want 200", rec.Code)
+	}
+	close(body.ch)
+}
+
+// blockedBody is an io.Reader that announces its first Read and then
+// blocks until released, to park a request inside its handler.
+type blockedBody struct {
+	ch      chan struct{}
+	reading chan struct{}
+	once    sync.Once
+}
+
+func (b *blockedBody) Read([]byte) (int, error) {
+	b.once.Do(func() { close(b.reading) })
+	<-b.ch
+	return 0, fmt.Errorf("unblocked")
+}

@@ -1,58 +1,131 @@
 // Package server exposes a Property Graph behind a GraphQL HTTP endpoint
-// — the deployment shape the paper's §3.6 outlook describes. The handler
-// speaks the de-facto GraphQL-over-HTTP protocol: POST a JSON body
-// {"query": …, "operationName": …} (or GET with a ?query= parameter) to
-// /graphql and receive {"data": …} or {"errors": [{"message": …}]}.
+// — the deployment shape the paper's §3.6 outlook describes — together
+// with an online validation service and operational endpoints.
+//
+// The GraphQL handler speaks the de-facto GraphQL-over-HTTP protocol:
+// POST a JSON body {"query": …, "operationName": …} (or GET with a
+// ?query= parameter) to /graphql and receive {"data": …} or
+// {"errors": [{"message": …}]}.
+//
+// The validation service turns the validate package into a callable
+// endpoint: POST /validate runs the rules of Definitions 5.1–5.3 over
+// the hosted graph (mode, rule subset, violation cap, and parallelism
+// selectable per request), and POST /revalidate answers incrementally
+// from the last cached full result given a mutation delta. GET /metrics
+// exposes request counts, latency histograms, and per-rule validation
+// timings in the Prometheus text format.
 //
 // The endpoint is read-only by construction: the query executor supports
 // no mutations, so a handler over a shared graph is safe for concurrent
-// requests.
+// requests. Mux wraps the routes in a middleware stack — panic recovery,
+// a per-request timeout, an in-flight concurrency limit with 503 load
+// shedding, and structured access logging — configured via Config.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"sync"
+	"time"
 
 	"pgschema/internal/apigen"
 	"pgschema/internal/pg"
 	"pgschema/internal/query"
 	"pgschema/internal/schema"
+	"pgschema/internal/validate"
 )
 
-// Handler serves GraphQL queries over a fixed schema and graph.
+// DefaultMaxBodyBytes caps POST bodies when Config.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 1 << 20
+
+// Config tunes the production behavior of the handler. The zero value
+// disables every knob: no timeout, no concurrency limit, no access log,
+// and the default body cap.
+type Config struct {
+	// RequestTimeout bounds handler execution per request; on expiry the
+	// client receives 504 Gateway Timeout. 0 disables the timeout.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing requests; excess requests
+	// are shed with 503 Service Unavailable. 0 means unlimited.
+	// /healthz and /metrics bypass the limit (and the timeout) so that
+	// probes and scrapes keep working under load.
+	MaxInFlight int
+	// MaxBodyBytes caps POST request bodies; larger bodies receive 413
+	// Request Entity Too Large. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, path, status, duration, remote address).
+	AccessLog *slog.Logger
+}
+
+// Handler serves GraphQL queries and the validation service over a fixed
+// schema and graph.
 type Handler struct {
-	s      *schema.Schema
-	g      *pg.Graph
-	apiSDL string
+	s       *schema.Schema
+	g       *pg.Graph
+	apiSDL  string
+	cfg     Config
+	metrics *metrics
+
+	// valMu guards the cached validation result that /revalidate answers
+	// from; /validate refreshes it after every full strong run.
+	valMu      sync.RWMutex
+	lastResult *validate.Result
 }
 
 // New builds a handler. The graph must not be mutated while the handler
-// is serving.
-func New(s *schema.Schema, g *pg.Graph) (*Handler, error) {
+// is serving. A schema that already declares a type named Query cannot
+// be extended into an API schema; the handler still serves queries
+// against the original schema and GET /schema degrades to 404. Any
+// other API-generation failure is returned.
+func New(s *schema.Schema, g *pg.Graph, cfg Config) (*Handler, error) {
 	apiSDL, err := apigen.ExtendSDL(s, apigen.Options{})
 	if err != nil {
-		// A schema that already declares Query still works for
-		// querying; the SDL endpoint just reports the original.
+		if !errors.Is(err, apigen.ErrQueryTypeDeclared) {
+			return nil, fmt.Errorf("generating the API schema: %w", err)
+		}
 		apiSDL = ""
 	}
-	return &Handler{s: s, g: g, apiSDL: apiSDL}, nil
+	return &Handler{s: s, g: g, apiSDL: apiSDL, cfg: cfg, metrics: newMetrics()}, nil
 }
 
-// Mux returns an http.Handler with the full route table:
+// Mux returns the full route table wrapped in the middleware stack:
 //
-//	POST/GET /graphql   query execution
-//	GET      /schema    the generated API schema as SDL text
-//	GET      /healthz   liveness
-func (h *Handler) Mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/graphql", h.serveGraphQL)
-	mux.HandleFunc("/schema", h.serveSchema)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+//	POST/GET /graphql     query execution
+//	GET      /schema      the generated API schema as SDL text
+//	POST     /validate    run schema validation over the hosted graph
+//	POST     /revalidate  incremental validation from a mutation delta
+//	GET      /metrics     Prometheus-format operational metrics
+//	GET      /healthz     liveness
+//
+// Ordered outside-in: access log + metrics, panic recovery, concurrency
+// limit, request timeout. /healthz and /metrics sit outside the limit
+// and timeout so they answer even when the API is saturated.
+func (h *Handler) Mux() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("/graphql", h.serveGraphQL)
+	api.HandleFunc("/schema", h.serveSchema)
+	api.HandleFunc("/validate", h.serveValidate)
+	api.HandleFunc("/revalidate", h.serveRevalidate)
+	var stack http.Handler = api
+	stack = h.withTimeout(stack)
+	stack = h.limitInFlight(stack)
+
+	root := http.NewServeMux()
+	root.Handle("/", stack)
+	root.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	root.HandleFunc("/metrics", h.serveMetrics)
+
+	var hh http.Handler = root
+	hh = h.recoverPanics(hh)
+	hh = h.observe(hh)
+	return hh
 }
 
 // request is the GraphQL-over-HTTP request body.
@@ -71,6 +144,34 @@ type respError struct {
 	Message string `json:"message"`
 }
 
+// maxBodyBytes resolves the configured body cap.
+func (h *Handler) maxBodyBytes() int64 {
+	if h.cfg.MaxBodyBytes > 0 {
+		return h.cfg.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// readBody reads a POST body under the size cap. Oversized bodies get a
+// 413 — reading one byte past the limit distinguishes "too large" from
+// "exactly at the limit", instead of silently truncating into a
+// misleading JSON parse error. The bool reports whether the caller
+// should proceed (on false the response has been written).
+func (h *Handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	limit := h.maxBodyBytes()
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return nil, false
+	}
+	if int64(len(body)) > limit {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte limit", limit))
+		return nil, false
+	}
+	return body, true
+}
+
 func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
 	var req request
 	switch r.Method {
@@ -78,9 +179,8 @@ func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
 		req.Query = r.URL.Query().Get("query")
 		req.OperationName = r.URL.Query().Get("operationName")
 	case http.MethodPost:
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		body, ok := h.readBody(w, r)
+		if !ok {
 			return
 		}
 		if err := json.Unmarshal(body, &req); err != nil {

@@ -33,7 +33,7 @@ func newTestHandler(t *testing.T) *Handler {
 	ams := g.AddNode("City")
 	g.SetNodeProp(ams, "name", values.String("Amsterdam"))
 	g.MustAddEdge(lk, ams, "twin")
-	h, err := New(s, g)
+	h, err := New(s, g, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pgschema/internal/pg"
+	"pgschema/internal/validate"
+)
+
+// maxRequestWorkers caps the per-request parallelism a client may ask
+// for, so one request cannot spawn an unbounded worker pool.
+const maxRequestWorkers = 64
+
+// validateRequest is the POST /validate body. An empty body runs a full
+// strong-satisfaction check sequentially.
+type validateRequest struct {
+	// Mode is "strong" (default), "weak", or "directives".
+	Mode string `json:"mode"`
+	// Rules restricts the run to the named rules (e.g. ["WS1", "DS7"]);
+	// empty means all rules of the mode.
+	Rules []string `json:"rules"`
+	// MaxViolations caps the reported violations; 0 means unlimited.
+	MaxViolations int `json:"maxViolations"`
+	// Workers > 1 enables the parallel engine.
+	Workers int `json:"workers"`
+	// ElementSharding splits element iteration across workers.
+	ElementSharding bool `json:"elementSharding"`
+}
+
+// deltaRequest is the POST /revalidate body, mirroring validate.Delta.
+type deltaRequest struct {
+	Nodes  []int64  `json:"nodes"`
+	Edges  []int64  `json:"edges"`
+	Labels []string `json:"labels"`
+}
+
+// violationJSON is one violation in a validation response.
+type violationJSON struct {
+	Rule     string `json:"rule"`
+	Message  string `json:"message"`
+	Node     int64  `json:"node"` // -1 when no node is involved
+	Edge     int64  `json:"edge"` // -1 when no edge is involved
+	TypeName string `json:"typeName,omitempty"`
+	Field    string `json:"field,omitempty"`
+	Property string `json:"property,omitempty"`
+}
+
+// validationResponse is the body of /validate and /revalidate answers.
+type validationResponse struct {
+	OK          bool               `json:"ok"`
+	Mode        string             `json:"mode"`
+	Nodes       int                `json:"nodes"`
+	Edges       int                `json:"edges"`
+	Violations  []violationJSON    `json:"violations"`
+	Truncated   bool               `json:"truncated"`
+	Incremental bool               `json:"incremental"`
+	ElapsedMS   float64            `json:"elapsedMs"`
+	RuleTimeMS  map[string]float64 `json:"ruleTimeMs,omitempty"`
+}
+
+// decodeJSONBody decodes a POST body into dst under the body cap,
+// rejecting unknown fields. An empty body leaves dst at its zero value.
+// The bool reports whether the caller should proceed.
+func (h *Handler) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	body, ok := h.readBody(w, r)
+	if !ok {
+		return false
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return true
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "request body is not valid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// options translates a validateRequest into validate.Options, reporting
+// the first invalid field as a client error.
+func (req *validateRequest) options() (validate.Options, string) {
+	opts := validate.Options{
+		MaxViolations: req.MaxViolations,
+		Workers:       req.Workers,
+		// Timings feed /metrics; since the parallel engine collects
+		// them too, every run can afford to.
+		ElementSharding: req.ElementSharding,
+		CollectTimings:  true,
+	}
+	switch req.Mode {
+	case "", "strong":
+		opts.Mode = validate.Strong
+	case "weak":
+		opts.Mode = validate.Weak
+	case "directives":
+		opts.Mode = validate.Directives
+	default:
+		return opts, fmt.Sprintf("unknown mode %q (want \"strong\", \"weak\", or \"directives\")", req.Mode)
+	}
+	if req.MaxViolations < 0 {
+		return opts, "maxViolations must be >= 0"
+	}
+	if req.Workers < 0 {
+		return opts, "workers must be >= 0"
+	}
+	if req.Workers > maxRequestWorkers {
+		opts.Workers = maxRequestWorkers
+	}
+	known := make(map[string]validate.Rule, len(validate.AllRules))
+	for _, r := range validate.AllRules {
+		known[string(r)] = r
+	}
+	for _, name := range req.Rules {
+		r, ok := known[name]
+		if !ok {
+			return opts, fmt.Sprintf("unknown rule %q", name)
+		}
+		opts.Rules = append(opts.Rules, r)
+	}
+	return opts, ""
+}
+
+// fullStrongRun reports whether the options describe an uncapped,
+// unrestricted strong check — the only results /revalidate may build on.
+func fullStrongRun(opts validate.Options) bool {
+	return opts.Mode == validate.Strong && opts.Rules == nil && opts.MaxViolations == 0
+}
+
+func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
+	var req validateRequest
+	if !h.decodeJSONBody(w, r, &req) {
+		return
+	}
+	opts, problem := req.options()
+	if problem != "" {
+		writeError(w, http.StatusBadRequest, problem)
+		return
+	}
+	start := time.Now()
+	res := validate.Validate(h.s, h.g, opts)
+	elapsed := time.Since(start)
+	h.metrics.recordValidation(res.RuleTime)
+	if fullStrongRun(opts) {
+		h.valMu.Lock()
+		h.lastResult = res
+		h.valMu.Unlock()
+	}
+	resp := h.validationResponse(res, req.Mode, elapsed, false)
+	ruleMS := make(map[string]float64, len(res.RuleTime))
+	for rule, d := range res.RuleTime {
+		ruleMS[string(rule)] = float64(d) / float64(time.Millisecond)
+	}
+	resp.RuleTimeMS = ruleMS
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
+	var req deltaRequest
+	if !h.decodeJSONBody(w, r, &req) {
+		return
+	}
+	delta := validate.Delta{Labels: req.Labels}
+	for _, id := range req.Nodes {
+		n := pg.NodeID(id)
+		if !h.g.HasNode(n) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown node id %d", id))
+			return
+		}
+		delta.Nodes = append(delta.Nodes, n)
+	}
+	for _, id := range req.Edges {
+		e := pg.EdgeID(id)
+		if !h.g.HasEdge(e) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown edge id %d", id))
+			return
+		}
+		delta.Edges = append(delta.Edges, e)
+	}
+	h.valMu.RLock()
+	prev := h.lastResult
+	h.valMu.RUnlock()
+	if prev == nil {
+		writeError(w, http.StatusConflict,
+			"no cached validation result to revalidate from; POST /validate (full strong mode) first")
+		return
+	}
+	start := time.Now()
+	res := validate.Revalidate(h.s, h.g, prev, delta)
+	elapsed := time.Since(start)
+	h.valMu.Lock()
+	h.lastResult = res
+	h.valMu.Unlock()
+	writeJSON(w, http.StatusOK, h.validationResponse(res, "strong", elapsed, true))
+}
+
+// validationResponse renders a validate.Result as the wire shape.
+func (h *Handler) validationResponse(res *validate.Result, mode string, elapsed time.Duration, incremental bool) validationResponse {
+	if mode == "" {
+		mode = "strong"
+	}
+	out := validationResponse{
+		OK:          res.OK(),
+		Mode:        mode,
+		Nodes:       h.g.NumNodes(),
+		Edges:       h.g.NumEdges(),
+		Violations:  make([]violationJSON, 0, len(res.Violations)),
+		Truncated:   res.Truncated,
+		Incremental: incremental,
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+	}
+	for _, v := range res.Violations {
+		out.Violations = append(out.Violations, violationJSON{
+			Rule:     string(v.Rule),
+			Message:  v.Message,
+			Node:     int64(v.Node),
+			Edge:     int64(v.Edge),
+			TypeName: v.TypeName,
+			Field:    v.Field,
+			Property: v.Property,
+		})
+	}
+	return out
+}

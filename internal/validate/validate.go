@@ -12,6 +12,12 @@
 // schema elements involved. A parallel engine exploits the observation
 // behind Theorem 1 that all rules are constant-depth first-order
 // conditions evaluable independently per graph element.
+//
+// Options.CollectTimings records per-rule wall-clock durations in both
+// engines. Under the parallel engine a rule's duration is the sum of the
+// time its tasks spent across workers (with ElementSharding, the sum over
+// all shards), so it measures CPU cost, not elapsed wall-clock time of
+// the run.
 package validate
 
 import (
@@ -98,11 +104,20 @@ func (v Violation) String() string { return string(v.Rule) + ": " + v.Message }
 // Result is the outcome of a validation run.
 type Result struct {
 	Violations []Violation
-	// Truncated is true when MaxViolations stopped the run early; the
-	// violation list is then a prefix of the full set.
+	// Truncated reports that MaxViolations capped the run: at least one
+	// violation beyond the reported ones exists in the graph. The
+	// reported list is a canonically sorted subset — not a prefix — of
+	// the full violation set. The sequential engine computes Truncated
+	// exactly (it keeps scanning after the cap fills until it either
+	// sees one more violation or exhausts the rules). The parallel
+	// engine skips tasks not yet started once the cap is reached, so it
+	// may report Truncated == false even though further violations
+	// exist; Truncated == true is always trustworthy.
 	Truncated bool
-	// RuleTime holds per-rule wall-clock duration when
-	// Options.CollectTimings was set (sequential engine only).
+	// RuleTime holds per-rule durations when Options.CollectTimings was
+	// set. Sequentially this is wall-clock time per rule; under the
+	// parallel engine it is the summed task time per rule across
+	// workers and shards (see the package comment).
 	RuleTime map[Rule]time.Duration
 }
 
@@ -176,27 +191,31 @@ func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
 	c := newCollector(opts.MaxViolations)
 	run := &runner{s: s, g: g, opts: opts}
 	if opts.Workers > 1 {
-		run.parallel(rules, c)
-	} else {
-		var timings map[Rule]time.Duration
-		if opts.CollectTimings {
-			timings = make(map[Rule]time.Duration, len(rules))
-		}
-		for _, r := range rules {
-			if c.full() {
-				break
-			}
-			start := time.Now()
-			run.runRule(r, c.emit, 0, 1)
-			if timings != nil {
-				timings[r] += time.Since(start)
-			}
-		}
+		timings := run.parallel(rules, c)
 		res := c.result()
 		res.RuleTime = timings
 		return res
 	}
-	return c.result()
+	var timings map[Rule]time.Duration
+	if opts.CollectTimings {
+		timings = make(map[Rule]time.Duration, len(rules))
+	}
+	for _, r := range rules {
+		// Keep scanning after the cap fills: the first rejected emit
+		// proves a violation beyond the cap exists, which makes
+		// Truncated exact in sequential mode.
+		if c.truncated() {
+			break
+		}
+		start := time.Now()
+		run.runRule(r, c.emit, 0, 1)
+		if timings != nil {
+			timings[r] += time.Since(start)
+		}
+	}
+	res := c.result()
+	res.RuleTime = timings
+	return res
 }
 
 // collector accumulates violations with an optional cap, safely across
@@ -205,7 +224,7 @@ type collector struct {
 	mu         sync.Mutex
 	violations []Violation
 	max        int
-	truncated  bool
+	overflow   bool // an emit was rejected: violations beyond max exist
 }
 
 func newCollector(max int) *collector { return &collector{max: max} }
@@ -214,7 +233,7 @@ func (c *collector) emit(v Violation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.max > 0 && len(c.violations) >= c.max {
-		c.truncated = true
+		c.overflow = true
 		return
 	}
 	c.violations = append(c.violations, v)
@@ -224,6 +243,14 @@ func (c *collector) full() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.max > 0 && len(c.violations) >= c.max
+}
+
+// truncated reports whether an emit was rejected by the cap, i.e. the
+// collected set is provably incomplete.
+func (c *collector) truncated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overflow
 }
 
 func (c *collector) result() *Result {
@@ -242,7 +269,7 @@ func (c *collector) result() *Result {
 		}
 		return a.Message < b.Message
 	})
-	return &Result{Violations: c.violations, Truncated: c.truncated}
+	return &Result{Violations: c.violations, Truncated: c.overflow}
 }
 
 // runner binds a schema and graph for one validation run. The optional
@@ -340,8 +367,10 @@ func (r *runner) runRule(rule Rule, emit emitFunc, shard, nShards int) {
 }
 
 // parallel runs the rules on a worker pool, either one rule per task or —
-// with ElementSharding — one (rule, shard) pair per task.
-func (r *runner) parallel(rules []Rule, c *collector) {
+// with ElementSharding — one (rule, shard) pair per task. When
+// Options.CollectTimings is set it returns the per-rule task durations,
+// summed across workers and shards; otherwise it returns nil.
+func (r *runner) parallel(rules []Rule, c *collector) map[Rule]time.Duration {
 	type task struct {
 		rule           Rule
 		shard, nShards int
@@ -365,6 +394,16 @@ func (r *runner) parallel(rules []Rule, c *collector) {
 			tasks = append(tasks, task{rule, 0, 1})
 		}
 	}
+	var (
+		timingMu sync.Mutex
+		timings  map[Rule]time.Duration
+	)
+	if r.opts.CollectTimings {
+		timings = make(map[Rule]time.Duration, len(rules))
+		for _, rule := range rules {
+			timings[rule] = 0 // every requested rule gets an entry
+		}
+	}
 	ch := make(chan task)
 	var wg sync.WaitGroup
 	for w := 0; w < r.opts.Workers; w++ {
@@ -375,7 +414,16 @@ func (r *runner) parallel(rules []Rule, c *collector) {
 				if c.full() {
 					continue
 				}
+				if timings == nil {
+					r.runRule(t.rule, c.emit, t.shard, t.nShards)
+					continue
+				}
+				start := time.Now()
 				r.runRule(t.rule, c.emit, t.shard, t.nShards)
+				elapsed := time.Since(start)
+				timingMu.Lock()
+				timings[t.rule] += elapsed
+				timingMu.Unlock()
 			}
 		}()
 	}
@@ -384,6 +432,7 @@ func (r *runner) parallel(rules []Rule, c *collector) {
 	}
 	close(ch)
 	wg.Wait()
+	return timings
 }
 
 // nodeShard reports whether node id belongs to the shard.

@@ -135,15 +135,19 @@ func (r *runner) ws4(emit emitFunc, shard, nShards int) {
 }
 
 // ws4Naive is the textbook pair scan over E × E from Definition 5.1, kept
-// for the index ablation benchmark.
+// for the index ablation benchmark. Sharding goes by the source node —
+// the key the dedup map uses — so that all pairs with a common source
+// land in one shard; sharding by edge id would let two shards holding
+// different e1 edges with the same (source, field) each emit the
+// violation once.
 func (r *runner) ws4Naive(emit emitFunc, shard, nShards int) {
 	edges := r.edges()
 	reported := make(map[pg.NodeID]map[string]bool)
 	for i, e1 := range edges {
-		if !edgeShard(e1, shard, nShards) {
+		s1, _ := r.g.Endpoints(e1)
+		if !nodeShard(s1, shard, nShards) {
 			continue
 		}
-		s1, _ := r.g.Endpoints(e1)
 		f := r.g.EdgeLabel(e1)
 		for _, e2 := range edges[i+1:] {
 			s2, _ := r.g.Endpoints(e2)

@@ -27,6 +27,7 @@ package pgschema
 
 import (
 	"io"
+	"net/http"
 
 	"pgschema/internal/apigen"
 	"pgschema/internal/gen"
@@ -36,6 +37,7 @@ import (
 	"pgschema/internal/query"
 	"pgschema/internal/sat"
 	"pgschema/internal/schema"
+	"pgschema/internal/server"
 	"pgschema/internal/validate"
 	"pgschema/internal/values"
 )
@@ -205,6 +207,26 @@ type APIOptions = apigen.Options
 // traversal, returning the result as SDL text.
 func ExtendToAPISchema(s *Schema, opts APIOptions) (string, error) {
 	return apigen.ExtendSDL(s, opts)
+}
+
+// ServerConfig configures NewHTTPHandler: per-request timeout,
+// concurrency limit, body size cap, and access logging.
+type ServerConfig = server.Config
+
+// NewHTTPHandler returns an http.Handler serving the full HTTP surface
+// over a schema and a hosted graph: POST /graphql (GraphQL queries per
+// ExtendToAPISchema), GET /schema (the API SDL), POST /validate (a
+// ValidateGraph run configured by the JSON body), POST /revalidate
+// (incremental Revalidate from the last full strong run), GET /metrics
+// (Prometheus text format), and GET /healthz. The handler includes
+// panic recovery, per-request timeouts, and load shedding per cfg.
+// The graph must not be mutated while requests are in flight.
+func NewHTTPHandler(s *Schema, g *Graph, cfg ServerConfig) (http.Handler, error) {
+	h, err := server.New(s, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.Mux(), nil
 }
 
 // ExecuteQuery evaluates a GraphQL query directly against a Property
