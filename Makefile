@@ -1,8 +1,10 @@
-# Tier-1 gate: everything must build, vet clean, and pass the test
-# suite under the race detector.
-.PHONY: check build vet test race bench
+# Tier-1 gate: everything must build, vet clean, pass the test suite
+# under the race detector, and keep every validation engine in agreement
+# (the differential harness runs under -race as part of `race`; the
+# dedicated `differential` target re-runs just it, shuffled).
+.PHONY: check build vet test race differential bench bench-fused
 
-check: build vet race
+check: build vet race differential
 
 build:
 	go build ./...
@@ -11,10 +13,21 @@ vet:
 	go vet ./...
 
 test:
-	go test ./...
+	go test -shuffle=on ./...
 
 race:
-	go test -race ./...
+	go test -race -shuffle=on ./...
+
+# The engine-equivalence proof on its own: every engine configuration
+# must emit the byte-identical violation set, raced and shuffled.
+differential:
+	go test -race -shuffle=on -run 'TestDifferential' -count=1 ./internal/validate/
 
 bench:
 	go test -bench=. -benchmem -run=^$$ ./...
+
+# Fused-engine ablation: fused vs. rule-by-rule vs. naive pair scan.
+# Emits benchstat-compatible output to BENCH_fused.json alongside the
+# terminal stream.
+bench-fused:
+	go test -bench=BenchmarkAblationFused -benchmem -count=6 -run=^$$ . | tee BENCH_fused.json

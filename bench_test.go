@@ -259,6 +259,39 @@ func BenchmarkAblationIndexes(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationFused compares the fused single-pass engine against
+// the rule-by-rule engine and the naive pair scans across graph sizes
+// (strong mode, sequential). The naive configuration is O(|E|²), so it
+// only runs at the smallest size.
+func BenchmarkAblationFused(b *testing.B) {
+	engines := []struct {
+		name string
+		opts pgschema.ValidateOptions
+	}{
+		{"fused", pgschema.ValidateOptions{Engine: pgschema.EngineFused}},
+		{"rule-by-rule", pgschema.ValidateOptions{Engine: pgschema.EngineRuleByRule}},
+		{"naive-pair-scan", pgschema.ValidateOptions{NaivePairScan: true}},
+	}
+	for _, n := range []int{300, 1000, 5000} {
+		s, g := benchGraph(b, n)
+		for _, e := range engines {
+			if e.opts.NaivePairScan && n > 300 {
+				continue
+			}
+			b.Run(fmt.Sprintf("nodesPerType=%d/%s", n, e.name), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := pgschema.ValidateGraph(s, g, e.opts)
+					if !res.OK() {
+						b.Fatal("generated graph invalid")
+					}
+				}
+				b.ReportMetric(float64(g.NumNodes()+g.NumEdges()), "graph-elems")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationSatPortfolio measures each satisfiability procedure in
 // isolation on Example 6.1(a) (all three can decide it) — motivating the
 // portfolio order counting → tableau → bounded.

@@ -9,7 +9,7 @@
 //
 //	pgschema fmt      <schema.graphql>
 //	pgschema check    <schema.graphql>
-//	pgschema validate <schema.graphql> <graph.json> [-mode strong|weak|directives] [-max N] [-workers N]
+//	pgschema validate <schema.graphql> <graph.json> [-mode strong|weak|directives] [-max N] [-workers N] [-engine auto|fused|rule-by-rule]
 //	pgschema sat      <schema.graphql> <TypeName> [-max-nodes N] [-witness FILE]
 //	pgschema generate <schema.graphql> [-nodes N] [-seed N]
 //	pgschema api      <schema.graphql> [-no-inverse] [-keep-directives]
@@ -101,6 +101,8 @@ commands:
       -mode strong|weak|directives  satisfaction notion (default strong)
       -max N                        stop after N violations
       -workers N                    parallel validation workers
+      -engine auto|fused|rule-by-rule
+                                    evaluation engine (default auto = fused)
   sat      <schema> <Type>          decide object-type satisfiability (§6.2)
       -max-nodes N                  bound for the finite-model search
       -witness FILE                 write the witness graph as JSON
@@ -182,6 +184,7 @@ func cmdValidate(args []string) error {
 	mode := fs.String("mode", "strong", "satisfaction notion")
 	max := fs.Int("max", 0, "maximum violations to report (0 = all)")
 	workers := fs.Int("workers", 1, "parallel workers")
+	engine := fs.String("engine", "auto", "evaluation engine: auto, fused, or rule-by-rule")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("validate: want schema and graph files")
@@ -204,6 +207,16 @@ func cmdValidate(args []string) error {
 		opts.Mode = validate.Directives
 	default:
 		return fmt.Errorf("validate: unknown mode %q", *mode)
+	}
+	switch *engine {
+	case "auto":
+		opts.Engine = validate.EngineAuto
+	case "fused":
+		opts.Engine = validate.EngineFused
+	case "rule-by-rule":
+		opts.Engine = validate.EngineRuleByRule
+	default:
+		return fmt.Errorf("validate: unknown engine %q", *engine)
 	}
 	res := validate.Validate(s, g, opts)
 	if res.OK() {

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"testing"
+
+	"pgschema/internal/validate"
+)
+
+// coverageSchema is directive-complete: every one of the fifteen rules is
+// injectable against it. It mirrors the schema the differential harness in
+// internal/validate uses, which relies on the coverage this test pins.
+const coverageSchema = `
+type Author @key(fields: ["name"]) {
+	name: String! @required
+	age: Int
+	favoriteBook: Book
+	relatedAuthor: [Author] @distinct @noLoops
+}
+type Book {
+	title: String! @required
+	pages: Int
+	author(since: Int!, role: String): [Author] @required @distinct
+}
+type BookSeries {
+	contains: [Book] @required @uniqueForTarget
+}
+type Publisher {
+	published: [Book] @uniqueForTarget @requiredForTarget
+}`
+
+// allowedOverlaps lists, per targeted rule, the other rules an injection
+// is documented to co-trigger on coverageSchema:
+//
+//   - DS1: the duplicated @distinct edge may be a loop on a @noLoops field
+//     (relatedAuthor carries both directives), co-triggering DS2.
+//   - DS4: starving a target of its @requiredForTarget in-edge can add a
+//     fresh target node, which then lacks its own @required property
+//     (DS5) and @required relationship (DS6).
+//   - DS5: deleting a @required property that is also a @key field breaks
+//     the key's coverage, co-triggering DS7.
+//   - DS6: a fresh node added to lack its @required relationship also
+//     lacks a @requiredForTarget in-edge (DS4).
+var allowedOverlaps = map[validate.Rule][]validate.Rule{
+	validate.DS1: {validate.DS2},
+	validate.DS4: {validate.DS5, validate.DS6},
+	validate.DS5: {validate.DS7},
+	validate.DS6: {validate.DS4},
+}
+
+// TestInjectCoversAllRules pins the contract the differential harness
+// rests on: against a directive-complete schema, Inject supports every
+// rule in validate.AllRules, the targeted rule is reported, and nothing
+// beyond the documented overlaps fires.
+func TestInjectCoversAllRules(t *testing.T) {
+	s := build(t, coverageSchema)
+	for _, rule := range validate.AllRules {
+		rule := rule
+		t.Run(string(rule), func(t *testing.T) {
+			allowed := map[validate.Rule]bool{rule: true}
+			for _, r := range allowedOverlaps[rule] {
+				allowed[r] = true
+			}
+			for seed := int64(0); seed < 10; seed++ {
+				g, err := Conformant(s, Config{Seed: seed, NodesPerType: 6})
+				if err != nil {
+					t.Fatalf("seed %d: conformant: %v", seed, err)
+				}
+				desc, err := Inject(s, g, rule, seed)
+				if err != nil {
+					t.Fatalf("seed %d: inject unsupported on directive-complete schema: %v", seed, err)
+				}
+				res := validate.Validate(s, g, validate.Options{})
+				byRule := res.ByRule()
+				if len(byRule[rule]) == 0 {
+					t.Errorf("seed %d: injected %q (%s) but targeted rule not reported; got %v",
+						seed, rule, desc, res.Violations)
+				}
+				for got := range byRule {
+					if !allowed[got] {
+						t.Errorf("seed %d: injected %q (%s) but undocumented rule %s fired: %v",
+							seed, rule, desc, got, byRule[got])
+					}
+				}
+			}
+		})
+	}
+}

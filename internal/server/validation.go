@@ -29,6 +29,8 @@ type validateRequest struct {
 	Workers int `json:"workers"`
 	// ElementSharding splits element iteration across workers.
 	ElementSharding bool `json:"elementSharding"`
+	// Engine is "auto" (default), "fused", or "rule-by-rule".
+	Engine string `json:"engine"`
 }
 
 // deltaRequest is the POST /revalidate body, mirroring validate.Delta.
@@ -51,15 +53,18 @@ type violationJSON struct {
 
 // validationResponse is the body of /validate and /revalidate answers.
 type validationResponse struct {
-	OK          bool               `json:"ok"`
-	Mode        string             `json:"mode"`
-	Nodes       int                `json:"nodes"`
-	Edges       int                `json:"edges"`
-	Violations  []violationJSON    `json:"violations"`
-	Truncated   bool               `json:"truncated"`
-	Incremental bool               `json:"incremental"`
-	ElapsedMS   float64            `json:"elapsedMs"`
-	RuleTimeMS  map[string]float64 `json:"ruleTimeMs,omitempty"`
+	OK          bool            `json:"ok"`
+	Mode        string          `json:"mode"`
+	Nodes       int             `json:"nodes"`
+	Edges       int             `json:"edges"`
+	Violations  []violationJSON `json:"violations"`
+	Truncated   bool            `json:"truncated"`
+	Incremental bool            `json:"incremental"`
+	// Engine is the evaluation strategy that produced the result:
+	// "fused" or "rule-by-rule" (incremental runs are rule-by-rule).
+	Engine     string             `json:"engine"`
+	ElapsedMS  float64            `json:"elapsedMs"`
+	RuleTimeMS map[string]float64 `json:"ruleTimeMs,omitempty"`
 }
 
 // decodeJSONBody decodes a POST body into dst under the body cap,
@@ -117,6 +122,16 @@ func (req *validateRequest) options() (validate.Options, string) {
 	if req.Workers > maxRequestWorkers {
 		opts.Workers = maxRequestWorkers
 	}
+	switch req.Engine {
+	case "", "auto":
+		opts.Engine = validate.EngineAuto
+	case "fused":
+		opts.Engine = validate.EngineFused
+	case "rule-by-rule":
+		opts.Engine = validate.EngineRuleByRule
+	default:
+		return opts, fmt.Sprintf("unknown engine %q (want \"auto\", \"fused\", or \"rule-by-rule\")", req.Engine)
+	}
 	known := make(map[string]validate.Rule, len(validate.AllRules))
 	for _, r := range validate.AllRules {
 		known[string(r)] = r
@@ -157,6 +172,7 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 		h.valMu.Unlock()
 	}
 	resp := h.validationResponse(res, req.Mode, elapsed, false)
+	resp.Engine = opts.ResolvedEngine().String()
 	ruleMS := make(map[string]float64, len(res.RuleTime))
 	for rule, d := range res.RuleTime {
 		ruleMS[string(rule)] = float64(d) / float64(time.Millisecond)
@@ -201,7 +217,9 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 	h.valMu.Lock()
 	h.lastResult = res
 	h.valMu.Unlock()
-	writeJSON(w, http.StatusOK, h.validationResponse(res, "strong", elapsed, true))
+	resp := h.validationResponse(res, "strong", elapsed, true)
+	resp.Engine = validate.EngineRuleByRule.String() // Revalidate runs restricted rule-by-rule sweeps
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // validationResponse renders a validate.Result as the wire shape.

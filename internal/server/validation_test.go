@@ -111,6 +111,42 @@ func TestValidateEndpointFindsViolations(t *testing.T) {
 	}
 }
 
+// TestValidateEndpointEngineSelection pins the engine field: requests
+// select the evaluation strategy, the response names the resolved one,
+// and /revalidate reports its restricted rule-by-rule sweeps.
+func TestValidateEndpointEngineSelection(t *testing.T) {
+	h := newTestHandler(t)
+	mux := h.Mux()
+	for body, want := range map[string]string{
+		``:                           "fused", // auto resolves to fused
+		`{"engine": "auto"}`:         "fused",
+		`{"engine": "fused"}`:        "fused",
+		`{"engine": "rule-by-rule"}`: "rule-by-rule",
+	} {
+		rec, out := postJSON(t, mux, "/validate", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("body %q: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if out.Engine != want {
+			t.Errorf("body %q: engine %q, want %q", body, out.Engine, want)
+		}
+		if !out.OK {
+			t.Errorf("body %q: conformant graph not OK: %+v", body, out)
+		}
+	}
+	rec, _ := postJSON(t, mux, "/validate", `{"engine": "warp"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown engine: status %d, want 400", rec.Code)
+	}
+	rec, out := postJSON(t, mux, "/revalidate", `{"nodes": [0]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("revalidate: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out.Engine != "rule-by-rule" {
+		t.Errorf("revalidate engine %q, want %q", out.Engine, "rule-by-rule")
+	}
+}
+
 func TestValidateEndpointBadRequests(t *testing.T) {
 	h := newTestHandler(t)
 	mux := h.Mux()

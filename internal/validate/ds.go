@@ -120,6 +120,13 @@ func (r *runner) ds3Naive(emit emitFunc, shard, nShards int) {
 		if !schema.HasDirective(fd.Directives, schema.DirUniqueForTarget) {
 			continue
 		}
+		// The indexed ds3 only examines nodes of the target type; the pair
+		// scan must apply the same restriction or it reports mislabeled
+		// targets (WS3's concern) that the indexed engine skips.
+		targetLabels := make(map[string]bool)
+		for _, l := range r.s.ConcreteTargets(fd.Type.Base()) {
+			targetLabels[l] = true
+		}
 		edges := r.edges()
 		reported := make(map[pg.NodeID]bool)
 		for i, e1 := range edges {
@@ -127,26 +134,41 @@ func (r *runner) ds3Naive(emit emitFunc, shard, nShards int) {
 				continue
 			}
 			s1, t1 := r.g.Endpoints(e1)
-			if !nodeShard(t1, shard, nShards) {
+			if !nodeShard(t1, shard, nShards) || reported[t1] {
+				continue
+			}
+			if !targetLabels[r.g.NodeLabel(t1)] {
 				continue
 			}
 			if !r.s.SubtypeNamed(r.g.NodeLabel(s1), fd.Owner) {
 				continue
 			}
+			// e1 is the first admissible edge into t1; counting the rest of
+			// the pair scan makes the count — and the witness edge, since
+			// adjacency lists are in edge-id order — byte-identical to the
+			// indexed implementation's.
+			n := 1
+			var second pg.EdgeID = -1
 			for _, e2 := range edges[i+1:] {
 				if r.g.EdgeLabel(e2) != fd.Name {
 					continue
 				}
 				s2, t2 := r.g.Endpoints(e2)
-				if t1 != t2 || reported[t1] || !r.s.SubtypeNamed(r.g.NodeLabel(s2), fd.Owner) {
+				if t1 != t2 || !r.s.SubtypeNamed(r.g.NodeLabel(s2), fd.Owner) {
 					continue
 				}
-				reported[t1] = true
+				n++
+				if n == 2 {
+					second = e2
+				}
+			}
+			reported[t1] = true
+			if n > 1 {
 				emit(Violation{
-					Rule: DS3, Node: t1, Edge: e2,
+					Rule: DS3, Node: t1, Edge: second,
 					TypeName: fd.Owner, Field: fd.Name,
-					Message: fmt.Sprintf("%s: multiple incoming %q edges from %s nodes violate @uniqueForTarget on %s.%s",
-						nodeRef(t1), fd.Name, fd.Owner, fd.Owner, fd.Name),
+					Message: fmt.Sprintf("%s: %d incoming %q edges from %s nodes violate @uniqueForTarget on %s.%s",
+						nodeRef(t1), n, fd.Name, fd.Owner, fd.Owner, fd.Name),
 				})
 			}
 		}

@@ -1,0 +1,700 @@
+package validate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+	"pgschema/internal/values"
+)
+
+// The fused engine evaluates every applicable per-element rule in a
+// single pass over the nodes and a single pass over the edges, instead
+// of one full sweep per rule. Theorem 1's observation that all fifteen
+// satisfaction rules are constant-depth conditions evaluable
+// independently per graph element makes the fusion sound: the rules
+// never exchange information, so interleaving them per element yields
+// the same violation set as running them rule by rule. The differential
+// test harness (differential_test.go) proves the equivalence across
+// engines, worker counts, sharding, and modes.
+//
+// Two rules quantify globally and keep dedicated passes that share the
+// resolution cache: DS4 needs the per-target incoming-edge view and DS7
+// buckets nodes per type. Both run through the existing rule bodies with
+// the runner's cache attached.
+
+// nodePassRules are the rules the fused node pass evaluates, in paper
+// order.
+var nodePassRules = []Rule{WS1, WS4, DS1, DS2, DS3, DS5, DS6, SS1, SS2}
+
+// edgePassRules are the rules the fused edge pass evaluates.
+var edgePassRules = []Rule{WS2, WS3, SS3, SS4}
+
+// fusedWant is the set of requested rules as branch-predictable flags
+// for the fused inner loops.
+type fusedWant struct {
+	ws1, ws2, ws3, ws4             bool
+	ds1, ds2, ds3, ds4, ds5, ds6, ds7 bool
+	ss1, ss2, ss3, ss4             bool
+}
+
+func wantRules(rules []Rule) fusedWant {
+	var w fusedWant
+	for _, r := range rules {
+		switch r {
+		case WS1:
+			w.ws1 = true
+		case WS2:
+			w.ws2 = true
+		case WS3:
+			w.ws3 = true
+		case WS4:
+			w.ws4 = true
+		case DS1:
+			w.ds1 = true
+		case DS2:
+			w.ds2 = true
+		case DS3:
+			w.ds3 = true
+		case DS4:
+			w.ds4 = true
+		case DS5:
+			w.ds5 = true
+		case DS6:
+			w.ds6 = true
+		case DS7:
+			w.ds7 = true
+		case SS1:
+			w.ss1 = true
+		case SS2:
+			w.ss2 = true
+		case SS3:
+			w.ss3 = true
+		case SS4:
+			w.ss4 = true
+		}
+	}
+	return w
+}
+
+// active intersects a pass's rule list with the requested set.
+func (w fusedWant) active(pass []Rule) []Rule {
+	var out []Rule
+	for _, r := range pass {
+		switch r {
+		case WS1:
+			if !w.ws1 {
+				continue
+			}
+		case WS2:
+			if !w.ws2 {
+				continue
+			}
+		case WS3:
+			if !w.ws3 {
+				continue
+			}
+		case WS4:
+			if !w.ws4 {
+				continue
+			}
+		case DS1:
+			if !w.ds1 {
+				continue
+			}
+		case DS2:
+			if !w.ds2 {
+				continue
+			}
+		case DS3:
+			if !w.ds3 {
+				continue
+			}
+		case DS5:
+			if !w.ds5 {
+				continue
+			}
+		case DS6:
+			if !w.ds6 {
+				continue
+			}
+		case SS1:
+			if !w.ss1 {
+				continue
+			}
+		case SS2:
+			if !w.ss2 {
+				continue
+			}
+		case SS3:
+			if !w.ss3 {
+				continue
+			}
+		case SS4:
+			if !w.ss4 {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// propInfo classifies one declared field of a node label once per run,
+// so the inner loops never repeat the attribute/relationship test.
+type propInfo struct {
+	fd     *schema.FieldDef
+	isAttr bool
+}
+
+// srcDecl is one relationship declaration applicable to a label on the
+// source side, with its directive flags resolved once per run.
+type srcDecl struct {
+	fd                          *schema.FieldDef
+	distinct, noLoops, required bool
+}
+
+// labelInfo is everything the fused passes need to know about one node
+// label, resolved once per run.
+type labelInfo struct {
+	td     *schema.TypeDef     // nil when the label is undeclared
+	fields map[string]propInfo // field name → classification (nil when td is nil)
+
+	srcRel   []srcDecl           // relationship decls with label ∈ ConcreteTargets(owner)
+	reqAttrs []*schema.FieldDef  // @required attribute decls applicable to the label (DS5)
+	uftIn    []*schema.FieldDef  // @uniqueForTarget decls with label ∈ ConcreteTargets(base) (DS3)
+}
+
+// resolution is the per-run schema lookup cache shared by every fused
+// pass (and, via the runner, by the dedicated DS4/DS7 passes): label →
+// type, per-label field classification, per-label directive-bearing
+// declarations, the subtype closure over the labels present in the
+// graph, and the λ(v) ⊑S t node enumeration per named type.
+type resolution struct {
+	byLabel map[string]*labelInfo
+	// sub[label][name] caches SubtypeNamed(label, name) for every label
+	// in the graph and every type name a rule can ask about.
+	sub map[string]map[string]bool
+	// nodesOf caches nodesOfType for every named type of the schema.
+	nodesOf map[string][]pg.NodeID
+}
+
+// newResolution builds the cache for one (schema, graph) pair.
+func newResolution(s *schema.Schema, g *pg.Graph) *resolution {
+	res := &resolution{
+		byLabel: make(map[string]*labelInfo),
+		sub:     make(map[string]map[string]bool),
+		nodesOf: make(map[string][]pg.NodeID),
+	}
+	labels := g.Labels()
+	for _, l := range labels {
+		info := &labelInfo{td: s.Type(l)}
+		if info.td != nil {
+			info.fields = make(map[string]propInfo, len(info.td.Fields))
+			for _, f := range info.td.Fields {
+				info.fields[f.Name] = propInfo{fd: f, isAttr: s.IsAttribute(f)}
+			}
+		}
+		res.byLabel[l] = info
+	}
+
+	// The subtype table covers every name a fused check can pass as the
+	// supertype: declared type names (DS3/DS4 owners, DS7 types) and the
+	// base type of every field (WS3, including attribute fields whose
+	// base is a scalar).
+	names := make(map[string]bool)
+	for _, td := range s.Types() {
+		names[td.Name] = true
+		for _, f := range td.Fields {
+			names[f.Type.Base()] = true
+		}
+	}
+	for _, l := range labels {
+		row := make(map[string]bool, len(names))
+		for n := range names {
+			row[n] = s.SubtypeNamed(l, n)
+		}
+		res.sub[l] = row
+	}
+
+	// Node enumeration per named type, mirroring runner.nodesOfType.
+	for _, td := range s.Types() {
+		switch td.Kind {
+		case schema.Object, schema.Interface, schema.Union:
+			var out []pg.NodeID
+			for _, label := range s.ConcreteTargets(td.Name) {
+				out = append(out, g.NodesLabeled(label)...)
+			}
+			res.nodesOf[td.Name] = out
+		}
+	}
+
+	// Directive-bearing declarations, bucketed per applicable label in
+	// declaration order (types sorted by name, fields in source order) —
+	// the same order the rule-by-rule sweeps quantify in, so duplicate
+	// declarations (object type + interface) keep their multiplicity.
+	for _, td := range s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		for _, f := range td.Fields {
+			switch {
+			case s.IsRelationship(f):
+				d := srcDecl{
+					fd:       f,
+					distinct: schema.HasDirective(f.Directives, schema.DirDistinct),
+					noLoops:  schema.HasDirective(f.Directives, schema.DirNoLoops),
+					required: schema.HasDirective(f.Directives, schema.DirRequired),
+				}
+				if d.distinct || d.noLoops || d.required {
+					for _, l := range s.ConcreteTargets(f.Owner) {
+						if info, ok := res.byLabel[l]; ok {
+							info.srcRel = append(info.srcRel, d)
+						}
+					}
+				}
+				if schema.HasDirective(f.Directives, schema.DirUniqueForTarget) {
+					for _, l := range s.ConcreteTargets(f.Type.Base()) {
+						if info, ok := res.byLabel[l]; ok {
+							info.uftIn = append(info.uftIn, f)
+						}
+					}
+				}
+			case s.IsAttribute(f):
+				if schema.HasDirective(f.Directives, schema.DirRequired) {
+					for _, l := range s.ConcreteTargets(f.Owner) {
+						if info, ok := res.byLabel[l]; ok {
+							info.reqAttrs = append(info.reqAttrs, f)
+						}
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// fusedNodePass evaluates WS1, WS4, DS1, DS2, DS3, DS5, DS6, SS1, and
+// SS2 for every node in the shard, emitting exactly the violations the
+// rule-by-rule sweeps would.
+func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
+	res := r.res
+	for _, v := range r.g.Nodes() {
+		if !nodeShard(v, shard, nShards) {
+			continue
+		}
+		label := r.g.NodeLabel(v)
+		info := res.byLabel[label]
+		td := info.td
+
+		// SS1: the label must be a declared object type.
+		if w.ss1 && (td == nil || td.Kind != schema.Object) {
+			emit(Violation{
+				Rule: SS1, Node: v, Edge: -1, TypeName: label,
+				Message: fmt.Sprintf("%s: label %q is not an object type of the schema", nodeRef(v), label),
+			})
+		}
+
+		// WS1 + SS2 share the property iteration.
+		if w.ws1 || w.ss2 {
+			for _, name := range r.g.NodePropNames(v) {
+				pi, declared := propInfo{}, false
+				if info.fields != nil {
+					pi, declared = info.fields[name]
+				}
+				if !declared {
+					if w.ss2 {
+						emit(Violation{
+							Rule: SS2, Node: v, Edge: -1, TypeName: label, Property: name,
+							Message: fmt.Sprintf("%s (%s): property %q is not declared as a field of %s", nodeRef(v), label, name, label),
+						})
+					}
+					continue
+				}
+				if !pi.isAttr {
+					if w.ss2 {
+						emit(Violation{
+							Rule: SS2, Node: v, Edge: -1, TypeName: label, Field: name, Property: name,
+							Message: fmt.Sprintf("%s (%s): property %q corresponds to relationship field %s.%s of type %s, not an attribute",
+								nodeRef(v), label, name, label, name, pi.fd.Type),
+						})
+					}
+					continue
+				}
+				if w.ws1 {
+					val, _ := r.g.NodeProp(v, name)
+					if !r.s.MemberOfW(val, pi.fd.Type) {
+						emit(Violation{
+							Rule: WS1, Node: v, Edge: -1,
+							TypeName: label, Field: name, Property: name,
+							Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
+								nodeRef(v), label, name, val, pi.fd.Type),
+						})
+					}
+				}
+			}
+		}
+
+		// WS4: at most one edge per non-list field.
+		if w.ws4 && td != nil {
+			counts := make(map[string]int)
+			for _, e := range r.g.OutEdges(v) {
+				counts[r.g.EdgeLabel(e)]++
+			}
+			for f, n := range counts {
+				if n < 2 {
+					continue
+				}
+				fd := info.fields[f].fd
+				if fd == nil || fd.Type.IsList() {
+					continue
+				}
+				emit(Violation{
+					Rule: WS4, Node: v, Edge: -1,
+					TypeName: label, Field: f,
+					Message: fmt.Sprintf("%s (%s): %d outgoing %q edges, but %s.%s has non-list type %s (at most one edge allowed)",
+						nodeRef(v), label, n, f, label, f, fd.Type),
+				})
+			}
+		}
+
+		// Source-side directive rules: DS1, DS2, DS6.
+		for _, d := range info.srcRel {
+			if w.ds1 && d.distinct {
+				seen := make(map[pg.NodeID]int)
+				for _, e := range r.g.OutEdgesLabeled(v, d.fd.Name) {
+					_, dst := r.g.Endpoints(e)
+					seen[dst]++
+					if seen[dst] == 2 {
+						emit(Violation{
+							Rule: DS1, Node: v, Edge: e,
+							TypeName: d.fd.Owner, Field: d.fd.Name,
+							Message: fmt.Sprintf("%s: multiple %q edges to %s violate @distinct on %s.%s",
+								nodeRef(v), d.fd.Name, nodeRef(dst), d.fd.Owner, d.fd.Name),
+						})
+					}
+				}
+			}
+			if w.ds2 && d.noLoops {
+				for _, e := range r.g.OutEdgesLabeled(v, d.fd.Name) {
+					if _, dst := r.g.Endpoints(e); dst == v {
+						emit(Violation{
+							Rule: DS2, Node: v, Edge: e,
+							TypeName: d.fd.Owner, Field: d.fd.Name,
+							Message: fmt.Sprintf("%s: %q loop edge violates @noLoops on %s.%s",
+								nodeRef(v), d.fd.Name, d.fd.Owner, d.fd.Name),
+						})
+					}
+				}
+			}
+			if w.ds6 && d.required {
+				if r.g.OutDegreeLabeled(v, d.fd.Name) == 0 {
+					emit(Violation{
+						Rule: DS6, Node: v, Edge: -1,
+						TypeName: d.fd.Owner, Field: d.fd.Name,
+						Message: fmt.Sprintf("%s (%s): no outgoing %q edge, violating @required on %s.%s",
+							nodeRef(v), label, d.fd.Name, d.fd.Owner, d.fd.Name),
+					})
+				}
+			}
+		}
+
+		// DS5: @required attribute properties.
+		if w.ds5 {
+			for _, fd := range info.reqAttrs {
+				val, ok := r.g.NodeProp(v, fd.Name)
+				switch {
+				case !ok:
+					emit(Violation{
+						Rule: DS5, Node: v, Edge: -1,
+						TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
+						Message: fmt.Sprintf("%s (%s): missing property %q required by @required on %s.%s",
+							nodeRef(v), label, fd.Name, fd.Owner, fd.Name),
+					})
+				case fd.Type.IsList() && val.Kind() == values.KindList && val.Len() == 0:
+					emit(Violation{
+						Rule: DS5, Node: v, Edge: -1,
+						TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
+						Message: fmt.Sprintf("%s (%s): property %q is an empty list, but @required on %s.%s demands a nonempty list",
+							nodeRef(v), label, fd.Name, fd.Owner, fd.Name),
+					})
+				}
+			}
+		}
+
+		// DS3 (target side): at most one incoming @uniqueForTarget edge.
+		if w.ds3 {
+			for _, fd := range info.uftIn {
+				n := 0
+				var second pg.EdgeID = -1
+				for _, e := range r.g.InEdgesLabeled(v, fd.Name) {
+					src, _ := r.g.Endpoints(e)
+					if !res.sub[r.g.NodeLabel(src)][fd.Owner] {
+						continue
+					}
+					n++
+					if n == 2 {
+						second = e
+					}
+				}
+				if n > 1 {
+					emit(Violation{
+						Rule: DS3, Node: v, Edge: second,
+						TypeName: fd.Owner, Field: fd.Name,
+						Message: fmt.Sprintf("%s: %d incoming %q edges from %s nodes violate @uniqueForTarget on %s.%s",
+							nodeRef(v), n, fd.Name, fd.Owner, fd.Owner, fd.Name),
+					})
+				}
+			}
+		}
+	}
+}
+
+// fusedEdgePass evaluates WS2, WS3, SS3, and SS4 for every edge in the
+// shard.
+func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, shard, nShards int) {
+	res := r.res
+	for _, e := range r.g.Edges() {
+		if !edgeShard(e, shard, nShards) {
+			continue
+		}
+		src, dst := r.g.Endpoints(e)
+		srcLabel := r.g.NodeLabel(src)
+		elabel := r.g.EdgeLabel(e)
+		info := res.byLabel[srcLabel]
+		var fd *schema.FieldDef
+		isAttr := false
+		if info.fields != nil {
+			if pi, ok := info.fields[elabel]; ok {
+				fd, isAttr = pi.fd, pi.isAttr
+			}
+		}
+
+		// SS4: the edge label must be a declared relationship field.
+		if w.ss4 {
+			switch {
+			case fd == nil:
+				emit(Violation{
+					Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
+					Message: fmt.Sprintf("%s: label %q is not a declared field of %s", edgeRef(e), elabel, srcLabel),
+				})
+			case isAttr:
+				emit(Violation{
+					Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
+					Message: fmt.Sprintf("%s: label %q corresponds to attribute field %s.%s of type %s, not a relationship",
+						edgeRef(e), elabel, srcLabel, elabel, fd.Type),
+				})
+			}
+		}
+
+		// WS2 + SS3 share the edge-property iteration.
+		if w.ws2 || w.ss3 {
+			for _, name := range r.g.EdgePropNames(e) {
+				var arg *schema.ArgDef
+				if fd != nil {
+					arg = fd.Arg(name)
+				}
+				if arg == nil {
+					if w.ss3 {
+						emit(Violation{
+							Rule: SS3, Node: src, Edge: e, TypeName: srcLabel, Field: elabel, Property: name,
+							Message: fmt.Sprintf("%s (%s): property %q is not a declared argument of %s.%s",
+								edgeRef(e), elabel, name, srcLabel, elabel),
+						})
+					}
+					continue
+				}
+				if w.ws2 {
+					val, _ := r.g.EdgeProp(e, name)
+					if !r.s.MemberOfW(val, arg.Type) {
+						emit(Violation{
+							Rule: WS2, Node: src, Edge: e,
+							TypeName: fd.Owner, Field: fd.Name, Property: name,
+							Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
+								edgeRef(e), fd.Name, name, val, arg.Type),
+						})
+					}
+				}
+			}
+		}
+
+		// WS3: the target's label must subtype the field's base type.
+		if w.ws3 && fd != nil {
+			base := fd.Type.Base()
+			if !res.sub[r.g.NodeLabel(dst)][base] {
+				emit(Violation{
+					Rule: WS3, Node: dst, Edge: e,
+					TypeName: srcLabel, Field: fd.Name,
+					Message: fmt.Sprintf("%s (%s): target %s has label %q, which is not a subtype of basetype(%s) = %s",
+						edgeRef(e), fd.Name, nodeRef(dst), r.g.NodeLabel(dst), fd.Type, base),
+				})
+			}
+		}
+	}
+}
+
+// fusedTask is one unit of fused work: a node-pass shard, an edge-pass
+// shard, or a dedicated DS4/DS7 pass.
+type fusedTask struct {
+	kind           fusedTaskKind
+	shard, nShards int
+}
+
+type fusedTaskKind int
+
+const (
+	taskNodePass fusedTaskKind = iota
+	taskEdgePass
+	taskDS4
+	taskDS7
+)
+
+// run executes the task, emitting into emit.
+func (t fusedTask) run(r *runner, w fusedWant) func(emitFunc) {
+	switch t.kind {
+	case taskNodePass:
+		return func(emit emitFunc) { r.fusedNodePass(w, emit, t.shard, t.nShards) }
+	case taskEdgePass:
+		return func(emit emitFunc) { r.fusedEdgePass(w, emit, t.shard, t.nShards) }
+	case taskDS4:
+		return func(emit emitFunc) { r.ds4(emit, t.shard, t.nShards) }
+	default:
+		return func(emit emitFunc) { r.ds7(emit, 0, 1) }
+	}
+}
+
+// rules returns the rules the task evaluates (already intersected with
+// the requested set), for timing attribution.
+func (t fusedTask) rules(w fusedWant) []Rule {
+	switch t.kind {
+	case taskNodePass:
+		return w.active(nodePassRules)
+	case taskEdgePass:
+		return w.active(edgePassRules)
+	case taskDS4:
+		return []Rule{DS4}
+	default:
+		return []Rule{DS7}
+	}
+}
+
+// fusedTasks plans the passes for the requested rules. With sharding,
+// the node and edge passes (and DS4, which iterates target nodes) split
+// into n shards; DS7 buckets globally and stays whole.
+func fusedTasks(w fusedWant, sharded bool, n int) []fusedTask {
+	var tasks []fusedTask
+	addSharded := func(kind fusedTaskKind) {
+		if sharded {
+			for s := 0; s < n; s++ {
+				tasks = append(tasks, fusedTask{kind, s, n})
+			}
+			return
+		}
+		tasks = append(tasks, fusedTask{kind, 0, 1})
+	}
+	if len(w.active(nodePassRules)) > 0 {
+		addSharded(taskNodePass)
+	}
+	if len(w.active(edgePassRules)) > 0 {
+		addSharded(taskEdgePass)
+	}
+	if w.ds4 {
+		addSharded(taskDS4)
+	}
+	if w.ds7 {
+		tasks = append(tasks, fusedTask{taskDS7, 0, 1})
+	}
+	return tasks
+}
+
+// attribute splits a pass's elapsed time across the rules it evaluated:
+// each rule gets an equal share and the first rule absorbs the division
+// remainder, so the per-rule durations sum exactly to the measured pass
+// time. This is an attribution, not a per-rule measurement — the fused
+// inner loop deliberately avoids per-rule clock reads.
+func attribute(timings map[Rule]time.Duration, rules []Rule, elapsed time.Duration) {
+	if len(rules) == 0 {
+		return
+	}
+	share := elapsed / time.Duration(len(rules))
+	rem := elapsed - share*time.Duration(len(rules))
+	for i, r := range rules {
+		timings[r] += share
+		if i == 0 {
+			timings[r] += rem
+		}
+	}
+}
+
+// fused runs the fused engine, sequentially or — when Options.Workers
+// > 1 — on a worker pool with per-task violation buffers that merge
+// into the collector once per task (no mutex in the hot path). It
+// returns the per-rule timings when Options.CollectTimings is set.
+func (r *runner) fused(rules []Rule, c *collector) map[Rule]time.Duration {
+	r.res = newResolution(r.s, r.g)
+	w := wantRules(rules)
+	var timings map[Rule]time.Duration
+	if r.opts.CollectTimings {
+		timings = make(map[Rule]time.Duration, len(rules))
+		for _, rule := range rules {
+			timings[rule] = 0 // every requested rule gets an entry
+		}
+	}
+
+	if r.opts.Workers <= 1 {
+		// Sequential: emit straight into the collector and keep scanning
+		// passes after the cap fills until an emit is rejected — the same
+		// exact-Truncated contract as the sequential rule-by-rule engine,
+		// at pass rather than rule granularity.
+		for _, t := range fusedTasks(w, false, 1) {
+			if c.truncated() {
+				break
+			}
+			start := time.Now()
+			t.run(r, w)(c.emit)
+			if timings != nil {
+				attribute(timings, t.rules(w), time.Since(start))
+			}
+		}
+		return timings
+	}
+
+	tasks := fusedTasks(w, r.opts.ElementSharding, r.opts.Workers)
+	var timingMu sync.Mutex
+	ch := make(chan fusedTask)
+	var wg sync.WaitGroup
+	for i := 0; i < r.opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				// Tasks not yet started are skipped once the cap is
+				// reached; a started task always runs to completion and
+				// merges, so overflow among completed tasks is never
+				// lost (see collector.merge).
+				if c.full() {
+					continue
+				}
+				var buf []Violation
+				emit := func(v Violation) { buf = append(buf, v) }
+				start := time.Now()
+				t.run(r, w)(emit)
+				elapsed := time.Since(start)
+				c.merge(buf)
+				if timings != nil {
+					timingMu.Lock()
+					attribute(timings, t.rules(w), elapsed)
+					timingMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return timings
+}

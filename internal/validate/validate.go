@@ -133,6 +133,37 @@ func (r *Result) ByRule() map[Rule][]Violation {
 	return out
 }
 
+// Engine selects the evaluation strategy of a validation run.
+type Engine int
+
+// The engines.
+const (
+	// EngineAuto picks the fused engine, unless NaivePairScan demands
+	// the rule-by-rule engine (the naive pair scans are rule-by-rule
+	// implementations).
+	EngineAuto Engine = iota
+	// EngineRuleByRule runs one full node/edge sweep per rule — the
+	// definitional shape, kept for differential testing and ablation.
+	EngineRuleByRule
+	// EngineFused runs one pass over the nodes and one pass over the
+	// edges, evaluating every applicable rule per element against a
+	// per-run resolution cache. DS4 and DS7 keep dedicated passes that
+	// share the cache. The violation set is identical to
+	// EngineRuleByRule (proven by the differential harness).
+	EngineFused
+)
+
+// String names the engine as accepted by the server and CLI.
+func (e Engine) String() string {
+	switch e {
+	case EngineRuleByRule:
+		return "rule-by-rule"
+	case EngineFused:
+		return "fused"
+	}
+	return "auto"
+}
+
 // Options configures a validation run. The zero value checks strong
 // satisfaction sequentially with unlimited violations.
 type Options struct {
@@ -153,8 +184,29 @@ type Options struct {
 	CollectTimings bool
 	// NaivePairScan disables the adjacency-index implementations of
 	// WS4/DS1/DS3 in favour of the textbook O(|E|²) pair scans from the
-	// definitions. For the ablation benchmark only.
+	// definitions. For the ablation benchmark only; it applies to the
+	// rule-by-rule engine and makes EngineAuto resolve to it.
 	NaivePairScan bool
+	// Engine selects the evaluation strategy; EngineAuto (the zero
+	// value) uses the fused engine.
+	Engine Engine
+}
+
+// ResolvedEngine reports the concrete engine the options select — what
+// resolveEngine picks when Engine is EngineAuto. Callers (server, CLI)
+// use it to report which engine produced a result.
+func (o Options) ResolvedEngine() Engine { return o.resolveEngine() }
+
+// resolveEngine maps EngineAuto to a concrete engine.
+func (o Options) resolveEngine() Engine {
+	switch o.Engine {
+	case EngineRuleByRule, EngineFused:
+		return o.Engine
+	}
+	if o.NaivePairScan {
+		return EngineRuleByRule
+	}
+	return EngineFused
 }
 
 func (o Options) rules() []Rule {
@@ -190,6 +242,12 @@ func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
 	rules := opts.rules()
 	c := newCollector(opts.MaxViolations)
 	run := &runner{s: s, g: g, opts: opts}
+	if opts.resolveEngine() == EngineFused {
+		timings := run.fused(rules, c)
+		res := c.result()
+		res.RuleTime = timings
+		return res
+	}
 	if opts.Workers > 1 {
 		timings := run.parallel(rules, c)
 		res := c.result()
@@ -245,6 +303,29 @@ func (c *collector) full() bool {
 	return c.max > 0 && len(c.violations) >= c.max
 }
 
+// merge splices a task-local violation buffer into the collector under
+// a single lock. Buffered violations beyond the cap are dropped but
+// still flip overflow, so a completed task never under-reports
+// truncation (the cap contract the parallel engines rely on).
+func (c *collector) merge(buf []Violation) {
+	if len(buf) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 {
+		room := c.max - len(c.violations)
+		if room < 0 {
+			room = 0
+		}
+		if len(buf) > room {
+			c.overflow = true
+			buf = buf[:room]
+		}
+	}
+	c.violations = append(c.violations, buf...)
+}
+
 // truncated reports whether an emit was rejected by the cap, i.e. the
 // collected set is provably incomplete.
 func (c *collector) truncated() bool {
@@ -279,6 +360,11 @@ type runner struct {
 	s    *schema.Schema
 	g    *pg.Graph
 	opts Options
+
+	// res is the per-run resolution cache, set by the fused engine. The
+	// shared rule bodies (nodesOfType in particular) use it when
+	// present; the rule-by-rule engine and Revalidate leave it nil.
+	res *resolution
 
 	onlyNodes map[pg.NodeID]bool
 	onlyEdges map[pg.EdgeID]bool
@@ -411,16 +497,24 @@ func (r *runner) parallel(rules []Rule, c *collector) map[Rule]time.Duration {
 		go func() {
 			defer wg.Done()
 			for t := range ch {
+				// Tasks not yet started are skipped once the cap is
+				// reached; a started task runs to completion and merges
+				// its buffer, so overflow among completed tasks is
+				// never lost (see collector.merge).
 				if c.full() {
 					continue
 				}
+				var buf []Violation
+				emit := func(v Violation) { buf = append(buf, v) }
 				if timings == nil {
-					r.runRule(t.rule, c.emit, t.shard, t.nShards)
+					r.runRule(t.rule, emit, t.shard, t.nShards)
+					c.merge(buf)
 					continue
 				}
 				start := time.Now()
-				r.runRule(t.rule, c.emit, t.shard, t.nShards)
+				r.runRule(t.rule, emit, t.shard, t.nShards)
 				elapsed := time.Since(start)
+				c.merge(buf)
 				timingMu.Lock()
 				timings[t.rule] += elapsed
 				timingMu.Unlock()

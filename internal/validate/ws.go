@@ -149,29 +149,36 @@ func (r *runner) ws4Naive(emit emitFunc, shard, nShards int) {
 			continue
 		}
 		f := r.g.EdgeLabel(e1)
+		if reported[s1][f] {
+			continue
+		}
+		// e1 is the first f-labeled edge out of s1; the scan over the
+		// remaining pairs yields the total count, so the emitted message
+		// is byte-identical to the indexed implementation's.
+		n := 1
 		for _, e2 := range edges[i+1:] {
 			s2, _ := r.g.Endpoints(e2)
-			if s1 != s2 || f != r.g.EdgeLabel(e2) {
-				continue
+			if s1 == s2 && f == r.g.EdgeLabel(e2) {
+				n++
 			}
-			fd := r.s.Field(r.g.NodeLabel(s1), f)
-			if fd == nil || fd.Type.IsList() {
-				continue
-			}
-			if reported[s1] == nil {
-				reported[s1] = make(map[string]bool)
-			}
-			if reported[s1][f] {
-				continue
-			}
-			reported[s1][f] = true
-			emit(Violation{
-				Rule: WS4, Node: s1, Edge: -1,
-				TypeName: r.g.NodeLabel(s1), Field: f,
-				Message: fmt.Sprintf("%s (%s): multiple outgoing %q edges, but %s.%s has non-list type %s (at most one edge allowed)",
-					nodeRef(s1), r.g.NodeLabel(s1), f, r.g.NodeLabel(s1), f, fd.Type),
-			})
 		}
+		if n < 2 {
+			continue
+		}
+		fd := r.s.Field(r.g.NodeLabel(s1), f)
+		if fd == nil || fd.Type.IsList() {
+			continue
+		}
+		if reported[s1] == nil {
+			reported[s1] = make(map[string]bool)
+		}
+		reported[s1][f] = true
+		emit(Violation{
+			Rule: WS4, Node: s1, Edge: -1,
+			TypeName: r.g.NodeLabel(s1), Field: f,
+			Message: fmt.Sprintf("%s (%s): %d outgoing %q edges, but %s.%s has non-list type %s (at most one edge allowed)",
+				nodeRef(s1), r.g.NodeLabel(s1), n, f, r.g.NodeLabel(s1), f, fd.Type),
+		})
 	}
 }
 
@@ -214,6 +221,11 @@ func (r *runner) attributeDeclarations() []*schema.FieldDef {
 // using the label index (object type: one label; interface/union: the
 // implementing/member labels).
 func (r *runner) nodesOfType(named string) []pg.NodeID {
+	if r.res != nil && r.onlyNodes == nil {
+		// The fused engine's resolution cache precomputes the unrestricted
+		// enumeration; callers must not mutate the shared slice.
+		return r.res.nodesOf[named]
+	}
 	var out []pg.NodeID
 	for _, label := range r.s.ConcreteTargets(named) {
 		for _, id := range r.g.NodesLabeled(label) {

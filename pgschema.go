@@ -82,6 +82,9 @@ type ValidationResult = validate.Result
 // ValidateOptions configures ValidateGraph.
 type ValidateOptions = validate.Options
 
+// ValidationEngine selects the evaluation strategy of ValidateGraph.
+type ValidationEngine = validate.Engine
+
 // SatReport is the outcome of CheckType / CheckField.
 type SatReport = sat.Report
 
@@ -96,6 +99,17 @@ const (
 	Strong     = validate.Strong
 	Weak       = validate.Weak
 	Directives = validate.Directives
+)
+
+// Validation engines (the evaluation strategy ValidateGraph uses).
+// EngineAuto — the default — resolves to the fused engine, which makes
+// one pass over the nodes and one over the edges; EngineRuleByRule runs
+// the definitional one-sweep-per-rule shape. Both produce the identical
+// violation set (proven by the differential harness in internal/validate).
+const (
+	EngineAuto       = validate.EngineAuto
+	EngineRuleByRule = validate.EngineRuleByRule
+	EngineFused      = validate.EngineFused
 )
 
 // Satisfiability verdicts.
