@@ -2,9 +2,9 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential bench bench-fused
+.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-smoke
 
-check: build vet race differential
+check: build vet race differential bench-smoke
 
 build:
 	go build ./...
@@ -26,8 +26,19 @@ differential:
 bench:
 	go test -bench=. -benchmem -run=^$$ ./...
 
+# One iteration of every benchmark — catches benchmarks that no longer
+# compile or fail their own assertions, without measuring anything.
+bench-smoke:
+	go test -bench=. -benchtime=1x -run=^$$ .
+
 # Fused-engine ablation: fused vs. rule-by-rule vs. naive pair scan.
 # Emits benchstat-compatible output to BENCH_fused.json alongside the
 # terminal stream.
 bench-fused:
 	go test -bench=BenchmarkAblationFused -benchmem -count=6 -run=^$$ . | tee BENCH_fused.json
+
+# Compiled-program ablation: precompiled program (cross-run symbol
+# tables + binding reuse) vs. compile-on-the-fly fused runs vs. the
+# rule-by-rule engine, at 300/1000/5000 nodes per type.
+bench-compiled:
+	go test -bench=BenchmarkCompiledReuse -benchmem -count=6 -run=^$$ . | tee BENCH_compiled.json

@@ -292,6 +292,40 @@ func BenchmarkAblationFused(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledReuse measures the payoff of cross-run schema
+// compilation: repeated strong validation of an unchanged graph with a
+// precompiled program (symbol tables and graph binding reused across
+// iterations) against compile-on-the-fly fused runs and the
+// rule-by-rule engine. This is the serving-loop shape: the server
+// compiles once at graph load and answers every /validate request from
+// the same program.
+func BenchmarkCompiledReuse(b *testing.B) {
+	for _, n := range []int{300, 1000, 5000} {
+		s, g := benchGraph(b, n)
+		prog := pgschema.CompileValidation(s)
+		engines := []struct {
+			name string
+			opts pgschema.ValidateOptions
+		}{
+			{"compiled", pgschema.ValidateOptions{Engine: pgschema.EngineFused, Program: prog}},
+			{"per-run-compile", pgschema.ValidateOptions{Engine: pgschema.EngineFused}},
+			{"rule-by-rule", pgschema.ValidateOptions{Engine: pgschema.EngineRuleByRule}},
+		}
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("nodesPerType=%d/%s", n, e.name), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := pgschema.ValidateGraph(s, g, e.opts)
+					if !res.OK() {
+						b.Fatal("generated graph invalid")
+					}
+				}
+				b.ReportMetric(float64(g.NumNodes()+g.NumEdges()), "graph-elems")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationSatPortfolio measures each satisfiability procedure in
 // isolation on Example 6.1(a) (all three can decide it) — motivating the
 // portfolio order counting → tableau → bounded.

@@ -9,13 +9,13 @@
 //
 //	pgschema fmt      <schema.graphql>
 //	pgschema check    <schema.graphql>
-//	pgschema validate <schema.graphql> <graph.json> [-mode strong|weak|directives] [-max N] [-workers N] [-engine auto|fused|rule-by-rule]
+//	pgschema validate <schema.graphql> <graph.json> [-mode strong|weak|directives] [-max N] [-workers N] [-engine auto|fused|rule-by-rule] [-compile-stats]
 //	pgschema sat      <schema.graphql> <TypeName> [-max-nodes N] [-witness FILE]
 //	pgschema generate <schema.graphql> [-nodes N] [-seed N]
 //	pgschema api      <schema.graphql> [-no-inverse] [-keep-directives]
 //	pgschema export   <schema.graphql> [-format cypher|gsql] [-graph NAME]
 //	pgschema query    <schema.graphql> <graph.json> <query-or-@file> [-op NAME]
-//	pgschema serve    <schema.graphql> <graph.json> [-addr :8080]
+//	pgschema serve    <schema.graphql> <graph.json> [-addr :8080] [-pprof]
 //	pgschema reduce   <formula.cnf>
 //	pgschema stats    <graph.json>
 package main
@@ -103,6 +103,7 @@ commands:
       -workers N                    parallel validation workers
       -engine auto|fused|rule-by-rule
                                     evaluation engine (default auto = fused)
+      -compile-stats                print compiled-program statistics to stderr
   sat      <schema> <Type>          decide object-type satisfiability (§6.2)
       -max-nodes N                  bound for the finite-model search
       -witness FILE                 write the witness graph as JSON
@@ -119,6 +120,7 @@ commands:
       -op NAME                      operation to execute
   serve    <schema> <graph.json>    GraphQL HTTP endpoint over the graph
       -addr :8080                   listen address
+      -pprof                        mount net/http/pprof under /debug/pprof/
   reduce   <formula.cnf>            Theorem 2: DIMACS CNF -> schema SDL
   stats    <graph.json>             graph statistics
 `)
@@ -185,6 +187,7 @@ func cmdValidate(args []string) error {
 	max := fs.Int("max", 0, "maximum violations to report (0 = all)")
 	workers := fs.Int("workers", 1, "parallel workers")
 	engine := fs.String("engine", "auto", "evaluation engine: auto, fused, or rule-by-rule")
+	compileStats := fs.Bool("compile-stats", false, "print compiled-program statistics to stderr")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("validate: want schema and graph files")
@@ -217,6 +220,13 @@ func cmdValidate(args []string) error {
 		opts.Engine = validate.EngineRuleByRule
 	default:
 		return fmt.Errorf("validate: unknown engine %q", *engine)
+	}
+	prog := validate.Compile(s)
+	opts.Program = prog
+	if *compileStats {
+		st := prog.Stats()
+		fmt.Fprintf(os.Stderr, "compiled program: %d types, %d interned names, %d field slots, %d obligations (%s)\n",
+			st.Types, st.Names, st.Fields, st.Obligations, st.CompileTime)
 	}
 	res := validate.Validate(s, g, opts)
 	if res.OK() {
@@ -375,6 +385,7 @@ func cmdServe(args []string) error {
 	maxInFlight := fs.Int("max-inflight", 1024, "concurrent request limit, excess sheds with 503 (0 = unlimited)")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 	quiet := fs.Bool("quiet", false, "disable access logging")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("serve: want schema and graph files")
@@ -391,6 +402,7 @@ func cmdServe(args []string) error {
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInFlight,
 		MaxBodyBytes:   *maxBody,
+		EnablePprof:    *pprofFlag,
 	}
 	if !*quiet {
 		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))

@@ -180,7 +180,8 @@ func (g *Graph) WriteCSV(nodes, edges io.Writer) error {
 		name[id] = nm
 		rec := []string{nm, g.NodeLabel(id)}
 		for _, col := range nCols {
-			rec = append(rec, cellValue(g.nodes[id].props[col], g.nodes[id].props, col))
+			v, ok := g.NodeProp(id, col)
+			rec = append(rec, cellValue(v, ok))
 		}
 		if err := nw.Write(rec); err != nil {
 			return err
@@ -199,7 +200,8 @@ func (g *Graph) WriteCSV(nodes, edges io.Writer) error {
 		src, dst := g.Endpoints(id)
 		rec := []string{name[src], name[dst], g.EdgeLabel(id)}
 		for _, col := range eCols {
-			rec = append(rec, cellValue(g.edges[id].props[col], g.edges[id].props, col))
+			v, ok := g.EdgeProp(id, col)
+			rec = append(rec, cellValue(v, ok))
 		}
 		if err := ew.Write(rec); err != nil {
 			return err
@@ -211,8 +213,8 @@ func (g *Graph) WriteCSV(nodes, edges io.Writer) error {
 
 // cellValue renders a property value in a form SniffValue decodes back to
 // an equal value; absent properties become the empty cell.
-func cellValue(v values.Value, props map[string]values.Value, col string) string {
-	if _, ok := props[col]; !ok {
+func cellValue(v values.Value, ok bool) string {
+	if !ok {
 		return ""
 	}
 	return renderCell(v)

@@ -5,7 +5,11 @@
 //
 // The Graph type is an in-memory store with label and adjacency indexes
 // sized for validation workloads: out- and in-edges are grouped per node
-// and can be filtered by label without scanning E.
+// and can be filtered by label without scanning E. Labels and property
+// names are interned to dense Syms so compiled validators can replace
+// string hashing with array indexing; an epoch counter versions every
+// mutation so derived structures (bound validation programs, cached
+// node enumerations) know when they are stale.
 package pg
 
 import (
@@ -21,10 +25,18 @@ type NodeID int
 // EdgeID identifies an edge in E. IDs are dense and start at 0.
 type EdgeID int
 
+// Prop is one (name, value) entry of σ(o, ·). Sym is the graph-interned
+// ID of Name; per-element property lists are kept sorted by Name.
+type Prop struct {
+	Sym   Sym
+	Name  string
+	Value values.Value
+}
+
 // node holds λ(v), σ(v, ·), and the adjacency lists for one node.
 type node struct {
-	label   string
-	props   map[string]values.Value
+	label   Sym
+	props   []Prop
 	out     []EdgeID
 	in      []EdgeID
 	removed bool
@@ -33,8 +45,8 @@ type node struct {
 // edge holds ρ(e), λ(e), and σ(e, ·) for one edge.
 type edge struct {
 	src, dst NodeID
-	label    string
-	props    map[string]values.Value
+	label    Sym
+	props    []Prop
 	removed  bool
 }
 
@@ -45,6 +57,8 @@ type Graph struct {
 	nodes []node
 	edges []edge
 
+	syms         symbols
+	epoch        uint64
 	byLabel      map[string][]NodeID
 	removedNodes int
 	removedEdges int
@@ -53,14 +67,37 @@ type Graph struct {
 // New returns an empty Property Graph.
 func New() *Graph { return &Graph{} }
 
+// Epoch returns the graph's mutation counter. Every mutating call
+// (adding/removing elements, relabeling, setting/deleting properties)
+// increments it, so a structure derived from the graph at epoch k is
+// valid exactly while Epoch() == k.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// SymCount returns the number of interned symbols; valid Syms are
+// exactly [0, SymCount()).
+func (g *Graph) SymCount() int { return len(g.syms.names) }
+
+// Sym returns the interned Sym for name, or (NoSym, false) if the graph
+// has never seen it as a label or property name.
+func (g *Graph) Sym(name string) (Sym, bool) {
+	if s, ok := g.syms.lookup(name); ok {
+		return s, true
+	}
+	return NoSym, false
+}
+
+// SymName returns the string a valid Sym was interned from.
+func (g *Graph) SymName(s Sym) string { return g.syms.names[s] }
+
 // AddNode adds a node with label λ(v) = label and returns its ID.
 func (g *Graph) AddNode(label string) NodeID {
 	id := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes, node{label: label})
+	g.nodes = append(g.nodes, node{label: g.syms.intern(label)})
 	if g.byLabel == nil {
 		g.byLabel = make(map[string][]NodeID)
 	}
 	g.byLabel[label] = append(g.byLabel[label], id)
+	g.epoch++
 	return id
 }
 
@@ -73,9 +110,10 @@ func (g *Graph) AddEdge(src, dst NodeID, label string) (EdgeID, error) {
 		return 0, fmt.Errorf("pg: AddEdge: invalid target node %d", dst)
 	}
 	id := EdgeID(len(g.edges))
-	g.edges = append(g.edges, edge{src: src, dst: dst, label: label})
+	g.edges = append(g.edges, edge{src: src, dst: dst, label: g.syms.intern(label)})
 	g.nodes[src].out = append(g.nodes[src].out, id)
 	g.nodes[dst].in = append(g.nodes[dst].in, id)
+	g.epoch++
 	return id, nil
 }
 
@@ -101,6 +139,15 @@ func (g *Graph) NumNodes() int { return len(g.nodes) - g.removedNodes }
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return len(g.edges) - g.removedEdges }
+
+// NodeBound returns the exclusive upper bound of node IDs ever
+// allocated, including removed ones. Hot loops iterate id ∈ [0,
+// NodeBound()) and skip !HasNode(id) instead of materializing Nodes().
+func (g *Graph) NodeBound() int { return len(g.nodes) }
+
+// EdgeBound returns the exclusive upper bound of edge IDs ever
+// allocated, including removed ones.
+func (g *Graph) EdgeBound() int { return len(g.edges) }
 
 // Nodes returns the IDs of all nodes in insertion order.
 func (g *Graph) Nodes() []NodeID {
@@ -131,10 +178,16 @@ func (g *Graph) HasNode(id NodeID) bool { return g.validNode(id) }
 func (g *Graph) HasEdge(id EdgeID) bool { return g.validEdge(id) }
 
 // NodeLabel returns λ(v).
-func (g *Graph) NodeLabel(id NodeID) string { return g.nodes[id].label }
+func (g *Graph) NodeLabel(id NodeID) string { return g.syms.names[g.nodes[id].label] }
 
 // EdgeLabel returns λ(e).
-func (g *Graph) EdgeLabel(id EdgeID) string { return g.edges[id].label }
+func (g *Graph) EdgeLabel(id EdgeID) string { return g.syms.names[g.edges[id].label] }
+
+// NodeLabelSym returns λ(v) as an interned Sym.
+func (g *Graph) NodeLabelSym(id NodeID) Sym { return g.nodes[id].label }
+
+// EdgeLabelSym returns λ(e) as an interned Sym.
+func (g *Graph) EdgeLabelSym(id EdgeID) Sym { return g.edges[id].label }
 
 // Endpoints returns ρ(e) = (src, dst).
 func (g *Graph) Endpoints(id EdgeID) (src, dst NodeID) {
@@ -144,72 +197,136 @@ func (g *Graph) Endpoints(id EdgeID) (src, dst NodeID) {
 
 // SetNodeLabel relabels a node, maintaining the label index.
 func (g *Graph) SetNodeLabel(id NodeID, label string) {
-	old := g.nodes[id].label
-	if old == label {
+	n := &g.nodes[id]
+	ls := g.syms.intern(label)
+	if n.label == ls {
 		return
 	}
-	g.byLabel[old] = removeID(g.byLabel[old], id)
-	g.nodes[id].label = label
+	g.byLabel[g.syms.names[n.label]] = removeID(g.byLabel[g.syms.names[n.label]], id)
+	n.label = ls
 	if g.byLabel == nil {
 		g.byLabel = make(map[string][]NodeID)
 	}
 	g.byLabel[label] = append(g.byLabel[label], id)
+	g.epoch++
 }
 
 // SetEdgeLabel relabels an edge.
-func (g *Graph) SetEdgeLabel(id EdgeID, label string) { g.edges[id].label = label }
+func (g *Graph) SetEdgeLabel(id EdgeID, label string) {
+	g.edges[id].label = g.syms.intern(label)
+	g.epoch++
+}
 
 // SetNodeProp sets σ(v, name) = v.
 func (g *Graph) SetNodeProp(id NodeID, name string, v values.Value) {
 	n := &g.nodes[id]
-	if n.props == nil {
-		n.props = make(map[string]values.Value)
-	}
-	n.props[name] = v
+	n.props = setProp(n.props, Prop{Sym: g.syms.intern(name), Name: name, Value: v})
+	g.epoch++
 }
 
 // SetEdgeProp sets σ(e, name) = v.
 func (g *Graph) SetEdgeProp(id EdgeID, name string, v values.Value) {
 	e := &g.edges[id]
-	if e.props == nil {
-		e.props = make(map[string]values.Value)
-	}
-	e.props[name] = v
+	e.props = setProp(e.props, Prop{Sym: g.syms.intern(name), Name: name, Value: v})
+	g.epoch++
 }
 
 // DeleteNodeProp removes (v, name) from dom(σ).
-func (g *Graph) DeleteNodeProp(id NodeID, name string) { delete(g.nodes[id].props, name) }
+func (g *Graph) DeleteNodeProp(id NodeID, name string) {
+	g.nodes[id].props = delProp(g.nodes[id].props, name)
+	g.epoch++
+}
 
 // DeleteEdgeProp removes (e, name) from dom(σ).
-func (g *Graph) DeleteEdgeProp(id EdgeID, name string) { delete(g.edges[id].props, name) }
+func (g *Graph) DeleteEdgeProp(id EdgeID, name string) {
+	g.edges[id].props = delProp(g.edges[id].props, name)
+	g.epoch++
+}
+
+// setProp inserts or overwrites an entry, keeping props sorted by Name.
+func setProp(props []Prop, p Prop) []Prop {
+	i := sort.Search(len(props), func(i int) bool { return props[i].Name >= p.Name })
+	if i < len(props) && props[i].Name == p.Name {
+		props[i].Value = p.Value
+		return props
+	}
+	props = append(props, Prop{})
+	copy(props[i+1:], props[i:])
+	props[i] = p
+	return props
+}
+
+func delProp(props []Prop, name string) []Prop {
+	i := sort.Search(len(props), func(i int) bool { return props[i].Name >= name })
+	if i < len(props) && props[i].Name == name {
+		return append(props[:i], props[i+1:]...)
+	}
+	return props
+}
+
+func getProp(props []Prop, name string) (values.Value, bool) {
+	i := sort.Search(len(props), func(i int) bool { return props[i].Name >= name })
+	if i < len(props) && props[i].Name == name {
+		return props[i].Value, true
+	}
+	return values.Value{}, false
+}
 
 // NodeProp returns σ(v, name) and whether (v, name) ∈ dom(σ).
 func (g *Graph) NodeProp(id NodeID, name string) (values.Value, bool) {
-	v, ok := g.nodes[id].props[name]
-	return v, ok
+	return getProp(g.nodes[id].props, name)
 }
 
 // EdgeProp returns σ(e, name) and whether (e, name) ∈ dom(σ).
 func (g *Graph) EdgeProp(id EdgeID, name string) (values.Value, bool) {
-	v, ok := g.edges[id].props[name]
-	return v, ok
+	return getProp(g.edges[id].props, name)
 }
 
+// NodePropBySym returns σ(v, name) for an interned property name.
+// Passing NoSym (or a Sym never used as one of this node's property
+// names) reports false.
+func (g *Graph) NodePropBySym(id NodeID, s Sym) (values.Value, bool) {
+	for i := range g.nodes[id].props {
+		if g.nodes[id].props[i].Sym == s {
+			return g.nodes[id].props[i].Value, true
+		}
+	}
+	return values.Value{}, false
+}
+
+// EdgePropBySym returns σ(e, name) for an interned property name.
+func (g *Graph) EdgePropBySym(id EdgeID, s Sym) (values.Value, bool) {
+	for i := range g.edges[id].props {
+		if g.edges[id].props[i].Sym == s {
+			return g.edges[id].props[i].Value, true
+		}
+	}
+	return values.Value{}, false
+}
+
+// NodeProps returns the node's properties sorted by name. The slice is
+// shared with the graph: callers must not mutate it, and it is
+// invalidated by the next mutation of this node's properties.
+func (g *Graph) NodeProps(id NodeID) []Prop { return g.nodes[id].props }
+
+// EdgeProps returns the edge's properties sorted by name, shared with
+// the graph under the same contract as NodeProps.
+func (g *Graph) EdgeProps(id EdgeID) []Prop { return g.edges[id].props }
+
 // NodePropNames returns the sorted property names defined on the node.
-func (g *Graph) NodePropNames(id NodeID) []string { return sortedPropNames(g.nodes[id].props) }
+func (g *Graph) NodePropNames(id NodeID) []string { return propNames(g.nodes[id].props) }
 
 // EdgePropNames returns the sorted property names defined on the edge.
-func (g *Graph) EdgePropNames(id EdgeID) []string { return sortedPropNames(g.edges[id].props) }
+func (g *Graph) EdgePropNames(id EdgeID) []string { return propNames(g.edges[id].props) }
 
-func sortedPropNames(m map[string]values.Value) []string {
-	if len(m) == 0 {
+func propNames(props []Prop) []string {
+	if len(props) == 0 {
 		return nil
 	}
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+	out := make([]string, len(props))
+	for i := range props {
+		out[i] = props[i].Name
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -231,6 +348,15 @@ func (g *Graph) OutEdges(id NodeID) []EdgeID { return g.liveEdges(g.nodes[id].ou
 // InEdges returns the live incoming edges of the node.
 func (g *Graph) InEdges(id NodeID) []EdgeID { return g.liveEdges(g.nodes[id].in) }
 
+// OutEdgesRaw returns the node's outgoing edge list including removed
+// edges (tombstones), shared with the graph. Hot loops filter with
+// HasEdge instead of allocating a live copy.
+func (g *Graph) OutEdgesRaw(id NodeID) []EdgeID { return g.nodes[id].out }
+
+// InEdgesRaw returns the node's incoming edge list including removed
+// edges, shared with the graph.
+func (g *Graph) InEdgesRaw(id NodeID) []EdgeID { return g.nodes[id].in }
+
 func (g *Graph) liveEdges(ids []EdgeID) []EdgeID {
 	out := make([]EdgeID, 0, len(ids))
 	for _, id := range ids {
@@ -243,9 +369,13 @@ func (g *Graph) liveEdges(ids []EdgeID) []EdgeID {
 
 // OutEdgesLabeled returns the node's live outgoing edges with λ(e) = label.
 func (g *Graph) OutEdgesLabeled(id NodeID, label string) []EdgeID {
+	ls, ok := g.syms.lookup(label)
+	if !ok {
+		return nil
+	}
 	var out []EdgeID
 	for _, eid := range g.nodes[id].out {
-		if e := &g.edges[eid]; !e.removed && e.label == label {
+		if e := &g.edges[eid]; !e.removed && e.label == ls {
 			out = append(out, eid)
 		}
 	}
@@ -254,9 +384,13 @@ func (g *Graph) OutEdgesLabeled(id NodeID, label string) []EdgeID {
 
 // InEdgesLabeled returns the node's live incoming edges with λ(e) = label.
 func (g *Graph) InEdgesLabeled(id NodeID, label string) []EdgeID {
+	ls, ok := g.syms.lookup(label)
+	if !ok {
+		return nil
+	}
 	var out []EdgeID
 	for _, eid := range g.nodes[id].in {
-		if e := &g.edges[eid]; !e.removed && e.label == label {
+		if e := &g.edges[eid]; !e.removed && e.label == ls {
 			out = append(out, eid)
 		}
 	}
@@ -265,9 +399,13 @@ func (g *Graph) InEdgesLabeled(id NodeID, label string) []EdgeID {
 
 // OutDegreeLabeled counts the node's live outgoing edges with the label.
 func (g *Graph) OutDegreeLabeled(id NodeID, label string) int {
+	ls, ok := g.syms.lookup(label)
+	if !ok {
+		return 0
+	}
 	n := 0
 	for _, eid := range g.nodes[id].out {
-		if e := &g.edges[eid]; !e.removed && e.label == label {
+		if e := &g.edges[eid]; !e.removed && e.label == ls {
 			n++
 		}
 	}
@@ -281,6 +419,7 @@ func (g *Graph) RemoveEdge(id EdgeID) {
 	}
 	g.edges[id].removed = true
 	g.removedEdges++
+	g.epoch++
 }
 
 // RemoveNode deletes a node together with all its incident edges.
@@ -297,7 +436,9 @@ func (g *Graph) RemoveNode(id NodeID) {
 	n := &g.nodes[id]
 	n.removed = true
 	g.removedNodes++
-	g.byLabel[n.label] = removeID(g.byLabel[n.label], id)
+	label := g.syms.names[n.label]
+	g.byLabel[label] = removeID(g.byLabel[label], id)
+	g.epoch++
 }
 
 func removeID(ids []NodeID, id NodeID) []NodeID {
@@ -329,42 +470,36 @@ func (g *Graph) Labels() []string {
 }
 
 // Clone returns a deep copy of the graph. Property values are immutable
-// and shared; property maps and adjacency lists are copied.
+// and shared; property lists and adjacency lists are copied. Syms and
+// the epoch carry over, so structures bound to the original at the
+// current epoch describe the clone equally well until either side
+// mutates.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		nodes:        make([]node, len(g.nodes)),
 		edges:        make([]edge, len(g.edges)),
+		syms:         g.syms.clone(),
+		epoch:        g.epoch,
 		byLabel:      make(map[string][]NodeID, len(g.byLabel)),
 		removedNodes: g.removedNodes,
 		removedEdges: g.removedEdges,
 	}
 	for i, n := range g.nodes {
 		cp := n
-		cp.props = cloneProps(n.props)
+		cp.props = append([]Prop(nil), n.props...)
 		cp.out = append([]EdgeID(nil), n.out...)
 		cp.in = append([]EdgeID(nil), n.in...)
 		c.nodes[i] = cp
 	}
 	for i, e := range g.edges {
 		cp := e
-		cp.props = cloneProps(e.props)
+		cp.props = append([]Prop(nil), e.props...)
 		c.edges[i] = cp
 	}
 	for l, ids := range g.byLabel {
 		c.byLabel[l] = append([]NodeID(nil), ids...)
 	}
 	return c
-}
-
-func cloneProps(m map[string]values.Value) map[string]values.Value {
-	if m == nil {
-		return nil
-	}
-	cp := make(map[string]values.Value, len(m))
-	for k, v := range m {
-		cp[k] = v
-	}
-	return cp
 }
 
 // AllOutEdges returns the node's outgoing edges including removed ones

@@ -35,23 +35,29 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	for _, id := range g.Nodes() {
 		nm := fmt.Sprintf("n%d", id)
 		name[id] = nm
-		jn := jsonNode{ID: nm, Label: g.NodeLabel(id)}
-		if props := g.nodes[id].props; len(props) > 0 {
-			jn.Props = props
-		}
+		jn := jsonNode{ID: nm, Label: g.NodeLabel(id), Props: propMap(g.nodes[id].props)}
 		doc.Nodes = append(doc.Nodes, jn)
 	}
 	for _, id := range g.Edges() {
 		src, dst := g.Endpoints(id)
-		je := jsonEdge{Src: name[src], Dst: name[dst], Label: g.EdgeLabel(id)}
-		if props := g.edges[id].props; len(props) > 0 {
-			je.Props = props
-		}
+		je := jsonEdge{Src: name[src], Dst: name[dst], Label: g.EdgeLabel(id), Props: propMap(g.edges[id].props)}
 		doc.Edges = append(doc.Edges, je)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// propMap rebuilds the JSON interchange map from the sorted prop list.
+func propMap(props []Prop) map[string]values.Value {
+	if len(props) == 0 {
+		return nil
+	}
+	m := make(map[string]values.Value, len(props))
+	for _, p := range props {
+		m[p.Name] = p.Value
+	}
+	return m
 }
 
 // ReadJSON deserializes a graph written by WriteJSON (or hand-authored in

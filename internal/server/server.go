@@ -29,6 +29,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -60,6 +61,12 @@ type Config struct {
 	// AccessLog, when non-nil, receives one structured line per request
 	// (method, path, status, duration, remote address).
 	AccessLog *slog.Logger
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the profiling endpoints expose internals (heap
+	// contents, command line) and can run for tens of seconds, so they
+	// are opt-in and — like /healthz — sit outside the concurrency limit
+	// and timeout, which would otherwise kill a 30s CPU profile.
+	EnablePprof bool
 }
 
 // Handler serves GraphQL queries and the validation service over a fixed
@@ -70,6 +77,12 @@ type Handler struct {
 	apiSDL  string
 	cfg     Config
 	metrics *metrics
+
+	// prog is the validation program compiled once from the schema at
+	// construction; /validate and /revalidate reuse it on every request,
+	// so the per-run cost is binding (cached across runs while the graph
+	// epoch is stable) rather than recompiling the schema.
+	prog *validate.Program
 
 	// valMu guards the cached validation result that /revalidate answers
 	// from; /validate refreshes it after every full strong run.
@@ -90,7 +103,10 @@ func New(s *schema.Schema, g *pg.Graph, cfg Config) (*Handler, error) {
 		}
 		apiSDL = ""
 	}
-	return &Handler{s: s, g: g, apiSDL: apiSDL, cfg: cfg, metrics: newMetrics()}, nil
+	return &Handler{
+		s: s, g: g, apiSDL: apiSDL, cfg: cfg, metrics: newMetrics(),
+		prog: validate.Compile(s),
+	}, nil
 }
 
 // Mux returns the full route table wrapped in the middleware stack:
@@ -103,8 +119,9 @@ func New(s *schema.Schema, g *pg.Graph, cfg Config) (*Handler, error) {
 //	GET      /healthz     liveness
 //
 // Ordered outside-in: access log + metrics, panic recovery, concurrency
-// limit, request timeout. /healthz and /metrics sit outside the limit
-// and timeout so they answer even when the API is saturated.
+// limit, request timeout. /healthz, /metrics, and (when enabled)
+// /debug/pprof/ sit outside the limit and timeout so they answer even
+// when the API is saturated.
 func (h *Handler) Mux() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("/graphql", h.serveGraphQL)
@@ -121,6 +138,13 @@ func (h *Handler) Mux() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	root.HandleFunc("/metrics", h.serveMetrics)
+	if h.cfg.EnablePprof {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	var hh http.Handler = root
 	hh = h.recoverPanics(hh)

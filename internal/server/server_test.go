@@ -15,6 +15,11 @@ import (
 
 func newTestHandler(t *testing.T) *Handler {
 	t.Helper()
+	return newTestHandlerConfig(t, Config{})
+}
+
+func newTestHandlerConfig(t *testing.T, cfg Config) *Handler {
+	t.Helper()
 	doc, err := parser.Parse(`
 		type City @key(fields: ["name"]) {
 			name: String! @required
@@ -33,11 +38,34 @@ func newTestHandler(t *testing.T) *Handler {
 	ams := g.AddNode("City")
 	g.SetNodeProp(ams, "name", values.String("Amsterdam"))
 	g.MustAddEdge(lk, ams, "twin")
-	h, err := New(s, g, Config{})
+	h, err := New(s, g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return h
+}
+
+func TestPprofDisabledByDefault(t *testing.T) {
+	h := newTestHandler(t)
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	h.Mux().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without EnablePprof: status %d, want 404", rec.Code)
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	h := newTestHandlerConfig(t, Config{EnablePprof: true})
+	mux := h.Mux()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s with EnablePprof: status %d, want 200", path, rec.Code)
+		}
+	}
 }
 
 func do(t *testing.T, h *Handler, method, url, body string) (*http.Response, response) {

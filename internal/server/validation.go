@@ -62,7 +62,12 @@ type validationResponse struct {
 	Incremental bool            `json:"incremental"`
 	// Engine is the evaluation strategy that produced the result:
 	// "fused" or "rule-by-rule" (incremental runs are rule-by-rule).
-	Engine     string             `json:"engine"`
+	Engine string `json:"engine"`
+	// Compiled reports that the run reused the program compiled from the
+	// schema at graph load; CompileMS is that one-time compile cost (the
+	// same value on every response — it is amortized, not per-request).
+	Compiled   bool               `json:"compiled"`
+	CompileMS  float64            `json:"compileMs"`
 	ElapsedMS  float64            `json:"elapsedMs"`
 	RuleTimeMS map[string]float64 `json:"ruleTimeMs,omitempty"`
 }
@@ -162,6 +167,7 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, problem)
 		return
 	}
+	opts.Program = h.prog
 	start := time.Now()
 	res := validate.Validate(h.s, h.g, opts)
 	elapsed := time.Since(start)
@@ -212,7 +218,7 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res := validate.Revalidate(h.s, h.g, prev, delta)
+	res := validate.RevalidateWithOptions(h.s, h.g, prev, delta, validate.Options{Program: h.prog})
 	elapsed := time.Since(start)
 	h.valMu.Lock()
 	h.lastResult = res
@@ -235,6 +241,8 @@ func (h *Handler) validationResponse(res *validate.Result, mode string, elapsed 
 		Violations:  make([]violationJSON, 0, len(res.Violations)),
 		Truncated:   res.Truncated,
 		Incremental: incremental,
+		Compiled:    true,
+		CompileMS:   float64(h.prog.Stats().CompileTime) / float64(time.Millisecond),
 		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 	}
 	for _, v := range res.Violations {

@@ -44,6 +44,10 @@ func TestValidateEndpoint(t *testing.T) {
 	if len(out.RuleTimeMS) == 0 {
 		t.Error("no per-rule timings in response")
 	}
+	if !out.Compiled || out.CompileMS <= 0 {
+		t.Errorf("run did not report the precompiled program: compiled=%v compileMs=%v",
+			out.Compiled, out.CompileMS)
+	}
 
 	// The run must surface in /metrics, including per-rule timings.
 	rec = httptest.NewRecorder()

@@ -1,0 +1,58 @@
+package validate
+
+// Allocation regression tests for the fused hot paths: on a
+// violation-free graph with a compiled program bound, the node and edge
+// passes must run essentially allocation-free. AllocsPerRun pins the
+// budget so a stray fmt.Sprintf, map growth, or interface boxing on the
+// happy path fails the suite rather than a benchmark someone has to
+// remember to read.
+
+import (
+	"testing"
+)
+
+// allocRunner builds a runner wired the way the fused engine wires its
+// workers: compiled program bound to a conformant graph, one scratch.
+func allocRunner(t *testing.T) (*runner, fusedWant, *fusedScratch) {
+	t.Helper()
+	s := build(t, programSchema)
+	g := programGraph(200)
+	p := Compile(s)
+	r := &runner{s: s, g: g, opts: Options{}}
+	r.bind = p.bindTo(g)
+	return r, wantRules(Options{}.rules()), newFusedScratch(r.bind.symCount)
+}
+
+func TestFusedNodePassAllocFree(t *testing.T) {
+	r, w, sc := allocRunner(t)
+	emit := func(v Violation) { t.Errorf("unexpected violation: %+v", v) }
+	// Warm-up lets the DS1 seen map grow to its steady-state size.
+	r.fusedNodePass(w, emit, 0, 1, sc)
+
+	nodes := r.g.NumNodes()
+	avg := testing.AllocsPerRun(10, func() {
+		r.fusedNodePass(w, emit, 0, 1, sc)
+	})
+	// Budget: at most one allocation per 20 nodes — catches any
+	// per-node allocation while tolerating incidental runtime noise.
+	if limit := float64(nodes) / 20; avg > limit {
+		t.Errorf("fused node pass: %.1f allocs per run over %d nodes (limit %.1f)", avg, nodes, limit)
+	}
+}
+
+func TestFusedEdgePassAllocFree(t *testing.T) {
+	r, w, _ := allocRunner(t)
+	emit := func(v Violation) { t.Errorf("unexpected violation: %+v", v) }
+	r.fusedEdgePass(w, emit, 0, 1)
+
+	edges := r.g.NumEdges()
+	if edges == 0 {
+		t.Fatal("conformant graph has no edges; edge-pass budget meaningless")
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		r.fusedEdgePass(w, emit, 0, 1)
+	})
+	if limit := float64(edges) / 20; avg > limit {
+		t.Errorf("fused edge pass: %.1f allocs per run over %d edges (limit %.1f)", avg, edges, limit)
+	}
+}

@@ -38,7 +38,20 @@ type Delta struct {
 // Validate would produce on the current state (the equivalence the tests
 // verify).
 func Revalidate(s *schema.Schema, g *pg.Graph, prev *Result, delta Delta) *Result {
+	return RevalidateWithOptions(s, g, prev, delta, Options{})
+}
+
+// RevalidateWithOptions is Revalidate with run options. Only
+// Options.Program is consulted: a program compiled from s attaches its
+// graph binding to the restricted sweeps, so DS7's per-type node
+// enumeration reuses the cached tables instead of walking the label
+// index (free when the graph is at the epoch the binding was built at,
+// e.g. on a server whose graph only mutates under lock).
+func RevalidateWithOptions(s *schema.Schema, g *pg.Graph, prev *Result, delta Delta, opts Options) *Result {
 	r := &runner{s: s, g: g}
+	if p := opts.Program; p != nil && p.s == s {
+		r.bind = p.bindTo(g)
+	}
 
 	nodeSet := make(map[pg.NodeID]bool)
 	edgeSet := make(map[pg.EdgeID]bool)

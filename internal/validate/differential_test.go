@@ -43,20 +43,30 @@ type Publisher {
 
 // engineConfigs is the configuration matrix every run is checked
 // across. The first entry is the baseline the others must match.
+// Configs with compiled set receive a Program compiled once per
+// assertEngineEquivalence call and shared across modes, exercising the
+// cross-run binding cache as well as the compiled passes.
 var engineConfigs = []struct {
-	name string
-	set  func(*validate.Options)
+	name     string
+	compiled bool
+	set      func(*validate.Options)
 }{
-	{"seq/rule-by-rule", func(o *validate.Options) { o.Engine = validate.EngineRuleByRule }},
-	{"seq/fused", func(o *validate.Options) { o.Engine = validate.EngineFused }},
-	{"par4/rule-by-rule", func(o *validate.Options) { o.Engine = validate.EngineRuleByRule; o.Workers = 4 }},
-	{"par4/fused", func(o *validate.Options) { o.Engine = validate.EngineFused; o.Workers = 4 }},
-	{"par4+sharding/fused", func(o *validate.Options) {
+	{"seq/rule-by-rule", false, func(o *validate.Options) { o.Engine = validate.EngineRuleByRule }},
+	{"seq/fused", false, func(o *validate.Options) { o.Engine = validate.EngineFused }},
+	{"par4/rule-by-rule", false, func(o *validate.Options) { o.Engine = validate.EngineRuleByRule; o.Workers = 4 }},
+	{"par4/fused", false, func(o *validate.Options) { o.Engine = validate.EngineFused; o.Workers = 4 }},
+	{"par4+sharding/fused", false, func(o *validate.Options) {
 		o.Engine = validate.EngineFused
 		o.Workers = 4
 		o.ElementSharding = true
 	}},
-	{"seq/naive-pair-scan", func(o *validate.Options) { o.Engine = validate.EngineRuleByRule; o.NaivePairScan = true }},
+	{"seq/naive-pair-scan", false, func(o *validate.Options) { o.Engine = validate.EngineRuleByRule; o.NaivePairScan = true }},
+	{"seq/fused+program", true, func(o *validate.Options) { o.Engine = validate.EngineFused }},
+	{"par4+sharding/fused+program", true, func(o *validate.Options) {
+		o.Engine = validate.EngineFused
+		o.Workers = 4
+		o.ElementSharding = true
+	}},
 }
 
 var diffModes = []struct {
@@ -85,11 +95,15 @@ func renderViolations(res *validate.Result) string {
 // sequential rule-by-rule baseline.
 func assertEngineEquivalence(t *testing.T, s *schema.Schema, g *pg.Graph, label string) {
 	t.Helper()
+	prog := validate.Compile(s)
 	for _, m := range diffModes {
 		var baseline string
 		for i, cfg := range engineConfigs {
 			opts := validate.Options{Mode: m.mode}
 			cfg.set(&opts)
+			if cfg.compiled {
+				opts.Program = prog
+			}
 			got := renderViolations(validate.Validate(s, g, opts))
 			if i == 0 {
 				baseline = got

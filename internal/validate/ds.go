@@ -29,7 +29,7 @@ func (r *runner) ds1(emit emitFunc, shard, nShards int) {
 			for _, e := range r.g.OutEdgesLabeled(v1, fd.Name) {
 				_, dst := r.g.Endpoints(e)
 				seen[dst]++
-				if seen[dst] == 2 {
+				if seen[dst] == 2 && !r.drop() {
 					emit(Violation{
 						Rule: DS1, Node: v1, Edge: e,
 						TypeName: fd.Owner, Field: fd.Name,
@@ -54,7 +54,7 @@ func (r *runner) ds2(emit emitFunc, shard, nShards int) {
 				continue
 			}
 			for _, e := range r.g.OutEdgesLabeled(v, fd.Name) {
-				if _, dst := r.g.Endpoints(e); dst == v {
+				if _, dst := r.g.Endpoints(e); dst == v && !r.drop() {
 					emit(Violation{
 						Rule: DS2, Node: v, Edge: e,
 						TypeName: fd.Owner, Field: fd.Name,
@@ -99,7 +99,7 @@ func (r *runner) ds3(emit emitFunc, shard, nShards int) {
 					second = e
 				}
 			}
-			if n > 1 {
+			if n > 1 && !r.drop() {
 				emit(Violation{
 					Rule: DS3, Node: v3, Edge: second,
 					TypeName: fd.Owner, Field: fd.Name,
@@ -163,7 +163,7 @@ func (r *runner) ds3Naive(emit emitFunc, shard, nShards int) {
 				}
 			}
 			reported[t1] = true
-			if n > 1 {
+			if n > 1 && !r.drop() {
 				emit(Violation{
 					Rule: DS3, Node: t1, Edge: second,
 					TypeName: fd.Owner, Field: fd.Name,
@@ -196,7 +196,7 @@ func (r *runner) ds4(emit emitFunc, shard, nShards int) {
 					break
 				}
 			}
-			if !found {
+			if !found && !r.drop() {
 				emit(Violation{
 					Rule: DS4, Node: v2, Edge: -1,
 					TypeName: fd.Owner, Field: fd.Name,
@@ -232,19 +232,23 @@ func (r *runner) ds5(emit emitFunc, shard, nShards int) {
 			val, ok := r.g.NodeProp(v, fd.Name)
 			switch {
 			case !ok:
-				emit(Violation{
-					Rule: DS5, Node: v, Edge: -1,
-					TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
-					Message: fmt.Sprintf("%s (%s): missing property %q required by @required on %s.%s",
-						nodeRef(v), r.g.NodeLabel(v), fd.Name, fd.Owner, fd.Name),
-				})
+				if !r.drop() {
+					emit(Violation{
+						Rule: DS5, Node: v, Edge: -1,
+						TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
+						Message: fmt.Sprintf("%s (%s): missing property %q required by @required on %s.%s",
+							nodeRef(v), r.g.NodeLabel(v), fd.Name, fd.Owner, fd.Name),
+					})
+				}
 			case fd.Type.IsList() && val.Kind() == values.KindList && val.Len() == 0:
-				emit(Violation{
-					Rule: DS5, Node: v, Edge: -1,
-					TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
-					Message: fmt.Sprintf("%s (%s): property %q is an empty list, but @required on %s.%s demands a nonempty list",
-						nodeRef(v), r.g.NodeLabel(v), fd.Name, fd.Owner, fd.Name),
-				})
+				if !r.drop() {
+					emit(Violation{
+						Rule: DS5, Node: v, Edge: -1,
+						TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
+						Message: fmt.Sprintf("%s (%s): property %q is an empty list, but @required on %s.%s demands a nonempty list",
+							nodeRef(v), r.g.NodeLabel(v), fd.Name, fd.Owner, fd.Name),
+					})
+				}
 			}
 		}
 	}
@@ -262,7 +266,7 @@ func (r *runner) ds6(emit emitFunc, shard, nShards int) {
 			if !nodeShard(v1, shard, nShards) {
 				continue
 			}
-			if r.g.OutDegreeLabeled(v1, fd.Name) == 0 {
+			if r.g.OutDegreeLabeled(v1, fd.Name) == 0 && !r.drop() {
 				emit(Violation{
 					Rule: DS6, Node: v1, Edge: -1,
 					TypeName: fd.Owner, Field: fd.Name,
@@ -282,6 +286,25 @@ func (r *runner) ds6(emit emitFunc, shard, nShards int) {
 func (r *runner) ds7(emit emitFunc, shard, nShards int) {
 	_ = shard // DS7 buckets globally; it is never sharded (see parallel()).
 	_ = nShards
+	// An unrestricted sweep with a bound program reads the cached bucket
+	// index instead of rebuilding it; restricted sweeps (incremental
+	// revalidation) bucket only the affected types below.
+	if r.bind != nil && r.onlyNodes == nil && r.onlyTypes == nil {
+		for _, ks := range r.bind.keyIndex(r.s) {
+			for _, nodes := range ks.buckets {
+				if len(nodes) < 2 || r.drop() {
+					continue
+				}
+				emit(Violation{
+					Rule: DS7, Node: nodes[0], Edge: -1,
+					TypeName: ks.typeName,
+					Message: fmt.Sprintf("%d nodes (%s, %s, …) of type %s agree on key {%s}, violating @key",
+						len(nodes), nodeRef(nodes[0]), nodeRef(nodes[1]), ks.typeName, strings.Join(ks.keyFields, ", ")),
+				})
+			}
+		}
+		return
+	}
 	for _, td := range r.s.Types() {
 		if !r.typeAllowed(td.Name) {
 			continue
@@ -309,7 +332,7 @@ func (r *runner) ds7(emit emitFunc, shard, nShards int) {
 				buckets[key] = append(buckets[key], v)
 			}
 			for _, nodes := range buckets {
-				if len(nodes) < 2 {
+				if len(nodes) < 2 || r.drop() {
 					continue
 				}
 				emit(Violation{

@@ -18,12 +18,14 @@ import (
 // never exchange information, so interleaving them per element yields
 // the same violation set as running them rule by rule. The differential
 // test harness (differential_test.go) proves the equivalence across
-// engines, worker counts, sharding, and modes.
+// engines, worker counts, sharding, modes, and compiled programs.
 //
-// Two rules quantify globally and keep dedicated passes that share the
-// resolution cache: DS4 needs the per-target incoming-edge view and DS7
-// buckets nodes per type. Both run through the existing rule bodies with
-// the runner's cache attached.
+// The passes run against a compiled Program bound to the graph
+// (program.go): schema lookups are precompiled per label, and the
+// graph's interned Syms index dense slices where the previous per-run
+// resolution cache hashed strings. Two rules quantify globally and keep
+// dedicated passes that share the binding: DS4 needs the per-target
+// incoming-edge view and DS7 buckets nodes per type.
 
 // nodePassRules are the rules the fused node pass evaluates, in paper
 // order.
@@ -35,9 +37,9 @@ var edgePassRules = []Rule{WS2, WS3, SS3, SS4}
 // fusedWant is the set of requested rules as branch-predictable flags
 // for the fused inner loops.
 type fusedWant struct {
-	ws1, ws2, ws3, ws4             bool
+	ws1, ws2, ws3, ws4                bool
 	ds1, ds2, ds3, ds4, ds5, ds6, ds7 bool
-	ss1, ss2, ss3, ss4             bool
+	ss1, ss2, ss3, ss4                bool
 }
 
 func wantRules(rules []Rule) fusedWant {
@@ -142,155 +144,41 @@ func (w fusedWant) active(pass []Rule) []Rule {
 	return out
 }
 
-// propInfo classifies one declared field of a node label once per run,
-// so the inner loops never repeat the attribute/relationship test.
-type propInfo struct {
-	fd     *schema.FieldDef
-	isAttr bool
+// fusedScratch is per-worker reusable state for the node pass, so the
+// violation-free path allocates nothing per node: a dense edge-label
+// counter (indexed by Sym, kept all-zero between nodes via the touched
+// list) for WS4 and a target-count map (cleared, not reallocated) for
+// DS1.
+type fusedScratch struct {
+	counts  []int32
+	touched []pg.Sym
+	seen    map[pg.NodeID]int32
 }
 
-// srcDecl is one relationship declaration applicable to a label on the
-// source side, with its directive flags resolved once per run.
-type srcDecl struct {
-	fd                          *schema.FieldDef
-	distinct, noLoops, required bool
-}
-
-// labelInfo is everything the fused passes need to know about one node
-// label, resolved once per run.
-type labelInfo struct {
-	td     *schema.TypeDef     // nil when the label is undeclared
-	fields map[string]propInfo // field name → classification (nil when td is nil)
-
-	srcRel   []srcDecl           // relationship decls with label ∈ ConcreteTargets(owner)
-	reqAttrs []*schema.FieldDef  // @required attribute decls applicable to the label (DS5)
-	uftIn    []*schema.FieldDef  // @uniqueForTarget decls with label ∈ ConcreteTargets(base) (DS3)
-}
-
-// resolution is the per-run schema lookup cache shared by every fused
-// pass (and, via the runner, by the dedicated DS4/DS7 passes): label →
-// type, per-label field classification, per-label directive-bearing
-// declarations, the subtype closure over the labels present in the
-// graph, and the λ(v) ⊑S t node enumeration per named type.
-type resolution struct {
-	byLabel map[string]*labelInfo
-	// sub[label][name] caches SubtypeNamed(label, name) for every label
-	// in the graph and every type name a rule can ask about.
-	sub map[string]map[string]bool
-	// nodesOf caches nodesOfType for every named type of the schema.
-	nodesOf map[string][]pg.NodeID
-}
-
-// newResolution builds the cache for one (schema, graph) pair.
-func newResolution(s *schema.Schema, g *pg.Graph) *resolution {
-	res := &resolution{
-		byLabel: make(map[string]*labelInfo),
-		sub:     make(map[string]map[string]bool),
-		nodesOf: make(map[string][]pg.NodeID),
+func newFusedScratch(symCount int) *fusedScratch {
+	return &fusedScratch{
+		counts: make([]int32, symCount),
+		seen:   make(map[pg.NodeID]int32),
 	}
-	labels := g.Labels()
-	for _, l := range labels {
-		info := &labelInfo{td: s.Type(l)}
-		if info.td != nil {
-			info.fields = make(map[string]propInfo, len(info.td.Fields))
-			for _, f := range info.td.Fields {
-				info.fields[f.Name] = propInfo{fd: f, isAttr: s.IsAttribute(f)}
-			}
-		}
-		res.byLabel[l] = info
-	}
-
-	// The subtype table covers every name a fused check can pass as the
-	// supertype: declared type names (DS3/DS4 owners, DS7 types) and the
-	// base type of every field (WS3, including attribute fields whose
-	// base is a scalar).
-	names := make(map[string]bool)
-	for _, td := range s.Types() {
-		names[td.Name] = true
-		for _, f := range td.Fields {
-			names[f.Type.Base()] = true
-		}
-	}
-	for _, l := range labels {
-		row := make(map[string]bool, len(names))
-		for n := range names {
-			row[n] = s.SubtypeNamed(l, n)
-		}
-		res.sub[l] = row
-	}
-
-	// Node enumeration per named type, mirroring runner.nodesOfType.
-	for _, td := range s.Types() {
-		switch td.Kind {
-		case schema.Object, schema.Interface, schema.Union:
-			var out []pg.NodeID
-			for _, label := range s.ConcreteTargets(td.Name) {
-				out = append(out, g.NodesLabeled(label)...)
-			}
-			res.nodesOf[td.Name] = out
-		}
-	}
-
-	// Directive-bearing declarations, bucketed per applicable label in
-	// declaration order (types sorted by name, fields in source order) —
-	// the same order the rule-by-rule sweeps quantify in, so duplicate
-	// declarations (object type + interface) keep their multiplicity.
-	for _, td := range s.Types() {
-		if td.Kind != schema.Object && td.Kind != schema.Interface {
-			continue
-		}
-		for _, f := range td.Fields {
-			switch {
-			case s.IsRelationship(f):
-				d := srcDecl{
-					fd:       f,
-					distinct: schema.HasDirective(f.Directives, schema.DirDistinct),
-					noLoops:  schema.HasDirective(f.Directives, schema.DirNoLoops),
-					required: schema.HasDirective(f.Directives, schema.DirRequired),
-				}
-				if d.distinct || d.noLoops || d.required {
-					for _, l := range s.ConcreteTargets(f.Owner) {
-						if info, ok := res.byLabel[l]; ok {
-							info.srcRel = append(info.srcRel, d)
-						}
-					}
-				}
-				if schema.HasDirective(f.Directives, schema.DirUniqueForTarget) {
-					for _, l := range s.ConcreteTargets(f.Type.Base()) {
-						if info, ok := res.byLabel[l]; ok {
-							info.uftIn = append(info.uftIn, f)
-						}
-					}
-				}
-			case s.IsAttribute(f):
-				if schema.HasDirective(f.Directives, schema.DirRequired) {
-					for _, l := range s.ConcreteTargets(f.Owner) {
-						if info, ok := res.byLabel[l]; ok {
-							info.reqAttrs = append(info.reqAttrs, f)
-						}
-					}
-				}
-			}
-		}
-	}
-	return res
 }
 
 // fusedNodePass evaluates WS1, WS4, DS1, DS2, DS3, DS5, DS6, SS1, and
 // SS2 for every node in the shard, emitting exactly the violations the
 // rule-by-rule sweeps would.
-func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
-	res := r.res
-	for _, v := range r.g.Nodes() {
-		if !nodeShard(v, shard, nShards) {
+func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, sc *fusedScratch) {
+	b := r.bind
+	g := r.g
+	for vi, bound := 0, g.NodeBound(); vi < bound; vi++ {
+		v := pg.NodeID(vi)
+		if !g.HasNode(v) || !nodeShard(v, shard, nShards) {
 			continue
 		}
-		label := r.g.NodeLabel(v)
-		info := res.byLabel[label]
-		td := info.td
+		bl := b.labels[g.NodeLabelSym(v)]
+		td := bl.td
+		label := bl.label
 
 		// SS1: the label must be a declared object type.
-		if w.ss1 && (td == nil || td.Kind != schema.Object) {
+		if w.ss1 && (td == nil || td.Kind != schema.Object) && !r.drop() {
 			emit(Violation{
 				Rule: SS1, Node: v, Edge: -1, TypeName: label,
 				Message: fmt.Sprintf("%s: label %q is not an object type of the schema", nodeRef(v), label),
@@ -299,75 +187,88 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
 
 		// WS1 + SS2 share the property iteration.
 		if w.ws1 || w.ss2 {
-			for _, name := range r.g.NodePropNames(v) {
-				pi, declared := propInfo{}, false
-				if info.fields != nil {
-					pi, declared = info.fields[name]
+			props := g.NodeProps(v)
+			for i := range props {
+				pr := &props[i]
+				var slot fieldSlot
+				if bl.fields != nil {
+					slot = bl.fields[pr.Sym]
 				}
-				if !declared {
-					if w.ss2 {
+				if slot.fd == nil {
+					if w.ss2 && !r.drop() {
 						emit(Violation{
-							Rule: SS2, Node: v, Edge: -1, TypeName: label, Property: name,
-							Message: fmt.Sprintf("%s (%s): property %q is not declared as a field of %s", nodeRef(v), label, name, label),
+							Rule: SS2, Node: v, Edge: -1, TypeName: label, Property: pr.Name,
+							Message: fmt.Sprintf("%s (%s): property %q is not declared as a field of %s", nodeRef(v), label, pr.Name, label),
 						})
 					}
 					continue
 				}
-				if !pi.isAttr {
-					if w.ss2 {
+				if !slot.isAttr {
+					if w.ss2 && !r.drop() {
 						emit(Violation{
-							Rule: SS2, Node: v, Edge: -1, TypeName: label, Field: name, Property: name,
+							Rule: SS2, Node: v, Edge: -1, TypeName: label, Field: pr.Name, Property: pr.Name,
 							Message: fmt.Sprintf("%s (%s): property %q corresponds to relationship field %s.%s of type %s, not an attribute",
-								nodeRef(v), label, name, label, name, pi.fd.Type),
+								nodeRef(v), label, pr.Name, label, pr.Name, slot.fd.Type),
 						})
 					}
 					continue
 				}
-				if w.ws1 {
-					val, _ := r.g.NodeProp(v, name)
-					if !r.s.MemberOfW(val, pi.fd.Type) {
-						emit(Violation{
-							Rule: WS1, Node: v, Edge: -1,
-							TypeName: label, Field: name, Property: name,
-							Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
-								nodeRef(v), label, name, val, pi.fd.Type),
-						})
-					}
+				if w.ws1 && !r.s.MemberOfW(pr.Value, slot.fd.Type) && !r.drop() {
+					emit(Violation{
+						Rule: WS1, Node: v, Edge: -1,
+						TypeName: label, Field: pr.Name, Property: pr.Name,
+						Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
+							nodeRef(v), label, pr.Name, pr.Value, slot.fd.Type),
+					})
 				}
 			}
 		}
 
-		// WS4: at most one edge per non-list field.
+		// WS4: at most one edge per non-list field. Count out-edges per
+		// label Sym in the dense scratch counter.
 		if w.ws4 && td != nil {
-			counts := make(map[string]int)
-			for _, e := range r.g.OutEdges(v) {
-				counts[r.g.EdgeLabel(e)]++
+			sc.touched = sc.touched[:0]
+			for _, e := range g.OutEdgesRaw(v) {
+				if !g.HasEdge(e) {
+					continue
+				}
+				ls := g.EdgeLabelSym(e)
+				if sc.counts[ls] == 0 {
+					sc.touched = append(sc.touched, ls)
+				}
+				sc.counts[ls]++
 			}
-			for f, n := range counts {
+			for _, ls := range sc.touched {
+				n := sc.counts[ls]
+				sc.counts[ls] = 0
 				if n < 2 {
 					continue
 				}
-				fd := info.fields[f].fd
-				if fd == nil || fd.Type.IsList() {
+				slot := bl.fields[ls]
+				if slot.fd == nil || slot.fd.Type.IsList() || r.drop() {
 					continue
 				}
+				f := g.SymName(ls)
 				emit(Violation{
 					Rule: WS4, Node: v, Edge: -1,
 					TypeName: label, Field: f,
 					Message: fmt.Sprintf("%s (%s): %d outgoing %q edges, but %s.%s has non-list type %s (at most one edge allowed)",
-						nodeRef(v), label, n, f, label, f, fd.Type),
+						nodeRef(v), label, n, f, label, f, slot.fd.Type),
 				})
 			}
 		}
 
 		// Source-side directive rules: DS1, DS2, DS6.
-		for _, d := range info.srcRel {
+		for i := range bl.srcRel {
+			d := &bl.srcRel[i]
 			if w.ds1 && d.distinct {
-				seen := make(map[pg.NodeID]int)
-				for _, e := range r.g.OutEdgesLabeled(v, d.fd.Name) {
-					_, dst := r.g.Endpoints(e)
-					seen[dst]++
-					if seen[dst] == 2 {
+				for _, e := range g.OutEdgesRaw(v) {
+					if !g.HasEdge(e) || g.EdgeLabelSym(e) != d.sym {
+						continue
+					}
+					_, dst := g.Endpoints(e)
+					sc.seen[dst]++
+					if sc.seen[dst] == 2 && !r.drop() {
 						emit(Violation{
 							Rule: DS1, Node: v, Edge: e,
 							TypeName: d.fd.Owner, Field: d.fd.Name,
@@ -376,10 +277,16 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
 						})
 					}
 				}
+				if len(sc.seen) > 0 {
+					clear(sc.seen)
+				}
 			}
 			if w.ds2 && d.noLoops {
-				for _, e := range r.g.OutEdgesLabeled(v, d.fd.Name) {
-					if _, dst := r.g.Endpoints(e); dst == v {
+				for _, e := range g.OutEdgesRaw(v) {
+					if !g.HasEdge(e) || g.EdgeLabelSym(e) != d.sym {
+						continue
+					}
+					if _, dst := g.Endpoints(e); dst == v && !r.drop() {
 						emit(Violation{
 							Rule: DS2, Node: v, Edge: e,
 							TypeName: d.fd.Owner, Field: d.fd.Name,
@@ -390,7 +297,14 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
 				}
 			}
 			if w.ds6 && d.required {
-				if r.g.OutDegreeLabeled(v, d.fd.Name) == 0 {
+				found := false
+				for _, e := range g.OutEdgesRaw(v) {
+					if g.HasEdge(e) && g.EdgeLabelSym(e) == d.sym {
+						found = true
+						break
+					}
+				}
+				if !found && !r.drop() {
 					emit(Violation{
 						Rule: DS6, Node: v, Edge: -1,
 						TypeName: d.fd.Owner, Field: d.fd.Name,
@@ -403,35 +317,44 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
 
 		// DS5: @required attribute properties.
 		if w.ds5 {
-			for _, fd := range info.reqAttrs {
-				val, ok := r.g.NodeProp(v, fd.Name)
+			for i := range bl.reqAttrs {
+				req := &bl.reqAttrs[i]
+				val, ok := g.NodePropBySym(v, req.sym)
 				switch {
 				case !ok:
-					emit(Violation{
-						Rule: DS5, Node: v, Edge: -1,
-						TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
-						Message: fmt.Sprintf("%s (%s): missing property %q required by @required on %s.%s",
-							nodeRef(v), label, fd.Name, fd.Owner, fd.Name),
-					})
-				case fd.Type.IsList() && val.Kind() == values.KindList && val.Len() == 0:
-					emit(Violation{
-						Rule: DS5, Node: v, Edge: -1,
-						TypeName: fd.Owner, Field: fd.Name, Property: fd.Name,
-						Message: fmt.Sprintf("%s (%s): property %q is an empty list, but @required on %s.%s demands a nonempty list",
-							nodeRef(v), label, fd.Name, fd.Owner, fd.Name),
-					})
+					if !r.drop() {
+						emit(Violation{
+							Rule: DS5, Node: v, Edge: -1,
+							TypeName: req.fd.Owner, Field: req.fd.Name, Property: req.fd.Name,
+							Message: fmt.Sprintf("%s (%s): missing property %q required by @required on %s.%s",
+								nodeRef(v), label, req.fd.Name, req.fd.Owner, req.fd.Name),
+						})
+					}
+				case req.fd.Type.IsList() && val.Kind() == values.KindList && val.Len() == 0:
+					if !r.drop() {
+						emit(Violation{
+							Rule: DS5, Node: v, Edge: -1,
+							TypeName: req.fd.Owner, Field: req.fd.Name, Property: req.fd.Name,
+							Message: fmt.Sprintf("%s (%s): property %q is an empty list, but @required on %s.%s demands a nonempty list",
+								nodeRef(v), label, req.fd.Name, req.fd.Owner, req.fd.Name),
+						})
+					}
 				}
 			}
 		}
 
 		// DS3 (target side): at most one incoming @uniqueForTarget edge.
 		if w.ds3 {
-			for _, fd := range info.uftIn {
+			for i := range bl.uftIn {
+				u := &bl.uftIn[i]
 				n := 0
 				var second pg.EdgeID = -1
-				for _, e := range r.g.InEdgesLabeled(v, fd.Name) {
-					src, _ := r.g.Endpoints(e)
-					if !res.sub[r.g.NodeLabel(src)][fd.Owner] {
+				for _, e := range g.InEdgesRaw(v) {
+					if !g.HasEdge(e) || g.EdgeLabelSym(e) != u.sym {
+						continue
+					}
+					src, _ := g.Endpoints(e)
+					if !b.labels[g.NodeLabelSym(src)].sub[u.ownerID] {
 						continue
 					}
 					n++
@@ -439,12 +362,12 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
 						second = e
 					}
 				}
-				if n > 1 {
+				if n > 1 && !r.drop() {
 					emit(Violation{
 						Rule: DS3, Node: v, Edge: second,
-						TypeName: fd.Owner, Field: fd.Name,
+						TypeName: u.fd.Owner, Field: u.fd.Name,
 						Message: fmt.Sprintf("%s: %d incoming %q edges from %s nodes violate @uniqueForTarget on %s.%s",
-							nodeRef(v), n, fd.Name, fd.Owner, fd.Owner, fd.Name),
+							nodeRef(v), n, u.fd.Name, u.fd.Owner, u.fd.Owner, u.fd.Name),
 					})
 				}
 			}
@@ -455,80 +378,83 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int) {
 // fusedEdgePass evaluates WS2, WS3, SS3, and SS4 for every edge in the
 // shard.
 func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, shard, nShards int) {
-	res := r.res
-	for _, e := range r.g.Edges() {
-		if !edgeShard(e, shard, nShards) {
+	b := r.bind
+	g := r.g
+	for ei, bound := 0, g.EdgeBound(); ei < bound; ei++ {
+		e := pg.EdgeID(ei)
+		if !g.HasEdge(e) || !edgeShard(e, shard, nShards) {
 			continue
 		}
-		src, dst := r.g.Endpoints(e)
-		srcLabel := r.g.NodeLabel(src)
-		elabel := r.g.EdgeLabel(e)
-		info := res.byLabel[srcLabel]
-		var fd *schema.FieldDef
-		isAttr := false
-		if info.fields != nil {
-			if pi, ok := info.fields[elabel]; ok {
-				fd, isAttr = pi.fd, pi.isAttr
-			}
+		src, dst := g.Endpoints(e)
+		srcInfo := b.labels[g.NodeLabelSym(src)]
+		srcLabel := srcInfo.label
+		elabel := g.EdgeLabel(e)
+		var slot fieldSlot
+		if srcInfo.fields != nil {
+			slot = srcInfo.fields[g.EdgeLabelSym(e)]
 		}
+		fd := slot.fd
 
 		// SS4: the edge label must be a declared relationship field.
 		if w.ss4 {
 			switch {
 			case fd == nil:
-				emit(Violation{
-					Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
-					Message: fmt.Sprintf("%s: label %q is not a declared field of %s", edgeRef(e), elabel, srcLabel),
-				})
-			case isAttr:
-				emit(Violation{
-					Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
-					Message: fmt.Sprintf("%s: label %q corresponds to attribute field %s.%s of type %s, not a relationship",
-						edgeRef(e), elabel, srcLabel, elabel, fd.Type),
-				})
+				if !r.drop() {
+					emit(Violation{
+						Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
+						Message: fmt.Sprintf("%s: label %q is not a declared field of %s", edgeRef(e), elabel, srcLabel),
+					})
+				}
+			case slot.isAttr:
+				if !r.drop() {
+					emit(Violation{
+						Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
+						Message: fmt.Sprintf("%s: label %q corresponds to attribute field %s.%s of type %s, not a relationship",
+							edgeRef(e), elabel, srcLabel, elabel, fd.Type),
+					})
+				}
 			}
 		}
 
 		// WS2 + SS3 share the edge-property iteration.
 		if w.ws2 || w.ss3 {
-			for _, name := range r.g.EdgePropNames(e) {
+			props := g.EdgeProps(e)
+			for i := range props {
+				pr := &props[i]
 				var arg *schema.ArgDef
 				if fd != nil {
-					arg = fd.Arg(name)
+					arg = fd.Arg(pr.Name)
 				}
 				if arg == nil {
-					if w.ss3 {
+					if w.ss3 && !r.drop() {
 						emit(Violation{
-							Rule: SS3, Node: src, Edge: e, TypeName: srcLabel, Field: elabel, Property: name,
+							Rule: SS3, Node: src, Edge: e, TypeName: srcLabel, Field: elabel, Property: pr.Name,
 							Message: fmt.Sprintf("%s (%s): property %q is not a declared argument of %s.%s",
-								edgeRef(e), elabel, name, srcLabel, elabel),
+								edgeRef(e), elabel, pr.Name, srcLabel, elabel),
 						})
 					}
 					continue
 				}
-				if w.ws2 {
-					val, _ := r.g.EdgeProp(e, name)
-					if !r.s.MemberOfW(val, arg.Type) {
-						emit(Violation{
-							Rule: WS2, Node: src, Edge: e,
-							TypeName: fd.Owner, Field: fd.Name, Property: name,
-							Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
-								edgeRef(e), fd.Name, name, val, arg.Type),
-						})
-					}
+				if w.ws2 && !r.s.MemberOfW(pr.Value, arg.Type) && !r.drop() {
+					emit(Violation{
+						Rule: WS2, Node: src, Edge: e,
+						TypeName: fd.Owner, Field: fd.Name, Property: pr.Name,
+						Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
+							edgeRef(e), fd.Name, pr.Name, pr.Value, arg.Type),
+					})
 				}
 			}
 		}
 
 		// WS3: the target's label must subtype the field's base type.
 		if w.ws3 && fd != nil {
-			base := fd.Type.Base()
-			if !res.sub[r.g.NodeLabel(dst)][base] {
+			if !b.labels[g.NodeLabelSym(dst)].sub[slot.baseID] && !r.drop() {
+				base := fd.Type.Base()
 				emit(Violation{
 					Rule: WS3, Node: dst, Edge: e,
 					TypeName: srcLabel, Field: fd.Name,
 					Message: fmt.Sprintf("%s (%s): target %s has label %q, which is not a subtype of basetype(%s) = %s",
-						edgeRef(e), fd.Name, nodeRef(dst), r.g.NodeLabel(dst), fd.Type, base),
+						edgeRef(e), fd.Name, nodeRef(dst), g.NodeLabel(dst), fd.Type, base),
 				})
 			}
 		}
@@ -552,10 +478,10 @@ const (
 )
 
 // run executes the task, emitting into emit.
-func (t fusedTask) run(r *runner, w fusedWant) func(emitFunc) {
+func (t fusedTask) run(r *runner, w fusedWant, sc *fusedScratch) func(emitFunc) {
 	switch t.kind {
 	case taskNodePass:
-		return func(emit emitFunc) { r.fusedNodePass(w, emit, t.shard, t.nShards) }
+		return func(emit emitFunc) { r.fusedNodePass(w, emit, t.shard, t.nShards, sc) }
 	case taskEdgePass:
 		return func(emit emitFunc) { r.fusedEdgePass(w, emit, t.shard, t.nShards) }
 	case taskDS4:
@@ -628,12 +554,13 @@ func attribute(timings map[Rule]time.Duration, rules []Rule, elapsed time.Durati
 	}
 }
 
-// fused runs the fused engine, sequentially or — when Options.Workers
-// > 1 — on a worker pool with per-task violation buffers that merge
-// into the collector once per task (no mutex in the hot path). It
-// returns the per-rule timings when Options.CollectTimings is set.
-func (r *runner) fused(rules []Rule, c *collector) map[Rule]time.Duration {
-	r.res = newResolution(r.s, r.g)
+// fused runs the fused engine against the compiled program, sequentially
+// or — when Options.Workers > 1 — on a worker pool with pooled per-task
+// violation buffers that merge into the collector once per task (no
+// mutex in the hot path). It returns the per-rule timings when
+// Options.CollectTimings is set.
+func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Duration {
+	r.bind = p.bindTo(r.g)
 	w := wantRules(rules)
 	var timings map[Rule]time.Duration
 	if r.opts.CollectTimings {
@@ -648,12 +575,13 @@ func (r *runner) fused(rules []Rule, c *collector) map[Rule]time.Duration {
 		// passes after the cap fills until an emit is rejected — the same
 		// exact-Truncated contract as the sequential rule-by-rule engine,
 		// at pass rather than rule granularity.
+		sc := newFusedScratch(r.bind.symCount)
 		for _, t := range fusedTasks(w, false, 1) {
 			if c.truncated() {
 				break
 			}
 			start := time.Now()
-			t.run(r, w)(c.emit)
+			t.run(r, w, sc)(c.emit)
 			if timings != nil {
 				attribute(timings, t.rules(w), time.Since(start))
 			}
@@ -669,6 +597,7 @@ func (r *runner) fused(rules []Rule, c *collector) map[Rule]time.Duration {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := newFusedScratch(r.bind.symCount)
 			for t := range ch {
 				// Tasks not yet started are skipped once the cap is
 				// reached; a started task always runs to completion and
@@ -677,12 +606,15 @@ func (r *runner) fused(rules []Rule, c *collector) map[Rule]time.Duration {
 				if c.full() {
 					continue
 				}
-				var buf []Violation
+				bufp := violationBufPool.Get().(*[]Violation)
+				buf := (*bufp)[:0]
 				emit := func(v Violation) { buf = append(buf, v) }
 				start := time.Now()
-				t.run(r, w)(emit)
+				t.run(r, w, sc)(emit)
 				elapsed := time.Since(start)
 				c.merge(buf)
+				*bufp = buf[:0]
+				violationBufPool.Put(bufp)
 				if timings != nil {
 					timingMu.Lock()
 					attribute(timings, t.rules(w), elapsed)

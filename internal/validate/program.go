@@ -1,0 +1,386 @@
+package validate
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+)
+
+// A Program is a validation program compiled from a schema once and
+// reused across runs. It precomputes everything about the schema the
+// fused engine needs — a dense name table over the schema's type and
+// field-base names, the per-label field classification, the directive
+// obligations in declaration order, and the subtype-closure rows — so
+// that a Validate call only has to bind the program to the graph's
+// interned symbols instead of rebuilding string-keyed caches.
+//
+// A Program is immutable after Compile and safe for concurrent use. The
+// per-graph binding is cached inside the Program keyed by (graph,
+// epoch): repeated validation of an unchanged graph skips the bind step
+// entirely, and any mutation of the graph (which bumps pg.Graph.Epoch)
+// invalidates the cache on the next run.
+type Program struct {
+	s *schema.Schema
+
+	// nameID assigns dense IDs to every name a rule can ask the subtype
+	// relation about: declared type names and field base-type names.
+	nameID map[string]int32
+	names  []string
+
+	// labels holds the compiled per-label lookup table for every
+	// declared type name (graph labels resolve through it at bind time).
+	labels map[string]*labelProgram
+
+	compileTime  time.Duration
+	nFields      int
+	nObligations int
+
+	bound atomic.Pointer[binding]
+}
+
+// labelProgram is the schema-side compilation of one declared type
+// name: field classification in source order, the subtype row over the
+// program's name table, and the directive obligations that apply to
+// nodes of this label, in declaration order.
+type labelProgram struct {
+	td     *schema.TypeDef
+	fields []compiledField
+	sub    []bool // indexed by nameID: sub[n] ⇔ label ⊑S names[n]
+
+	srcRel   []compiledSrc       // DS1/DS2/DS6 source-side obligations
+	reqAttrs []*schema.FieldDef  // DS5 @required attributes
+	uftIn    []compiledUft       // DS3 target-side @uniqueForTarget
+}
+
+// compiledField classifies one declared field of a label.
+type compiledField struct {
+	fd     *schema.FieldDef
+	isAttr bool
+	baseID int32 // nameID of fd.Type.Base()
+}
+
+// compiledSrc is one relationship declaration with source-side
+// directive flags resolved at compile time.
+type compiledSrc struct {
+	fd                          *schema.FieldDef
+	distinct, noLoops, required bool
+}
+
+// compiledUft is one @uniqueForTarget declaration applicable to a label
+// on the target side.
+type compiledUft struct {
+	fd      *schema.FieldDef
+	ownerID int32 // nameID of fd.Owner, for the source-subtype test
+}
+
+// Compile builds the validation program for a schema. The schema must
+// have been built by schema.Build and must not change afterwards.
+func Compile(s *schema.Schema) *Program {
+	start := time.Now()
+	p := &Program{
+		s:      s,
+		nameID: make(map[string]int32),
+		labels: make(map[string]*labelProgram),
+	}
+	intern := func(name string) int32 {
+		if id, ok := p.nameID[name]; ok {
+			return id
+		}
+		id := int32(len(p.names))
+		p.nameID[name] = id
+		p.names = append(p.names, name)
+		return id
+	}
+
+	// The name table covers every name a fused check can pass as the
+	// supertype: declared type names (DS3/DS4 owners, DS7 types) and the
+	// base type of every field (WS3, including attribute fields whose
+	// base is a scalar). s.Types() is sorted, so IDs are deterministic.
+	for _, td := range s.Types() {
+		intern(td.Name)
+		for _, f := range td.Fields {
+			intern(f.Type.Base())
+		}
+	}
+
+	// Per-label field classification and subtype rows.
+	for _, td := range s.Types() {
+		lp := &labelProgram{td: td}
+		for _, f := range td.Fields {
+			lp.fields = append(lp.fields, compiledField{
+				fd:     f,
+				isAttr: s.IsAttribute(f),
+				baseID: p.nameID[f.Type.Base()],
+			})
+		}
+		p.nFields += len(lp.fields)
+		lp.sub = make([]bool, len(p.names))
+		for i, n := range p.names {
+			lp.sub[i] = s.SubtypeNamed(td.Name, n)
+		}
+		p.labels[td.Name] = lp
+	}
+
+	// Directive-bearing declarations, bucketed per applicable label in
+	// declaration order (types sorted by name, fields in source order) —
+	// the same order the rule-by-rule sweeps quantify in, so duplicate
+	// declarations (object type + interface) keep their multiplicity.
+	for _, td := range s.Types() {
+		if td.Kind != schema.Object && td.Kind != schema.Interface {
+			continue
+		}
+		for _, f := range td.Fields {
+			switch {
+			case s.IsRelationship(f):
+				d := compiledSrc{
+					fd:       f,
+					distinct: schema.HasDirective(f.Directives, schema.DirDistinct),
+					noLoops:  schema.HasDirective(f.Directives, schema.DirNoLoops),
+					required: schema.HasDirective(f.Directives, schema.DirRequired),
+				}
+				if d.distinct || d.noLoops || d.required {
+					for _, l := range s.ConcreteTargets(f.Owner) {
+						p.labels[l].srcRel = append(p.labels[l].srcRel, d)
+						p.nObligations++
+					}
+				}
+				if schema.HasDirective(f.Directives, schema.DirUniqueForTarget) {
+					u := compiledUft{fd: f, ownerID: p.nameID[f.Owner]}
+					for _, l := range s.ConcreteTargets(f.Type.Base()) {
+						p.labels[l].uftIn = append(p.labels[l].uftIn, u)
+						p.nObligations++
+					}
+				}
+			case s.IsAttribute(f):
+				if schema.HasDirective(f.Directives, schema.DirRequired) {
+					for _, l := range s.ConcreteTargets(f.Owner) {
+						p.labels[l].reqAttrs = append(p.labels[l].reqAttrs, f)
+						p.nObligations++
+					}
+				}
+			}
+		}
+	}
+	p.compileTime = time.Since(start)
+	return p
+}
+
+// Schema returns the schema the program was compiled from.
+func (p *Program) Schema() *schema.Schema { return p.s }
+
+// ProgramStats summarizes a compiled program for observability.
+type ProgramStats struct {
+	// Types is the number of declared type names compiled.
+	Types int
+	// Names is the size of the interned name table (type names plus
+	// field base-type names).
+	Names int
+	// Fields is the number of classified (label, field) pairs.
+	Fields int
+	// Obligations is the number of directive obligations bucketed onto
+	// labels, counted per applicable label.
+	Obligations int
+	// CompileTime is the wall-clock duration of Compile.
+	CompileTime time.Duration
+}
+
+// Stats reports the program's size and compile time.
+func (p *Program) Stats() ProgramStats {
+	return ProgramStats{
+		Types:       len(p.labels),
+		Names:       len(p.names),
+		Fields:      p.nFields,
+		Obligations: p.nObligations,
+		CompileTime: p.compileTime,
+	}
+}
+
+// binding joins a compiled program to one graph at one epoch: label
+// lookup tables re-indexed by the graph's interned Syms, plus the
+// per-type node enumerations. It is immutable once built.
+type binding struct {
+	g        *pg.Graph
+	epoch    uint64
+	symCount int
+
+	// labels is indexed by pg.Sym; non-nil exactly for the syms that
+	// are labels of live nodes.
+	labels []*boundLabel
+
+	// nodesOf caches nodesOfType for every named type of the schema.
+	nodesOf map[string][]pg.NodeID
+
+	// keyed caches DS7's key buckets per (type, key-field set). Bucket
+	// contents depend only on property values, so they are as
+	// epoch-stable as the rest of the binding; they are built lazily
+	// (guarded by keyOnce) because only unrestricted DS7 sweeps use them
+	// — incremental revalidation rebuilds buckets for the affected types
+	// alone, which is cheaper than indexing every keyed type.
+	keyOnce sync.Once
+	keyed   []boundKeySet
+}
+
+// boundKeySet is one @key declaration's bucket index: nodes of the type
+// grouped by their rendered key-attribute tuple.
+type boundKeySet struct {
+	typeName  string
+	keyFields []string
+	buckets   map[string][]pg.NodeID
+}
+
+// keyIndex returns the DS7 bucket index, building it on first use.
+func (b *binding) keyIndex(s *schema.Schema) []boundKeySet {
+	b.keyOnce.Do(func() {
+		for _, td := range s.Types() {
+			for _, keyFields := range td.KeyFieldSets() {
+				var attrs []string
+				for _, f := range keyFields {
+					if fd := td.Field(f); fd != nil && s.IsAttribute(fd) {
+						attrs = append(attrs, f)
+					}
+				}
+				buckets := make(map[string][]pg.NodeID)
+				for _, v := range b.nodesOf[td.Name] {
+					var sb strings.Builder
+					for _, f := range attrs {
+						if val, ok := b.g.NodeProp(v, f); ok {
+							sb.WriteString("P" + val.Key())
+						} else {
+							sb.WriteString("A")
+						}
+						sb.WriteByte('\x00')
+					}
+					key := sb.String()
+					buckets[key] = append(buckets[key], v)
+				}
+				b.keyed = append(b.keyed, boundKeySet{typeName: td.Name, keyFields: keyFields, buckets: buckets})
+			}
+		}
+	})
+	return b.keyed
+}
+
+// boundLabel is a labelProgram bound to the graph's symbol table — or,
+// for a label the schema does not declare, just the label with its
+// bind-time subtype row (td == nil).
+type boundLabel struct {
+	label string
+	td    *schema.TypeDef
+
+	// fields is indexed by pg.Sym (nil when td == nil); the zero slot
+	// means "not a declared field of this label".
+	fields []fieldSlot
+	sub    []bool // indexed by nameID, as in labelProgram
+
+	srcRel   []boundSrc
+	reqAttrs []boundReq
+	uftIn    []boundUft
+}
+
+// fieldSlot is compiledField addressed by graph Sym.
+type fieldSlot struct {
+	fd     *schema.FieldDef
+	isAttr bool
+	baseID int32
+}
+
+// boundSrc is compiledSrc with the field name resolved to a graph Sym
+// (pg.NoSym when the graph never interned the name, which correctly
+// matches no edge).
+type boundSrc struct {
+	fd                          *schema.FieldDef
+	sym                         pg.Sym
+	distinct, noLoops, required bool
+}
+
+type boundReq struct {
+	fd  *schema.FieldDef
+	sym pg.Sym
+}
+
+type boundUft struct {
+	fd      *schema.FieldDef
+	sym     pg.Sym
+	ownerID int32
+}
+
+// bindTo returns the program bound to the graph at its current epoch,
+// reusing the cached binding when neither the graph identity nor its
+// epoch changed since the last call. Concurrent callers may race to
+// rebuild; every built binding is valid and the last store wins.
+func (p *Program) bindTo(g *pg.Graph) *binding {
+	if b := p.bound.Load(); b != nil && b.g == g && b.epoch == g.Epoch() {
+		return b
+	}
+	b := p.newBinding(g)
+	p.bound.Store(b)
+	return b
+}
+
+func (p *Program) newBinding(g *pg.Graph) *binding {
+	b := &binding{
+		g:        g,
+		epoch:    g.Epoch(),
+		symCount: g.SymCount(),
+		labels:   make([]*boundLabel, g.SymCount()),
+		nodesOf:  make(map[string][]pg.NodeID),
+	}
+	symOf := func(name string) pg.Sym {
+		s, _ := g.Sym(name)
+		return s
+	}
+	for _, l := range g.Labels() {
+		sym := symOf(l)
+		bl := &boundLabel{label: l}
+		if lp := p.labels[l]; lp != nil {
+			bl.td = lp.td
+			bl.sub = lp.sub
+			bl.fields = make([]fieldSlot, b.symCount)
+			for _, cf := range lp.fields {
+				if fsym, ok := g.Sym(cf.fd.Name); ok {
+					bl.fields[fsym] = fieldSlot{fd: cf.fd, isAttr: cf.isAttr, baseID: cf.baseID}
+				}
+			}
+			for _, d := range lp.srcRel {
+				bl.srcRel = append(bl.srcRel, boundSrc{
+					fd: d.fd, sym: symOf(d.fd.Name),
+					distinct: d.distinct, noLoops: d.noLoops, required: d.required,
+				})
+			}
+			for _, fd := range lp.reqAttrs {
+				bl.reqAttrs = append(bl.reqAttrs, boundReq{fd: fd, sym: symOf(fd.Name)})
+			}
+			for _, u := range lp.uftIn {
+				bl.uftIn = append(bl.uftIn, boundUft{fd: u.fd, sym: symOf(u.fd.Name), ownerID: u.ownerID})
+			}
+		} else {
+			// Undeclared label: its subtype row is not precompilable (the
+			// label is not a schema name), so compute it here. Only
+			// reflexivity can hold, and only when the label coincides
+			// with a schema name.
+			row := make([]bool, len(p.names))
+			for i, n := range p.names {
+				row[i] = p.s.SubtypeNamed(l, n)
+			}
+			bl.sub = row
+		}
+		b.labels[sym] = bl
+	}
+
+	// Node enumeration per named type, mirroring runner.nodesOfType.
+	for _, td := range p.s.Types() {
+		switch td.Kind {
+		case schema.Object, schema.Interface, schema.Union:
+			var out []pg.NodeID
+			for _, label := range p.s.ConcreteTargets(td.Name) {
+				out = append(out, g.NodesLabeled(label)...)
+			}
+			b.nodesOf[td.Name] = out
+		}
+	}
+	return b
+}

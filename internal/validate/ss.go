@@ -14,7 +14,7 @@ func (r *runner) ss1(emit emitFunc, shard, nShards int) {
 		}
 		label := r.g.NodeLabel(v)
 		td := r.s.Type(label)
-		if td == nil || td.Kind != schema.Object {
+		if (td == nil || td.Kind != schema.Object) && !r.drop() {
 			emit(Violation{
 				Rule: SS1, Node: v, Edge: -1, TypeName: label,
 				Message: fmt.Sprintf("%s: label %q is not an object type of the schema", nodeRef(v), label),
@@ -38,13 +38,15 @@ func (r *runner) ss2(emit emitFunc, shard, nShards int) {
 				fd = td.Field(name)
 			}
 			if fd == nil {
-				emit(Violation{
-					Rule: SS2, Node: v, Edge: -1, TypeName: label, Property: name,
-					Message: fmt.Sprintf("%s (%s): property %q is not declared as a field of %s", nodeRef(v), label, name, label),
-				})
+				if !r.drop() {
+					emit(Violation{
+						Rule: SS2, Node: v, Edge: -1, TypeName: label, Property: name,
+						Message: fmt.Sprintf("%s (%s): property %q is not declared as a field of %s", nodeRef(v), label, name, label),
+					})
+				}
 				continue
 			}
-			if !r.s.IsAttribute(fd) {
+			if !r.s.IsAttribute(fd) && !r.drop() {
 				emit(Violation{
 					Rule: SS2, Node: v, Edge: -1, TypeName: label, Field: name, Property: name,
 					Message: fmt.Sprintf("%s (%s): property %q corresponds to relationship field %s.%s of type %s, not an attribute",
@@ -70,7 +72,7 @@ func (r *runner) ss3(emit emitFunc, shard, nShards int) {
 		srcLabel := r.g.NodeLabel(src)
 		fd := r.s.Field(srcLabel, r.g.EdgeLabel(e))
 		for _, name := range props {
-			if fd == nil || fd.Arg(name) == nil {
+			if (fd == nil || fd.Arg(name) == nil) && !r.drop() {
 				emit(Violation{
 					Rule: SS3, Node: src, Edge: e, TypeName: srcLabel, Field: r.g.EdgeLabel(e), Property: name,
 					Message: fmt.Sprintf("%s (%s): property %q is not a declared argument of %s.%s",
@@ -93,13 +95,15 @@ func (r *runner) ss4(emit emitFunc, shard, nShards int) {
 		elabel := r.g.EdgeLabel(e)
 		fd := r.s.Field(srcLabel, elabel)
 		if fd == nil {
-			emit(Violation{
-				Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
-				Message: fmt.Sprintf("%s: label %q is not a declared field of %s", edgeRef(e), elabel, srcLabel),
-			})
+			if !r.drop() {
+				emit(Violation{
+					Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
+					Message: fmt.Sprintf("%s: label %q is not a declared field of %s", edgeRef(e), elabel, srcLabel),
+				})
+			}
 			continue
 		}
-		if r.s.IsAttribute(fd) {
+		if r.s.IsAttribute(fd) && !r.drop() {
 			emit(Violation{
 				Rule: SS4, Node: src, Edge: e, TypeName: srcLabel, Field: elabel,
 				Message: fmt.Sprintf("%s: label %q corresponds to attribute field %s.%s of type %s, not a relationship",

@@ -21,8 +21,8 @@
 package validate
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -190,6 +190,13 @@ type Options struct {
 	// Engine selects the evaluation strategy; EngineAuto (the zero
 	// value) uses the fused engine.
 	Engine Engine
+	// Program supplies a validation program compiled from the schema by
+	// Compile, letting repeated runs over the same (schema, graph) pair
+	// skip recompilation and binding. Nil — or a program compiled from
+	// a different schema than the one passed to Validate — compiles on
+	// the fly, preserving the uncompiled behavior exactly. Only the
+	// fused engine consults it.
+	Program *Program
 }
 
 // ResolvedEngine reports the concrete engine the options select — what
@@ -241,9 +248,13 @@ func (o Options) rules() []Rule {
 func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
 	rules := opts.rules()
 	c := newCollector(opts.MaxViolations)
-	run := &runner{s: s, g: g, opts: opts}
+	run := &runner{s: s, g: g, opts: opts, coll: c}
 	if opts.resolveEngine() == EngineFused {
-		timings := run.fused(rules, c)
+		p := opts.Program
+		if p == nil || p.s != s {
+			p = Compile(s)
+		}
+		timings := run.fused(p, rules, c)
 		res := c.result()
 		res.RuleTime = timings
 		return res
@@ -301,6 +312,25 @@ func (c *collector) full() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.max > 0 && len(c.violations) >= c.max
+}
+
+// dropFull reports whether the cap is already reached, flipping the
+// overflow flag when it is. Rule bodies call it (via runner.drop) at
+// the moment a violation is established but before formatting its
+// message, so a full collector costs no fmt.Sprintf allocations:
+// skipping the emit is equivalent to emitting and having the collector
+// reject it, because the collector never shrinks.
+func (c *collector) dropFull() bool {
+	if c.max <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.violations) >= c.max {
+		c.overflow = true
+		return true
+	}
+	return false
 }
 
 // merge splices a task-local violation buffer into the collector under
@@ -361,15 +391,26 @@ type runner struct {
 	g    *pg.Graph
 	opts Options
 
-	// res is the per-run resolution cache, set by the fused engine. The
+	// bind is the compiled program bound to the graph, set by the fused
+	// engine (and by RevalidateWithOptions when given a program). The
 	// shared rule bodies (nodesOfType in particular) use it when
-	// present; the rule-by-rule engine and Revalidate leave it nil.
-	res *resolution
+	// present; the rule-by-rule engine leaves it nil.
+	bind *binding
+
+	// coll is the run's collector, consulted by drop() to skip
+	// formatting violations that a full collector would reject anyway.
+	// Nil (Revalidate's restricted sweeps) means never drop.
+	coll *collector
 
 	onlyNodes map[pg.NodeID]bool
 	onlyEdges map[pg.EdgeID]bool
 	onlyTypes map[string]bool // restricts DS7 to related types
 }
+
+// drop reports whether the imminent violation should be skipped because
+// the collector is already full. Callers must invoke it only once a
+// violation is certain — it flips the Truncated flag.
+func (r *runner) drop() bool { return r.coll != nil && r.coll.dropFull() }
 
 // nodes returns the node iteration space under the restriction.
 func (r *runner) nodes() []pg.NodeID {
@@ -504,20 +545,20 @@ func (r *runner) parallel(rules []Rule, c *collector) map[Rule]time.Duration {
 				if c.full() {
 					continue
 				}
-				var buf []Violation
+				bufp := violationBufPool.Get().(*[]Violation)
+				buf := (*bufp)[:0]
 				emit := func(v Violation) { buf = append(buf, v) }
-				if timings == nil {
-					r.runRule(t.rule, emit, t.shard, t.nShards)
-					c.merge(buf)
-					continue
-				}
 				start := time.Now()
 				r.runRule(t.rule, emit, t.shard, t.nShards)
 				elapsed := time.Since(start)
 				c.merge(buf)
-				timingMu.Lock()
-				timings[t.rule] += elapsed
-				timingMu.Unlock()
+				*bufp = buf[:0]
+				violationBufPool.Put(bufp)
+				if timings != nil {
+					timingMu.Lock()
+					timings[t.rule] += elapsed
+					timingMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -539,6 +580,11 @@ func edgeShard(id pg.EdgeID, shard, nShards int) bool {
 	return nShards <= 1 || int(id)%nShards == shard
 }
 
-func nodeRef(id pg.NodeID) string { return fmt.Sprintf("node n%d", id) }
+// violationBufPool recycles the task-local violation buffers of the
+// parallel engines, so a task on a violation-free shard costs no buffer
+// allocation and a violating task reuses a previously grown buffer.
+var violationBufPool = sync.Pool{New: func() any { return new([]Violation) }}
 
-func edgeRef(id pg.EdgeID) string { return fmt.Sprintf("edge e%d", id) }
+func nodeRef(id pg.NodeID) string { return "node n" + strconv.Itoa(int(id)) }
+
+func edgeRef(id pg.EdgeID) string { return "edge e" + strconv.Itoa(int(id)) }

@@ -26,7 +26,7 @@ func (r *runner) ws1(emit emitFunc, shard, nShards int) {
 				continue // SS2's concern
 			}
 			val, _ := r.g.NodeProp(v, name)
-			if !r.s.MemberOfW(val, f.Type) {
+			if !r.s.MemberOfW(val, f.Type) && !r.drop() {
 				emit(Violation{
 					Rule: WS1, Node: v, Edge: -1,
 					TypeName: label, Field: name, Property: name,
@@ -57,7 +57,7 @@ func (r *runner) ws2(emit emitFunc, shard, nShards int) {
 				continue // SS3's concern
 			}
 			val, _ := r.g.EdgeProp(e, name)
-			if !r.s.MemberOfW(val, arg.Type) {
+			if !r.s.MemberOfW(val, arg.Type) && !r.drop() {
 				emit(Violation{
 					Rule: WS2, Node: src, Edge: e,
 					TypeName: fd.Owner, Field: fd.Name, Property: name,
@@ -84,7 +84,7 @@ func (r *runner) ws3(emit emitFunc, shard, nShards int) {
 			continue
 		}
 		base := fd.Type.Base()
-		if !r.s.SubtypeNamed(r.g.NodeLabel(dst), base) {
+		if !r.s.SubtypeNamed(r.g.NodeLabel(dst), base) && !r.drop() {
 			emit(Violation{
 				Rule: WS3, Node: dst, Edge: e,
 				TypeName: srcLabel, Field: fd.Name,
@@ -121,7 +121,7 @@ func (r *runner) ws4(emit emitFunc, shard, nShards int) {
 				continue
 			}
 			fd := td.Field(f)
-			if fd == nil || fd.Type.IsList() {
+			if fd == nil || fd.Type.IsList() || r.drop() {
 				continue
 			}
 			emit(Violation{
@@ -173,6 +173,9 @@ func (r *runner) ws4Naive(emit emitFunc, shard, nShards int) {
 			reported[s1] = make(map[string]bool)
 		}
 		reported[s1][f] = true
+		if r.drop() {
+			continue
+		}
 		emit(Violation{
 			Rule: WS4, Node: s1, Edge: -1,
 			TypeName: r.g.NodeLabel(s1), Field: f,
@@ -221,10 +224,10 @@ func (r *runner) attributeDeclarations() []*schema.FieldDef {
 // using the label index (object type: one label; interface/union: the
 // implementing/member labels).
 func (r *runner) nodesOfType(named string) []pg.NodeID {
-	if r.res != nil && r.onlyNodes == nil {
-		// The fused engine's resolution cache precomputes the unrestricted
-		// enumeration; callers must not mutate the shared slice.
-		return r.res.nodesOf[named]
+	if r.bind != nil && r.onlyNodes == nil {
+		// The bound program precomputes the unrestricted enumeration;
+		// callers must not mutate the shared slice.
+		return r.bind.nodesOf[named]
 	}
 	var out []pg.NodeID
 	for _, label := range r.s.ConcreteTargets(named) {

@@ -82,6 +82,14 @@ type ValidationResult = validate.Result
 // ValidateOptions configures ValidateGraph.
 type ValidateOptions = validate.Options
 
+// ValidationProgram is a schema compiled for repeated validation: symbol
+// tables, per-label field classifications, and directive obligations are
+// precomputed once and reused across runs via ValidateOptions.Program.
+type ValidationProgram = validate.Program
+
+// ProgramStats summarizes a compiled ValidationProgram.
+type ProgramStats = validate.ProgramStats
+
 // ValidationEngine selects the evaluation strategy of ValidateGraph.
 type ValidationEngine = validate.Engine
 
@@ -185,6 +193,14 @@ func ValidateGraph(s *Schema, g *Graph, opts ValidateOptions) *ValidationResult 
 	return validate.Validate(s, g, opts)
 }
 
+// CompileValidation compiles the schema into a ValidationProgram. Callers
+// that validate repeatedly — servers, watch loops, benchmark harnesses —
+// compile once and pass the program in ValidateOptions.Program; one-shot
+// callers can skip this (ValidateGraph compiles on the fly).
+func CompileValidation(s *Schema) *ValidationProgram {
+	return validate.Compile(s)
+}
+
 // Delta describes a graph mutation batch for incremental revalidation.
 type Delta = validate.Delta
 
@@ -193,6 +209,12 @@ type Delta = validate.Delta
 // ValidateGraph would produce.
 func Revalidate(s *Schema, g *Graph, prev *ValidationResult, delta Delta) *ValidationResult {
 	return validate.Revalidate(s, g, prev, delta)
+}
+
+// RevalidateWithOptions is Revalidate with run options; only
+// ValidateOptions.Program is consulted (see validate.RevalidateWithOptions).
+func RevalidateWithOptions(s *Schema, g *Graph, prev *ValidationResult, delta Delta, opts ValidateOptions) *ValidationResult {
+	return validate.RevalidateWithOptions(s, g, prev, delta, opts)
 }
 
 // CheckType decides object-type satisfiability for the named type.
