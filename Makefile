@@ -2,7 +2,7 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-smoke
+.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-scale bench-smoke scale-smoke
 
 check: build vet race differential bench-smoke
 
@@ -42,3 +42,13 @@ bench-fused:
 # rule-by-rule engine, at 300/1000/5000 nodes per type.
 bench-compiled:
 	go test -bench=BenchmarkCompiledReuse -benchmem -count=6 -run=^$$ . | tee BENCH_compiled.json
+
+# Million-element scaling: compiled fused validation at ~10⁵ and ~10⁶
+# graph elements across 1/2/4/8 workers, plus CSV loader throughput.
+bench-scale:
+	go test -bench='BenchmarkScale|BenchmarkLoadCSV' -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_scale.json
+
+# The 10⁵-element parallel validation smoke on its own, race-detected.
+# Also runs as part of `race` (and thus `check`) with the full suite.
+scale-smoke:
+	go test -race -run 'TestScaleSmokeParallel' -count=1 ./internal/validate/

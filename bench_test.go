@@ -11,10 +11,13 @@ package pgschema_test
 //	E5 BenchmarkE5Tableau            — Theorem 3: ALCQI reasoning
 //	E7 BenchmarkE7PerRuleCost        — per-rule validation cost split
 //	   BenchmarkAblation*            — design-choice ablations
+//	   BenchmarkScale               — 10⁵/10⁶-element scaling, 1-8 workers
+//	   BenchmarkLoadCSV             — parallel CSV ingestion throughput
 //
 // Run with: go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -427,6 +430,70 @@ func BenchmarkGenerate(b *testing.B) {
 		if _, err := pgschema.GenerateConformant(s, pgschema.GenConfig{Seed: int64(i), NodesPerType: 1000}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScale is the million-element scaling experiment: strong
+// validation with the compiled fused engine at ~10⁵ and ~10⁶ graph
+// elements, sequential and work-stealing parallel at 2/4/8 workers.
+// benchSchema graphs carry ~7 elements per nodes-per-type unit, so
+// 15000 and 143000 land close to the two targets. `make bench-scale`
+// captures this into BENCH_scale.json.
+func BenchmarkScale(b *testing.B) {
+	for _, n := range []int{15_000, 143_000} {
+		s, g := benchGraph(b, n)
+		prog := pgschema.CompileValidation(s)
+		elems := g.NumNodes() + g.NumEdges()
+		// Warm the program binding and columnar snapshot so their one-time
+		// construction is not billed to whichever config runs first.
+		pgschema.ValidateGraph(s, g, pgschema.ValidateOptions{Engine: pgschema.EngineFused, Program: prog})
+		for _, workers := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("elems=%d/workers=%d", elems, workers)
+			b.Run(name, func(b *testing.B) {
+				opts := pgschema.ValidateOptions{
+					Engine:          pgschema.EngineFused,
+					Program:         prog,
+					Workers:         workers,
+					ElementSharding: workers > 1,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := pgschema.ValidateGraph(s, g, opts)
+					if !res.OK() {
+						b.Fatal("generated graph invalid")
+					}
+				}
+				b.ReportMetric(float64(elems), "graph-elems")
+				b.ReportMetric(float64(elems)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melems/s")
+			})
+		}
+	}
+}
+
+// BenchmarkLoadCSV measures the parallel chunked CSV ingestion pipeline
+// (bufio + csv.ReuseRecord + batched parse workers). SetBytes reports
+// loader throughput in MB/s of raw CSV.
+func BenchmarkLoadCSV(b *testing.B) {
+	for _, n := range []int{1000, 10_000} {
+		b.Run(fmt.Sprintf("nodesPerType=%d", n), func(b *testing.B) {
+			_, g := benchGraph(b, n)
+			var nodes, edges bytes.Buffer
+			if err := g.WriteCSV(&nodes, &edges); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(nodes.Len() + edges.Len()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loaded, err := pgschema.ReadGraphCSV(bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+					b.Fatalf("round trip lost elements: %d/%d nodes, %d/%d edges",
+						loaded.NumNodes(), g.NumNodes(), loaded.NumEdges(), g.NumEdges())
+				}
+			}
+		})
 	}
 }
 

@@ -9,7 +9,7 @@
 //
 //	pgschema fmt      <schema.graphql>
 //	pgschema check    <schema.graphql>
-//	pgschema validate <schema.graphql> <graph.json> [-mode strong|weak|directives] [-max N] [-workers N] [-engine auto|fused|rule-by-rule] [-compile-stats]
+//	pgschema validate <schema.graphql> <graph.json|nodes.csv,edges.csv> [-mode strong|weak|directives] [-max N] [-workers N] [-engine auto|fused|rule-by-rule] [-compile-stats]
 //	pgschema sat      <schema.graphql> <TypeName> [-max-nodes N] [-witness FILE]
 //	pgschema generate <schema.graphql> [-nodes N] [-seed N]
 //	pgschema api      <schema.graphql> [-no-inverse] [-keep-directives]
@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -97,10 +98,11 @@ func usage() {
 commands:
   fmt      <schema>                 parse and print the schema canonically
   check    <schema>                 verify schema consistency (Defs. 4.3-4.5)
-  validate <schema> <graph.json>    check strong satisfaction (Defs. 5.1-5.3)
+  validate <schema> <graph>         check strong satisfaction (Defs. 5.1-5.3)
+                                    <graph> is graph.json or nodes.csv,edges.csv
       -mode strong|weak|directives  satisfaction notion (default strong)
       -max N                        stop after N violations
-      -workers N                    parallel validation workers
+      -workers N                    parallel validation workers (0 = auto)
       -engine auto|fused|rule-by-rule
                                     evaluation engine (default auto = fused)
       -compile-stats                print compiled-program statistics to stderr
@@ -118,7 +120,7 @@ commands:
   query    <schema> <graph.json> <query-string-or-@file>
                                     run a GraphQL query over the graph
       -op NAME                      operation to execute
-  serve    <schema> <graph.json>    GraphQL HTTP endpoint over the graph
+  serve    <schema> <graph>         GraphQL HTTP endpoint over the graph
       -addr :8080                   listen address
       -pprof                        mount net/http/pprof under /debug/pprof/
   reduce   <formula.cnf>            Theorem 2: DIMACS CNF -> schema SDL
@@ -138,7 +140,22 @@ func loadSchema(path string) (*schema.Schema, error) {
 	return schema.Build(doc, schema.Options{})
 }
 
+// loadGraph reads a graph argument: either a JSON file, or a CSV pair
+// given as "nodes.csv,edges.csv" (two paths joined by a comma).
 func loadGraph(path string) (*pg.Graph, error) {
+	if nodesPath, edgesPath, ok := strings.Cut(path, ","); ok {
+		nf, err := os.Open(nodesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer nf.Close()
+		ef, err := os.Open(edgesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer ef.Close()
+		return pg.ReadCSV(nf, ef)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -185,7 +202,7 @@ func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	mode := fs.String("mode", "strong", "satisfaction notion")
 	max := fs.Int("max", 0, "maximum violations to report (0 = all)")
-	workers := fs.Int("workers", 1, "parallel workers")
+	workers := fs.Int("workers", 0, "parallel workers (0 = autotune from graph size)")
 	engine := fs.String("engine", "auto", "evaluation engine: auto, fused, or rule-by-rule")
 	compileStats := fs.Bool("compile-stats", false, "print compiled-program statistics to stderr")
 	fs.Parse(args)
@@ -227,6 +244,10 @@ func cmdValidate(args []string) error {
 		st := prog.Stats()
 		fmt.Fprintf(os.Stderr, "compiled program: %d types, %d interned names, %d field slots, %d obligations (%s)\n",
 			st.Types, st.Names, st.Fields, st.Obligations, st.CompileTime)
+	}
+	if *compileStats {
+		fmt.Fprintf(os.Stderr, "validation: %d elements, %d workers\n",
+			g.NodeBound()+g.EdgeBound(), opts.EffectiveWorkers(g.NodeBound()+g.EdgeBound()))
 	}
 	res := validate.Validate(s, g, opts)
 	if res.OK() {
@@ -394,10 +415,15 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	loadStart := time.Now()
 	g, err := loadGraph(fs.Arg(1))
 	if err != nil {
 		return err
 	}
+	elements := g.NodeBound() + g.EdgeBound()
+	fmt.Printf("loaded graph: %d nodes, %d edges in %s (validation autotune: %d workers)\n",
+		g.NumNodes(), g.NumEdges(), time.Since(loadStart).Round(time.Millisecond),
+		validate.Options{}.EffectiveWorkers(elements))
 	cfg := server.Config{
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInFlight,

@@ -117,6 +117,19 @@ func TestCmdValidate(t *testing.T) {
 		t.Errorf("expected SS1 and DS5 violations, got:\n%s", out)
 	}
 
+	// A CSV pair ("nodes.csv,edges.csv") loads through the same argument.
+	nodesCSV := write(t, dir, "nodes.csv", "id,label,id,login\na,User,u1,ada\nb,User,u2,bob\n")
+	edgesCSV := write(t, dir, "edges.csv", "source,target,label\na,b,follows\n")
+	out, err = capture(t, func() error {
+		return cmdValidate([]string{schema, nodesCSV + "," + edgesCSV})
+	})
+	if err != nil {
+		t.Fatalf("CSV graph rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "2 nodes, 1 edges") {
+		t.Errorf("CSV validate output: %s", out)
+	}
+
 	// Weak mode tolerates the unjustified node.
 	weakOnly := write(t, dir, "weak.json", `{"nodes":[{"id":"x","label":"Ghost"}],"edges":[]}`)
 	if _, err := capture(t, func() error {

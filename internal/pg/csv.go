@@ -1,14 +1,25 @@
 package pg
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"pgschema/internal/values"
+)
+
+// Ingestion pipeline tuning: rows are read in batches so the parse
+// workers amortize channel traffic, and the reader buffer is large
+// enough that a million-row file costs a handful of syscalls per MiB.
+const (
+	csvBatchRows  = 512
+	csvReaderSize = 1 << 16
 )
 
 // ReadCSV loads a graph from two CSV streams in the common
@@ -20,77 +31,379 @@ import (
 // Empty cells mean "property absent". Cell values are typed by sniffing:
 // integers, floats, booleans, and a JSON-style [a,b,c] list form; anything
 // else is a string.
+//
+// Loading is pipelined: a reader goroutine streams record batches off a
+// buffered csv.Reader (ReuseRecord — the csv package allocates fresh
+// strings per record, so only the record slice needs copying), parse
+// workers sniff cell values and assemble sorted property rows in
+// parallel, and the single builder goroutine applies batches in record
+// order (graph mutation is single-threaded). Property-name syms are
+// interned once per header instead of once per cell.
 func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
 	g := New()
 	byName := make(map[string]NodeID)
-
-	nr := csv.NewReader(nodes)
-	nr.FieldsPerRecord = -1
-	nh, err := nr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("pg: reading node CSV header: %w", err)
+	if err := g.readNodeCSV(nodes, byName); err != nil {
+		return nil, err
 	}
-	if len(nh) < 2 || nh[0] != "id" || nh[1] != "label" {
-		return nil, fmt.Errorf("pg: node CSV header must start with id,label")
-	}
-	for line := 2; ; line++ {
-		rec, err := nr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("pg: node CSV line %d: %w", line, err)
-		}
-		if _, dup := byName[rec[0]]; dup {
-			return nil, fmt.Errorf("pg: node CSV line %d: duplicate node id %q", line, rec[0])
-		}
-		id := g.AddNode(rec[1])
-		byName[rec[0]] = id
-		for i := 2; i < len(rec) && i < len(nh); i++ {
-			if rec[i] == "" {
-				continue
-			}
-			g.SetNodeProp(id, nh[i], SniffValue(rec[i]))
-		}
-	}
-
-	er := csv.NewReader(edges)
-	er.FieldsPerRecord = -1
-	eh, err := er.Read()
-	if err != nil {
-		return nil, fmt.Errorf("pg: reading edge CSV header: %w", err)
-	}
-	if len(eh) < 3 || eh[0] != "source" || eh[1] != "target" || eh[2] != "label" {
-		return nil, fmt.Errorf("pg: edge CSV header must start with source,target,label")
-	}
-	for line := 2; ; line++ {
-		rec, err := er.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("pg: edge CSV line %d: %w", line, err)
-		}
-		src, ok := byName[rec[0]]
-		if !ok {
-			return nil, fmt.Errorf("pg: edge CSV line %d: unknown source %q", line, rec[0])
-		}
-		dst, ok := byName[rec[1]]
-		if !ok {
-			return nil, fmt.Errorf("pg: edge CSV line %d: unknown target %q", line, rec[1])
-		}
-		eid, err := g.AddEdge(src, dst, rec[2])
-		if err != nil {
-			return nil, err
-		}
-		for i := 3; i < len(rec) && i < len(eh); i++ {
-			if rec[i] == "" {
-				continue
-			}
-			g.SetEdgeProp(eid, eh[i], SniffValue(rec[i]))
-		}
+	if err := g.readEdgeCSV(edges, byName); err != nil {
+		return nil, err
 	}
 	return g, nil
+}
+
+// propCols is the per-file property-column plan: which columns carry
+// properties, their header names and pre-interned syms, and the column
+// order that yields name-sorted property rows.
+type propCols struct {
+	names []string // header name by column index
+	syms  []Sym    // interned sym by column index
+	order []int    // property column indexes, stably sorted by name
+}
+
+// newPropCols interns every property column name once (batch interning:
+// per-cell loads never touch the symbol table) and precomputes the
+// name-sorted column order so rows come out ready for
+// setNodePropsSorted.
+func newPropCols(g *Graph, header []string, skip int) propCols {
+	c := propCols{
+		names: header,
+		syms:  make([]Sym, len(header)),
+		order: make([]int, 0, len(header)-skip),
+	}
+	for i := skip; i < len(header); i++ {
+		c.syms[i] = g.syms.intern(header[i])
+		c.order = append(c.order, i)
+	}
+	sort.SliceStable(c.order, func(a, b int) bool {
+		return header[c.order[a]] < header[c.order[b]]
+	})
+	return c
+}
+
+// parseRow sniffs the property cells of one record into a name-sorted
+// Prop slice. A duplicate header column overwrites the earlier one, as
+// the sequential loader's repeated SetNodeProp did.
+func (c *propCols) parseRow(rec []string) []Prop {
+	var props []Prop
+	for _, i := range c.order {
+		if i >= len(rec) || rec[i] == "" {
+			continue
+		}
+		p := Prop{Sym: c.syms[i], Name: c.names[i], Value: SniffValue(rec[i])}
+		if n := len(props); n > 0 && props[n-1].Name == p.Name {
+			props[n-1] = p
+		} else {
+			props = append(props, p)
+		}
+	}
+	return props
+}
+
+// rawBatch is a sequence-numbered slice of records; line is the record
+// ordinal of rows[0] as reported in error messages (header = line 1).
+type rawBatch struct {
+	seq  int
+	line int
+	rows [][]string
+}
+
+// openCSV wraps a stream in a buffered, record-reusing csv.Reader and
+// returns its header (copied: ReuseRecord recycles the slice).
+func openCSV(r io.Reader) (*csv.Reader, []string, error) {
+	cr := csv.NewReader(bufio.NewReaderSize(r, csvReaderSize))
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, err
+	}
+	return cr, append([]string(nil), header...), nil
+}
+
+// csvWorkers is the parse fan-out per file. One worker would serialize
+// value sniffing behind the reader; more than a few just contend on the
+// batch channel for typical property counts.
+func csvWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// readCSVRecords is the shared reader/parser/builder pipeline. parse
+// turns one raw batch into an opaque parsed batch on a worker
+// goroutine; apply installs one parsed batch into the graph on the
+// caller's goroutine, always in record order. readErr formats a
+// mid-file csv error with its record line.
+func readCSVRecords(
+	cr *csv.Reader,
+	parse func(b rawBatch) any,
+	apply func(b any) error,
+	readErr func(line int, err error) error,
+) error {
+	workers := csvWorkers()
+	if workers == 1 {
+		// Single-core: the pipeline's channel hops are pure overhead, so
+		// read, parse, and apply inline with the same batching.
+		line := 2
+		for {
+			rows := make([][]string, 0, csvBatchRows)
+			start := line
+			var readFail error
+			for len(rows) < csvBatchRows {
+				rec, err := cr.Read()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					readFail = readErr(line, err)
+					break
+				}
+				rows = append(rows, append([]string(nil), rec...))
+				line++
+			}
+			if len(rows) > 0 {
+				if err := apply(parse(rawBatch{line: start, rows: rows})); err != nil {
+					return err
+				}
+			}
+			if readFail != nil || len(rows) < csvBatchRows {
+				return readFail
+			}
+		}
+	}
+	rawCh := make(chan rawBatch, workers)
+	parsedCh := make(chan any, workers)
+	done := make(chan struct{})
+	var closeDone sync.Once
+	cancel := func() { closeDone.Do(func() { close(done) }) }
+	defer cancel()
+
+	// Reader: batch records, copying each slice (ReuseRecord recycles
+	// it) but keeping the freshly allocated strings.
+	var readFail error
+	go func() {
+		defer close(rawCh)
+		line, seq := 2, 0
+		for {
+			rows := make([][]string, 0, csvBatchRows)
+			start := line
+			for len(rows) < csvBatchRows {
+				rec, err := cr.Read()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					readFail = readErr(line, err)
+					break
+				}
+				rows = append(rows, append([]string(nil), rec...))
+				line++
+			}
+			if len(rows) > 0 {
+				select {
+				case rawCh <- rawBatch{seq: seq, line: start, rows: rows}:
+					seq++
+				case <-done:
+					return
+				}
+			}
+			if readFail != nil || len(rows) < csvBatchRows {
+				return
+			}
+		}
+	}()
+
+	// Parse workers.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range rawCh {
+				select {
+				case parsedCh <- parse(b):
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(parsedCh)
+	}()
+
+	// Builder: reorder by sequence number and apply. Out-of-order
+	// batches are bounded by the worker count plus channel capacity.
+	pending := make(map[int]any)
+	next := 0
+	seqOf := func(b any) int {
+		switch pb := b.(type) {
+		case nodeBatch:
+			return pb.seq
+		case edgeBatch:
+			return pb.seq
+		}
+		panic("pg: unknown parsed batch type")
+	}
+	for pb := range parsedCh {
+		pending[seqOf(pb)] = pb
+		for {
+			b, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if err := apply(b); err != nil {
+				return err
+			}
+		}
+	}
+	return readFail
+}
+
+type parsedNode struct {
+	id    string
+	label string
+	props []Prop
+	err   error
+}
+
+type nodeBatch struct {
+	seq  int
+	line int
+	rows []parsedNode
+}
+
+func (g *Graph) readNodeCSV(r io.Reader, byName map[string]NodeID) error {
+	cr, header, err := openCSV(r)
+	if err != nil {
+		return fmt.Errorf("pg: reading node CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "id" || header[1] != "label" {
+		return fmt.Errorf("pg: node CSV header must start with id,label")
+	}
+	cols := newPropCols(g, header, 2)
+
+	parse := func(b rawBatch) any {
+		out := nodeBatch{seq: b.seq, line: b.line, rows: make([]parsedNode, len(b.rows))}
+		for i, rec := range b.rows {
+			if len(rec) < 2 {
+				out.rows[i].err = fmt.Errorf(
+					"pg: node CSV line %d: record has %d fields, need at least id,label",
+					b.line+i, len(rec))
+				continue
+			}
+			out.rows[i] = parsedNode{id: rec[0], label: rec[1], props: cols.parseRow(rec)}
+		}
+		return out
+	}
+
+	// Run-length label cache: consecutive rows of one label intern once.
+	lastLabel, lastSym := "", NoSym
+	apply := func(pb any) error {
+		b := pb.(nodeBatch)
+		for i, row := range b.rows {
+			if row.err != nil {
+				return row.err
+			}
+			if _, dup := byName[row.id]; dup {
+				return fmt.Errorf("pg: node CSV line %d: duplicate node id %q", b.line+i, row.id)
+			}
+			if row.label != lastLabel || lastSym == NoSym {
+				lastLabel, lastSym = row.label, g.syms.intern(row.label)
+			}
+			id := g.addNodeSym(lastSym)
+			byName[row.id] = id
+			if len(row.props) > 0 {
+				g.setNodePropsSorted(id, row.props)
+			}
+		}
+		return nil
+	}
+
+	return readCSVRecords(cr, parse, apply, func(line int, err error) error {
+		return fmt.Errorf("pg: node CSV line %d: %w", line, err)
+	})
+}
+
+type parsedEdge struct {
+	src, dst NodeID
+	label    string
+	props    []Prop
+	err      error
+}
+
+type edgeBatch struct {
+	seq  int
+	rows []parsedEdge
+}
+
+func (g *Graph) readEdgeCSV(r io.Reader, byName map[string]NodeID) error {
+	cr, header, err := openCSV(r)
+	if err != nil {
+		return fmt.Errorf("pg: reading edge CSV header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "source" || header[1] != "target" || header[2] != "label" {
+		return fmt.Errorf("pg: edge CSV header must start with source,target,label")
+	}
+	cols := newPropCols(g, header, 3)
+
+	// The node phase is complete, so byName is read-only here and
+	// endpoint resolution can run on the parse workers.
+	parse := func(b rawBatch) any {
+		out := edgeBatch{seq: b.seq, rows: make([]parsedEdge, len(b.rows))}
+		for i, rec := range b.rows {
+			if len(rec) < 3 {
+				out.rows[i].err = fmt.Errorf(
+					"pg: edge CSV line %d: record has %d fields, need at least source,target,label",
+					b.line+i, len(rec))
+				continue
+			}
+			src, ok := byName[rec[0]]
+			if !ok {
+				out.rows[i].err = fmt.Errorf("pg: edge CSV line %d: unknown source %q", b.line+i, rec[0])
+				continue
+			}
+			dst, ok := byName[rec[1]]
+			if !ok {
+				out.rows[i].err = fmt.Errorf("pg: edge CSV line %d: unknown target %q", b.line+i, rec[1])
+				continue
+			}
+			out.rows[i] = parsedEdge{src: src, dst: dst, label: rec[2], props: cols.parseRow(rec)}
+		}
+		return out
+	}
+
+	lastLabel, lastSym := "", NoSym
+	apply := func(pb any) error {
+		for _, row := range pb.(edgeBatch).rows {
+			if row.err != nil {
+				return row.err
+			}
+			if row.label != lastLabel || lastSym == NoSym {
+				lastLabel, lastSym = row.label, g.syms.intern(row.label)
+			}
+			eid, err := g.addEdgeSym(row.src, row.dst, lastSym)
+			if err != nil {
+				return err
+			}
+			if len(row.props) > 0 {
+				g.setEdgePropsSorted(eid, row.props)
+			}
+		}
+		return nil
+	}
+
+	return readCSVRecords(cr, parse, apply, func(line int, err error) error {
+		return fmt.Errorf("pg: edge CSV line %d: %w", line, err)
+	})
 }
 
 // SniffValue types a CSV cell: int, float, bool, "[a,b]" list (elements

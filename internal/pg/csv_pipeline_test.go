@@ -1,0 +1,124 @@
+package pg
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildBigCSV renders n nodes and 2n-ish edges, enough rows to span
+// many reader batches so the parallel pipeline's ordering is exercised.
+func buildBigCSV(n int) (nodes, edges string) {
+	var nb, eb strings.Builder
+	nb.WriteString("id,label,name,rank\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&nb, "u%d,User,\"user %d\",%d\n", i, i, i%7)
+	}
+	eb.WriteString("source,target,label,weight\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&eb, "u%d,u%d,knows,0.5\n", i, (i+1)%n)
+		if i%2 == 0 {
+			fmt.Fprintf(&eb, "u%d,u%d,follows,\n", i, (i+3)%n)
+		}
+	}
+	return nb.String(), eb.String()
+}
+
+func TestReadCSVPipelineOrdering(t *testing.T) {
+	const n = 4 * csvBatchRows // several batches per file
+	nodes, edges := buildBigCSV(n)
+	g, err := ReadCSV(strings.NewReader(nodes), strings.NewReader(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), n)
+	}
+	wantEdges := n + (n+1)/2
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Node IDs must follow record order exactly: row i became node i.
+	for _, i := range []int{0, 1, csvBatchRows - 1, csvBatchRows, n - 1} {
+		id := NodeID(i)
+		if v, ok := g.NodeProp(id, "name"); !ok || v.AsString() != fmt.Sprintf("user %d", i) {
+			t.Fatalf("node %d name = %v (record order not preserved)", i, v)
+		}
+		if v, _ := g.NodeProp(id, "rank"); v.AsInt() != int64(i%7) {
+			t.Fatalf("node %d rank = %v", i, v)
+		}
+	}
+	// Edge IDs likewise: the first edge of row i targets (i+1)%n.
+	src, dst := g.Endpoints(0)
+	if src != 0 || dst != 1 || g.EdgeLabel(0) != "knows" {
+		t.Fatalf("edge 0 = %d->%d %q", src, dst, g.EdgeLabel(0))
+	}
+	if v, ok := g.EdgeProp(0, "weight"); !ok || v.AsFloat() != 0.5 {
+		t.Fatalf("edge 0 weight = %v, %v", v, ok)
+	}
+	// The follows edges left weight empty: property must be absent.
+	if g.EdgeLabel(1) != "follows" {
+		t.Fatalf("edge 1 label = %q", g.EdgeLabel(1))
+	}
+	if _, ok := g.EdgeProp(1, "weight"); ok {
+		t.Fatal("empty weight cell must mean absent property")
+	}
+}
+
+func TestReadCSVPipelineErrors(t *testing.T) {
+	const n = 2*csvBatchRows + 37
+	goodNodes, goodEdges := buildBigCSV(n)
+
+	t.Run("duplicate id deep in file", func(t *testing.T) {
+		dup := goodNodes + "u5,User,again,1\n"
+		_, err := ReadCSV(strings.NewReader(dup), strings.NewReader(goodEdges))
+		if err == nil || !strings.Contains(err.Error(), `duplicate node id "u5"`) {
+			t.Fatalf("err = %v", err)
+		}
+		wantLine := fmt.Sprintf("line %d", n+2)
+		if !strings.Contains(err.Error(), wantLine) {
+			t.Fatalf("err = %v, want %s", err, wantLine)
+		}
+	})
+
+	t.Run("unknown target deep in file", func(t *testing.T) {
+		bad := goodEdges + "u1,ghost,knows,\n"
+		_, err := ReadCSV(strings.NewReader(goodNodes), strings.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), `unknown target "ghost"`) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("short record", func(t *testing.T) {
+		short := "id,label\nonlyid\n"
+		_, err := ReadCSV(strings.NewReader(short), strings.NewReader("source,target,label\n"))
+		if err == nil || !strings.Contains(err.Error(), "need at least id,label") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("malformed quoting mid-file", func(t *testing.T) {
+		bad := goodNodes + "u_bad,User,\"unterminated,1\n"
+		_, err := ReadCSV(strings.NewReader(bad), strings.NewReader(goodEdges))
+		if err == nil || !strings.Contains(err.Error(), "node CSV line") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestReadCSVDuplicateHeaderColumn(t *testing.T) {
+	// Two columns with the same name: the later column wins, matching
+	// the sequential loader's overwrite-on-set behavior.
+	nodes := "id,label,x,x\nu1,User,1,2\nu2,User,3,\n"
+	g, err := ReadCSV(strings.NewReader(nodes), strings.NewReader("source,target,label\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.NodeProp(0, "x"); v.AsInt() != 2 {
+		t.Fatalf("u1.x = %v, want later column (2)", v)
+	}
+	// Empty later cell: earlier column's value stands.
+	if v, _ := g.NodeProp(1, "x"); v.AsInt() != 3 {
+		t.Fatalf("u2.x = %v, want 3", v)
+	}
+}

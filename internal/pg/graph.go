@@ -15,6 +15,7 @@ package pg
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"pgschema/internal/values"
 )
@@ -57,11 +58,20 @@ type Graph struct {
 	nodes []node
 	edges []edge
 
-	syms         symbols
-	epoch        uint64
-	byLabel      map[string][]NodeID
+	syms  symbols
+	epoch uint64
+	// byLabel indexes the live-or-removed nodes of each label by the
+	// label's Sym. Buckets exist only for syms that have been node
+	// labels; lookups by string go through the intern table once instead
+	// of hashing the label on every call.
+	byLabel      [][]NodeID
 	removedNodes int
 	removedEdges int
+
+	// snap caches the columnar Snapshot of the graph; it is keyed by
+	// epoch, so mutations invalidate it lazily (the next Snapshot call
+	// rebuilds) without mutators having to clear it.
+	snap atomic.Pointer[Snapshot]
 }
 
 // New returns an empty Property Graph.
@@ -89,20 +99,38 @@ func (g *Graph) Sym(name string) (Sym, bool) {
 // SymName returns the string a valid Sym was interned from.
 func (g *Graph) SymName(s Sym) string { return g.syms.names[s] }
 
+// labelBucket returns the byLabel bucket for a label Sym, growing the
+// index when the sym is new.
+func (g *Graph) labelBucket(s Sym) *[]NodeID {
+	for int(s) >= len(g.byLabel) {
+		g.byLabel = append(g.byLabel, nil)
+	}
+	return &g.byLabel[s]
+}
+
 // AddNode adds a node with label λ(v) = label and returns its ID.
 func (g *Graph) AddNode(label string) NodeID {
+	return g.addNodeSym(g.syms.intern(label))
+}
+
+// addNodeSym is AddNode for a pre-interned label Sym — bulk loaders
+// intern each header or label string once and skip per-row hashing.
+func (g *Graph) addNodeSym(label Sym) NodeID {
 	id := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes, node{label: g.syms.intern(label)})
-	if g.byLabel == nil {
-		g.byLabel = make(map[string][]NodeID)
-	}
-	g.byLabel[label] = append(g.byLabel[label], id)
+	g.nodes = append(g.nodes, node{label: label})
+	b := g.labelBucket(label)
+	*b = append(*b, id)
 	g.epoch++
 	return id
 }
 
 // AddEdge adds an edge e with ρ(e) = (src, dst) and λ(e) = label.
 func (g *Graph) AddEdge(src, dst NodeID, label string) (EdgeID, error) {
+	return g.addEdgeSym(src, dst, g.syms.intern(label))
+}
+
+// addEdgeSym is AddEdge for a pre-interned label Sym.
+func (g *Graph) addEdgeSym(src, dst NodeID, label Sym) (EdgeID, error) {
 	if !g.validNode(src) {
 		return 0, fmt.Errorf("pg: AddEdge: invalid source node %d", src)
 	}
@@ -110,7 +138,7 @@ func (g *Graph) AddEdge(src, dst NodeID, label string) (EdgeID, error) {
 		return 0, fmt.Errorf("pg: AddEdge: invalid target node %d", dst)
 	}
 	id := EdgeID(len(g.edges))
-	g.edges = append(g.edges, edge{src: src, dst: dst, label: g.syms.intern(label)})
+	g.edges = append(g.edges, edge{src: src, dst: dst, label: label})
 	g.nodes[src].out = append(g.nodes[src].out, id)
 	g.nodes[dst].in = append(g.nodes[dst].in, id)
 	g.epoch++
@@ -202,12 +230,10 @@ func (g *Graph) SetNodeLabel(id NodeID, label string) {
 	if n.label == ls {
 		return
 	}
-	g.byLabel[g.syms.names[n.label]] = removeID(g.byLabel[g.syms.names[n.label]], id)
+	g.byLabel[n.label] = removeID(g.byLabel[n.label], id)
 	n.label = ls
-	if g.byLabel == nil {
-		g.byLabel = make(map[string][]NodeID)
-	}
-	g.byLabel[label] = append(g.byLabel[label], id)
+	b := g.labelBucket(ls)
+	*b = append(*b, id)
 	g.epoch++
 }
 
@@ -228,6 +254,21 @@ func (g *Graph) SetNodeProp(id NodeID, name string, v values.Value) {
 func (g *Graph) SetEdgeProp(id EdgeID, name string, v values.Value) {
 	e := &g.edges[id]
 	e.props = setProp(e.props, Prop{Sym: g.syms.intern(name), Name: name, Value: v})
+	g.epoch++
+}
+
+// setNodePropsSorted installs the full property list of a node that has
+// none yet: props must be sorted by Name with distinct names, and the
+// graph takes ownership of the slice. Bulk loaders use it to skip the
+// per-property sorted insertion and bump the epoch once per node.
+func (g *Graph) setNodePropsSorted(id NodeID, props []Prop) {
+	g.nodes[id].props = props
+	g.epoch++
+}
+
+// setEdgePropsSorted is setNodePropsSorted for an edge.
+func (g *Graph) setEdgePropsSorted(id EdgeID, props []Prop) {
+	g.edges[id].props = props
 	g.epoch++
 }
 
@@ -332,7 +373,19 @@ func propNames(props []Prop) []string {
 
 // NodesLabeled returns the IDs of all live nodes with λ(v) = label.
 func (g *Graph) NodesLabeled(label string) []NodeID {
-	ids := g.byLabel[label]
+	ls, ok := g.syms.lookup(label)
+	if !ok {
+		return nil
+	}
+	return g.nodesLabeledSym(ls)
+}
+
+// nodesLabeledSym is NodesLabeled for a pre-interned label Sym.
+func (g *Graph) nodesLabeledSym(ls Sym) []NodeID {
+	if int(ls) >= len(g.byLabel) {
+		return nil
+	}
+	ids := g.byLabel[ls]
 	out := make([]NodeID, 0, len(ids))
 	for _, id := range ids {
 		if !g.nodes[id].removed {
@@ -436,8 +489,7 @@ func (g *Graph) RemoveNode(id NodeID) {
 	n := &g.nodes[id]
 	n.removed = true
 	g.removedNodes++
-	label := g.syms.names[n.label]
-	g.byLabel[label] = removeID(g.byLabel[label], id)
+	g.byLabel[n.label] = removeID(g.byLabel[n.label], id)
 	g.epoch++
 }
 
@@ -452,8 +504,8 @@ func removeID(ids []NodeID, id NodeID) []NodeID {
 
 // Labels returns the distinct node labels present in the graph, sorted.
 func (g *Graph) Labels() []string {
-	out := make([]string, 0, len(g.byLabel))
-	for l, ids := range g.byLabel {
+	var out []string
+	for s, ids := range g.byLabel {
 		live := false
 		for _, id := range ids {
 			if !g.nodes[id].removed {
@@ -462,7 +514,7 @@ func (g *Graph) Labels() []string {
 			}
 		}
 		if live {
-			out = append(out, l)
+			out = append(out, g.syms.names[s])
 		}
 	}
 	sort.Strings(out)
@@ -480,7 +532,7 @@ func (g *Graph) Clone() *Graph {
 		edges:        make([]edge, len(g.edges)),
 		syms:         g.syms.clone(),
 		epoch:        g.epoch,
-		byLabel:      make(map[string][]NodeID, len(g.byLabel)),
+		byLabel:      make([][]NodeID, len(g.byLabel)),
 		removedNodes: g.removedNodes,
 		removedEdges: g.removedEdges,
 	}
@@ -496,8 +548,10 @@ func (g *Graph) Clone() *Graph {
 		cp.props = append([]Prop(nil), e.props...)
 		c.edges[i] = cp
 	}
-	for l, ids := range g.byLabel {
-		c.byLabel[l] = append([]NodeID(nil), ids...)
+	for s, ids := range g.byLabel {
+		if ids != nil {
+			c.byLabel[s] = append([]NodeID(nil), ids...)
+		}
 	}
 	return c
 }

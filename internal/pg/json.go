@@ -1,6 +1,7 @@
 package pg
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -64,7 +65,7 @@ func propMap(props []Prop) map[string]values.Value {
 // the same format).
 func ReadJSON(r io.Reader) (*Graph, error) {
 	var doc jsonGraph
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bufio.NewReaderSize(r, csvReaderSize))
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("pg: decoding graph JSON: %w", err)
 	}

@@ -1,0 +1,212 @@
+package pg
+
+import "pgschema/internal/values"
+
+// Snapshot is an immutable columnar view of a Graph at one epoch, built
+// for validation-scale scans: per-element label arrays, CSR-style
+// adjacency (live edges only, grouped per node in edge-id order),
+// flattened per-element property storage, and per-sym property-presence
+// bitsets. Hot loops index flat arrays instead of chasing node/edge
+// struct pointers through the mutable store, which keeps a full
+// node-or-edge pass inside a handful of contiguous allocations.
+//
+// A Snapshot shares property values (immutable) with the graph but owns
+// every slice it exposes. It describes the graph exactly while
+// Graph.Epoch() == Epoch(); Graph.Snapshot caches the latest build, so
+// repeated validation of an unchanged graph reuses one snapshot and any
+// mutation invalidates it lazily on the next call.
+type Snapshot struct {
+	epoch uint64
+
+	// nodeLabels[v] is λ(v), or NoSym when the node is removed;
+	// edgeLabels[e] likewise for edges.
+	nodeLabels []Sym
+	edgeLabels []Sym
+
+	// edgeSrc[e], edgeDst[e] are ρ(e), recorded for removed edges too
+	// (tombstones keep their endpoints).
+	edgeSrc []NodeID
+	edgeDst []NodeID
+
+	// CSR adjacency: the live out-edges of node v are
+	// outEdges[outOff[v]:outOff[v+1]], in edge-id order; inOff/inEdges
+	// mirror it for incoming edges.
+	outOff   []uint32
+	outEdges []EdgeID
+	inOff    []uint32
+	inEdges  []EdgeID
+
+	// Flattened properties: the sorted property list of node v is
+	// nodeProps[nodePropOff[v]:nodePropOff[v+1]]; edges mirror it.
+	nodePropOff []uint32
+	nodeProps   []Prop
+	edgePropOff []uint32
+	edgeProps   []Prop
+
+	// nodePropSet[s] is a bitset over node IDs: bit v is set iff the
+	// live node v defines a property named s. Nil for syms never used
+	// as a node property name, so presence checks cost one word load.
+	nodePropSet [][]uint64
+}
+
+// Snapshot returns the columnar view of the graph at its current epoch,
+// rebuilding it only when a mutation has occurred since the last call.
+// Concurrent callers may race to rebuild; every built snapshot is valid
+// and the last store wins.
+func (g *Graph) Snapshot() *Snapshot {
+	if s := g.snap.Load(); s != nil && s.epoch == g.epoch {
+		return s
+	}
+	s := g.buildSnapshot()
+	g.snap.Store(s)
+	return s
+}
+
+func (g *Graph) buildSnapshot() *Snapshot {
+	nn, ne := len(g.nodes), len(g.edges)
+	s := &Snapshot{
+		epoch:       g.epoch,
+		nodeLabels:  make([]Sym, nn),
+		edgeLabels:  make([]Sym, ne),
+		edgeSrc:     make([]NodeID, ne),
+		edgeDst:     make([]NodeID, ne),
+		outOff:      make([]uint32, nn+1),
+		inOff:       make([]uint32, nn+1),
+		nodePropOff: make([]uint32, nn+1),
+		edgePropOff: make([]uint32, ne+1),
+		nodePropSet: make([][]uint64, len(g.syms.names)),
+	}
+
+	for i := range g.edges {
+		e := &g.edges[i]
+		s.edgeSrc[i], s.edgeDst[i] = e.src, e.dst
+		if e.removed {
+			s.edgeLabels[i] = NoSym
+		} else {
+			s.edgeLabels[i] = e.label
+		}
+	}
+
+	live := g.NumEdges()
+	s.outEdges = make([]EdgeID, 0, live)
+	s.inEdges = make([]EdgeID, 0, live)
+	nProps := 0
+	for i := range g.nodes {
+		if !g.nodes[i].removed {
+			nProps += len(g.nodes[i].props)
+		}
+	}
+	s.nodeProps = make([]Prop, 0, nProps)
+	words := (nn + 63) / 64
+
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.removed {
+			s.nodeLabels[i] = NoSym
+		} else {
+			s.nodeLabels[i] = n.label
+			for _, e := range n.out {
+				if !g.edges[e].removed {
+					s.outEdges = append(s.outEdges, e)
+				}
+			}
+			for _, e := range n.in {
+				if !g.edges[e].removed {
+					s.inEdges = append(s.inEdges, e)
+				}
+			}
+			for _, p := range n.props {
+				s.nodeProps = append(s.nodeProps, p)
+				set := s.nodePropSet[p.Sym]
+				if set == nil {
+					set = make([]uint64, words)
+					s.nodePropSet[p.Sym] = set
+				}
+				set[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		s.outOff[i+1] = uint32(len(s.outEdges))
+		s.inOff[i+1] = uint32(len(s.inEdges))
+		s.nodePropOff[i+1] = uint32(len(s.nodeProps))
+	}
+
+	eProps := 0
+	for i := range g.edges {
+		if !g.edges[i].removed {
+			eProps += len(g.edges[i].props)
+		}
+	}
+	s.edgeProps = make([]Prop, 0, eProps)
+	for i := range g.edges {
+		if !g.edges[i].removed {
+			s.edgeProps = append(s.edgeProps, g.edges[i].props...)
+		}
+		s.edgePropOff[i+1] = uint32(len(s.edgeProps))
+	}
+	return s
+}
+
+// Epoch returns the graph epoch the snapshot was built at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NodeBound is the exclusive upper bound of node IDs, as in
+// Graph.NodeBound.
+func (s *Snapshot) NodeBound() int { return len(s.nodeLabels) }
+
+// EdgeBound is the exclusive upper bound of edge IDs.
+func (s *Snapshot) EdgeBound() int { return len(s.edgeLabels) }
+
+// NodeLabelSym returns λ(v) as a Sym, or NoSym for a removed node.
+func (s *Snapshot) NodeLabelSym(v NodeID) Sym { return s.nodeLabels[v] }
+
+// EdgeLabelSym returns λ(e) as a Sym, or NoSym for a removed edge.
+func (s *Snapshot) EdgeLabelSym(e EdgeID) Sym { return s.edgeLabels[e] }
+
+// Endpoints returns ρ(e) = (src, dst).
+func (s *Snapshot) Endpoints(e EdgeID) (src, dst NodeID) {
+	return s.edgeSrc[e], s.edgeDst[e]
+}
+
+// OutEdgesOf returns the live outgoing edges of v in edge-id order,
+// shared with the snapshot (callers must not mutate).
+func (s *Snapshot) OutEdgesOf(v NodeID) []EdgeID {
+	return s.outEdges[s.outOff[v]:s.outOff[v+1]]
+}
+
+// InEdgesOf returns the live incoming edges of v in edge-id order.
+func (s *Snapshot) InEdgesOf(v NodeID) []EdgeID {
+	return s.inEdges[s.inOff[v]:s.inOff[v+1]]
+}
+
+// NodePropsOf returns the sorted property list of a live node, shared
+// with the snapshot.
+func (s *Snapshot) NodePropsOf(v NodeID) []Prop {
+	return s.nodeProps[s.nodePropOff[v]:s.nodePropOff[v+1]]
+}
+
+// EdgePropsOf returns the sorted property list of a live edge.
+func (s *Snapshot) EdgePropsOf(e EdgeID) []Prop {
+	return s.edgeProps[s.edgePropOff[e]:s.edgePropOff[e+1]]
+}
+
+// NodeHasProp reports whether the live node defines a property named p.
+// NoSym (or a sym never used as a node property name) reports false.
+func (s *Snapshot) NodeHasProp(v NodeID, p Sym) bool {
+	if p < 0 || int(p) >= len(s.nodePropSet) {
+		return false
+	}
+	set := s.nodePropSet[p]
+	return set != nil && set[int(v)>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// NodePropBySym returns σ(v, p) for an interned property name, scanning
+// the node's flat property row.
+func (s *Snapshot) NodePropBySym(v NodeID, p Sym) (values.Value, bool) {
+	props := s.NodePropsOf(v)
+	for i := range props {
+		if props[i].Sym == p {
+			return props[i].Value, true
+		}
+	}
+	return values.Value{}, false
+}

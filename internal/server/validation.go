@@ -25,7 +25,8 @@ type validateRequest struct {
 	Rules []string `json:"rules"`
 	// MaxViolations caps the reported violations; 0 means unlimited.
 	MaxViolations int `json:"maxViolations"`
-	// Workers > 1 enables the parallel engine.
+	// Workers > 1 enables the parallel engine; 0 (the default) lets the
+	// server autotune from the graph size and available CPUs.
 	Workers int `json:"workers"`
 	// ElementSharding splits element iteration across workers.
 	ElementSharding bool `json:"elementSharding"`
@@ -63,6 +64,9 @@ type validationResponse struct {
 	// Engine is the evaluation strategy that produced the result:
 	// "fused" or "rule-by-rule" (incremental runs are rule-by-rule).
 	Engine string `json:"engine"`
+	// Workers is the resolved worker count the run used after clamping
+	// and autotuning — 1 means sequential (incremental runs always are).
+	Workers int `json:"workers"`
 	// Compiled reports that the run reused the program compiled from the
 	// schema at graph load; CompileMS is that one-time compile cost (the
 	// same value on every response — it is amortized, not per-request).
@@ -179,6 +183,7 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := h.validationResponse(res, req.Mode, elapsed, false)
 	resp.Engine = opts.ResolvedEngine().String()
+	resp.Workers = opts.EffectiveWorkers(h.g.NodeBound() + h.g.EdgeBound())
 	ruleMS := make(map[string]float64, len(res.RuleTime))
 	for rule, d := range res.RuleTime {
 		ruleMS[string(rule)] = float64(d) / float64(time.Millisecond)
@@ -225,6 +230,7 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 	h.valMu.Unlock()
 	resp := h.validationResponse(res, "strong", elapsed, true)
 	resp.Engine = validate.EngineRuleByRule.String() // Revalidate runs restricted rule-by-rule sweeps
+	resp.Workers = 1
 	writeJSON(w, http.StatusOK, resp)
 }
 

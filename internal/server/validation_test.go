@@ -48,6 +48,9 @@ func TestValidateEndpoint(t *testing.T) {
 		t.Errorf("run did not report the precompiled program: compiled=%v compileMs=%v",
 			out.Compiled, out.CompileMS)
 	}
+	if out.Workers != 1 {
+		t.Errorf("default run on a tiny graph should be sequential, got workers=%d", out.Workers)
+	}
 
 	// The run must surface in /metrics, including per-rule timings.
 	rec = httptest.NewRecorder()
@@ -78,6 +81,9 @@ func TestValidateEndpointParallelTimings(t *testing.T) {
 	}
 	if _, ok := out.RuleTimeMS["WS1"]; !ok {
 		t.Errorf("WS1 timing missing: %v", out.RuleTimeMS)
+	}
+	if out.Workers < 2 {
+		t.Errorf("explicit workers=4 request resolved to %d workers", out.Workers)
 	}
 }
 

@@ -3,6 +3,7 @@ package validate
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgschema/internal/pg"
@@ -21,11 +22,22 @@ import (
 // engines, worker counts, sharding, modes, and compiled programs.
 //
 // The passes run against a compiled Program bound to the graph
-// (program.go): schema lookups are precompiled per label, and the
-// graph's interned Syms index dense slices where the previous per-run
-// resolution cache hashed strings. Two rules quantify globally and keep
-// dedicated passes that share the binding: DS4 needs the per-target
-// incoming-edge view and DS7 buckets nodes per type.
+// (program.go) and scan the graph's columnar snapshot (pg.Snapshot):
+// flat label arrays, CSR adjacency of live edges, flattened property
+// rows, and per-sym presence bitsets, so the hot loops touch contiguous
+// memory instead of chasing node/edge structs. Two rules quantify
+// globally: DS4 iterates each @requiredForTarget declaration's
+// precomputed target enumeration (chunkable like the passes), and DS7
+// buckets nodes per type and stays a single task.
+//
+// Parallel runs split every pass into many contiguous element chunks
+// claimed off an atomic cursor — work stealing without deques. A skewed
+// graph (all violations, or all adjacency, concentrated in one region)
+// no longer pins one worker while the rest idle behind a static modulo
+// split: whoever finishes a chunk first claims the next one. Chunks are
+// ranges, not modulo classes, so every element is wholly processed by
+// one chunk and the per-element dedup keys (WS4/DS1 by source node,
+// DS3/DS4 by target node) keep the violation set byte-identical.
 
 // nodePassRules are the rules the fused node pass evaluates, in paper
 // order.
@@ -163,17 +175,19 @@ func newFusedScratch(symCount int) *fusedScratch {
 }
 
 // fusedNodePass evaluates WS1, WS4, DS1, DS2, DS3, DS5, DS6, SS1, and
-// SS2 for every node in the shard, emitting exactly the violations the
-// rule-by-rule sweeps would.
-func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, sc *fusedScratch) {
+// SS2 for every live node in [lo, hi), emitting exactly the violations
+// the rule-by-rule sweeps would. All reads go through the binding's
+// columnar snapshot.
+func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, lo, hi int, sc *fusedScratch) {
 	b := r.bind
-	g := r.g
-	for vi, bound := 0, g.NodeBound(); vi < bound; vi++ {
+	snap := b.snap
+	for vi := lo; vi < hi; vi++ {
 		v := pg.NodeID(vi)
-		if !g.HasNode(v) || !nodeShard(v, shard, nShards) {
-			continue
+		vls := snap.NodeLabelSym(v)
+		if vls == pg.NoSym {
+			continue // removed node
 		}
-		bl := b.labels[g.NodeLabelSym(v)]
+		bl := b.labels[vls]
 		td := bl.td
 		label := bl.label
 
@@ -185,9 +199,9 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 			})
 		}
 
-		// WS1 + SS2 share the property iteration.
+		// WS1 + SS2 share the flat property row.
 		if w.ws1 || w.ss2 {
-			props := g.NodeProps(v)
+			props := snap.NodePropsOf(v)
 			for i := range props {
 				pr := &props[i]
 				var slot fieldSlot
@@ -225,14 +239,12 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 		}
 
 		// WS4: at most one edge per non-list field. Count out-edges per
-		// label Sym in the dense scratch counter.
+		// label Sym in the dense scratch counter; the snapshot's CSR
+		// adjacency holds live edges only.
 		if w.ws4 && td != nil {
 			sc.touched = sc.touched[:0]
-			for _, e := range g.OutEdgesRaw(v) {
-				if !g.HasEdge(e) {
-					continue
-				}
-				ls := g.EdgeLabelSym(e)
+			for _, e := range snap.OutEdgesOf(v) {
+				ls := snap.EdgeLabelSym(e)
 				if sc.counts[ls] == 0 {
 					sc.touched = append(sc.touched, ls)
 				}
@@ -248,7 +260,7 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 				if slot.fd == nil || slot.fd.Type.IsList() || r.drop() {
 					continue
 				}
-				f := g.SymName(ls)
+				f := r.g.SymName(ls)
 				emit(Violation{
 					Rule: WS4, Node: v, Edge: -1,
 					TypeName: label, Field: f,
@@ -262,11 +274,11 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 		for i := range bl.srcRel {
 			d := &bl.srcRel[i]
 			if w.ds1 && d.distinct {
-				for _, e := range g.OutEdgesRaw(v) {
-					if !g.HasEdge(e) || g.EdgeLabelSym(e) != d.sym {
+				for _, e := range snap.OutEdgesOf(v) {
+					if snap.EdgeLabelSym(e) != d.sym {
 						continue
 					}
-					_, dst := g.Endpoints(e)
+					_, dst := snap.Endpoints(e)
 					sc.seen[dst]++
 					if sc.seen[dst] == 2 && !r.drop() {
 						emit(Violation{
@@ -282,11 +294,11 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 				}
 			}
 			if w.ds2 && d.noLoops {
-				for _, e := range g.OutEdgesRaw(v) {
-					if !g.HasEdge(e) || g.EdgeLabelSym(e) != d.sym {
+				for _, e := range snap.OutEdgesOf(v) {
+					if snap.EdgeLabelSym(e) != d.sym {
 						continue
 					}
-					if _, dst := g.Endpoints(e); dst == v && !r.drop() {
+					if _, dst := snap.Endpoints(e); dst == v && !r.drop() {
 						emit(Violation{
 							Rule: DS2, Node: v, Edge: e,
 							TypeName: d.fd.Owner, Field: d.fd.Name,
@@ -298,8 +310,8 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 			}
 			if w.ds6 && d.required {
 				found := false
-				for _, e := range g.OutEdgesRaw(v) {
-					if g.HasEdge(e) && g.EdgeLabelSym(e) == d.sym {
+				for _, e := range snap.OutEdgesOf(v) {
+					if snap.EdgeLabelSym(e) == d.sym {
 						found = true
 						break
 					}
@@ -315,13 +327,13 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 			}
 		}
 
-		// DS5: @required attribute properties.
+		// DS5: @required attribute properties. Presence is one word load
+		// in the per-sym bitset; the value is fetched only for list-typed
+		// fields, which must additionally be nonempty.
 		if w.ds5 {
 			for i := range bl.reqAttrs {
 				req := &bl.reqAttrs[i]
-				val, ok := g.NodePropBySym(v, req.sym)
-				switch {
-				case !ok:
+				if !snap.NodeHasProp(v, req.sym) {
 					if !r.drop() {
 						emit(Violation{
 							Rule: DS5, Node: v, Edge: -1,
@@ -330,8 +342,10 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 								nodeRef(v), label, req.fd.Name, req.fd.Owner, req.fd.Name),
 						})
 					}
-				case req.fd.Type.IsList() && val.Kind() == values.KindList && val.Len() == 0:
-					if !r.drop() {
+					continue
+				}
+				if req.fd.Type.IsList() {
+					if val, ok := snap.NodePropBySym(v, req.sym); ok && val.Kind() == values.KindList && val.Len() == 0 && !r.drop() {
 						emit(Violation{
 							Rule: DS5, Node: v, Edge: -1,
 							TypeName: req.fd.Owner, Field: req.fd.Name, Property: req.fd.Name,
@@ -349,12 +363,12 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 				u := &bl.uftIn[i]
 				n := 0
 				var second pg.EdgeID = -1
-				for _, e := range g.InEdgesRaw(v) {
-					if !g.HasEdge(e) || g.EdgeLabelSym(e) != u.sym {
+				for _, e := range snap.InEdgesOf(v) {
+					if snap.EdgeLabelSym(e) != u.sym {
 						continue
 					}
-					src, _ := g.Endpoints(e)
-					if !b.labels[g.NodeLabelSym(src)].sub[u.ownerID] {
+					src, _ := snap.Endpoints(e)
+					if !b.labels[snap.NodeLabelSym(src)].sub[u.ownerID] {
 						continue
 					}
 					n++
@@ -375,23 +389,24 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, shard, nShards int, s
 	}
 }
 
-// fusedEdgePass evaluates WS2, WS3, SS3, and SS4 for every edge in the
-// shard.
-func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, shard, nShards int) {
+// fusedEdgePass evaluates WS2, WS3, SS3, and SS4 for every live edge in
+// [lo, hi), reading the snapshot's flat edge columns.
+func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, lo, hi int) {
 	b := r.bind
-	g := r.g
-	for ei, bound := 0, g.EdgeBound(); ei < bound; ei++ {
+	snap := b.snap
+	for ei := lo; ei < hi; ei++ {
 		e := pg.EdgeID(ei)
-		if !g.HasEdge(e) || !edgeShard(e, shard, nShards) {
-			continue
+		els := snap.EdgeLabelSym(e)
+		if els == pg.NoSym {
+			continue // removed edge
 		}
-		src, dst := g.Endpoints(e)
-		srcInfo := b.labels[g.NodeLabelSym(src)]
+		src, dst := snap.Endpoints(e)
+		srcInfo := b.labels[snap.NodeLabelSym(src)]
 		srcLabel := srcInfo.label
-		elabel := g.EdgeLabel(e)
+		elabel := r.g.SymName(els)
 		var slot fieldSlot
 		if srcInfo.fields != nil {
-			slot = srcInfo.fields[g.EdgeLabelSym(e)]
+			slot = srcInfo.fields[els]
 		}
 		fd := slot.fd
 
@@ -416,9 +431,9 @@ func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, shard, nShards int) {
 			}
 		}
 
-		// WS2 + SS3 share the edge-property iteration.
+		// WS2 + SS3 share the flat edge-property row.
 		if w.ws2 || w.ss3 {
-			props := g.EdgeProps(e)
+			props := snap.EdgePropsOf(e)
 			for i := range props {
 				pr := &props[i]
 				var arg *schema.ArgDef
@@ -448,24 +463,70 @@ func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, shard, nShards int) {
 
 		// WS3: the target's label must subtype the field's base type.
 		if w.ws3 && fd != nil {
-			if !b.labels[g.NodeLabelSym(dst)].sub[slot.baseID] && !r.drop() {
+			dls := snap.NodeLabelSym(dst)
+			if !b.labels[dls].sub[slot.baseID] && !r.drop() {
 				base := fd.Type.Base()
 				emit(Violation{
 					Rule: WS3, Node: dst, Edge: e,
 					TypeName: srcLabel, Field: fd.Name,
 					Message: fmt.Sprintf("%s (%s): target %s has label %q, which is not a subtype of basetype(%s) = %s",
-						edgeRef(e), fd.Name, nodeRef(dst), g.NodeLabel(dst), fd.Type, base),
+						edgeRef(e), fd.Name, nodeRef(dst), r.g.SymName(dls), fd.Type, base),
 				})
 			}
 		}
 	}
 }
 
-// fusedTask is one unit of fused work: a node-pass shard, an edge-pass
-// shard, or a dedicated DS4/DS7 pass.
-type fusedTask struct {
-	kind           fusedTaskKind
-	shard, nShards int
+// ds4Fused evaluates DS4 for the declaration's target nodes in [lo, hi)
+// of its bound enumeration; decl < 0 means every declaration over its
+// full range (the unchunked task shape). Emitted violations match
+// runner.ds4 byte for byte: the declarations are compiled in
+// relationshipDeclarations order and the targets come from the same
+// bound enumeration ds4 iterates.
+func (r *runner) ds4Fused(emit emitFunc, decl, lo, hi int) {
+	b := r.bind
+	if decl < 0 {
+		for d := range b.reqTargets {
+			r.ds4Decl(emit, &b.reqTargets[d], 0, len(b.reqTargets[d].targets))
+		}
+		return
+	}
+	r.ds4Decl(emit, &b.reqTargets[decl], lo, hi)
+}
+
+func (r *runner) ds4Decl(emit emitFunc, rt *boundReqTarget, lo, hi int) {
+	b := r.bind
+	snap := b.snap
+	for _, v2 := range rt.targets[lo:hi] {
+		found := false
+		for _, e := range snap.InEdgesOf(v2) {
+			if snap.EdgeLabelSym(e) != rt.sym {
+				continue
+			}
+			src, _ := snap.Endpoints(e)
+			if b.labels[snap.NodeLabelSym(src)].sub[rt.ownerID] {
+				found = true
+				break
+			}
+		}
+		if !found && !r.drop() {
+			emit(Violation{
+				Rule: DS4, Node: v2, Edge: -1,
+				TypeName: rt.fd.Owner, Field: rt.fd.Name,
+				Message: fmt.Sprintf("%s (%s): no incoming %q edge from a %s node, violating @requiredForTarget on %s.%s",
+					nodeRef(v2), r.g.SymName(snap.NodeLabelSym(v2)), rt.fd.Name, rt.fd.Owner, rt.fd.Owner, rt.fd.Name),
+			})
+		}
+	}
+}
+
+// fusedChunk is one stealable unit of fused work: a contiguous element
+// range of a node pass, edge pass, or one DS4 declaration's target
+// enumeration — or the whole DS7 pass, which buckets globally.
+type fusedChunk struct {
+	kind   fusedTaskKind
+	decl   int // DS4: index into binding.reqTargets; -1 = all
+	lo, hi int
 }
 
 type fusedTaskKind int
@@ -477,23 +538,23 @@ const (
 	taskDS7
 )
 
-// run executes the task, emitting into emit.
-func (t fusedTask) run(r *runner, w fusedWant, sc *fusedScratch) func(emitFunc) {
+// run executes the chunk, emitting into emit.
+func (t fusedChunk) run(r *runner, w fusedWant, sc *fusedScratch, emit emitFunc) {
 	switch t.kind {
 	case taskNodePass:
-		return func(emit emitFunc) { r.fusedNodePass(w, emit, t.shard, t.nShards, sc) }
+		r.fusedNodePass(w, emit, t.lo, t.hi, sc)
 	case taskEdgePass:
-		return func(emit emitFunc) { r.fusedEdgePass(w, emit, t.shard, t.nShards) }
+		r.fusedEdgePass(w, emit, t.lo, t.hi)
 	case taskDS4:
-		return func(emit emitFunc) { r.ds4(emit, t.shard, t.nShards) }
+		r.ds4Fused(emit, t.decl, t.lo, t.hi)
 	default:
-		return func(emit emitFunc) { r.ds7(emit, 0, 1) }
+		r.ds7(emit, 0, 1)
 	}
 }
 
-// rules returns the rules the task evaluates (already intersected with
+// rules returns the rules the chunk evaluates (already intersected with
 // the requested set), for timing attribution.
-func (t fusedTask) rules(w fusedWant) []Rule {
+func (t fusedChunk) rules(w fusedWant) []Rule {
 	switch t.kind {
 	case taskNodePass:
 		return w.active(nodePassRules)
@@ -506,33 +567,75 @@ func (t fusedTask) rules(w fusedWant) []Rule {
 	}
 }
 
-// fusedTasks plans the passes for the requested rules. With sharding,
-// the node and edge passes (and DS4, which iterates target nodes) split
-// into n shards; DS7 buckets globally and stays whole.
-func fusedTasks(w fusedWant, sharded bool, n int) []fusedTask {
-	var tasks []fusedTask
-	addSharded := func(kind fusedTaskKind) {
-		if sharded {
-			for s := 0; s < n; s++ {
-				tasks = append(tasks, fusedTask{kind, s, n})
-			}
-			return
+// Chunk sizing: aim for chunksPerWorker chunks per worker so the cursor
+// can rebalance skew, but never smaller than minChunkSpan elements so
+// tiny graphs don't drown in scheduling overhead (and tests on small
+// graphs still exercise multi-chunk merges).
+const (
+	minChunkSpan    = 16
+	chunksPerWorker = 16
+)
+
+// appendRangeChunks splits [0, bound) into spans for the given worker
+// count and appends them as chunks of the kind.
+func appendRangeChunks(chunks []fusedChunk, kind fusedTaskKind, decl, bound, workers int) []fusedChunk {
+	if bound <= 0 {
+		return chunks
+	}
+	span := (bound + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if span < minChunkSpan {
+		span = minChunkSpan
+	}
+	for lo := 0; lo < bound; lo += span {
+		hi := lo + span
+		if hi > bound {
+			hi = bound
 		}
-		tasks = append(tasks, fusedTask{kind, 0, 1})
+		chunks = append(chunks, fusedChunk{kind: kind, decl: decl, lo: lo, hi: hi})
 	}
-	if len(w.active(nodePassRules)) > 0 {
-		addSharded(taskNodePass)
+	return chunks
+}
+
+// planFusedChunks plans the work units for the requested rules. Without
+// ElementSharding each pass is one whole chunk (coarse tasks, as the
+// non-sharded parallel engine always ran); with it the node and edge
+// passes and every DS4 declaration split into many range chunks for the
+// stealing cursor. DS7 buckets globally and stays whole either way.
+func (r *runner) planFusedChunks(w fusedWant, sharded bool, workers int) []fusedChunk {
+	b := r.bind
+	var chunks []fusedChunk
+	nodePass := len(w.active(nodePassRules)) > 0
+	edgePass := len(w.active(edgePassRules)) > 0
+	if !sharded {
+		if nodePass {
+			chunks = append(chunks, fusedChunk{kind: taskNodePass, decl: -1, lo: 0, hi: b.snap.NodeBound()})
+		}
+		if edgePass {
+			chunks = append(chunks, fusedChunk{kind: taskEdgePass, decl: -1, lo: 0, hi: b.snap.EdgeBound()})
+		}
+		if w.ds4 {
+			chunks = append(chunks, fusedChunk{kind: taskDS4, decl: -1})
+		}
+		if w.ds7 {
+			chunks = append(chunks, fusedChunk{kind: taskDS7, decl: -1})
+		}
+		return chunks
 	}
-	if len(w.active(edgePassRules)) > 0 {
-		addSharded(taskEdgePass)
+	if nodePass {
+		chunks = appendRangeChunks(chunks, taskNodePass, -1, b.snap.NodeBound(), workers)
+	}
+	if edgePass {
+		chunks = appendRangeChunks(chunks, taskEdgePass, -1, b.snap.EdgeBound(), workers)
 	}
 	if w.ds4 {
-		addSharded(taskDS4)
+		for d := range b.reqTargets {
+			chunks = appendRangeChunks(chunks, taskDS4, d, len(b.reqTargets[d].targets), workers)
+		}
 	}
 	if w.ds7 {
-		tasks = append(tasks, fusedTask{taskDS7, 0, 1})
+		chunks = append(chunks, fusedChunk{kind: taskDS7, decl: -1})
 	}
-	return tasks
+	return chunks
 }
 
 // attribute splits a pass's elapsed time across the rules it evaluated:
@@ -555,10 +658,11 @@ func attribute(timings map[Rule]time.Duration, rules []Rule, elapsed time.Durati
 }
 
 // fused runs the fused engine against the compiled program, sequentially
-// or — when Options.Workers > 1 — on a worker pool with pooled per-task
-// violation buffers that merge into the collector once per task (no
-// mutex in the hot path). It returns the per-rule timings when
-// Options.CollectTimings is set.
+// or — when Options.Workers > 1 — on a work-stealing worker pool:
+// workers claim range chunks off an atomic cursor and merge pooled
+// per-chunk violation buffers into the collector (no mutex in the hot
+// path). It returns the per-rule timings when Options.CollectTimings is
+// set.
 func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Duration {
 	r.bind = p.bindTo(r.g)
 	w := wantRules(rules)
@@ -576,12 +680,12 @@ func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Dur
 		// exact-Truncated contract as the sequential rule-by-rule engine,
 		// at pass rather than rule granularity.
 		sc := newFusedScratch(r.bind.symCount)
-		for _, t := range fusedTasks(w, false, 1) {
+		for _, t := range r.planFusedChunks(w, false, 1) {
 			if c.truncated() {
 				break
 			}
 			start := time.Now()
-			t.run(r, w, sc)(c.emit)
+			t.run(r, w, sc, c.emit)
 			if timings != nil {
 				attribute(timings, t.rules(w), time.Since(start))
 			}
@@ -589,28 +693,35 @@ func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Dur
 		return timings
 	}
 
-	tasks := fusedTasks(w, r.opts.ElementSharding, r.opts.Workers)
-	var timingMu sync.Mutex
-	ch := make(chan fusedTask)
-	var wg sync.WaitGroup
+	chunks := r.planFusedChunks(w, r.opts.ElementSharding, r.opts.Workers)
+	var (
+		timingMu sync.Mutex
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+	)
 	for i := 0; i < r.opts.Workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sc := newFusedScratch(r.bind.symCount)
-			for t := range ch {
-				// Tasks not yet started are skipped once the cap is
-				// reached; a started task always runs to completion and
-				// merges, so overflow among completed tasks is never
+			for {
+				idx := int(cursor.Add(1)) - 1
+				if idx >= len(chunks) {
+					return
+				}
+				// Chunks not yet started are skipped once the cap is
+				// reached; a started chunk always runs to completion and
+				// merges, so overflow among completed chunks is never
 				// lost (see collector.merge).
 				if c.full() {
 					continue
 				}
+				t := chunks[idx]
 				bufp := violationBufPool.Get().(*[]Violation)
 				buf := (*bufp)[:0]
 				emit := func(v Violation) { buf = append(buf, v) }
 				start := time.Now()
-				t.run(r, w, sc)(emit)
+				t.run(r, w, sc, emit)
 				elapsed := time.Since(start)
 				c.merge(buf)
 				*bufp = buf[:0]
@@ -623,10 +734,6 @@ func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Dur
 			}
 		}()
 	}
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
 	wg.Wait()
 	return timings
 }

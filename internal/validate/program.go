@@ -35,6 +35,14 @@ type Program struct {
 	// declared type name (graph labels resolve through it at bind time).
 	labels map[string]*labelProgram
 
+	// reqTargets lists the @requiredForTarget declarations in
+	// declaration order (types sorted by name, fields in source order) —
+	// the order ds4 quantifies in, so duplicate declarations keep their
+	// multiplicity. DS4 is the one target-quantified rule without a
+	// per-label bucket: its element space is the target-node enumeration
+	// of each declaration, resolved at bind time.
+	reqTargets []*schema.FieldDef
+
 	compileTime  time.Duration
 	nFields      int
 	nObligations int
@@ -155,6 +163,10 @@ func Compile(s *schema.Schema) *Program {
 						p.nObligations++
 					}
 				}
+				if schema.HasDirective(f.Directives, schema.DirRequiredForTarget) {
+					p.reqTargets = append(p.reqTargets, f)
+					p.nObligations++
+				}
 			case s.IsAttribute(f):
 				if schema.HasDirective(f.Directives, schema.DirRequired) {
 					for _, l := range s.ConcreteTargets(f.Owner) {
@@ -207,12 +219,24 @@ type binding struct {
 	epoch    uint64
 	symCount int
 
+	// snap is the graph's columnar snapshot at the binding's epoch. The
+	// fused passes scan its flat label/adjacency/property arrays instead
+	// of chasing node and edge structs through the mutable store; it is
+	// shared with the graph's own cache, so binding to an unchanged
+	// graph never rebuilds it.
+	snap *pg.Snapshot
+
 	// labels is indexed by pg.Sym; non-nil exactly for the syms that
 	// are labels of live nodes.
 	labels []*boundLabel
 
 	// nodesOf caches nodesOfType for every named type of the schema.
 	nodesOf map[string][]pg.NodeID
+
+	// reqTargets is Program.reqTargets bound to the graph: field-name
+	// syms, owner nameIDs, and each declaration's target-node
+	// enumeration — DS4's chunkable element space.
+	reqTargets []boundReqTarget
 
 	// keyed caches DS7's key buckets per (type, key-field set). Bucket
 	// contents depend only on property values, so they are as
@@ -308,6 +332,16 @@ type boundUft struct {
 	ownerID int32
 }
 
+// boundReqTarget is one @requiredForTarget declaration bound to the
+// graph: the edge-label sym, the owner's nameID for the source-subtype
+// test, and the declaration's possible target nodes.
+type boundReqTarget struct {
+	fd      *schema.FieldDef
+	sym     pg.Sym
+	ownerID int32
+	targets []pg.NodeID
+}
+
 // bindTo returns the program bound to the graph at its current epoch,
 // reusing the cached binding when neither the graph identity nor its
 // epoch changed since the last call. Concurrent callers may race to
@@ -326,6 +360,7 @@ func (p *Program) newBinding(g *pg.Graph) *binding {
 		g:        g,
 		epoch:    g.Epoch(),
 		symCount: g.SymCount(),
+		snap:     g.Snapshot(),
 		labels:   make([]*boundLabel, g.SymCount()),
 		nodesOf:  make(map[string][]pg.NodeID),
 	}
@@ -381,6 +416,17 @@ func (p *Program) newBinding(g *pg.Graph) *binding {
 			}
 			b.nodesOf[td.Name] = out
 		}
+	}
+
+	// DS4 declarations, each with its target enumeration (shared with
+	// nodesOf, so this costs one slice header per declaration).
+	for _, fd := range p.reqTargets {
+		b.reqTargets = append(b.reqTargets, boundReqTarget{
+			fd:      fd,
+			sym:     symOf(fd.Name),
+			ownerID: p.nameID[fd.Owner],
+			targets: b.nodesOf[fd.Type.Base()],
+		})
 	}
 	return b
 }

@@ -21,6 +21,7 @@
 package validate
 
 import (
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -174,7 +175,11 @@ type Options struct {
 	// MaxViolations stops the run once this many violations have been
 	// collected; 0 means unlimited.
 	MaxViolations int
-	// Workers enables the parallel engine when > 1.
+	// Workers enables the parallel engine when > 1. 0 normally means
+	// sequential, but under EngineAuto a graph of at least
+	// autotuneElements elements autotunes to GOMAXPROCS workers. The
+	// value is clamped by EffectiveWorkers (floor 1, cap 8×GOMAXPROCS
+	// and the graph's element count); negative values mean sequential.
 	Workers int
 	// ElementSharding makes the parallel engine split node iteration
 	// across workers within a rule instead of running whole rules on
@@ -203,6 +208,46 @@ type Options struct {
 // resolveEngine picks when Engine is EngineAuto. Callers (server, CLI)
 // use it to report which engine produced a result.
 func (o Options) ResolvedEngine() Engine { return o.resolveEngine() }
+
+// autotuneElements is the graph size (nodes + edges, by ID bound) above
+// which EngineAuto turns parallelism on by itself. Below it the
+// scheduling overhead rivals the work and — more importantly — the
+// sequential engine's exact Truncated semantics are worth keeping for
+// interactive graph sizes.
+const autotuneElements = 100_000
+
+// EffectiveWorkers resolves Options.Workers to the worker count a
+// Validate call over a graph with the given element count (node bound +
+// edge bound) actually uses:
+//
+//   - Workers == 0 under EngineAuto on a graph of at least
+//     autotuneElements elements autotunes to GOMAXPROCS — million-element
+//     graphs parallelize without the caller having to know the machine;
+//   - negative values and 0 otherwise mean sequential;
+//   - values above 8×GOMAXPROCS are clamped (the generous factor keeps
+//     deliberately oversubscribed test configurations exercising the
+//     parallel code paths on small machines);
+//   - the worker count never exceeds the element count (a worker with no
+//     possible elements is pure overhead).
+//
+// 1 means the sequential engine. Servers and CLIs report this value so
+// operators can see what an autotuned run actually did.
+func (o Options) EffectiveWorkers(elements int) int {
+	w := o.Workers
+	if w == 0 && o.Engine == EngineAuto && !o.NaivePairScan && elements >= autotuneElements {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if cap := 8 * runtime.GOMAXPROCS(0); w > cap {
+		w = cap
+	}
+	if elements > 0 && w > elements {
+		w = elements
+	}
+	return w
+}
 
 // resolveEngine maps EngineAuto to a concrete engine.
 func (o Options) resolveEngine() Engine {
@@ -247,6 +292,9 @@ func (o Options) rules() []Rule {
 // consistent, as the paper assumes in §4.3).
 func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
 	rules := opts.rules()
+	// Resolve Workers once — clamped and, under EngineAuto on large
+	// graphs, autotuned — so every engine below sees a sane count.
+	opts.Workers = opts.EffectiveWorkers(g.NodeBound() + g.EdgeBound())
 	c := newCollector(opts.MaxViolations)
 	run := &runner{s: s, g: g, opts: opts, coll: c}
 	if opts.resolveEngine() == EngineFused {
