@@ -2,7 +2,7 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-scale bench-smoke scale-smoke
+.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-scale bench-incremental bench-smoke scale-smoke
 
 check: build vet race differential bench-smoke
 
@@ -13,15 +13,15 @@ vet:
 	go vet ./...
 
 test:
-	go test -shuffle=on ./...
+	go test -shuffle=on -timeout 10m ./...
 
 race:
-	go test -race -shuffle=on ./...
+	go test -race -shuffle=on -timeout 10m ./...
 
 # The engine-equivalence proof on its own: every engine configuration
 # must emit the byte-identical violation set, raced and shuffled.
 differential:
-	go test -race -shuffle=on -run 'TestDifferential' -count=1 ./internal/validate/
+	go test -race -shuffle=on -timeout 10m -run 'TestDifferential' -count=1 ./internal/validate/
 
 bench:
 	go test -bench=. -benchmem -run=^$$ ./...
@@ -42,6 +42,12 @@ bench-fused:
 # rule-by-rule engine, at 300/1000/5000 nodes per type.
 bench-compiled:
 	go test -bench=BenchmarkCompiledReuse -benchmem -count=6 -run=^$$ . | tee BENCH_compiled.json
+
+# E10 — incremental revalidation: full vs delta-aware runs at ~0.1%
+# and ~1% mutation batches over a ~10⁶-element graph, driven through the
+# transactional Apply → Revalidate → Undo round trip.
+bench-incremental:
+	go test -bench=BenchmarkIncremental -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_incremental.json
 
 # Million-element scaling: compiled fused validation at ~10⁵ and ~10⁶
 # graph elements across 1/2/4/8 workers, plus CSV loader throughput.

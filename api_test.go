@@ -4,6 +4,7 @@ package pgschema_test
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -73,12 +74,12 @@ func TestFacadeRoundTrip(t *testing.T) {
 	// Incremental revalidation.
 	u := g.NodesLabeled("User")[0]
 	g.SetNodeProp(u, "login", pgschema.Int(3)) // WS1
-	res2 := pgschema.Revalidate(s, g, res, pgschema.Delta{Nodes: []pgschema.NodeID{u}})
+	res2 := pgschema.Revalidate(context.Background(), s, g, res, pgschema.Delta{Nodes: []pgschema.NodeID{u}}, pgschema.ValidateOptions{})
 	if res2.OK() || res2.Violations[0].Rule != "WS1" {
 		t.Errorf("Revalidate: %v", res2.Violations)
 	}
 	g.SetNodeProp(u, "login", pgschema.String("fixed"))
-	res3 := pgschema.Revalidate(s, g, res2, pgschema.Delta{Nodes: []pgschema.NodeID{u}})
+	res3 := pgschema.Revalidate(context.Background(), s, g, res2, pgschema.Delta{Nodes: []pgschema.NodeID{u}}, pgschema.ValidateOptions{})
 	if !res3.OK() {
 		t.Errorf("Revalidate after fix: %v", res3.Violations)
 	}

@@ -455,7 +455,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s (POST /graphql /validate /revalidate, GET /schema /metrics /healthz)\n",
+	fmt.Printf("serving on %s (POST /graphql /validate /revalidate /graph/apply, GET /schema /metrics /healthz)\n",
 		ln.Addr())
 	return serveUntilSignal(srv, ln)
 }

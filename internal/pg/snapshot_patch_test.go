@@ -1,0 +1,64 @@
+package pg
+
+import (
+	"testing"
+
+	"pgschema/internal/values"
+)
+
+// TestPatchGivesUpOnLargeDelta: when the dirty region is a large
+// fraction of the graph, patching is a net loss and Apply must leave
+// the cache stale (next Snapshot() call does a full rebuild) rather
+// than installing a patched copy.
+func TestPatchGivesUpOnLargeDelta(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.AddNode("Author")
+	}
+	g.Snapshot()
+	var d Delta
+	for i := 0; i < 10; i++ {
+		d.SetNodeProps = append(d.SetNodeProps, NodePropSpec{
+			Node: NodeID(i), Name: "name", Value: values.Int(int64(i)),
+		})
+	}
+	if _, err := g.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if s := g.snap.Load(); s != nil && s.Epoch() == g.Epoch() {
+		t.Fatal("expected the patcher to give up on a near-total delta")
+	}
+	snapEqual(t, g.Snapshot(), g.buildSnapshot())
+}
+
+// TestPatchSharesUntouchedColumns: a props-only delta must not rebuild
+// adjacency or label columns — the patched snapshot aliases them.
+func TestPatchSharesUntouchedColumns(t *testing.T) {
+	g := New()
+	for i := 0; i < 100; i++ {
+		g.AddNode("Author")
+	}
+	for i := 0; i < 99; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), "relatedAuthor")
+	}
+	old := g.Snapshot()
+	if _, err := g.Apply(Delta{SetNodeProps: []NodePropSpec{
+		{Node: 0, Name: "name", Value: values.String("x")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s := g.snap.Load()
+	if s == nil || s.Epoch() != g.Epoch() {
+		t.Fatal("expected a patched snapshot to be installed")
+	}
+	if &s.nodeLabels[0] != &old.nodeLabels[0] {
+		t.Error("node label column should be shared")
+	}
+	if &s.outEdges[0] != &old.outEdges[0] || &s.outOff[0] != &old.outOff[0] {
+		t.Error("adjacency columns should be shared")
+	}
+	if &s.edgeSrc[0] != &old.edgeSrc[0] {
+		t.Error("edge endpoint column should be shared")
+	}
+	snapEqual(t, s, g.buildSnapshot())
+}

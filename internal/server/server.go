@@ -15,9 +15,19 @@
 // exposes request counts, latency histograms, and per-rule validation
 // timings in the Prometheus text format.
 //
-// The endpoint is read-only by construction: the query executor supports
-// no mutations, so a handler over a shared graph is safe for concurrent
-// requests. Mux wraps the routes in a middleware stack — panic recovery,
+// Graph mutation goes through POST /graph/apply: a transactional delta
+// (all-or-nothing, epoch-bumping) with optional incremental
+// revalidation, and with requireValid as a commit condition that rolls
+// the delta back when the mutated graph would be invalid. A
+// readers-writer lock serializes mutations against in-flight reads
+// (queries and validations), so concurrent requests stay safe.
+//
+// Validation responses and errors carry the versioned v1 envelope
+// ("apiVersion", a uniform "error" string on failures, and the
+// engine/workers/compiled fields describing the run); legacy request
+// bodies without apiVersion are still accepted.
+//
+// Mux wraps the routes in a middleware stack — panic recovery,
 // a per-request timeout, an in-flight concurrency limit with 503 load
 // shedding, and structured access logging — configured via Config.
 package server
@@ -84,14 +94,22 @@ type Handler struct {
 	// epoch is stable) rather than recompiling the schema.
 	prog *validate.Program
 
+	// gmu is the graph readers-writer lock: queries and validations
+	// hold the read side, POST /graph/apply holds the write side for
+	// the mutation and its certification.
+	gmu sync.RWMutex
+
 	// valMu guards the cached validation result that /revalidate answers
-	// from; /validate refreshes it after every full strong run.
+	// from; /validate refreshes it after every full strong run. Always
+	// acquired inside gmu, never around it.
 	valMu      sync.RWMutex
 	lastResult *validate.Result
 }
 
-// New builds a handler. The graph must not be mutated while the handler
-// is serving. A schema that already declares a type named Query cannot
+// New builds a handler. The graph must not be mutated out-of-band while
+// the handler is serving — POST /graph/apply is the sanctioned mutation
+// path and serializes against in-flight reads via the handler's graph
+// lock. A schema that already declares a type named Query cannot
 // be extended into an API schema; the handler still serves queries
 // against the original schema and GET /schema degrades to 404. Any
 // other API-generation failure is returned.
@@ -111,12 +129,13 @@ func New(s *schema.Schema, g *pg.Graph, cfg Config) (*Handler, error) {
 
 // Mux returns the full route table wrapped in the middleware stack:
 //
-//	POST/GET /graphql     query execution
-//	GET      /schema      the generated API schema as SDL text
-//	POST     /validate    run schema validation over the hosted graph
-//	POST     /revalidate  incremental validation from a mutation delta
-//	GET      /metrics     Prometheus-format operational metrics
-//	GET      /healthz     liveness
+//	POST/GET /graphql      query execution
+//	GET      /schema       the generated API schema as SDL text
+//	POST     /validate     run schema validation over the hosted graph
+//	POST     /revalidate   incremental validation from a mutation delta
+//	POST     /graph/apply  transactional graph mutation (+ revalidation)
+//	GET      /metrics      Prometheus-format operational metrics
+//	GET      /healthz      liveness
 //
 // Ordered outside-in: access log + metrics, panic recovery, concurrency
 // limit, request timeout. /healthz, /metrics, and (when enabled)
@@ -128,6 +147,7 @@ func (h *Handler) Mux() http.Handler {
 	api.HandleFunc("/schema", h.serveSchema)
 	api.HandleFunc("/validate", h.serveValidate)
 	api.HandleFunc("/revalidate", h.serveRevalidate)
+	api.HandleFunc("/graph/apply", h.serveApply)
 	var stack http.Handler = api
 	stack = h.withTimeout(stack)
 	stack = h.limitInFlight(stack)
@@ -225,6 +245,8 @@ func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusOK, err.Error()) // GraphQL errors are 200s
 		return
 	}
+	h.gmu.RLock()
+	defer h.gmu.RUnlock()
 	data, err := query.Execute(h.s, h.g, doc, req.OperationName)
 	if err != nil {
 		writeError(w, http.StatusOK, err.Error())

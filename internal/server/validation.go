@@ -15,9 +15,43 @@ import (
 // for, so one request cannot spawn an unbounded worker pool.
 const maxRequestWorkers = 64
 
+// apiVersion is the versioned-envelope marker every /validate,
+// /revalidate, and /graph/apply response carries.
+const apiVersion = "v1"
+
+// checkAPIVersion validates a request's apiVersion field. Legacy bodies
+// omit it; the only other accepted value is the current version. The
+// returned string is empty on success, else a client-error message.
+func checkAPIVersion(v string) string {
+	if v == "" || v == apiVersion {
+		return ""
+	}
+	return fmt.Sprintf("unsupported apiVersion %q (this server speaks %q; omit the field for legacy behavior)", v, apiVersion)
+}
+
+// errorResponse is the uniform v1 error envelope. The legacy
+// GraphQL-style errors list is kept alongside the flat error string so
+// pre-v1 clients of the validation endpoints keep parsing.
+type errorResponse struct {
+	APIVersion string      `json:"apiVersion"`
+	Error      string      `json:"error"`
+	Errors     []respError `json:"errors"`
+}
+
+func writeAPIError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{
+		APIVersion: apiVersion,
+		Error:      msg,
+		Errors:     []respError{{Message: msg}},
+	})
+}
+
 // validateRequest is the POST /validate body. An empty body runs a full
 // strong-satisfaction check sequentially.
 type validateRequest struct {
+	// APIVersion optionally pins the envelope version; "" (legacy) and
+	// "v1" are accepted.
+	APIVersion string `json:"apiVersion"`
 	// Mode is "strong" (default), "weak", or "directives".
 	Mode string `json:"mode"`
 	// Rules restricts the run to the named rules (e.g. ["WS1", "DS7"]);
@@ -36,9 +70,10 @@ type validateRequest struct {
 
 // deltaRequest is the POST /revalidate body, mirroring validate.Delta.
 type deltaRequest struct {
-	Nodes  []int64  `json:"nodes"`
-	Edges  []int64  `json:"edges"`
-	Labels []string `json:"labels"`
+	APIVersion string   `json:"apiVersion"`
+	Nodes      []int64  `json:"nodes"`
+	Edges      []int64  `json:"edges"`
+	Labels     []string `json:"labels"`
 }
 
 // violationJSON is one violation in a validation response.
@@ -52,20 +87,27 @@ type violationJSON struct {
 	Property string `json:"property,omitempty"`
 }
 
-// validationResponse is the body of /validate and /revalidate answers.
+// validationResponse is the body of /validate and /revalidate answers
+// (and of the validation report inside /graph/apply responses).
 type validationResponse struct {
+	APIVersion  string          `json:"apiVersion"`
 	OK          bool            `json:"ok"`
 	Mode        string          `json:"mode"`
 	Nodes       int             `json:"nodes"`
 	Edges       int             `json:"edges"`
 	Violations  []violationJSON `json:"violations"`
 	Truncated   bool            `json:"truncated"`
-	Incremental bool            `json:"incremental"`
-	// Engine is the evaluation strategy that produced the result:
-	// "fused" or "rule-by-rule" (incremental runs are rule-by-rule).
+	// Incomplete marks a run cut short by cancellation (request timeout
+	// or client disconnect); its violation list is partial.
+	Incomplete  bool `json:"incomplete"`
+	Incremental bool `json:"incremental"`
+	// Engine is the evaluation strategy that actually produced the
+	// result — "fused" or "rule-by-rule" — as reported by the run
+	// itself, incremental or not.
 	Engine string `json:"engine"`
 	// Workers is the resolved worker count the run used after clamping
-	// and autotuning — 1 means sequential (incremental runs always are).
+	// and autotuning — 1 means sequential. Incremental runs resolve it
+	// from the dirty-region size, not the graph size.
 	Workers int `json:"workers"`
 	// Compiled reports that the run reused the program compiled from the
 	// schema at graph load; CompileMS is that one-time compile cost (the
@@ -166,24 +208,28 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 	if !h.decodeJSONBody(w, r, &req) {
 		return
 	}
+	if msg := checkAPIVersion(req.APIVersion); msg != "" {
+		writeAPIError(w, http.StatusBadRequest, msg)
+		return
+	}
 	opts, problem := req.options()
 	if problem != "" {
-		writeError(w, http.StatusBadRequest, problem)
+		writeAPIError(w, http.StatusBadRequest, problem)
 		return
 	}
 	opts.Program = h.prog
+	h.gmu.RLock()
+	defer h.gmu.RUnlock()
 	start := time.Now()
-	res := validate.Validate(h.s, h.g, opts)
+	res := validate.ValidateContext(r.Context(), h.s, h.g, opts)
 	elapsed := time.Since(start)
 	h.metrics.recordValidation(res.RuleTime)
-	if fullStrongRun(opts) {
+	if fullStrongRun(opts) && !res.Incomplete {
 		h.valMu.Lock()
 		h.lastResult = res
 		h.valMu.Unlock()
 	}
 	resp := h.validationResponse(res, req.Mode, elapsed, false)
-	resp.Engine = opts.ResolvedEngine().String()
-	resp.Workers = opts.EffectiveWorkers(h.g.NodeBound() + h.g.EdgeBound())
 	ruleMS := make(map[string]float64, len(res.RuleTime))
 	for rule, d := range res.RuleTime {
 		ruleMS[string(rule)] = float64(d) / float64(time.Millisecond)
@@ -197,11 +243,17 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 	if !h.decodeJSONBody(w, r, &req) {
 		return
 	}
+	if msg := checkAPIVersion(req.APIVersion); msg != "" {
+		writeAPIError(w, http.StatusBadRequest, msg)
+		return
+	}
+	h.gmu.RLock()
+	defer h.gmu.RUnlock()
 	delta := validate.Delta{Labels: req.Labels}
 	for _, id := range req.Nodes {
 		n := pg.NodeID(id)
 		if !h.g.HasNode(n) {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown node id %d", id))
+			writeAPIError(w, http.StatusBadRequest, fmt.Sprintf("unknown node id %d", id))
 			return
 		}
 		delta.Nodes = append(delta.Nodes, n)
@@ -209,7 +261,7 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 	for _, id := range req.Edges {
 		e := pg.EdgeID(id)
 		if !h.g.HasEdge(e) {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown edge id %d", id))
+			writeAPIError(w, http.StatusBadRequest, fmt.Sprintf("unknown edge id %d", id))
 			return
 		}
 		delta.Edges = append(delta.Edges, e)
@@ -218,35 +270,43 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 	prev := h.lastResult
 	h.valMu.RUnlock()
 	if prev == nil {
-		writeError(w, http.StatusConflict,
+		writeAPIError(w, http.StatusConflict,
 			"no cached validation result to revalidate from; POST /validate (full strong mode) first")
 		return
 	}
 	start := time.Now()
-	res := validate.RevalidateWithOptions(h.s, h.g, prev, delta, validate.Options{Program: h.prog})
+	res := validate.Revalidate(r.Context(), h.s, h.g, prev, delta,
+		validate.Options{Program: h.prog, CollectTimings: true})
 	elapsed := time.Since(start)
-	h.valMu.Lock()
-	h.lastResult = res
-	h.valMu.Unlock()
+	h.metrics.recordValidation(res.RuleTime)
+	if !res.Incomplete {
+		h.valMu.Lock()
+		h.lastResult = res
+		h.valMu.Unlock()
+	}
 	resp := h.validationResponse(res, "strong", elapsed, true)
-	resp.Engine = validate.EngineRuleByRule.String() // Revalidate runs restricted rule-by-rule sweeps
-	resp.Workers = 1
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// validationResponse renders a validate.Result as the wire shape.
+// validationResponse renders a validate.Result as the wire shape. The
+// engine and worker fields come from the result itself — the strategy
+// that actually ran, not the one the request asked for.
 func (h *Handler) validationResponse(res *validate.Result, mode string, elapsed time.Duration, incremental bool) validationResponse {
 	if mode == "" {
 		mode = "strong"
 	}
 	out := validationResponse{
+		APIVersion:  apiVersion,
 		OK:          res.OK(),
 		Mode:        mode,
 		Nodes:       h.g.NumNodes(),
 		Edges:       h.g.NumEdges(),
 		Violations:  make([]violationJSON, 0, len(res.Violations)),
 		Truncated:   res.Truncated,
+		Incomplete:  res.Incomplete,
 		Incremental: incremental,
+		Engine:      res.Engine.String(),
+		Workers:     res.Workers,
 		Compiled:    true,
 		CompileMS:   float64(h.prog.Stats().CompileTime) / float64(time.Millisecond),
 		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),

@@ -122,8 +122,9 @@ func TestValidateEndpointFindsViolations(t *testing.T) {
 }
 
 // TestValidateEndpointEngineSelection pins the engine field: requests
-// select the evaluation strategy, the response names the resolved one,
-// and /revalidate reports its restricted rule-by-rule sweeps.
+// select the evaluation strategy and the response names the one that
+// actually ran — including on /revalidate, whose delta-scoped run
+// resolves EngineAuto to the fused dirty-region passes.
 func TestValidateEndpointEngineSelection(t *testing.T) {
 	h := newTestHandler(t)
 	mux := h.Mux()
@@ -152,8 +153,11 @@ func TestValidateEndpointEngineSelection(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("revalidate: status %d: %s", rec.Code, rec.Body.String())
 	}
-	if out.Engine != "rule-by-rule" {
-		t.Errorf("revalidate engine %q, want %q", out.Engine, "rule-by-rule")
+	if out.Engine != "fused" {
+		t.Errorf("revalidate engine %q, want %q (the engine the run actually used)", out.Engine, "fused")
+	}
+	if out.Workers != 1 {
+		t.Errorf("one-node delta resolved to %d workers, want 1", out.Workers)
 	}
 }
 

@@ -27,11 +27,11 @@ func TestFusedNodePassAllocFree(t *testing.T) {
 	r, w, sc := allocRunner(t)
 	emit := func(v Violation) { t.Errorf("unexpected violation: %+v", v) }
 	// Warm-up lets the DS1 seen map grow to its steady-state size.
-	r.fusedNodePass(w, emit, 0, r.g.NodeBound(), sc)
+	r.fusedNodePass(w, emit, nil, 0, r.g.NodeBound(), sc)
 
 	nodes := r.g.NumNodes()
 	avg := testing.AllocsPerRun(10, func() {
-		r.fusedNodePass(w, emit, 0, r.g.NodeBound(), sc)
+		r.fusedNodePass(w, emit, nil, 0, r.g.NodeBound(), sc)
 	})
 	// Budget: at most one allocation per 20 nodes — catches any
 	// per-node allocation while tolerating incidental runtime noise.
@@ -43,14 +43,14 @@ func TestFusedNodePassAllocFree(t *testing.T) {
 func TestFusedEdgePassAllocFree(t *testing.T) {
 	r, w, _ := allocRunner(t)
 	emit := func(v Violation) { t.Errorf("unexpected violation: %+v", v) }
-	r.fusedEdgePass(w, emit, 0, r.g.EdgeBound())
+	r.fusedEdgePass(w, emit, nil, 0, r.g.EdgeBound())
 
 	edges := r.g.NumEdges()
 	if edges == 0 {
 		t.Fatal("conformant graph has no edges; edge-pass budget meaningless")
 	}
 	avg := testing.AllocsPerRun(10, func() {
-		r.fusedEdgePass(w, emit, 0, r.g.EdgeBound())
+		r.fusedEdgePass(w, emit, nil, 0, r.g.EdgeBound())
 	})
 	if limit := float64(edges) / 20; avg > limit {
 		t.Errorf("fused edge pass: %.1f allocs per run over %d edges (limit %.1f)", avg, edges, limit)

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestRevalidateEquivalence(t *testing.T) {
 		prev := Validate(s, g, Options{})
 		for step := 0; step < 12; step++ {
 			delta := applyRandomMutation(g, rnd)
-			got := Revalidate(s, g, prev, delta)
+			got := Revalidate(context.Background(), s, g, prev, delta, Options{})
 			want := Validate(s, g, Options{})
 			if len(got.Violations) != len(want.Violations) {
 				t.Fatalf("seed %d step %d: incremental %d vs full %d violations\nincremental: %v\nfull: %v",
@@ -115,7 +116,7 @@ func TestRevalidateEmptyDelta(t *testing.T) {
 	s := build(t, bookSchema)
 	g := bookGraph()
 	prev := Validate(s, g, Options{})
-	got := Revalidate(s, g, prev, Delta{})
+	got := Revalidate(context.Background(), s, g, prev, Delta{}, Options{})
 	if len(got.Violations) != len(prev.Violations) {
 		t.Errorf("empty delta changed the result: %v", got.Violations)
 	}
@@ -130,7 +131,7 @@ func TestRevalidateDetectsNewViolation(t *testing.T) {
 	}
 	a := g.NodesLabeled("Author")[0]
 	e := g.MustAddEdge(a, a, "relatedAuthor") // DS2 loop
-	got := Revalidate(s, g, prev, Delta{Edges: []pg.EdgeID{e}})
+	got := Revalidate(context.Background(), s, g, prev, Delta{Edges: []pg.EdgeID{e}}, Options{})
 	if len(got.Violations) != 1 || got.Violations[0].Rule != DS2 {
 		t.Errorf("incremental result: %v", got.Violations)
 	}
@@ -146,7 +147,7 @@ func TestRevalidateClearsFixedViolation(t *testing.T) {
 		t.Fatalf("setup: %v", prev.Violations)
 	}
 	g.SetNodeProp(u, "login", values.String("restored"))
-	got := Revalidate(s, g, prev, Delta{Nodes: []pg.NodeID{u}})
+	got := Revalidate(context.Background(), s, g, prev, Delta{Nodes: []pg.NodeID{u}}, Options{})
 	if !got.OK() {
 		t.Errorf("fixed violation still reported: %v", got.Violations)
 	}

@@ -177,12 +177,17 @@ func newFusedScratch(symCount int) *fusedScratch {
 // fusedNodePass evaluates WS1, WS4, DS1, DS2, DS3, DS5, DS6, SS1, and
 // SS2 for every live node in [lo, hi), emitting exactly the violations
 // the rule-by-rule sweeps would. All reads go through the binding's
-// columnar snapshot.
-func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, lo, hi int, sc *fusedScratch) {
+// columnar snapshot. A nil list means the dense ID range [lo, hi);
+// otherwise the pass visits list[lo:hi] — the shape incremental
+// revalidation chunks its dirty-node set into.
+func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, list []pg.NodeID, lo, hi int, sc *fusedScratch) {
 	b := r.bind
 	snap := b.snap
 	for vi := lo; vi < hi; vi++ {
 		v := pg.NodeID(vi)
+		if list != nil {
+			v = list[vi]
+		}
 		vls := snap.NodeLabelSym(v)
 		if vls == pg.NoSym {
 			continue // removed node
@@ -390,12 +395,17 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, lo, hi int, sc *fused
 }
 
 // fusedEdgePass evaluates WS2, WS3, SS3, and SS4 for every live edge in
-// [lo, hi), reading the snapshot's flat edge columns.
-func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, lo, hi int) {
+// [lo, hi), reading the snapshot's flat edge columns. As in
+// fusedNodePass, a non-nil list switches the pass from the dense ID
+// range to list[lo:hi].
+func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, list []pg.EdgeID, lo, hi int) {
 	b := r.bind
 	snap := b.snap
 	for ei := lo; ei < hi; ei++ {
 		e := pg.EdgeID(ei)
+		if list != nil {
+			e = list[ei]
+		}
 		els := snap.EdgeLabelSym(e)
 		if els == pg.NoSym {
 			continue // removed edge
@@ -495,38 +505,71 @@ func (r *runner) ds4Fused(emit emitFunc, decl, lo, hi int) {
 }
 
 func (r *runner) ds4Decl(emit emitFunc, rt *boundReqTarget, lo, hi int) {
+	for _, v2 := range rt.targets[lo:hi] {
+		r.ds4Check(emit, rt, v2)
+	}
+}
+
+// ds4Check tests one candidate target node against one declaration —
+// the shared kernel of the full enumeration sweep and the dirty pass.
+func (r *runner) ds4Check(emit emitFunc, rt *boundReqTarget, v2 pg.NodeID) {
 	b := r.bind
 	snap := b.snap
-	for _, v2 := range rt.targets[lo:hi] {
-		found := false
-		for _, e := range snap.InEdgesOf(v2) {
-			if snap.EdgeLabelSym(e) != rt.sym {
+	found := false
+	for _, e := range snap.InEdgesOf(v2) {
+		if snap.EdgeLabelSym(e) != rt.sym {
+			continue
+		}
+		src, _ := snap.Endpoints(e)
+		if b.labels[snap.NodeLabelSym(src)].sub[rt.ownerID] {
+			found = true
+			break
+		}
+	}
+	if !found && !r.drop() {
+		emit(Violation{
+			Rule: DS4, Node: v2, Edge: -1,
+			TypeName: rt.fd.Owner, Field: rt.fd.Name,
+			Message: fmt.Sprintf("%s (%s): no incoming %q edge from a %s node, violating @requiredForTarget on %s.%s",
+				nodeRef(v2), r.g.SymName(snap.NodeLabelSym(v2)), rt.fd.Name, rt.fd.Owner, rt.fd.Owner, rt.fd.Name),
+		})
+	}
+}
+
+// ds4DirtyPass evaluates every DS4 declaration against the candidate
+// nodes in list[lo:hi]: a node is a target of a declaration iff its
+// current label is in the declaration's concrete-target sym set, the
+// exact membership the full enumeration encodes — so checking dirty
+// candidates against targetSyms yields the same violations a full
+// sweep would, without materializing any enumeration.
+func (r *runner) ds4DirtyPass(emit emitFunc, list []pg.NodeID, lo, hi int) {
+	b := r.bind
+	snap := b.snap
+	for d := range b.reqTargets {
+		rt := &b.reqTargets[d]
+		for _, v := range list[lo:hi] {
+			vls := snap.NodeLabelSym(v)
+			if vls == pg.NoSym || !rt.targetSyms[vls] {
 				continue
 			}
-			src, _ := snap.Endpoints(e)
-			if b.labels[snap.NodeLabelSym(src)].sub[rt.ownerID] {
-				found = true
-				break
-			}
-		}
-		if !found && !r.drop() {
-			emit(Violation{
-				Rule: DS4, Node: v2, Edge: -1,
-				TypeName: rt.fd.Owner, Field: rt.fd.Name,
-				Message: fmt.Sprintf("%s (%s): no incoming %q edge from a %s node, violating @requiredForTarget on %s.%s",
-					nodeRef(v2), r.g.SymName(snap.NodeLabelSym(v2)), rt.fd.Name, rt.fd.Owner, rt.fd.Owner, rt.fd.Name),
-			})
+			r.ds4Check(emit, rt, v)
 		}
 	}
 }
 
 // fusedChunk is one stealable unit of fused work: a contiguous element
 // range of a node pass, edge pass, or one DS4 declaration's target
-// enumeration — or the whole DS7 pass, which buckets globally.
+// enumeration — or the whole DS7 pass, which buckets globally. A
+// non-nil nodes/edges list redirects the range into that list, and each
+// chunk carries its own rule set — incremental revalidation chunks its
+// dirty sets this way, with different rules active per region.
 type fusedChunk struct {
 	kind   fusedTaskKind
 	decl   int // DS4: index into binding.reqTargets; -1 = all
 	lo, hi int
+	w      fusedWant
+	nodes  []pg.NodeID
+	edges  []pg.EdgeID
 }
 
 type fusedTaskKind int
@@ -535,18 +578,21 @@ const (
 	taskNodePass fusedTaskKind = iota
 	taskEdgePass
 	taskDS4
+	taskDS4Dirty
 	taskDS7
 )
 
 // run executes the chunk, emitting into emit.
-func (t fusedChunk) run(r *runner, w fusedWant, sc *fusedScratch, emit emitFunc) {
+func (t fusedChunk) run(r *runner, sc *fusedScratch, emit emitFunc) {
 	switch t.kind {
 	case taskNodePass:
-		r.fusedNodePass(w, emit, t.lo, t.hi, sc)
+		r.fusedNodePass(t.w, emit, t.nodes, t.lo, t.hi, sc)
 	case taskEdgePass:
-		r.fusedEdgePass(w, emit, t.lo, t.hi)
+		r.fusedEdgePass(t.w, emit, t.edges, t.lo, t.hi)
 	case taskDS4:
 		r.ds4Fused(emit, t.decl, t.lo, t.hi)
+	case taskDS4Dirty:
+		r.ds4DirtyPass(emit, t.nodes, t.lo, t.hi)
 	default:
 		r.ds7(emit, 0, 1)
 	}
@@ -554,13 +600,13 @@ func (t fusedChunk) run(r *runner, w fusedWant, sc *fusedScratch, emit emitFunc)
 
 // rules returns the rules the chunk evaluates (already intersected with
 // the requested set), for timing attribution.
-func (t fusedChunk) rules(w fusedWant) []Rule {
+func (t fusedChunk) rules() []Rule {
 	switch t.kind {
 	case taskNodePass:
-		return w.active(nodePassRules)
+		return t.w.active(nodePassRules)
 	case taskEdgePass:
-		return w.active(edgePassRules)
-	case taskDS4:
+		return t.w.active(edgePassRules)
+	case taskDS4, taskDS4Dirty:
 		return []Rule{DS4}
 	default:
 		return []Rule{DS7}
@@ -619,6 +665,9 @@ func (r *runner) planFusedChunks(w fusedWant, sharded bool, workers int) []fused
 		if w.ds7 {
 			chunks = append(chunks, fusedChunk{kind: taskDS7, decl: -1})
 		}
+		for i := range chunks {
+			chunks[i].w = w
+		}
 		return chunks
 	}
 	if nodePass {
@@ -634,6 +683,9 @@ func (r *runner) planFusedChunks(w fusedWant, sharded bool, workers int) []fused
 	}
 	if w.ds7 {
 		chunks = append(chunks, fusedChunk{kind: taskDS7, decl: -1})
+	}
+	for i := range chunks {
+		chunks[i].w = w
 	}
 	return chunks
 }
@@ -666,6 +718,28 @@ func attribute(timings map[Rule]time.Duration, rules []Rule, elapsed time.Durati
 func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Duration {
 	r.bind = p.bindTo(r.g)
 	w := wantRules(rules)
+	if w.ds4 {
+		// The full-sweep DS4 tasks range over the bound target
+		// enumerations; materialize them before planning reads their
+		// lengths. (Dirty-list runs plan their own chunks and skip this.)
+		r.bind.ensureNodes()
+	}
+	workers := r.opts.Workers
+	if workers <= 1 {
+		workers = 1
+	}
+	chunks := r.planFusedChunks(w, r.opts.Workers > 1 && r.opts.ElementSharding, workers)
+	return r.runChunks(chunks, rules, c)
+}
+
+// runChunks executes planned fused chunks — sequentially when the
+// runner has one worker, else on the work-stealing pool — and returns
+// per-rule timings when requested. The runner's context is honored at
+// chunk boundaries: a cancelled context stops before the next chunk
+// claim, never mid-chunk, so every merged buffer holds whole-chunk
+// results and the claimed-chunk-completes merge invariant survives
+// cancellation.
+func (r *runner) runChunks(chunks []fusedChunk, rules []Rule, c *collector) map[Rule]time.Duration {
 	var timings map[Rule]time.Duration
 	if r.opts.CollectTimings {
 		timings = make(map[Rule]time.Duration, len(rules))
@@ -680,20 +754,19 @@ func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Dur
 		// exact-Truncated contract as the sequential rule-by-rule engine,
 		// at pass rather than rule granularity.
 		sc := newFusedScratch(r.bind.symCount)
-		for _, t := range r.planFusedChunks(w, false, 1) {
-			if c.truncated() {
+		for _, t := range chunks {
+			if c.truncated() || r.cancelled() {
 				break
 			}
 			start := time.Now()
-			t.run(r, w, sc, c.emit)
+			t.run(r, sc, c.emit)
 			if timings != nil {
-				attribute(timings, t.rules(w), time.Since(start))
+				attribute(timings, t.rules(), time.Since(start))
 			}
 		}
 		return timings
 	}
 
-	chunks := r.planFusedChunks(w, r.opts.ElementSharding, r.opts.Workers)
 	var (
 		timingMu sync.Mutex
 		cursor   atomic.Int64
@@ -709,6 +782,11 @@ func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Dur
 				if idx >= len(chunks) {
 					return
 				}
+				// Cancellation is checked per claim: chunks already
+				// running finish and merge; unstarted ones are abandoned.
+				if r.cancelled() {
+					return
+				}
 				// Chunks not yet started are skipped once the cap is
 				// reached; a started chunk always runs to completion and
 				// merges, so overflow among completed chunks is never
@@ -721,14 +799,14 @@ func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Dur
 				buf := (*bufp)[:0]
 				emit := func(v Violation) { buf = append(buf, v) }
 				start := time.Now()
-				t.run(r, w, sc, emit)
+				t.run(r, sc, emit)
 				elapsed := time.Since(start)
 				c.merge(buf)
 				*bufp = buf[:0]
 				violationBufPool.Put(bufp)
 				if timings != nil {
 					timingMu.Lock()
-					attribute(timings, t.rules(w), elapsed)
+					attribute(timings, t.rules(), elapsed)
 					timingMu.Unlock()
 				}
 			}

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -88,6 +89,15 @@ type compiledUft struct {
 // Compile builds the validation program for a schema. The schema must
 // have been built by schema.Build and must not change afterwards.
 func Compile(s *schema.Schema) *Program {
+	p, _ := CompileContext(context.Background(), s)
+	return p
+}
+
+// CompileContext is Compile under a context: compilation checks for
+// cancellation between types (the unit of compilation work) and returns
+// the context's error if it fires. A background context never errors,
+// so Compile is exactly the historical behavior.
+func CompileContext(ctx context.Context, s *schema.Schema) (*Program, error) {
 	start := time.Now()
 	p := &Program{
 		s:      s,
@@ -115,8 +125,13 @@ func Compile(s *schema.Schema) *Program {
 		}
 	}
 
-	// Per-label field classification and subtype rows.
+	// Per-label field classification and subtype rows. The subtype rows
+	// are the bulk of compile time (labels × names), so this loop hosts
+	// the cancellation checks.
 	for _, td := range s.Types() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lp := &labelProgram{td: td}
 		for _, f := range td.Fields {
 			lp.fields = append(lp.fields, compiledField{
@@ -178,7 +193,7 @@ func Compile(s *schema.Schema) *Program {
 		}
 	}
 	p.compileTime = time.Since(start)
-	return p
+	return p, nil
 }
 
 // Schema returns the schema the program was compiled from.
@@ -213,8 +228,13 @@ func (p *Program) Stats() ProgramStats {
 
 // binding joins a compiled program to one graph at one epoch: label
 // lookup tables re-indexed by the graph's interned Syms, plus the
-// per-type node enumerations. It is immutable once built.
+// (lazily built) per-type node enumerations. Its visible state is
+// immutable once built; the lazy parts are materialized at most once
+// under sync.Once guards and must be first requested while the graph is
+// still at the binding's epoch — which every caller guarantees, since a
+// validation run holds the graph un-mutated for its duration.
 type binding struct {
+	p        *Program
 	g        *pg.Graph
 	epoch    uint64
 	symCount int
@@ -227,15 +247,24 @@ type binding struct {
 	snap *pg.Snapshot
 
 	// labels is indexed by pg.Sym; non-nil exactly for the syms that
-	// are labels of live nodes.
-	labels []*boundLabel
+	// are labels of live nodes. labelNames records the sorted label set
+	// the table was built for, so bindTo can prove a later epoch's
+	// binding may share it.
+	labels     []*boundLabel
+	labelNames []string
 
-	// nodesOf caches nodesOfType for every named type of the schema.
-	nodesOf map[string][]pg.NodeID
+	// nodesOf caches nodesOfType for every named type of the schema. It
+	// is built on first use (guarded by nodesOnce): full fused runs need
+	// it only for DS4/DS7, and incremental revalidation not at all — a
+	// delta-sized run must not pay an O(V) enumeration rebuild.
+	nodesOnce sync.Once
+	nodesOf   map[string][]pg.NodeID
 
 	// reqTargets is Program.reqTargets bound to the graph: field-name
-	// syms, owner nameIDs, and each declaration's target-node
-	// enumeration — DS4's chunkable element space.
+	// syms, owner nameIDs, and the per-declaration target-label sym set
+	// (targetSyms) are bound eagerly; each declaration's target-node
+	// enumeration — DS4's chunkable element space in full runs — is
+	// filled by ensureNodes alongside nodesOf.
 	reqTargets []boundReqTarget
 
 	// keyed caches DS7's key buckets per (type, key-field set). Bucket
@@ -246,6 +275,31 @@ type binding struct {
 	// alone, which is cheaper than indexing every keyed type.
 	keyOnce sync.Once
 	keyed   []boundKeySet
+}
+
+// ensureNodes materializes the per-type node enumerations and the DS4
+// target enumerations, once. Callers must hold the graph at the
+// binding's epoch (see the binding contract above).
+func (b *binding) ensureNodes() {
+	b.nodesOnce.Do(func() {
+		nodesOf := make(map[string][]pg.NodeID)
+		for _, td := range b.p.s.Types() {
+			switch td.Kind {
+			case schema.Object, schema.Interface, schema.Union:
+				var out []pg.NodeID
+				for _, label := range b.p.s.ConcreteTargets(td.Name) {
+					out = append(out, b.g.NodesLabeled(label)...)
+				}
+				nodesOf[td.Name] = out
+			}
+		}
+		b.nodesOf = nodesOf
+		// DS4 declarations share the enumerations, so this costs one
+		// slice header per declaration.
+		for i := range b.reqTargets {
+			b.reqTargets[i].targets = nodesOf[b.reqTargets[i].fd.Type.Base()]
+		}
+	})
 }
 
 // boundKeySet is one @key declaration's bucket index: nodes of the type
@@ -259,6 +313,7 @@ type boundKeySet struct {
 // keyIndex returns the DS7 bucket index, building it on first use.
 func (b *binding) keyIndex(s *schema.Schema) []boundKeySet {
 	b.keyOnce.Do(func() {
+		b.ensureNodes()
 		for _, td := range s.Types() {
 			for _, keyFields := range td.KeyFieldSets() {
 				var attrs []string
@@ -334,41 +389,96 @@ type boundUft struct {
 
 // boundReqTarget is one @requiredForTarget declaration bound to the
 // graph: the edge-label sym, the owner's nameID for the source-subtype
-// test, and the declaration's possible target nodes.
+// test, the concrete-target label set as a per-Sym membership table
+// (incremental runs test candidates against it instead of enumerating),
+// and — once ensureNodes ran — the declaration's possible target nodes.
 type boundReqTarget struct {
-	fd      *schema.FieldDef
-	sym     pg.Sym
-	ownerID int32
-	targets []pg.NodeID
+	fd         *schema.FieldDef
+	sym        pg.Sym
+	ownerID    int32
+	targetSyms []bool // indexed by pg.Sym: label ∈ ConcreteTargets(fd.Type.Base())
+	targets    []pg.NodeID
 }
 
 // bindTo returns the program bound to the graph at its current epoch,
 // reusing the cached binding when neither the graph identity nor its
 // epoch changed since the last call. Concurrent callers may race to
 // rebuild; every built binding is valid and the last store wins.
+//
+// When the graph identity matches but the epoch moved, the new binding
+// shares the old one's label tables if the symbol table and live label
+// set are unchanged — the common case for small mutations, where
+// rebuilding the per-label field/obligation tables would dwarf the
+// delta itself. Node enumerations are never carried over (they are
+// per-epoch), only re-derived lazily.
 func (p *Program) bindTo(g *pg.Graph) *binding {
-	if b := p.bound.Load(); b != nil && b.g == g && b.epoch == g.Epoch() {
+	b := p.bound.Load()
+	if b != nil && b.g == g && b.epoch == g.Epoch() {
 		return b
 	}
-	b := p.newBinding(g)
-	p.bound.Store(b)
+	var nb *binding
+	if b != nil && b.g == g && b.symCount == g.SymCount() && sameLabels(b.labelNames, g) {
+		nb = p.rebind(b, g)
+	} else {
+		nb = p.newBinding(g)
+	}
+	p.bound.Store(nb)
+	return nb
+}
+
+// sameLabels reports whether the graph's current live label set equals
+// the sorted label list a binding was built for.
+func sameLabels(names []string, g *pg.Graph) bool {
+	cur := g.Labels()
+	if len(cur) != len(names) {
+		return false
+	}
+	for i := range cur {
+		if cur[i] != names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebind builds a fresh-epoch binding that shares the old binding's
+// immutable label tables. Valid only when symCount and the live label
+// set are unchanged (checked by bindTo): the tables are keyed by Sym
+// and field-name Syms, both append-only, so identical sym sets mean
+// identical tables.
+func (p *Program) rebind(old *binding, g *pg.Graph) *binding {
+	b := &binding{
+		p:          p,
+		g:          g,
+		epoch:      g.Epoch(),
+		symCount:   old.symCount,
+		snap:       g.Snapshot(),
+		labels:     old.labels,
+		labelNames: old.labelNames,
+	}
+	b.reqTargets = make([]boundReqTarget, len(old.reqTargets))
+	for i, rt := range old.reqTargets {
+		rt.targets = nil // per-epoch; refilled by ensureNodes on demand
+		b.reqTargets[i] = rt
+	}
 	return b
 }
 
 func (p *Program) newBinding(g *pg.Graph) *binding {
 	b := &binding{
+		p:        p,
 		g:        g,
 		epoch:    g.Epoch(),
 		symCount: g.SymCount(),
 		snap:     g.Snapshot(),
 		labels:   make([]*boundLabel, g.SymCount()),
-		nodesOf:  make(map[string][]pg.NodeID),
 	}
 	symOf := func(name string) pg.Sym {
 		s, _ := g.Sym(name)
 		return s
 	}
-	for _, l := range g.Labels() {
+	b.labelNames = g.Labels()
+	for _, l := range b.labelNames {
 		sym := symOf(l)
 		bl := &boundLabel{label: l}
 		if lp := p.labels[l]; lp != nil {
@@ -406,27 +516,21 @@ func (p *Program) newBinding(g *pg.Graph) *binding {
 		b.labels[sym] = bl
 	}
 
-	// Node enumeration per named type, mirroring runner.nodesOfType.
-	for _, td := range p.s.Types() {
-		switch td.Kind {
-		case schema.Object, schema.Interface, schema.Union:
-			var out []pg.NodeID
-			for _, label := range p.s.ConcreteTargets(td.Name) {
-				out = append(out, g.NodesLabeled(label)...)
-			}
-			b.nodesOf[td.Name] = out
-		}
-	}
-
-	// DS4 declarations, each with its target enumeration (shared with
-	// nodesOf, so this costs one slice header per declaration).
+	// DS4 declarations: syms, owner IDs, and target-label membership are
+	// bound now; the target enumerations come from ensureNodes on demand.
 	for _, fd := range p.reqTargets {
-		b.reqTargets = append(b.reqTargets, boundReqTarget{
-			fd:      fd,
-			sym:     symOf(fd.Name),
-			ownerID: p.nameID[fd.Owner],
-			targets: b.nodesOf[fd.Type.Base()],
-		})
+		rt := boundReqTarget{
+			fd:         fd,
+			sym:        symOf(fd.Name),
+			ownerID:    p.nameID[fd.Owner],
+			targetSyms: make([]bool, b.symCount),
+		}
+		for _, l := range p.s.ConcreteTargets(fd.Type.Base()) {
+			if s, ok := g.Sym(l); ok {
+				rt.targetSyms[s] = true
+			}
+		}
+		b.reqTargets = append(b.reqTargets, rt)
 	}
 	return b
 }

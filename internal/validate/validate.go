@@ -21,6 +21,7 @@
 package validate
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strconv"
@@ -120,6 +121,16 @@ type Result struct {
 	// parallel engine it is the summed task time per rule across
 	// workers and shards (see the package comment).
 	RuleTime map[Rule]time.Duration
+	// Incomplete marks a partial result: the run's context was cancelled
+	// before every element was checked. Violations found up to that
+	// point are reported, but absence of a violation proves nothing.
+	// An incomplete result must not seed Revalidate.
+	Incomplete bool
+	// Engine is the concrete engine that produced the result.
+	Engine Engine
+	// Workers is the resolved worker count the run used (after clamping
+	// and autotuning); 1 means sequential.
+	Workers int
 }
 
 // OK reports whether no violations were found.
@@ -291,27 +302,45 @@ func (o Options) rules() []Rule {
 // found. The schema must have been built by schema.Build (and is assumed
 // consistent, as the paper assumes in §4.3).
 func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
+	return ValidateContext(context.Background(), s, g, opts)
+}
+
+// ValidateContext is Validate under a context. Cancellation is observed
+// at chunk-claim boundaries — between work chunks in the fused engine,
+// between rules (or tasks) in the rule-by-rule engine — so a cancelled
+// context stops the run before the next unit of work starts, never
+// mid-element. The result of a cancelled run has Incomplete set and
+// carries whatever violations were found before the stop.
+func ValidateContext(ctx context.Context, s *schema.Schema, g *pg.Graph, opts Options) *Result {
 	rules := opts.rules()
 	// Resolve Workers once — clamped and, under EngineAuto on large
 	// graphs, autotuned — so every engine below sees a sane count.
 	opts.Workers = opts.EffectiveWorkers(g.NodeBound() + g.EdgeBound())
+	engine := opts.resolveEngine()
+	finish := func(res *Result, timings map[Rule]time.Duration) *Result {
+		res.RuleTime = timings
+		res.Engine = engine
+		res.Workers = opts.Workers
+		res.Incomplete = ctx.Err() != nil
+		return res
+	}
 	c := newCollector(opts.MaxViolations)
-	run := &runner{s: s, g: g, opts: opts, coll: c}
-	if opts.resolveEngine() == EngineFused {
+	run := &runner{s: s, g: g, opts: opts, coll: c, ctx: ctx}
+	if engine == EngineFused {
 		p := opts.Program
 		if p == nil || p.s != s {
-			p = Compile(s)
+			var err error
+			p, err = CompileContext(ctx, s)
+			if err != nil {
+				return finish(&Result{}, nil)
+			}
 		}
 		timings := run.fused(p, rules, c)
-		res := c.result()
-		res.RuleTime = timings
-		return res
+		return finish(c.result(), timings)
 	}
 	if opts.Workers > 1 {
 		timings := run.parallel(rules, c)
-		res := c.result()
-		res.RuleTime = timings
-		return res
+		return finish(c.result(), timings)
 	}
 	var timings map[Rule]time.Duration
 	if opts.CollectTimings {
@@ -321,7 +350,7 @@ func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
 		// Keep scanning after the cap fills: the first rejected emit
 		// proves a violation beyond the cap exists, which makes
 		// Truncated exact in sequential mode.
-		if c.truncated() {
+		if c.truncated() || run.cancelled() {
 			break
 		}
 		start := time.Now()
@@ -330,9 +359,7 @@ func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
 			timings[r] += time.Since(start)
 		}
 	}
-	res := c.result()
-	res.RuleTime = timings
-	return res
+	return finish(c.result(), timings)
 }
 
 // collector accumulates violations with an optional cap, safely across
@@ -439,6 +466,11 @@ type runner struct {
 	g    *pg.Graph
 	opts Options
 
+	// ctx is the run's context; nil means non-cancellable. Engines poll
+	// cancelled() at chunk-claim boundaries only — never inside an
+	// element loop — so cancellation cost stays off the hot path.
+	ctx context.Context
+
 	// bind is the compiled program bound to the graph, set by the fused
 	// engine (and by RevalidateWithOptions when given a program). The
 	// shared rule bodies (nodesOfType in particular) use it when
@@ -459,6 +491,9 @@ type runner struct {
 // the collector is already full. Callers must invoke it only once a
 // violation is certain — it flips the Truncated flag.
 func (r *runner) drop() bool { return r.coll != nil && r.coll.dropFull() }
+
+// cancelled reports whether the run's context has been cancelled.
+func (r *runner) cancelled() bool { return r.ctx != nil && r.ctx.Err() != nil }
 
 // nodes returns the node iteration space under the restriction.
 func (r *runner) nodes() []pg.NodeID {
@@ -587,10 +622,12 @@ func (r *runner) parallel(rules []Rule, c *collector) map[Rule]time.Duration {
 			defer wg.Done()
 			for t := range ch {
 				// Tasks not yet started are skipped once the cap is
-				// reached; a started task runs to completion and merges
-				// its buffer, so overflow among completed tasks is
-				// never lost (see collector.merge).
-				if c.full() {
+				// reached or the context is cancelled; a started task
+				// runs to completion and merges its buffer, so overflow
+				// among completed tasks is never lost (see
+				// collector.merge). Cancelled workers keep draining the
+				// channel so the feeder below never blocks.
+				if c.full() || r.cancelled() {
 					continue
 				}
 				bufp := violationBufPool.Get().(*[]Violation)

@@ -224,9 +224,12 @@ func (r *runner) attributeDeclarations() []*schema.FieldDef {
 // using the label index (object type: one label; interface/union: the
 // implementing/member labels).
 func (r *runner) nodesOfType(named string) []pg.NodeID {
-	if r.bind != nil && r.onlyNodes == nil {
-		// The bound program precomputes the unrestricted enumeration;
-		// callers must not mutate the shared slice.
+	if r.bind != nil && r.onlyNodes == nil && r.onlyTypes == nil {
+		// The bound program's enumeration covers the unrestricted case;
+		// callers must not mutate the shared slice. Restricted sweeps
+		// (incremental revalidation) skip it so they never force the
+		// lazy O(V) enumeration build for a delta-sized region.
+		r.bind.ensureNodes()
 		return r.bind.nodesOf[named]
 	}
 	var out []pg.NodeID

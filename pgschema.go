@@ -23,9 +23,40 @@
 //
 // The subsystems live in internal packages and are re-exported here as
 // type aliases, so this package is the entire public surface.
+//
+// # Mutation and incremental revalidation
+//
+// A hosted Graph is mutated transactionally: build a GraphDelta (node
+// and edge additions, removals, relabels, and property edits), call
+// Graph.Apply, and keep the returned Undo to roll the batch back. Apply
+// is all-or-nothing — a rejected delta leaves the graph untouched — and
+// bumps the graph's epoch, which invalidates cached snapshots and
+// bindings. Revalidate then updates a previous validation result for
+// the applied delta without re-checking the whole graph.
+//
+// # Migration: context-first validation API (v1 surface)
+//
+// The validation entry points now take a context.Context first, so
+// server timeouts and client disconnects cancel in-flight work:
+//
+//   - Revalidate(ctx, s, g, prev, delta, opts) replaces both the old
+//     Revalidate(s, g, prev, delta) and RevalidateWithOptions — pass
+//     ValidateOptions{} for the old default behavior;
+//   - ValidateGraphContext(ctx, s, g, opts) is ValidateGraph under a
+//     context;
+//   - CompileValidationContext(ctx, s) is CompileValidation under a
+//     context.
+//
+// The pre-context forms (ValidateGraph, CompileValidation,
+// RevalidateWithOptions) remain as thin wrappers over a background
+// context; RevalidateWithOptions is deprecated in favour of Revalidate.
+// A cancelled run returns a result with Incomplete set — such a result
+// carries whatever violations were found, but must not seed a later
+// Revalidate.
 package pgschema
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -193,6 +224,14 @@ func ValidateGraph(s *Schema, g *Graph, opts ValidateOptions) *ValidationResult 
 	return validate.Validate(s, g, opts)
 }
 
+// ValidateGraphContext is ValidateGraph under a context: cancellation is
+// observed between work chunks, so a cancelled context stops the run
+// before the next chunk starts and the returned result has Incomplete
+// set.
+func ValidateGraphContext(ctx context.Context, s *Schema, g *Graph, opts ValidateOptions) *ValidationResult {
+	return validate.ValidateContext(ctx, s, g, opts)
+}
+
 // CompileValidation compiles the schema into a ValidationProgram. Callers
 // that validate repeatedly — servers, watch loops, benchmark harnesses —
 // compile once and pass the program in ValidateOptions.Program; one-shot
@@ -201,18 +240,67 @@ func CompileValidation(s *Schema) *ValidationProgram {
 	return validate.Compile(s)
 }
 
-// Delta describes a graph mutation batch for incremental revalidation.
-type Delta = validate.Delta
-
-// Revalidate updates a previous strong-validation result after a mutation
-// without re-checking the whole graph; the result equals what a full
-// ValidateGraph would produce.
-func Revalidate(s *Schema, g *Graph, prev *ValidationResult, delta Delta) *ValidationResult {
-	return validate.Revalidate(s, g, prev, delta)
+// CompileValidationContext is CompileValidation under a context; it
+// returns the context's error if cancelled mid-compile.
+func CompileValidationContext(ctx context.Context, s *Schema) (*ValidationProgram, error) {
+	return validate.CompileContext(ctx, s)
 }
 
-// RevalidateWithOptions is Revalidate with run options; only
-// ValidateOptions.Program is consulted (see validate.RevalidateWithOptions).
+// Delta describes the elements a mutation batch touched, for incremental
+// revalidation. DeltaFor derives one from a Graph.Apply's Touched
+// summary.
+type Delta = validate.Delta
+
+// GraphDelta is a transactional mutation batch for Graph.Apply: node and
+// edge additions, removals, relabels, and property edits, applied
+// all-or-nothing.
+type GraphDelta = pg.Delta
+
+// Undo is the inverse of an applied GraphDelta, returned by Graph.Apply.
+// Calling its Undo method rolls the batch back (and bumps the epoch
+// again — epochs never rewind).
+type Undo = pg.Undo
+
+// Touched summarizes the elements a Graph.Apply mutated.
+type Touched = pg.Touched
+
+// Mutation batch building blocks (the field types of GraphDelta).
+type (
+	AddNodeSpec     = pg.AddNodeSpec
+	AddEdgeSpec     = pg.AddEdgeSpec
+	RelabelSpec     = pg.RelabelSpec
+	NodePropSpec    = pg.NodePropSpec
+	NodePropDelSpec = pg.NodePropDelSpec
+	EdgePropSpec    = pg.EdgePropSpec
+	EdgePropDelSpec = pg.EdgePropDelSpec
+	PropEntry       = pg.PropEntry
+)
+
+// NewNodeRef refers to the i-th node added by the same GraphDelta, for
+// edges between freshly added nodes.
+func NewNodeRef(i int) NodeID { return pg.NewNodeRef(i) }
+
+// NewEdgeRef refers to the i-th edge added by the same GraphDelta.
+func NewEdgeRef(i int) EdgeID { return pg.NewEdgeRef(i) }
+
+// DeltaFor translates a Graph.Apply's Touched summary into the Delta
+// Revalidate consumes.
+func DeltaFor(t Touched) Delta { return validate.DeltaFor(t) }
+
+// Revalidate updates a previous validation result after a mutation
+// without re-checking the whole graph: only the delta's influence region
+// is re-run (on the compiled/fused engine by default) and spliced into
+// prev. The result equals what a full ValidateGraph with the same
+// options would produce. prev must be complete (not Truncated, not
+// Incomplete) and from the same schema, mode, and rule set; otherwise
+// Revalidate falls back to a full run.
+func Revalidate(ctx context.Context, s *Schema, g *Graph, prev *ValidationResult, delta Delta, opts ValidateOptions) *ValidationResult {
+	return validate.Revalidate(ctx, s, g, prev, delta, opts)
+}
+
+// RevalidateWithOptions is the pre-context form of Revalidate.
+//
+// Deprecated: use Revalidate, which takes the run context first.
 func RevalidateWithOptions(s *Schema, g *Graph, prev *ValidationResult, delta Delta, opts ValidateOptions) *ValidationResult {
 	return validate.RevalidateWithOptions(s, g, prev, delta, opts)
 }
@@ -253,10 +341,18 @@ type ServerConfig = server.Config
 // over a schema and a hosted graph: POST /graphql (GraphQL queries per
 // ExtendToAPISchema), GET /schema (the API SDL), POST /validate (a
 // ValidateGraph run configured by the JSON body), POST /revalidate
-// (incremental Revalidate from the last full strong run), GET /metrics
-// (Prometheus text format), and GET /healthz. The handler includes
-// panic recovery, per-request timeouts, and load shedding per cfg.
-// The graph must not be mutated while requests are in flight.
+// (incremental Revalidate from the last full strong run), POST
+// /graph/apply (a transactional GraphDelta — all-or-nothing, with
+// optional incremental revalidation, and with requireValid as a commit
+// condition that rolls back invalid deltas), GET /metrics (Prometheus
+// text format), and GET /healthz. Validation and mutation endpoints
+// speak the versioned v1 envelope ("apiVersion", a uniform "error"
+// field, and the engine/workers/compiled run descriptors); legacy
+// request bodies are still accepted. The handler includes panic
+// recovery, per-request timeouts (which cancel in-flight validation at
+// the next chunk boundary), and load shedding per cfg. /graph/apply is
+// the only sanctioned way to mutate the graph while requests are in
+// flight — it serializes against concurrent reads.
 func NewHTTPHandler(s *Schema, g *Graph, cfg ServerConfig) (http.Handler, error) {
 	h, err := server.New(s, g, cfg)
 	if err != nil {
