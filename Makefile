@@ -2,9 +2,9 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-scale bench-incremental bench-smoke scale-smoke
+.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-scale bench-incremental bench-ingest bench-smoke scale-smoke stream-smoke
 
-check: build vet race differential bench-smoke
+check: build vet race differential stream-smoke bench-smoke
 
 build:
 	go build ./...
@@ -54,7 +54,19 @@ bench-incremental:
 bench-scale:
 	go test -bench='BenchmarkScale|BenchmarkLoadCSV' -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_scale.json
 
+# E11 — ingestion: the streaming columnar loader vs the two-phase
+# ReadCSV path, bare and with the first validation pass fused in, at
+# ~10⁵ and ~10⁶ elements.
+bench-ingest:
+	go test -bench=BenchmarkIngest -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_ingest.json
+
 # The 10⁵-element parallel validation smoke on its own, race-detected.
 # Also runs as part of `race` (and thus `check`) with the full suite.
 scale-smoke:
 	go test -race -run 'TestScaleSmokeParallel' -count=1 ./internal/validate/
+
+# Streaming ingest smoke: validate-on-ingest over a mid-size generated
+# graph plus the streamed/two-phase loader differential, race-detected.
+# Also runs as part of `race` (and thus `check`) with the full suite.
+stream-smoke:
+	go test -race -run 'TestStreamValidateSmoke|TestReadCSVStreamMatchesReadCSV' -count=1 ./internal/validate/ ./internal/pg/

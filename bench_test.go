@@ -13,6 +13,8 @@ package pgschema_test
 //	   BenchmarkAblation*            — design-choice ablations
 //	   BenchmarkScale               — 10⁵/10⁶-element scaling, 1-8 workers
 //	   BenchmarkLoadCSV             — parallel CSV ingestion throughput
+//	E11 BenchmarkIngest             — streaming columnar loader and fused
+//	                                   validate-on-ingest vs the two-phase path
 //
 // Run with: go test -bench=. -benchmem
 
@@ -20,6 +22,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime/debug"
 	"testing"
 
 	"pgschema"
@@ -494,6 +497,115 @@ func BenchmarkLoadCSV(b *testing.B) {
 						loaded.NumNodes(), g.NumNodes(), loaded.NumEdges(), g.NumEdges())
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkIngest — E11: the streaming columnar loader against the
+// map-shaped two-phase loader, with and without the fused first
+// validation pass, at ~10⁵ and ~10⁶ elements. SetBytes reports raw CSV
+// MB/s; Melems/s is graph elements materialized (and, in the +validate
+// arms, validated) per second. `make bench-ingest` captures this into
+// BENCH_ingest.json.
+func BenchmarkIngest(b *testing.B) {
+	for _, n := range []int{15_000, 143_000} {
+		s, g := benchGraph(b, n)
+		var nodes, edges bytes.Buffer
+		if err := g.WriteCSV(&nodes, &edges); err != nil {
+			b.Fatal(err)
+		}
+		wantNodes, wantEdges := g.NumNodes(), g.NumEdges()
+		elems := wantNodes + wantEdges
+		csvBytes := int64(nodes.Len() + edges.Len())
+		prog := pgschema.CompileValidation(s)
+		// Drop the generated graph: ingest is a one-shot operation (CLI
+		// run, server startup) where nothing else is live, and holding
+		// hundreds of MB here would inflate the GC pacing target and
+		// subsidize whichever arm allocates most.
+		g = nil
+
+		// Start every iteration from a collected heap with freed spans
+		// returned to the OS, the state a one-shot process starts in:
+		// without this, pages faulted in by one arm are reused warm by
+		// whichever arm runs next, and the numbers depend on benchmark
+		// order instead of on the loaders.
+		gcFresh := func(b *testing.B) {
+			b.StopTimer()
+			debug.FreeOSMemory()
+			b.StartTimer()
+		}
+
+		check := func(b *testing.B, loaded *pgschema.Graph) {
+			b.Helper()
+			if loaded.NumNodes() != wantNodes || loaded.NumEdges() != wantEdges {
+				b.Fatalf("round trip lost elements: %d/%d nodes, %d/%d edges",
+					loaded.NumNodes(), wantNodes, loaded.NumEdges(), wantEdges)
+			}
+		}
+		perSec := func(b *testing.B) {
+			b.ReportMetric(float64(elems)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melems/s")
+		}
+
+		b.Run(fmt.Sprintf("elems=%d/load=readcsv", elems), func(b *testing.B) {
+			b.SetBytes(csvBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gcFresh(b)
+				loaded, err := pgschema.ReadGraphCSV(bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				check(b, loaded)
+			}
+			perSec(b)
+		})
+		b.Run(fmt.Sprintf("elems=%d/load=stream", elems), func(b *testing.B) {
+			b.SetBytes(csvBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gcFresh(b)
+				loaded, err := pgschema.ReadGraphCSVStream(context.Background(),
+					bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				check(b, loaded)
+			}
+			perSec(b)
+		})
+		b.Run(fmt.Sprintf("elems=%d/validate=two-phase", elems), func(b *testing.B) {
+			b.SetBytes(csvBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gcFresh(b)
+				loaded, err := pgschema.ReadGraphCSV(bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := pgschema.ValidateGraph(s, loaded, pgschema.ValidateOptions{Program: prog})
+				if !res.OK() {
+					b.Fatal("generated graph invalid")
+				}
+			}
+			perSec(b)
+		})
+		b.Run(fmt.Sprintf("elems=%d/validate=on-ingest", elems), func(b *testing.B) {
+			b.SetBytes(csvBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gcFresh(b)
+				res, loaded, err := pgschema.ValidateCSVStream(context.Background(), s,
+					bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()),
+					pgschema.ValidateOptions{Program: prog})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK() {
+					b.Fatal("generated graph invalid")
+				}
+				check(b, loaded)
+			}
+			perSec(b)
 		})
 	}
 }

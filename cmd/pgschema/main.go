@@ -9,7 +9,7 @@
 //
 //	pgschema fmt      <schema.graphql>
 //	pgschema check    <schema.graphql>
-//	pgschema validate <schema.graphql> <graph.json|nodes.csv,edges.csv> [-mode strong|weak|directives] [-max N] [-workers N] [-engine auto|fused|rule-by-rule] [-compile-stats]
+//	pgschema validate <schema.graphql> <graph.json|nodes.csv,edges.csv> [-mode strong|weak|directives] [-max N] [-workers N] [-engine auto|fused|rule-by-rule] [-ingest stream|two-phase] [-compile-stats]
 //	pgschema sat      <schema.graphql> <TypeName> [-max-nodes N] [-witness FILE]
 //	pgschema generate <schema.graphql> [-nodes N] [-seed N]
 //	pgschema api      <schema.graphql> [-no-inverse] [-keep-directives]
@@ -105,6 +105,8 @@ commands:
       -workers N                    parallel validation workers (0 = auto)
       -engine auto|fused|rule-by-rule
                                     evaluation engine (default auto = fused)
+      -ingest stream|two-phase      CSV loading: fused validate-on-ingest
+                                    (default) or load-then-validate
       -compile-stats                print compiled-program statistics to stderr
   sat      <schema> <Type>          decide object-type satisfiability (§6.2)
       -max-nodes N                  bound for the finite-model search
@@ -141,20 +143,11 @@ func loadSchema(path string) (*schema.Schema, error) {
 }
 
 // loadGraph reads a graph argument: either a JSON file, or a CSV pair
-// given as "nodes.csv,edges.csv" (two paths joined by a comma).
+// given as "nodes.csv,edges.csv" (two paths joined by a comma). CSV
+// pairs go through the streaming columnar loader.
 func loadGraph(path string) (*pg.Graph, error) {
 	if nodesPath, edgesPath, ok := strings.Cut(path, ","); ok {
-		nf, err := os.Open(nodesPath)
-		if err != nil {
-			return nil, err
-		}
-		defer nf.Close()
-		ef, err := os.Open(edgesPath)
-		if err != nil {
-			return nil, err
-		}
-		defer ef.Close()
-		return pg.ReadCSV(nf, ef)
+		return loadGraphCSV(nodesPath, edgesPath, true)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -162,6 +155,25 @@ func loadGraph(path string) (*pg.Graph, error) {
 	}
 	defer f.Close()
 	return pg.ReadJSON(f)
+}
+
+// loadGraphCSV opens a nodes/edges CSV pair and loads it with either
+// the streaming columnar builder or the legacy two-phase loader.
+func loadGraphCSV(nodesPath, edgesPath string, stream bool) (*pg.Graph, error) {
+	nf, err := os.Open(nodesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	if stream {
+		return pg.ReadCSVStream(nf, ef)
+	}
+	return pg.ReadCSV(nf, ef)
 }
 
 func cmdFmt(args []string) error {
@@ -204,16 +216,16 @@ func cmdValidate(args []string) error {
 	max := fs.Int("max", 0, "maximum violations to report (0 = all)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = autotune from graph size)")
 	engine := fs.String("engine", "auto", "evaluation engine: auto, fused, or rule-by-rule")
+	ingest := fs.String("ingest", "stream", "CSV ingestion path: stream (fused validate-on-ingest) or two-phase")
 	compileStats := fs.Bool("compile-stats", false, "print compiled-program statistics to stderr")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("validate: want schema and graph files")
 	}
-	s, err := loadSchema(fs.Arg(0))
-	if err != nil {
-		return err
+	if *ingest != "stream" && *ingest != "two-phase" {
+		return fmt.Errorf("validate: unknown ingest path %q", *ingest)
 	}
-	g, err := loadGraph(fs.Arg(1))
+	s, err := loadSchema(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -245,11 +257,41 @@ func cmdValidate(args []string) error {
 		fmt.Fprintf(os.Stderr, "compiled program: %d types, %d interned names, %d field slots, %d obligations (%s)\n",
 			st.Types, st.Names, st.Fields, st.Obligations, st.CompileTime)
 	}
+	var g *pg.Graph
+	var res *validate.Result
+	if nodesPath, edgesPath, ok := strings.Cut(fs.Arg(1), ","); ok && *ingest == "stream" {
+		// CSV pair: fuse the load and the first validation pass — the
+		// streamed columns are validated without a second materialization.
+		nf, err := os.Open(nodesPath)
+		if err != nil {
+			return err
+		}
+		defer nf.Close()
+		ef, err := os.Open(edgesPath)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		res, g, err = validate.ValidateStream(context.Background(), s, nf, ef, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if nodesPath, edgesPath, ok := strings.Cut(fs.Arg(1), ","); ok {
+			g, err = loadGraphCSV(nodesPath, edgesPath, false)
+		} else {
+			g, err = loadGraph(fs.Arg(1))
+		}
+		if err != nil {
+			return err
+		}
+		res = validate.Validate(s, g, opts)
+	}
 	if *compileStats {
 		fmt.Fprintf(os.Stderr, "validation: %d elements, %d workers\n",
 			g.NodeBound()+g.EdgeBound(), opts.EffectiveWorkers(g.NodeBound()+g.EdgeBound()))
 	}
-	res := validate.Validate(s, g, opts)
 	if res.OK() {
 		fmt.Printf("graph (%d nodes, %d edges) satisfies the schema (%s)\n", g.NumNodes(), g.NumEdges(), *mode)
 		return nil
@@ -415,15 +457,6 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	loadStart := time.Now()
-	g, err := loadGraph(fs.Arg(1))
-	if err != nil {
-		return err
-	}
-	elements := g.NodeBound() + g.EdgeBound()
-	fmt.Printf("loaded graph: %d nodes, %d edges in %s (validation autotune: %d workers)\n",
-		g.NumNodes(), g.NumEdges(), time.Since(loadStart).Round(time.Millisecond),
-		validate.Options{}.EffectiveWorkers(elements))
 	cfg := server.Config{
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInFlight,
@@ -433,9 +466,47 @@ func cmdServe(args []string) error {
 	if !*quiet {
 		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	h, err := server.New(s, g, cfg)
-	if err != nil {
-		return err
+	loadStart := time.Now()
+	var h *server.Handler
+	var g *pg.Graph
+	if nodesPath, edgesPath, ok := strings.Cut(fs.Arg(1), ","); ok {
+		// CSV pair: stream the graph in and validate it on ingest; the
+		// full strong run seeds the /revalidate cache before serving.
+		nf, err := os.Open(nodesPath)
+		if err != nil {
+			return err
+		}
+		defer nf.Close()
+		ef, err := os.Open(edgesPath)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		var res *validate.Result
+		h, g, res, err = server.NewFromCSV(s, nf, ef, cfg)
+		if err != nil {
+			return err
+		}
+		status := "satisfies the schema"
+		if !res.OK() {
+			status = fmt.Sprintf("has %d violations", len(res.Violations))
+		}
+		fmt.Printf("streamed graph: %d nodes, %d edges in %s; ingest validation: graph %s\n",
+			g.NumNodes(), g.NumEdges(), time.Since(loadStart).Round(time.Millisecond), status)
+	} else {
+		var err error
+		g, err = loadGraph(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		elements := g.NodeBound() + g.EdgeBound()
+		fmt.Printf("loaded graph: %d nodes, %d edges in %s (validation autotune: %d workers)\n",
+			g.NumNodes(), g.NumEdges(), time.Since(loadStart).Round(time.Millisecond),
+			validate.Options{}.EffectiveWorkers(elements))
+		h, err = server.New(s, g, cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	// WriteTimeout must outlast the handler timeout, or the connection

@@ -130,6 +130,21 @@ func TestCmdValidate(t *testing.T) {
 		t.Errorf("CSV validate output: %s", out)
 	}
 
+	// Both ingest paths accept the pair and agree; a bogus path errors.
+	for _, ingest := range []string{"stream", "two-phase"} {
+		out, err = capture(t, func() error {
+			return cmdValidate([]string{"-ingest", ingest, schema, nodesCSV + "," + edgesCSV})
+		})
+		if err != nil || !strings.Contains(out, "satisfies") {
+			t.Errorf("-ingest %s: err %v, output: %s", ingest, err, out)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return cmdValidate([]string{"-ingest", "warp", schema, nodesCSV + "," + edgesCSV})
+	}); err == nil {
+		t.Error("unknown -ingest path accepted")
+	}
+
 	// Weak mode tolerates the unjustified node.
 	weakOnly := write(t, dir, "weak.json", `{"nodes":[{"id":"x","label":"Ghost"}],"edges":[]}`)
 	if _, err := capture(t, func() error {

@@ -84,6 +84,56 @@ func TestCmdServeGracefulSIGINT(t *testing.T) {
 	}
 }
 
+// TestCmdServeCSVIngest: `pgschema serve` over a nodes.csv,edges.csv
+// pair streams the graph in, validates it on ingest, and comes up with
+// the /revalidate cache already seeded — an incremental revalidation
+// succeeds with no prior /validate request.
+func TestCmdServeCSVIngest(t *testing.T) {
+	dir := t.TempDir()
+	schema := write(t, dir, "s.graphql", testSchema)
+	nodesCSV := write(t, dir, "nodes.csv", "id,label,id,login\na,User,u1,ada\nb,User,u2,bob\n")
+	edgesCSV := write(t, dir, "edges.csv", "source,target,label\na,b,follows\n")
+	addr := freePort(t)
+
+	done := make(chan error, 1)
+	var out string
+	go func() {
+		var err error
+		out, err = capture(t, func() error {
+			return cmdServe([]string{"-addr", addr, "-quiet", schema, nodesCSV + "," + edgesCSV})
+		})
+		done <- err
+	}()
+	base := "http://" + addr
+	waitForServer(t, base+"/healthz")
+
+	res, err := http.Post(base+"/revalidate", "application/json", strings.NewReader(`{"nodes": [0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok": true`) {
+		t.Fatalf("revalidate without prior /validate: %d %s", res.StatusCode, body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve exited with error after SIGINT: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not exit within 5s of SIGINT")
+	}
+	if !strings.Contains(out, "streamed graph: 2 nodes, 1 edges") ||
+		!strings.Contains(out, "ingest validation: graph satisfies the schema") {
+		t.Errorf("serve startup output missing ingest summary:\n%s", out)
+	}
+}
+
 // TestServeUntilSignalDrains: a request in flight when the signal
 // arrives still completes before serveUntilSignal returns.
 func TestServeUntilSignalDrains(t *testing.T) {

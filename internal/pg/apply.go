@@ -198,6 +198,7 @@ func (u *Undo) Undo() error {
 // graph structures directly without epoch bumps (callers account for
 // the epoch once).
 func (g *Graph) replayUndo(steps []undoStep) {
+	g.privatize()
 	for i := len(steps) - 1; i >= 0; i-- {
 		st := &steps[i]
 		switch st.kind {
@@ -289,6 +290,7 @@ type applyState struct {
 // readers; callers serialize writes (the HTTP server holds its writer
 // lock across Apply).
 func (g *Graph) Apply(d Delta) (*Undo, error) {
+	g.privatize()
 	st := &applyState{
 		u:       &Undo{g: g, before: g.epoch},
 		tNodes:  make(map[NodeID]struct{}),

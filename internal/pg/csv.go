@@ -3,6 +3,7 @@ package pg
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -64,14 +65,14 @@ type propCols struct {
 // per-cell loads never touch the symbol table) and precomputes the
 // name-sorted column order so rows come out ready for
 // setNodePropsSorted.
-func newPropCols(g *Graph, header []string, skip int) propCols {
+func newPropCols(syms *symbols, header []string, skip int) propCols {
 	c := propCols{
 		names: header,
 		syms:  make([]Sym, len(header)),
 		order: make([]int, 0, len(header)-skip),
 	}
 	for i := skip; i < len(header); i++ {
-		c.syms[i] = g.syms.intern(header[i])
+		c.syms[i] = syms.intern(header[i])
 		c.order = append(c.order, i)
 	}
 	sort.SliceStable(c.order, func(a, b int) bool {
@@ -84,31 +85,47 @@ func newPropCols(g *Graph, header []string, skip int) propCols {
 // Prop slice. A duplicate header column overwrites the earlier one, as
 // the sequential loader's repeated SetNodeProp did.
 func (c *propCols) parseRow(rec []string) []Prop {
-	var props []Prop
+	return c.parseRowInto(nil, rec, 0)
+}
+
+// parseRowInto is parseRow appending into a shared flat buffer: the
+// row's props land in dst[rowStart:]. The streaming builder batches many
+// rows into one buffer so per-row slices never allocate.
+func (c *propCols) parseRowInto(dst []Prop, rec []string, rowStart int) []Prop {
 	for _, i := range c.order {
 		if i >= len(rec) || rec[i] == "" {
 			continue
 		}
 		p := Prop{Sym: c.syms[i], Name: c.names[i], Value: SniffValue(rec[i])}
-		if n := len(props); n > 0 && props[n-1].Name == p.Name {
-			props[n-1] = p
+		if n := len(dst); n > rowStart && dst[n-1].Name == p.Name {
+			dst[n-1] = p
 		} else {
-			props = append(props, p)
+			dst = append(dst, p)
 		}
 	}
-	return props
+	return dst
 }
 
-// rawBatch is a sequence-numbered slice of records; line is the record
-// ordinal of rows[0] as reported in error messages (header = line 1).
+// rawBatch is a sequence-numbered slice of records; lines[i] is the
+// physical line rows[i] starts on (header = line 1), so diagnostics stay
+// accurate when a quoted field spans multiple lines.
 type rawBatch struct {
-	seq  int
-	line int
-	rows [][]string
+	seq   int
+	lines []int
+	rows  [][]string
+	// consumed is the csv reader's input offset after this batch; the
+	// streaming builder extrapolates total row counts from it.
+	consumed int64
 }
+
+// seqBatch is a parsed batch tagged with its sequence number so the
+// pipeline builder can re-order worker output back into record order.
+type seqBatch interface{ seqNo() int }
 
 // openCSV wraps a stream in a buffered, record-reusing csv.Reader and
-// returns its header (copied: ReuseRecord recycles the slice).
+// returns its header (copied: ReuseRecord recycles the slice). A UTF-8
+// BOM on the first header cell is stripped, so BOM-prefixed exports
+// don't intern a mangled BOM-prefixed column name.
 func openCSV(r io.Reader) (*csv.Reader, []string, error) {
 	cr := csv.NewReader(bufio.NewReaderSize(r, csvReaderSize))
 	cr.FieldsPerRecord = -1
@@ -117,13 +134,23 @@ func openCSV(r io.Reader) (*csv.Reader, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return cr, append([]string(nil), header...), nil
+	hdr := append([]string(nil), header...)
+	hdr[0] = strings.TrimPrefix(hdr[0], "\uFEFF")
+	return cr, hdr, nil
 }
+
+// csvWorkersOverride forces the parse fan-out when > 0. It is a test
+// hook: 1 pins the inline path, 2+ pins the pipelined path regardless
+// of GOMAXPROCS.
+var csvWorkersOverride int
 
 // csvWorkers is the parse fan-out per file. One worker would serialize
 // value sniffing behind the reader; more than a few just contend on the
 // batch channel for typical property counts.
 func csvWorkers() int {
+	if csvWorkersOverride > 0 {
+		return csvWorkersOverride
+	}
 	w := runtime.GOMAXPROCS(0)
 	if w > 8 {
 		w = 8
@@ -134,85 +161,109 @@ func csvWorkers() int {
 	return w
 }
 
+// batchSource reads sequence-numbered record batches off a csv.Reader,
+// tagging every record with the physical line it starts on (via
+// FieldPos, so records after a multi-line quoted field keep accurate
+// line attribution). A read failure is recorded in fail and ends the
+// stream after the rows read so far.
+type batchSource struct {
+	cr       *csv.Reader
+	seq      int
+	nextLine int // fallback attribution for errors csv can't place
+	readErr  func(line int, err error) error
+	fail     error
+}
+
+func newBatchSource(cr *csv.Reader, readErr func(line int, err error) error) *batchSource {
+	return &batchSource{cr: cr, nextLine: 2, readErr: readErr}
+}
+
+// next returns the next batch and whether the stream is done. The last
+// batch may be empty.
+func (src *batchSource) next() (rawBatch, bool) {
+	b := rawBatch{
+		seq:   src.seq,
+		lines: make([]int, 0, csvBatchRows),
+		rows:  make([][]string, 0, csvBatchRows),
+	}
+	for len(b.rows) < csvBatchRows {
+		rec, err := src.cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			src.fail = src.readErr(csvErrLine(err, src.nextLine), err)
+			break
+		}
+		line, _ := src.cr.FieldPos(0)
+		b.rows = append(b.rows, append([]string(nil), rec...))
+		b.lines = append(b.lines, line)
+		src.nextLine = line + 1
+	}
+	src.seq++
+	b.consumed = src.cr.InputOffset()
+	return b, src.fail != nil || len(b.rows) < csvBatchRows
+}
+
+// csvErrLine extracts the physical line a csv read error starts on,
+// falling back to the line after the previously read record.
+func csvErrLine(err error, fallback int) int {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) {
+		return pe.StartLine
+	}
+	return fallback
+}
+
 // readCSVRecords is the shared reader/parser/builder pipeline. parse
-// turns one raw batch into an opaque parsed batch on a worker
-// goroutine; apply installs one parsed batch into the graph on the
-// caller's goroutine, always in record order. readErr formats a
-// mid-file csv error with its record line.
+// turns one raw batch into a parsed batch on a worker goroutine; apply
+// installs one parsed batch on the caller's goroutine, always in record
+// order. readErr formats a mid-file csv error with its physical line.
 func readCSVRecords(
 	cr *csv.Reader,
-	parse func(b rawBatch) any,
-	apply func(b any) error,
+	parse func(b rawBatch) seqBatch,
+	apply func(b seqBatch) error,
 	readErr func(line int, err error) error,
 ) error {
 	workers := csvWorkers()
 	if workers == 1 {
 		// Single-core: the pipeline's channel hops are pure overhead, so
 		// read, parse, and apply inline with the same batching.
-		line := 2
+		src := newBatchSource(cr, readErr)
 		for {
-			rows := make([][]string, 0, csvBatchRows)
-			start := line
-			var readFail error
-			for len(rows) < csvBatchRows {
-				rec, err := cr.Read()
-				if err == io.EOF {
-					break
-				}
-				if err != nil {
-					readFail = readErr(line, err)
-					break
-				}
-				rows = append(rows, append([]string(nil), rec...))
-				line++
-			}
-			if len(rows) > 0 {
-				if err := apply(parse(rawBatch{line: start, rows: rows})); err != nil {
+			b, done := src.next()
+			if len(b.rows) > 0 {
+				if err := apply(parse(b)); err != nil {
 					return err
 				}
 			}
-			if readFail != nil || len(rows) < csvBatchRows {
-				return readFail
+			if done {
+				return src.fail
 			}
 		}
 	}
 	rawCh := make(chan rawBatch, workers)
-	parsedCh := make(chan any, workers)
-	done := make(chan struct{})
+	parsedCh := make(chan seqBatch, workers)
+	doneCh := make(chan struct{})
 	var closeDone sync.Once
-	cancel := func() { closeDone.Do(func() { close(done) }) }
+	cancel := func() { closeDone.Do(func() { close(doneCh) }) }
 	defer cancel()
 
 	// Reader: batch records, copying each slice (ReuseRecord recycles
 	// it) but keeping the freshly allocated strings.
-	var readFail error
+	src := newBatchSource(cr, readErr)
 	go func() {
 		defer close(rawCh)
-		line, seq := 2, 0
 		for {
-			rows := make([][]string, 0, csvBatchRows)
-			start := line
-			for len(rows) < csvBatchRows {
-				rec, err := cr.Read()
-				if err == io.EOF {
-					break
-				}
-				if err != nil {
-					readFail = readErr(line, err)
-					break
-				}
-				rows = append(rows, append([]string(nil), rec...))
-				line++
-			}
-			if len(rows) > 0 {
+			b, done := src.next()
+			if len(b.rows) > 0 {
 				select {
-				case rawCh <- rawBatch{seq: seq, line: start, rows: rows}:
-					seq++
-				case <-done:
+				case rawCh <- b:
+				case <-doneCh:
 					return
 				}
 			}
-			if readFail != nil || len(rows) < csvBatchRows {
+			if done {
 				return
 			}
 		}
@@ -227,7 +278,7 @@ func readCSVRecords(
 			for b := range rawCh {
 				select {
 				case parsedCh <- parse(b):
-				case <-done:
+				case <-doneCh:
 					return
 				}
 			}
@@ -240,19 +291,10 @@ func readCSVRecords(
 
 	// Builder: reorder by sequence number and apply. Out-of-order
 	// batches are bounded by the worker count plus channel capacity.
-	pending := make(map[int]any)
+	pending := make(map[int]seqBatch)
 	next := 0
-	seqOf := func(b any) int {
-		switch pb := b.(type) {
-		case nodeBatch:
-			return pb.seq
-		case edgeBatch:
-			return pb.seq
-		}
-		panic("pg: unknown parsed batch type")
-	}
 	for pb := range parsedCh {
-		pending[seqOf(pb)] = pb
+		pending[pb.seqNo()] = pb
 		for {
 			b, ok := pending[next]
 			if !ok {
@@ -265,7 +307,9 @@ func readCSVRecords(
 			}
 		}
 	}
-	return readFail
+	// src.fail is safe to read here: the reader goroutine wrote it
+	// before closing rawCh, which happens before parsedCh closes.
+	return src.fail
 }
 
 type parsedNode struct {
@@ -276,28 +320,57 @@ type parsedNode struct {
 }
 
 type nodeBatch struct {
-	seq  int
-	line int
-	rows []parsedNode
+	seq   int
+	lines []int
+	rows  []parsedNode
 }
 
-func (g *Graph) readNodeCSV(r io.Reader, byName map[string]NodeID) error {
-	cr, header, err := openCSV(r)
+func (b nodeBatch) seqNo() int { return b.seq }
+
+// checkNodeHeader validates the fixed prefix of a node CSV header; an
+// EOF from openCSV means the file is empty (not even a header).
+func checkNodeHeader(header []string, err error) error {
 	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("pg: node CSV is empty: want an id,label,... header")
+		}
 		return fmt.Errorf("pg: reading node CSV header: %w", err)
 	}
 	if len(header) < 2 || header[0] != "id" || header[1] != "label" {
 		return fmt.Errorf("pg: node CSV header must start with id,label")
 	}
-	cols := newPropCols(g, header, 2)
+	return nil
+}
 
-	parse := func(b rawBatch) any {
-		out := nodeBatch{seq: b.seq, line: b.line, rows: make([]parsedNode, len(b.rows))}
+// checkNodeRecord validates one node record's field count against the
+// header. Records may omit trailing property columns (absent
+// properties), but must not carry fields the header has no name for.
+func checkNodeRecord(rec []string, ncols, line int) error {
+	if len(rec) < 2 {
+		return fmt.Errorf(
+			"pg: node CSV line %d: record has %d fields, need at least id,label",
+			line, len(rec))
+	}
+	if len(rec) > ncols {
+		return fmt.Errorf(
+			"pg: node CSV line %d: record has %d fields, but the header has only %d columns",
+			line, len(rec), ncols)
+	}
+	return nil
+}
+
+func (g *Graph) readNodeCSV(r io.Reader, byName map[string]NodeID) error {
+	cr, header, err := openCSV(r)
+	if err := checkNodeHeader(header, err); err != nil {
+		return err
+	}
+	cols := newPropCols(&g.syms, header, 2)
+
+	parse := func(b rawBatch) seqBatch {
+		out := nodeBatch{seq: b.seq, lines: b.lines, rows: make([]parsedNode, len(b.rows))}
 		for i, rec := range b.rows {
-			if len(rec) < 2 {
-				out.rows[i].err = fmt.Errorf(
-					"pg: node CSV line %d: record has %d fields, need at least id,label",
-					b.line+i, len(rec))
+			if err := checkNodeRecord(rec, len(cols.names), b.lines[i]); err != nil {
+				out.rows[i].err = err
 				continue
 			}
 			out.rows[i] = parsedNode{id: rec[0], label: rec[1], props: cols.parseRow(rec)}
@@ -307,14 +380,14 @@ func (g *Graph) readNodeCSV(r io.Reader, byName map[string]NodeID) error {
 
 	// Run-length label cache: consecutive rows of one label intern once.
 	lastLabel, lastSym := "", NoSym
-	apply := func(pb any) error {
+	apply := func(pb seqBatch) error {
 		b := pb.(nodeBatch)
 		for i, row := range b.rows {
 			if row.err != nil {
 				return row.err
 			}
 			if _, dup := byName[row.id]; dup {
-				return fmt.Errorf("pg: node CSV line %d: duplicate node id %q", b.line+i, row.id)
+				return fmt.Errorf("pg: node CSV line %d: duplicate node id %q", b.lines[i], row.id)
 			}
 			if row.label != lastLabel || lastSym == NoSym {
 				lastLabel, lastSym = row.label, g.syms.intern(row.label)
@@ -328,9 +401,11 @@ func (g *Graph) readNodeCSV(r io.Reader, byName map[string]NodeID) error {
 		return nil
 	}
 
-	return readCSVRecords(cr, parse, apply, func(line int, err error) error {
-		return fmt.Errorf("pg: node CSV line %d: %w", line, err)
-	})
+	return readCSVRecords(cr, parse, apply, nodeReadErr)
+}
+
+func nodeReadErr(line int, err error) error {
+	return fmt.Errorf("pg: node CSV line %d: %w", line, err)
 }
 
 type parsedEdge struct {
@@ -345,35 +420,57 @@ type edgeBatch struct {
 	rows []parsedEdge
 }
 
-func (g *Graph) readEdgeCSV(r io.Reader, byName map[string]NodeID) error {
-	cr, header, err := openCSV(r)
+func (b edgeBatch) seqNo() int { return b.seq }
+
+// checkEdgeHeader validates the fixed prefix of an edge CSV header.
+func checkEdgeHeader(header []string, err error) error {
 	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("pg: edge CSV is empty: want a source,target,label,... header")
+		}
 		return fmt.Errorf("pg: reading edge CSV header: %w", err)
 	}
 	if len(header) < 3 || header[0] != "source" || header[1] != "target" || header[2] != "label" {
 		return fmt.Errorf("pg: edge CSV header must start with source,target,label")
 	}
-	cols := newPropCols(g, header, 3)
+	return nil
+}
+
+// checkEdgeRecord validates one edge record's field count against the
+// header, as checkNodeRecord does for nodes.
+func checkEdgeRecord(rec []string, ncols, line int) error {
+	if len(rec) < 3 {
+		return fmt.Errorf(
+			"pg: edge CSV line %d: record has %d fields, need at least source,target,label",
+			line, len(rec))
+	}
+	if len(rec) > ncols {
+		return fmt.Errorf(
+			"pg: edge CSV line %d: record has %d fields, but the header has only %d columns",
+			line, len(rec), ncols)
+	}
+	return nil
+}
+
+func (g *Graph) readEdgeCSV(r io.Reader, byName map[string]NodeID) error {
+	cr, header, err := openCSV(r)
+	if err := checkEdgeHeader(header, err); err != nil {
+		return err
+	}
+	cols := newPropCols(&g.syms, header, 3)
 
 	// The node phase is complete, so byName is read-only here and
 	// endpoint resolution can run on the parse workers.
-	parse := func(b rawBatch) any {
+	parse := func(b rawBatch) seqBatch {
 		out := edgeBatch{seq: b.seq, rows: make([]parsedEdge, len(b.rows))}
 		for i, rec := range b.rows {
-			if len(rec) < 3 {
-				out.rows[i].err = fmt.Errorf(
-					"pg: edge CSV line %d: record has %d fields, need at least source,target,label",
-					b.line+i, len(rec))
+			if err := checkEdgeRecord(rec, len(cols.names), b.lines[i]); err != nil {
+				out.rows[i].err = err
 				continue
 			}
-			src, ok := byName[rec[0]]
-			if !ok {
-				out.rows[i].err = fmt.Errorf("pg: edge CSV line %d: unknown source %q", b.line+i, rec[0])
-				continue
-			}
-			dst, ok := byName[rec[1]]
-			if !ok {
-				out.rows[i].err = fmt.Errorf("pg: edge CSV line %d: unknown target %q", b.line+i, rec[1])
+			src, dst, err := resolveEndpoints(byName, rec, b.lines[i])
+			if err != nil {
+				out.rows[i].err = err
 				continue
 			}
 			out.rows[i] = parsedEdge{src: src, dst: dst, label: rec[2], props: cols.parseRow(rec)}
@@ -382,7 +479,7 @@ func (g *Graph) readEdgeCSV(r io.Reader, byName map[string]NodeID) error {
 	}
 
 	lastLabel, lastSym := "", NoSym
-	apply := func(pb any) error {
+	apply := func(pb seqBatch) error {
 		for _, row := range pb.(edgeBatch).rows {
 			if row.err != nil {
 				return row.err
@@ -401,9 +498,26 @@ func (g *Graph) readEdgeCSV(r io.Reader, byName map[string]NodeID) error {
 		return nil
 	}
 
-	return readCSVRecords(cr, parse, apply, func(line int, err error) error {
-		return fmt.Errorf("pg: edge CSV line %d: %w", line, err)
-	})
+	return readCSVRecords(cr, parse, apply, edgeReadErr)
+}
+
+func edgeReadErr(line int, err error) error {
+	return fmt.Errorf("pg: edge CSV line %d: %w", line, err)
+}
+
+// resolveEndpoints maps an edge record's source and target ids through
+// the node-phase name index, diagnosing unknown endpoints with the
+// record's physical line.
+func resolveEndpoints(byName map[string]NodeID, rec []string, line int) (src, dst NodeID, err error) {
+	src, ok := byName[rec[0]]
+	if !ok {
+		return 0, 0, fmt.Errorf("pg: edge CSV line %d: unknown source %q", line, rec[0])
+	}
+	dst, ok = byName[rec[1]]
+	if !ok {
+		return 0, 0, fmt.Errorf("pg: edge CSV line %d: unknown target %q", line, rec[1])
+	}
+	return src, dst, nil
 }
 
 // SniffValue types a CSV cell: int, float, bool, "[a,b]" list (elements
@@ -416,11 +530,20 @@ func SniffValue(cell string) values.Value {
 	case "false":
 		return values.Boolean(false)
 	}
-	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return values.Int(i)
-	}
-	if f, err := strconv.ParseFloat(s, 64); err == nil {
-		return values.Float(f)
+	if len(s) > 0 && maybeNumeric(s[0]) {
+		// Failed strconv attempts allocate a *NumError apiece, and on a
+		// property-heavy load nearly every cell is a plain string — so
+		// only strings that could possibly be numbers reach strconv,
+		// and integer-shaped ones skip the ParseInt-fails-on-floats
+		// detour entirely.
+		if integerShaped(s) {
+			if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+				return values.Int(i)
+			}
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return values.Float(f)
+		}
 	}
 	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
 		if uq, err := strconv.Unquote(s); err == nil {
@@ -440,6 +563,32 @@ func SniffValue(cell string) values.Value {
 		return values.List(elems...)
 	}
 	return values.String(s)
+}
+
+// maybeNumeric reports whether a cell starting with c could parse as an
+// int or float — digits, sign, decimal point, or the leading letter of
+// ParseFloat's NaN/Inf spellings.
+func maybeNumeric(c byte) bool {
+	return '0' <= c && c <= '9' || c == '-' || c == '+' || c == '.' ||
+		c == 'n' || c == 'N' || c == 'i' || c == 'I'
+}
+
+// integerShaped reports whether s is an optional sign followed by one or
+// more digits — exactly the strings base-10 ParseInt can accept (modulo
+// range), so anything else skips straight to ParseFloat.
+func integerShaped(s string) bool {
+	if s[0] == '-' || s[0] == '+' {
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // splitTopLevel splits on commas that are not inside quotes or brackets.

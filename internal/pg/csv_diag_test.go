@@ -1,0 +1,142 @@
+package pg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoaderDiagnostics pins the exact diagnostic for every malformed
+// input class, across the pipelined, inline-fallback, and streaming
+// loader paths: each yields the identical message, carrying the file
+// role (node/edge CSV) and the physical line of the offending record.
+func TestLoaderDiagnostics(t *testing.T) {
+	const (
+		okNodes = "id,label,name\nu0,User,\"ann\"\nu1,User,\"bob\"\n"
+		okEdges = "source,target,label,weight\nu0,u1,knows,0.5\n"
+	)
+	cases := []struct {
+		name         string
+		nodes, edges string
+		want         string // exact error; "" means the load must succeed
+		contains     string // substring check for csv-package wrapped errors
+	}{
+		{
+			name:  "empty nodes file",
+			nodes: "", edges: okEdges,
+			want: "pg: node CSV is empty: want an id,label,... header",
+		},
+		{
+			name:  "empty edges file",
+			nodes: okNodes, edges: "",
+			want: "pg: edge CSV is empty: want a source,target,label,... header",
+		},
+		{
+			name:  "bad node header",
+			nodes: "ident,label\n", edges: okEdges,
+			want: "pg: node CSV header must start with id,label",
+		},
+		{
+			name:  "bad edge header",
+			nodes: okNodes, edges: "src,dst,label\n",
+			want: "pg: edge CSV header must start with source,target,label",
+		},
+		{
+			name:  "header-only files load empty",
+			nodes: "id,label\n", edges: "source,target,label\n",
+			want: "",
+		},
+		{
+			name:  "short node record",
+			nodes: "id,label\nu0,User\nonlyid\n", edges: "source,target,label\n",
+			want: "pg: node CSV line 3: record has 1 fields, need at least id,label",
+		},
+		{
+			name:  "short edge record",
+			nodes: okNodes, edges: "source,target,label\nu0,u1\n",
+			want: "pg: edge CSV line 2: record has 2 fields, need at least source,target,label",
+		},
+		{
+			name:  "node record wider than header",
+			nodes: "id,label,name\nu0,User,\"ann\",extra\n", edges: okEdges,
+			want: "pg: node CSV line 2: record has 4 fields, but the header has only 3 columns",
+		},
+		{
+			name:  "edge record wider than header",
+			nodes: okNodes, edges: "source,target,label\nu0,u1,knows,0.5\n",
+			want: "pg: edge CSV line 2: record has 4 fields, but the header has only 3 columns",
+		},
+		{
+			name:  "duplicate node id",
+			nodes: okNodes + "u0,User,\"again\"\n", edges: okEdges,
+			want: "pg: node CSV line 4: duplicate node id \"u0\"",
+		},
+		{
+			name: "duplicate after multi-line quoted field",
+			nodes: "id,label,name\n" +
+				"u0,User,\"line\nbreak\"\n" + // record spans physical lines 2-3
+				"u0,User,\"again\"\n",
+			edges: "source,target,label\n",
+			want:  "pg: node CSV line 4: duplicate node id \"u0\"",
+		},
+		{
+			name:  "unknown edge source",
+			nodes: okNodes, edges: "source,target,label\nu0,u1,knows\nghost,u1,knows\n",
+			want: "pg: edge CSV line 3: unknown source \"ghost\"",
+		},
+		{
+			name:  "unknown edge target",
+			nodes: okNodes, edges: "source,target,label\nu0,ghost,knows\n",
+			want: "pg: edge CSV line 2: unknown target \"ghost\"",
+		},
+		{
+			name:  "unknown endpoint after multi-line quoted field",
+			nodes: okNodes,
+			edges: "source,target,label,note\n" +
+				"u0,u1,knows,\"line\nbreak\"\n" + // record spans physical lines 2-3
+				"u0,ghost,knows,\n",
+			want: "pg: edge CSV line 4: unknown target \"ghost\"",
+		},
+		{
+			name:     "malformed quoting in nodes",
+			nodes:    "id,label,name\nu0,User,\"ann\"\nu1,User,\"unterminated\n",
+			edges:    okEdges,
+			contains: "pg: node CSV line 3:",
+		},
+		{
+			name:     "bare quote in edges",
+			nodes:    okNodes,
+			edges:    "source,target,label\nu0,u1,kn\"ows\n",
+			contains: "pg: edge CSV line 2:",
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var msgs []string
+			eachLoaderPath(t, func(t *testing.T, load func(nodes, edges string) (*Graph, error)) {
+				_, err := load(tc.nodes, tc.edges)
+				switch {
+				case tc.want == "" && tc.contains == "":
+					if err != nil {
+						t.Fatalf("err = %v, want success", err)
+					}
+					return
+				case err == nil:
+					t.Fatalf("err = nil, want %q", tc.want+tc.contains)
+				case tc.want != "" && err.Error() != tc.want:
+					t.Fatalf("err = %q, want %q", err, tc.want)
+				case tc.contains != "" && !strings.Contains(err.Error(), tc.contains):
+					t.Fatalf("err = %q, want substring %q", err, tc.contains)
+				}
+				msgs = append(msgs, err.Error())
+			})
+			// Every loader path must produce the identical message.
+			for i := 1; i < len(msgs); i++ {
+				if msgs[i] != msgs[0] {
+					t.Fatalf("diagnostic differs across paths:\n%q\nvs\n%q", msgs[0], msgs[i])
+				}
+			}
+		})
+	}
+}

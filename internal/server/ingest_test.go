@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"pgschema/internal/parser"
+	"pgschema/internal/pg"
+	"pgschema/internal/schema"
+	"pgschema/internal/validate"
+	"pgschema/internal/values"
+)
+
+// newIngestFixture returns the City schema plus the CSV form of the
+// two-city graph the other handler tests host.
+func newIngestFixture(t *testing.T) (*schema.Schema, []byte, []byte) {
+	t.Helper()
+	doc, err := parser.Parse(`
+		type City @key(fields: ["name"]) {
+			name: String! @required
+			twin: [City] @distinct @noLoops
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pg.New()
+	lk := g.AddNode("City")
+	g.SetNodeProp(lk, "name", values.String("Linköping"))
+	ams := g.AddNode("City")
+	g.SetNodeProp(ams, "name", values.String("Amsterdam"))
+	g.MustAddEdge(lk, ams, "twin")
+	var nodes, edges bytes.Buffer
+	if err := g.WriteCSV(&nodes, &edges); err != nil {
+		t.Fatal(err)
+	}
+	return s, nodes.Bytes(), edges.Bytes()
+}
+
+// TestNewFromCSV pins the validate-on-ingest construction path: the
+// handler comes up with the streamed graph, reports the ingest
+// validation result, and — because that run is a full strong pass —
+// /revalidate answers incrementally with no prior /validate request
+// (a New-built handler answers 409 there until /validate runs).
+func TestNewFromCSV(t *testing.T) {
+	s, nodes, edges := newIngestFixture(t)
+	h, g, res, err := NewFromCSV(s, bytes.NewReader(nodes), bytes.NewReader(edges), Config{})
+	if err != nil {
+		t.Fatalf("NewFromCSV: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("graph shape %d nodes / %d edges, want 2 / 1", g.NumNodes(), g.NumEdges())
+	}
+	if res == nil || !res.OK() {
+		t.Fatalf("ingest validation result %+v, want conformant", res)
+	}
+	if h.lastResult != res {
+		t.Fatal("ingest run did not seed the /revalidate cache")
+	}
+
+	// The seeded cache makes the handler immediately revalidatable.
+	mux := h.Mux()
+	rec, out := postJSON(t, mux, "/revalidate", `{"nodes": [0]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("revalidate on a fresh NewFromCSV handler: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !out.OK {
+		t.Errorf("revalidate reported violations on a conformant graph: %+v", out)
+	}
+
+	// The ingest result must match a direct run over the same graph.
+	direct := validate.Validate(s, g, validate.Options{})
+	if got, want := len(res.Violations), len(direct.Violations); got != want {
+		t.Errorf("ingest violations %d, want %d (direct run)", got, want)
+	}
+}
+
+// TestNewFromCSVLoadError pins that loader diagnostics pass through
+// NewFromCSV with the file role and line intact.
+func TestNewFromCSVLoadError(t *testing.T) {
+	s, nodes, _ := newIngestFixture(t)
+	h, g, res, err := NewFromCSV(s, bytes.NewReader(nodes),
+		bytes.NewReader([]byte("src,dst\n")), Config{})
+	if h != nil || g != nil || res != nil {
+		t.Fatal("load error must not produce a handler, graph, or result")
+	}
+	want := "loading graph CSV: pg: edge CSV header must start with source,target,label"
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %s", err, want)
+	}
+}
+
+// TestNewFromCSVViolations pins that a non-conformant ingest still
+// builds a serving handler and surfaces the violations in the result.
+func TestNewFromCSVViolations(t *testing.T) {
+	s, _, _ := newIngestFixture(t)
+	nodes := []byte("id,label,name\nn0,City,\"Linköping\"\nn1,City\n")
+	edges := []byte("source,target,label\n")
+	h, _, res, err := NewFromCSV(s, bytes.NewReader(nodes), bytes.NewReader(edges), Config{})
+	if err != nil {
+		t.Fatalf("NewFromCSV: %v", err)
+	}
+	if res.OK() || len(res.Violations) == 0 {
+		t.Fatalf("missing required name not reported at ingest: %+v", res)
+	}
+	// The seeded cache carries the violations into /revalidate.
+	rec, out := postJSON(t, h.Mux(), "/revalidate", `{"nodes": [1]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("revalidate: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out.OK {
+		t.Error("revalidate lost the ingest-time violation")
+	}
+}

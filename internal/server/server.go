@@ -33,6 +33,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -114,6 +115,10 @@ type Handler struct {
 // against the original schema and GET /schema degrades to 404. Any
 // other API-generation failure is returned.
 func New(s *schema.Schema, g *pg.Graph, cfg Config) (*Handler, error) {
+	return newHandler(s, g, cfg, validate.Compile(s))
+}
+
+func newHandler(s *schema.Schema, g *pg.Graph, cfg Config, prog *validate.Program) (*Handler, error) {
 	apiSDL, err := apigen.ExtendSDL(s, apigen.Options{})
 	if err != nil {
 		if !errors.Is(err, apigen.ErrQueryTypeDeclared) {
@@ -123,8 +128,32 @@ func New(s *schema.Schema, g *pg.Graph, cfg Config) (*Handler, error) {
 	}
 	return &Handler{
 		s: s, g: g, apiSDL: apiSDL, cfg: cfg, metrics: newMetrics(),
-		prog: validate.Compile(s),
+		prog: prog,
 	}, nil
+}
+
+// NewFromCSV builds a handler by streaming the hosted graph out of the
+// nodes/edges CSV and validating it on ingest: the load seals directly
+// into the columnar snapshot, the handler's compiled program binds to
+// it, and the resulting full strong run seeds the /revalidate cache —
+// so the server is ready to answer incremental revalidations the moment
+// it comes up, without a second pass over the graph. The loaded graph
+// and the ingest validation result are returned alongside the handler.
+func NewFromCSV(s *schema.Schema, nodes, edges io.Reader, cfg Config) (*Handler, *pg.Graph, *validate.Result, error) {
+	prog := validate.Compile(s)
+	res, g, err := validate.ValidateStream(context.Background(), s, nodes, edges,
+		validate.Options{Program: prog})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("loading graph CSV: %w", err)
+	}
+	h, err := newHandler(s, g, cfg, prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !res.Incomplete {
+		h.lastResult = res // an uncapped strong run: /revalidate can start from it
+	}
+	return h, g, res, nil
 }
 
 // Mux returns the full route table wrapped in the middleware stack:

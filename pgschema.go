@@ -218,6 +218,27 @@ func ReadGraphJSON(r io.Reader) (*Graph, error) { return pg.ReadJSON(r) }
 // ReadGraphCSV loads a Property Graph from nodes/edges CSV streams.
 func ReadGraphCSV(nodes, edges io.Reader) (*Graph, error) { return pg.ReadCSV(nodes, edges) }
 
+// ReadGraphCSVStream loads a Property Graph from nodes/edges CSV
+// streams with the streaming columnar builder: rows are appended
+// straight into the columnar snapshot form validation scans, so the
+// loaded graph carries a pre-built snapshot and the first validation
+// pass skips a full re-materialization. The result is observably
+// identical to ReadGraphCSV; a cancelled ctx stops the load between
+// row batches.
+func ReadGraphCSVStream(ctx context.Context, nodes, edges io.Reader) (*Graph, error) {
+	return pg.ReadCSVStreamContext(ctx, nodes, edges)
+}
+
+// ValidateCSVStream fuses loading and validation: the graph is streamed
+// out of the nodes/edges CSV into sealed columns (schema compilation
+// overlaps the load) and validated in the same materialization. It
+// returns the validation result together with the loaded graph, and
+// emits the byte-identical violation set to ReadGraphCSV followed by
+// ValidateGraph with the same options.
+func ValidateCSVStream(ctx context.Context, s *Schema, nodes, edges io.Reader, opts ValidateOptions) (*ValidationResult, *Graph, error) {
+	return validate.ValidateStream(ctx, s, nodes, edges, opts)
+}
+
 // ValidateGraph checks the satisfaction notion selected in opts (strong
 // satisfaction by default) and returns all violations.
 func ValidateGraph(s *Schema, g *Graph, opts ValidateOptions) *ValidationResult {
