@@ -2,9 +2,9 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential bench bench-fused bench-compiled bench-scale bench-incremental bench-ingest bench-smoke scale-smoke stream-smoke
+.PHONY: check build vet test race differential fuzz-smoke bench bench-fused bench-compiled bench-scale bench-incremental bench-ingest bench-query bench-smoke scale-smoke stream-smoke
 
-check: build vet race differential stream-smoke bench-smoke
+check: build vet race differential fuzz-smoke stream-smoke bench-smoke
 
 build:
 	go build ./...
@@ -18,10 +18,19 @@ test:
 race:
 	go test -race -shuffle=on -timeout 10m ./...
 
-# The engine-equivalence proof on its own: every engine configuration
-# must emit the byte-identical violation set, raced and shuffled.
+# The engine-equivalence proofs on their own: every validation engine
+# configuration must emit the byte-identical violation set, and the
+# compiled query engine must agree byte-for-byte with the tree-walking
+# executor across randomized schemas, graphs, queries, and mutations —
+# raced and shuffled.
 differential:
-	go test -race -shuffle=on -timeout 10m -run 'TestDifferential' -count=1 ./internal/validate/
+	go test -race -shuffle=on -timeout 10m -run 'TestDifferential' -count=1 ./internal/validate/ ./internal/query/
+
+# A short coverage-guided run of the query-parser fuzz target: any input
+# must parse or error (never panic), and every parsed document must
+# compile into a plan.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/query/
 
 bench:
 	go test -bench=. -benchmem -run=^$$ ./...
@@ -53,6 +62,12 @@ bench-incremental:
 # graph elements across 1/2/4/8 workers, plus CSV loader throughput.
 bench-scale:
 	go test -bench='BenchmarkScale|BenchmarkLoadCSV' -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_scale.json
+
+# E12 — query serving: compiled plans vs the interpretive executor over
+# a ~10⁶-element graph — cold (compile per query) and cached (plan +
+# epoch binding reused) — for a key lookup + traversal and a full scan.
+bench-query:
+	go test -bench=BenchmarkQueryEngine -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_query.json
 
 # E11 — ingestion: the streaming columnar loader vs the two-phase
 # ReadCSV path, bare and with the first validation pass fused in, at

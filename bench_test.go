@@ -15,6 +15,8 @@ package pgschema_test
 //	   BenchmarkLoadCSV             — parallel CSV ingestion throughput
 //	E11 BenchmarkIngest             — streaming columnar loader and fused
 //	                                   validate-on-ingest vs the two-phase path
+//	E12 BenchmarkQueryEngine        — compiled query plans vs the
+//	                                   tree-walking executor, cold and cached
 //
 // Run with: go test -bench=. -benchmem
 
@@ -411,6 +413,66 @@ func BenchmarkQueryExecution(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkQueryEngine — E12: compiled plans against the tree-walking
+// executor over a ~10⁶-element graph. The cold arm pays parse + compile
+// every iteration (a plan-cache miss); the cached arm reuses the plan
+// and its epoch-keyed graph binding (a hit on an unchanged graph) —
+// the steady state of a server answering a repeated query. The lookup
+// case is where compilation pays most: the interpretive engine resolves
+// `author(name: …)` by scanning every Author node, the bound plan
+// answers from its key-bucket index. `make bench-query` captures this
+// into BENCH_query.json.
+func BenchmarkQueryEngine(b *testing.B) {
+	s, g := benchGraph(b, 143_000)
+	elems := g.NumNodes() + g.NumEdges()
+	authors := g.NodesLabeled("Author")
+	name, _ := g.NodeProp(authors[len(authors)/2], "name")
+	lookup := fmt.Sprintf(`{ author(name: %q) { name favoriteBook { title } relatedAuthor { name } } }`, name.AsString())
+	scan := `{ allAuthors { name } }`
+	for _, q := range []struct{ kind, src string }{
+		{"lookup-traverse", lookup},
+		{"scan-all", scan},
+	} {
+		doc, err := pgschema.ParseQuery(q.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := pgschema.CompileQuery(s, doc)
+		if _, err := warm.Execute(context.Background(), g, ""); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(q.kind+"/interpretive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pgschema.ExecuteQuery(s, g, q.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(elems), "graph-elems")
+		})
+		b.Run(q.kind+"/compiled-cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				doc, err := pgschema.ParseQuery(q.src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan := pgschema.CompileQuery(s, doc)
+				if _, err := plan.Execute(context.Background(), g, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(elems), "graph-elems")
+		})
+		b.Run(q.kind+"/compiled-cached", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := warm.Execute(context.Background(), g, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(elems), "graph-elems")
+		})
+	}
 }
 
 // BenchmarkSchemaBuild measures the front half of the pipeline: lexing,

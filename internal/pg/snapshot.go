@@ -199,6 +199,18 @@ func (s *Snapshot) NodeHasProp(v NodeID, p Sym) bool {
 	return set != nil && set[int(v)>>6]&(1<<(uint(v)&63)) != 0
 }
 
+// EdgePropBySym returns σ(e, p) for an interned property name, scanning
+// the edge's flat property row.
+func (s *Snapshot) EdgePropBySym(e EdgeID, p Sym) (values.Value, bool) {
+	props := s.EdgePropsOf(e)
+	for i := range props {
+		if props[i].Sym == p {
+			return props[i].Value, true
+		}
+	}
+	return values.Value{}, false
+}
+
 // NodePropBySym returns σ(v, p) for an interned property name, scanning
 // the node's flat property row.
 func (s *Snapshot) NodePropBySym(v NodeID, p Sym) (values.Value, bool) {

@@ -1,0 +1,88 @@
+package query
+
+import (
+	"sync"
+
+	"pgschema/internal/schema"
+)
+
+// PlanCache caches compiled plans for one schema, keyed by query source
+// text — the query shape; operation selection happens at execution, so
+// one cached plan serves every operation of a document. Eviction is
+// least-recently-used once capacity is reached. Safe for concurrent use.
+type PlanCache struct {
+	s   *schema.Schema
+	cap int
+
+	mu   sync.Mutex
+	m    map[string]*cacheEntry
+	tick uint64
+}
+
+type cacheEntry struct {
+	plan *Plan
+	used uint64
+}
+
+// DefaultPlanCacheCap bounds a cache built with capacity <= 0.
+const DefaultPlanCacheCap = 256
+
+// NewPlanCache builds an empty cache over the schema.
+func NewPlanCache(s *schema.Schema, capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCap
+	}
+	return &PlanCache{s: s, cap: capacity, m: make(map[string]*cacheEntry)}
+}
+
+// Get returns the compiled plan for src, compiling on a miss; the
+// second result reports whether the plan was served from cache. Parse
+// errors are returned without caching (Compile itself never fails —
+// malformed selections become lazy error steps).
+//
+// Compilation runs outside the cache lock; concurrent misses on the
+// same source may compile twice, and the first finished plan wins.
+func (c *PlanCache) Get(src string) (*Plan, bool, error) {
+	c.mu.Lock()
+	c.tick++
+	if e, ok := c.m[src]; ok {
+		e.used = c.tick
+		p := e.plan
+		c.mu.Unlock()
+		return p, true, nil
+	}
+	c.mu.Unlock()
+
+	doc, err := Parse(src)
+	if err != nil {
+		return nil, false, err
+	}
+	p := Compile(c.s, doc)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	if e, ok := c.m[src]; ok { // lost the compile race
+		e.used = c.tick
+		return e.plan, true, nil
+	}
+	if len(c.m) >= c.cap {
+		var oldestKey string
+		oldest := c.tick + 1
+		for k, e := range c.m {
+			if e.used < oldest {
+				oldest, oldestKey = e.used, k
+			}
+		}
+		delete(c.m, oldestKey)
+	}
+	c.m[src] = &cacheEntry{plan: p, used: c.tick}
+	return p, false, nil
+}
+
+// Len reports the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,264 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"pgschema/internal/pg"
+)
+
+// cancelStride is how many node executions pass between context
+// checks. Scans poll at this granularity so cancellation is prompt
+// even on million-node result sets without a per-row atomic load.
+const cancelStride = 2048
+
+// Execute runs the named operation of the compiled plan against a
+// graph, binding (or reusing the cached binding) at the graph's current
+// epoch. An empty operationName selects the plan's only operation. The
+// result is byte-identical (as JSON) to the interpretive Execute on the
+// same document — the differential harness pins this.
+//
+// ctx is checked at scan boundaries every cancelStride nodes; a
+// cancelled execution returns ctx.Err(). A nil ctx means Background.
+func (p *Plan) Execute(ctx context.Context, g *pg.Graph, operationName string) (map[string]any, error) {
+	op, err := p.pickOp(operationName)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := p.bindTo(g)
+	ex := &cexec{b: b, ctx: ctx}
+	if len(p.frags) > 0 {
+		ex.active = make([]bool, len(p.frags))
+	}
+	out := make(map[string]any, len(op.steps))
+	for i := range op.steps {
+		if err := ex.rootStep(&op.steps[i], out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *Plan) pickOp(name string) (*planOp, error) {
+	if name == "" {
+		if len(p.ops) != 1 {
+			return nil, &Error{Msg: fmt.Sprintf("document has %d operations; an operation name is required", len(p.ops))}
+		}
+		return p.ops[0], nil
+	}
+	for _, op := range p.ops {
+		if op.name == name {
+			return op, nil
+		}
+	}
+	return nil, &Error{Msg: fmt.Sprintf("no operation named %q", name)}
+}
+
+// cexec is the per-request scratch: the epoch binding, the context, and
+// the active-fragment bitset for cycle detection. Everything else the
+// hot loop touches lives in the immutable plan and binding.
+type cexec struct {
+	b      *planBinding
+	ctx    context.Context
+	active []bool
+	steps  int
+}
+
+func (ex *cexec) rootStep(st *rootStep, out map[string]any) error {
+	switch st.kind {
+	case rtErr:
+		return st.err
+	case rtTypename:
+		out[st.key] = "Query"
+	case rtList:
+		ex.b.ensureEnums()
+		nodes := ex.b.enums[st.enumIdx]
+		list := make([]any, 0, len(nodes))
+		for _, v := range nodes {
+			m, err := ex.execNode(v, st.sub, st.subErr)
+			if err != nil {
+				return err
+			}
+			list = append(list, m)
+		}
+		out[st.key] = list
+	case rtLookup:
+		idx := ex.b.keyIndex()[st.lookupIdx]
+		var node pg.NodeID
+		found := false
+		for _, v := range idx[st.bucketKey] {
+			ok := true
+			for i := range st.verify {
+				chk := &st.verify[i]
+				val, has := ex.b.snap.NodePropBySym(v, ex.b.syms[chk.slot])
+				if !has || !val.Equal(chk.want) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				node, found = v, true
+				break
+			}
+		}
+		if !found {
+			out[st.key] = nil
+			return nil
+		}
+		m, err := ex.execNode(node, st.sub, st.subErr)
+		if err != nil {
+			return err
+		}
+		out[st.key] = m
+	}
+	return nil
+}
+
+func (ex *cexec) execNode(v pg.NodeID, sub *selProg, subErr *Error) (map[string]any, error) {
+	if subErr != nil {
+		return nil, subErr
+	}
+	ex.steps++
+	if ex.steps%cancelStride == 0 {
+		if err := ex.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]any)
+	if err := ex.execSel(v, sub, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (ex *cexec) execSel(v pg.NodeID, prog *selProg, out map[string]any) error {
+	label := ex.b.snap.NodeLabelSym(v)
+	for i := range prog.items {
+		it := &prog.items[i]
+		switch it.kind {
+		case itTypename:
+			out[it.key] = ex.b.g.SymName(label)
+		case itField:
+			val, err := ex.execField(v, label, it.fld)
+			if err != nil {
+				return err
+			}
+			out[it.key] = val
+		case itInline:
+			if it.condID < 0 || ex.b.condHolds(label, it.condID) {
+				if err := ex.execSel(v, it.sub, out); err != nil {
+					return err
+				}
+			}
+		case itSpread:
+			if it.err != nil {
+				return it.err
+			}
+			if ex.active[it.fragIdx] {
+				return it.cycleErr
+			}
+			fr := ex.b.p.frags[it.fragIdx]
+			if ex.b.condHolds(label, fr.condID) {
+				ex.active[it.fragIdx] = true
+				err := ex.execSel(v, fr.sub, out)
+				ex.active[it.fragIdx] = false
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (ex *cexec) execField(v pg.NodeID, label pg.Sym, f *fieldStep) (any, error) {
+	// Inverse traversal, resolved by the node's concrete label before
+	// static resolution — same precedence as the interpretive engine.
+	if f.inv != nil {
+		if row := ex.b.invRows[f.inv.idx]; int(label) < len(row) && label >= 0 && row[label] >= 0 {
+			if f.inv.argsErr != nil {
+				return nil, f.inv.argsErr
+			}
+			t := &f.inv.targets[row[label]]
+			edgeSym, srcSym := ex.b.syms[t.edgeSlot], ex.b.syms[t.srcSlot]
+			var list []any
+			for _, e := range ex.b.snap.InEdgesOf(v) {
+				if ex.b.snap.EdgeLabelSym(e) != edgeSym {
+					continue
+				}
+				src, _ := ex.b.snap.Endpoints(e)
+				if ex.b.snap.NodeLabelSym(src) != srcSym {
+					continue
+				}
+				m, err := ex.execNode(src, t.sub, t.subErr)
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, m)
+			}
+			if list == nil {
+				list = []any{}
+			}
+			return list, nil
+		}
+	}
+
+	switch f.kind {
+	case stErr:
+		return nil, f.err
+	case stAttr:
+		sym := ex.b.syms[f.slot]
+		if !ex.b.snap.NodeHasProp(v, sym) {
+			return nil, nil
+		}
+		val, _ := ex.b.snap.NodePropBySym(v, sym)
+		return toNative(val), nil
+	default: // stRel
+		edgeSym := ex.b.syms[f.edgeSlot]
+		var list []any
+		for _, e := range ex.b.snap.OutEdgesOf(v) {
+			if ex.b.snap.EdgeLabelSym(e) != edgeSym {
+				continue
+			}
+			if !ex.edgeMatches(e, f.filters) {
+				continue
+			}
+			_, dst := ex.b.snap.Endpoints(e)
+			m, err := ex.execNode(dst, f.sub, f.subErr)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, m)
+		}
+		if f.isList {
+			if list == nil {
+				list = []any{}
+			}
+			return list, nil
+		}
+		if len(list) == 0 {
+			return nil, nil
+		}
+		return list[0], nil
+	}
+}
+
+func (ex *cexec) edgeMatches(e pg.EdgeID, filters []edgeFilter) bool {
+	for i := range filters {
+		flt := &filters[i]
+		got, ok := ex.b.snap.EdgePropBySym(e, ex.b.syms[flt.slot])
+		if flt.isNull {
+			if ok && !got.IsNull() {
+				return false
+			}
+			continue
+		}
+		if !ok || !got.Equal(flt.want) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -25,11 +26,24 @@ import (
 // An empty operationName selects the document's only operation. The
 // result is a JSON-ready tree of map[string]any, []any, and scalars.
 func Execute(s *schema.Schema, g *pg.Graph, doc *Document, operationName string) (map[string]any, error) {
+	return ExecuteContext(context.Background(), s, g, doc, operationName)
+}
+
+// ExecuteContext is Execute under a context: execution polls for
+// cancellation every cancelStride node visits (the same stride the
+// compiled engine uses) and returns the context's error if it fires. A
+// background context never errors, so Execute is exactly the historical
+// behavior. A nil ctx means Background.
+func ExecuteContext(ctx context.Context, s *schema.Schema, g *pg.Graph, doc *Document, operationName string) (map[string]any, error) {
 	op, err := pickOperation(doc, operationName)
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ex := newExecutor(s, g, doc)
+	ex.ctx = ctx
 	return ex.root(op.Selections)
 }
 
@@ -61,6 +75,9 @@ type executor struct {
 	s   *schema.Schema
 	g   *pg.Graph
 	doc *Document
+
+	ctx   context.Context
+	steps int
 
 	// Root conventions, precomputed.
 	listField   map[string]string // "allAuthors" -> "Author"
@@ -182,7 +199,12 @@ func (ex *executor) lookup(typeName string, f *Field) (pg.NodeID, bool, error) {
 	if len(want) != len(keys) {
 		return 0, false, &Error{Pos: f.Pos, Msg: fmt.Sprintf("lookup %q requires the full key (%d of %d fields given)", f.Name, len(want), len(keys))}
 	}
-	for _, n := range ex.g.NodesLabeled(typeName) {
+	// Ascending id order makes the winner deterministic (the lowest
+	// matching node) and agreed with the compiled engine's key index;
+	// NodesLabeled bucket order is perturbed by relabels.
+	nodes := ex.g.NodesLabeled(typeName)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
 		match := true
 		for name, w := range want {
 			v, ok := ex.g.NodeProp(n, name)
@@ -204,6 +226,12 @@ func (ex *executor) lookup(typeName string, f *Field) (pg.NodeID, bool, error) {
 func (ex *executor) node(n pg.NodeID, staticType string, sels []Selection) (map[string]any, error) {
 	if sels == nil {
 		return nil, &Error{Msg: fmt.Sprintf("type %s requires a selection set", staticType)}
+	}
+	ex.steps++
+	if ex.steps%cancelStride == 0 && ex.ctx != nil {
+		if err := ex.ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	out := make(map[string]any)
 	if err := ex.collect(n, staticType, sels, out, make(map[string]bool)); err != nil {

@@ -1,0 +1,80 @@
+package query
+
+import (
+	"testing"
+
+	sdlparser "pgschema/internal/parser"
+	"pgschema/internal/schema"
+)
+
+// fuzzSchema is a small fixed schema so the fuzzer can drive Compile on
+// every successfully parsed document, not just the parser.
+var fuzzSchema = func() *schema.Schema {
+	doc, err := sdlparser.Parse(`
+type City @key(fields: ["name"]) {
+	name: String! @required
+	twin: [City]
+}`)
+	if err != nil {
+		panic(err)
+	}
+	s, err := schema.Build(doc, schema.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+// FuzzParse pins the parser's contract: any input either parses into a
+// non-nil document or returns an error — never a panic, and never both
+// nil. Parsed documents must also survive Compile (which never errors;
+// malformed selections become lazy error steps).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`{`,
+		`{}`,
+		`{ allCities { name } }`,
+		`query Q { city(name: "Linköping") { name twin { name } } }`,
+		`{ c: city(name: "x") { ... on City { name } ... { name } } }`,
+		`{ allCities { ...f } } fragment f on City { name }`,
+		`fragment f on City { name }`,
+		`{ allCities { name(a: 1, b: [1 2.5 "x" true null EAST]) } }`,
+		`query A { __typename } query B { allCities { name } }`,
+		`mutation { x }`,
+		`{ allCities { twin { twin { twin { name } } } } }`,
+		`{ f(x: $var) }`,
+		`{ f(x: -1.5e3) }`,
+		"{ allCities { name } } # comment\n",
+		`{ "not a field" }`,
+		`{ f @skip(if: true) }`,
+		`{ ... on { name } }`,
+		`{ f( }`,
+		`{ f(x: ) }`,
+		"\x00\x01\xff",
+		`{ f } fragment on on on { x }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			if doc != nil {
+				t.Fatalf("Parse returned both a document and an error: %v", err)
+			}
+			if err.Error() == "" {
+				t.Fatal("Parse error with empty message")
+			}
+			return
+		}
+		if doc == nil {
+			t.Fatal("Parse returned nil document and nil error")
+		}
+		// Compilation must tolerate any parsed document.
+		plan := Compile(fuzzSchema, doc)
+		if plan == nil {
+			t.Fatal("Compile returned nil plan")
+		}
+	})
+}

@@ -220,12 +220,51 @@ func TestConcurrentApplyValidate(t *testing.T) {
 						return
 					}
 				case 3:
+					// Alternate engines so compiled plans (shared
+					// cache, epoch-keyed rebinding) race the applies
+					// too. The two aliased scans must see the same
+					// snapshot: a query observing a torn state — an
+					// apply's node visible to one scan but not the
+					// other, or a node missing its required name —
+					// fails here.
+					engine := engineCompiled
+					if j%2 == 1 {
+						engine = engineInterpretive
+					}
+					body := fmt.Sprintf(`{"engine": %q, "query":
+						"{ a: allCities { __typename } b: allCities { name } }"}`, engine)
 					rec := httptest.NewRecorder()
-					mux.ServeHTTP(rec, httptest.NewRequest("GET",
-						"/graphql?query=%7B%20allCities%20%7B%20name%20%7D%20%7D", nil))
+					mux.ServeHTTP(rec, httptest.NewRequest("POST", "/graphql",
+						strings.NewReader(body)))
 					if rec.Code != http.StatusOK {
-						t.Errorf("graphql: status %d", rec.Code)
+						t.Errorf("graphql: status %d: %s", rec.Code, rec.Body.String())
 						return
+					}
+					var out struct {
+						Data struct {
+							A []map[string]any `json:"a"`
+							B []map[string]any `json:"b"`
+						} `json:"data"`
+						Errors []respError `json:"errors"`
+					}
+					if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+						t.Errorf("graphql: decoding: %v", err)
+						return
+					}
+					if len(out.Errors) > 0 {
+						t.Errorf("graphql: %v", out.Errors)
+						return
+					}
+					if len(out.Data.A) != len(out.Data.B) {
+						t.Errorf("torn read: %d cities in scan a, %d in scan b",
+							len(out.Data.A), len(out.Data.B))
+						return
+					}
+					for _, c := range out.Data.B {
+						if c["name"] == nil {
+							t.Errorf("torn read: city with nil name: %v", out.Data.B)
+							return
+						}
 					}
 				}
 			}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pgschema/internal/query"
+)
+
+// graphqlRequest is the GraphQL-over-HTTP request body, extended with
+// the v1 envelope fields. Legacy bodies ({"query", "operationName"})
+// keep working: apiVersion defaults to legacy-accepted and engine to
+// auto.
+type graphqlRequest struct {
+	APIVersion    string `json:"apiVersion"`
+	Query         string `json:"query"`
+	OperationName string `json:"operationName"`
+	// Engine selects the execution path: "auto" (default) and
+	// "compiled" run the cached compiled plan, "interpretive" keeps the
+	// tree-walking executor.
+	Engine string `json:"engine"`
+}
+
+// graphqlResponse is the GraphQL-over-HTTP response in the v1 envelope.
+// The de-facto-protocol "data"/"errors" fields are unchanged, so pre-v1
+// clients keep parsing; the envelope adds which engine answered and
+// what the plan cost.
+type graphqlResponse struct {
+	APIVersion string         `json:"apiVersion"`
+	Data       map[string]any `json:"data,omitempty"`
+	Errors     []respError    `json:"errors,omitempty"`
+	// Engine is the execution path that answered: "compiled" or
+	// "interpretive".
+	Engine string `json:"engine"`
+	// Compiled reports that a compiled plan produced the result (false
+	// on the interpretive path and on parse failures).
+	Compiled bool `json:"compiled"`
+	// PlanCached reports the plan was served from the handler's cache;
+	// PlanMS is the time spent obtaining the plan this request (parse +
+	// compile on a miss, ~0 on a hit).
+	PlanCached bool    `json:"planCached"`
+	PlanMS     float64 `json:"planMs"`
+}
+
+const (
+	engineCompiled     = "compiled"
+	engineInterpretive = "interpretive"
+)
+
+// resolveQueryEngine normalizes the engine selector; the second result
+// is an error message for unknown values.
+func resolveQueryEngine(e string) (string, string) {
+	switch e {
+	case "", "auto", engineCompiled:
+		return engineCompiled, ""
+	case engineInterpretive:
+		return engineInterpretive, ""
+	default:
+		return "", fmt.Sprintf("unknown engine %q (want \"auto\", \"compiled\", or \"interpretive\")", e)
+	}
+}
+
+func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
+	var req graphqlRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Query = q.Get("query")
+		req.OperationName = q.Get("operationName")
+		req.Engine = q.Get("engine")
+		req.APIVersion = q.Get("apiVersion")
+	case http.MethodPost:
+		body, ok := h.readBody(w, r)
+		if !ok {
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeAPIError(w, http.StatusBadRequest, "request body is not valid JSON: "+err.Error())
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if msg := checkAPIVersion(req.APIVersion); msg != "" {
+		writeAPIError(w, http.StatusBadRequest, msg)
+		return
+	}
+	engine, msg := resolveQueryEngine(req.Engine)
+	if msg != "" {
+		writeAPIError(w, http.StatusBadRequest, msg)
+		return
+	}
+	if req.Query == "" {
+		writeAPIError(w, http.StatusBadRequest, "no query provided")
+		return
+	}
+
+	resp := graphqlResponse{APIVersion: apiVersion, Engine: engine}
+	writeQueryError := func(msg string) {
+		// GraphQL-level errors (parse, validation, execution) are 200s.
+		resp.Errors = []respError{{Message: msg}}
+		writeJSON(w, http.StatusOK, resp)
+	}
+
+	if engine == engineInterpretive {
+		doc, err := query.Parse(req.Query)
+		if err != nil {
+			writeQueryError(err.Error())
+			return
+		}
+		h.gmu.RLock()
+		data, err := query.ExecuteContext(r.Context(), h.s, h.g, doc, req.OperationName)
+		h.gmu.RUnlock()
+		if err != nil {
+			writeQueryError(err.Error())
+			return
+		}
+		resp.Data = data
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	planStart := time.Now()
+	plan, cached, err := h.plans.Get(req.Query)
+	resp.PlanMS = float64(time.Since(planStart)) / float64(time.Millisecond)
+	resp.PlanCached = cached
+	if err != nil {
+		writeQueryError(err.Error())
+		return
+	}
+	resp.Compiled = true
+	h.gmu.RLock()
+	data, err := plan.Execute(r.Context(), h.g, req.OperationName)
+	h.gmu.RUnlock()
+	if err != nil {
+		writeQueryError(err.Error())
+		return
+	}
+	resp.Data = data
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -5,7 +5,12 @@
 // The GraphQL handler speaks the de-facto GraphQL-over-HTTP protocol:
 // POST a JSON body {"query": …, "operationName": …} (or GET with a
 // ?query= parameter) to /graphql and receive {"data": …} or
-// {"errors": [{"message": …}]}.
+// {"errors": [{"message": …}]}, wrapped in the v1 envelope. Queries run
+// through compiled plans cached per query source (each with an
+// epoch-keyed binding to the hosted graph); the response reports the
+// engine, plan-cache status, and plan cost, and an "engine" request
+// field ("auto"/"compiled"/"interpretive") keeps the tree-walking
+// executor reachable.
 //
 // The validation service turns the validate package into a callable
 // endpoint: POST /validate runs the rules of Definitions 5.1–5.3 over
@@ -95,6 +100,11 @@ type Handler struct {
 	// epoch is stable) rather than recompiling the schema.
 	prog *validate.Program
 
+	// plans caches compiled query plans keyed by query source; each plan
+	// carries its own epoch-keyed graph binding, so a repeated query
+	// against an unchanged graph skips parse, compile, and bind.
+	plans *query.PlanCache
+
 	// gmu is the graph readers-writer lock: queries and validations
 	// hold the read side, POST /graph/apply holds the write side for
 	// the mutation and its certification.
@@ -128,7 +138,8 @@ func newHandler(s *schema.Schema, g *pg.Graph, cfg Config, prog *validate.Progra
 	}
 	return &Handler{
 		s: s, g: g, apiSDL: apiSDL, cfg: cfg, metrics: newMetrics(),
-		prog: prog,
+		prog:  prog,
+		plans: query.NewPlanCache(s, 0),
 	}, nil
 }
 
@@ -201,13 +212,8 @@ func (h *Handler) Mux() http.Handler {
 	return hh
 }
 
-// request is the GraphQL-over-HTTP request body.
-type request struct {
-	Query         string `json:"query"`
-	OperationName string `json:"operationName"`
-}
-
-// response is the GraphQL-over-HTTP response body.
+// response is the legacy GraphQL-over-HTTP response body, still used
+// by endpoints that have not moved to the v1 envelope.
 type response struct {
 	Data   map[string]any `json:"data,omitempty"`
 	Errors []respError    `json:"errors,omitempty"`
@@ -234,54 +240,15 @@ func (h *Handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 	limit := h.maxBodyBytes()
 	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, "reading request body: "+err.Error())
 		return nil, false
 	}
 	if int64(len(body)) > limit {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeAPIError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("request body exceeds the %d-byte limit", limit))
 		return nil, false
 	}
 	return body, true
-}
-
-func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
-	var req request
-	switch r.Method {
-	case http.MethodGet:
-		req.Query = r.URL.Query().Get("query")
-		req.OperationName = r.URL.Query().Get("operationName")
-	case http.MethodPost:
-		body, ok := h.readBody(w, r)
-		if !ok {
-			return
-		}
-		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, "request body is not valid JSON: "+err.Error())
-			return
-		}
-	default:
-		w.Header().Set("Allow", "GET, POST")
-		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
-		return
-	}
-	if req.Query == "" {
-		writeError(w, http.StatusBadRequest, "no query provided")
-		return
-	}
-	doc, err := query.Parse(req.Query)
-	if err != nil {
-		writeError(w, http.StatusOK, err.Error()) // GraphQL errors are 200s
-		return
-	}
-	h.gmu.RLock()
-	defer h.gmu.RUnlock()
-	data, err := query.Execute(h.s, h.g, doc, req.OperationName)
-	if err != nil {
-		writeError(w, http.StatusOK, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, response{Data: data})
 }
 
 func (h *Handler) serveSchema(w http.ResponseWriter, r *http.Request) {

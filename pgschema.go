@@ -391,3 +391,44 @@ func NewHTTPHandler(s *Schema, g *Graph, cfg ServerConfig) (http.Handler, error)
 func ExecuteQuery(s *Schema, g *Graph, querySrc string) (map[string]any, error) {
 	return query.ExecuteQuery(s, g, querySrc)
 }
+
+// QueryDocument is a parsed GraphQL query document.
+type QueryDocument = query.Document
+
+// QueryPlan is an immutable compiled query: every schema- and
+// document-dependent decision (root resolution, property-column slots,
+// fragment dispatch tables, error steps) is made once at compile time,
+// and Execute only walks the graph snapshot. A plan is safe for
+// concurrent Execute calls and carries an epoch-keyed binding to the
+// last graph it ran against, so repeated execution against an unchanged
+// graph skips all per-graph setup.
+type QueryPlan = query.Plan
+
+// QueryPlanCache is a concurrency-safe LRU of compiled plans keyed by
+// query source text, as used by the HTTP handler.
+type QueryPlanCache = query.PlanCache
+
+// ParseQuery parses GraphQL query source into a document for
+// CompileQuery.
+func ParseQuery(src string) (*QueryDocument, error) { return query.Parse(src) }
+
+// CompileQuery compiles a parsed document against the schema into an
+// immutable QueryPlan. Compilation never fails: malformed selections
+// compile into error steps that surface lazily at execution, exactly
+// when (and only when) the tree-walking executor would report them.
+func CompileQuery(s *Schema, doc *QueryDocument) *QueryPlan { return query.Compile(s, doc) }
+
+// NewQueryPlanCache builds a plan cache over the schema; capacity <= 0
+// selects the default (256 plans).
+func NewQueryPlanCache(s *Schema, capacity int) *QueryPlanCache {
+	return query.NewPlanCache(s, capacity)
+}
+
+// ExecuteQueryContext is ExecuteQuery with cancellation: the
+// interpretive executor polls ctx at scan boundaries, so long scans
+// over large graphs abort promptly. The operationName selects the
+// operation when the document defines more than one (empty selects the
+// sole operation).
+func ExecuteQueryContext(ctx context.Context, s *Schema, g *Graph, doc *QueryDocument, operationName string) (map[string]any, error) {
+	return query.ExecuteContext(ctx, s, g, doc, operationName)
+}
