@@ -2,9 +2,9 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential fuzz-smoke bench bench-fused bench-compiled bench-scale bench-incremental bench-ingest bench-query bench-smoke scale-smoke stream-smoke
+.PHONY: check build vet test race differential fuzz-smoke bench bench-fused bench-compiled bench-scale bench-scale-smoke bench-incremental bench-ingest bench-query bench-smoke scale-smoke scale-differential stream-smoke
 
-check: build vet race differential fuzz-smoke stream-smoke bench-smoke
+check: build vet race differential scale-differential fuzz-smoke stream-smoke bench-smoke bench-scale-smoke
 
 build:
 	go build ./...
@@ -75,10 +75,28 @@ bench-query:
 bench-ingest:
 	go test -bench=BenchmarkIngest -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_ingest.json
 
+# Quick mode of the scaling benchmark: one iteration of BenchmarkScale,
+# enough to catch a benchmark that no longer compiles or trips its own
+# assertions (worker counts, telemetry fields) without measuring.
+bench-scale-smoke:
+	go test -bench=BenchmarkScale -benchtime=1x -run=^$$ .
+
 # The 10⁵-element parallel validation smoke on its own, race-detected.
 # Also runs as part of `race` (and thus `check`) with the full suite.
 scale-smoke:
 	go test -race -run 'TestScaleSmokeParallel' -count=1 ./internal/validate/
+
+# The scaling differentials explicitly under the race detector: parallel
+# validation (work-stealing, element sharding, skewed violations) and
+# the parallel root-scan query path must be byte-identical to their
+# sequential counterparts, plus the scheduler-telemetry invariants and
+# the parallel allocation budget. Subsumed by `race` but kept as its own
+# gate in `check` so a scaling regression names itself.
+scale-differential:
+	go test -race -shuffle=on -count=1 \
+		-run 'TestDifferentialLargeGraphWorkStealing|TestDifferentialSkewedViolations|TestSchedStats|TestParallelAllocBudget|TestParallelCancellationNoLeak' \
+		./internal/validate/
+	go test -race -shuffle=on -count=1 -run 'TestDifferentialParallelScan' ./internal/query/
 
 # Streaming ingest smoke: validate-on-ingest over a mid-size generated
 # graph plus the streamed/two-phase loader differential, race-detected.

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"testing"
 
@@ -529,8 +530,27 @@ func BenchmarkScale(b *testing.B) {
 						b.Fatal("generated graph invalid")
 					}
 				}
+				b.StopTimer()
 				b.ReportMetric(float64(elems), "graph-elems")
-				b.ReportMetric(float64(elems)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melems/s")
+				mps := float64(elems) * float64(b.N) / b.Elapsed().Seconds() / 1e6
+				b.ReportMetric(mps, "Melems/s")
+				// Scaling context: throughput per worker is the efficiency
+				// denominator (flat Melems/s/worker across configs = linear
+				// scaling; on a one-core box it halves per doubling), and
+				// cores/GOMAXPROCS record what the box could possibly give.
+				b.ReportMetric(mps/float64(workers), "Melems/s/worker")
+				b.ReportMetric(float64(runtime.NumCPU()), "cores")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+				if workers > 1 {
+					// One untimed telemetry run: steals and measured parallel
+					// efficiency from the scheduler itself.
+					tOpts := opts
+					tOpts.SchedStats = true
+					if sres := pgschema.ValidateGraph(s, g, tOpts); sres.Sched != nil {
+						b.ReportMetric(float64(sres.Sched.Steals), "steals")
+						b.ReportMetric(sres.Sched.Efficiency(), "sched-efficiency")
+					}
+				}
 			})
 		}
 	}

@@ -218,6 +218,7 @@ func cmdValidate(args []string) error {
 	engine := fs.String("engine", "auto", "evaluation engine: auto, fused, or rule-by-rule")
 	ingest := fs.String("ingest", "stream", "CSV ingestion path: stream (fused validate-on-ingest) or two-phase")
 	compileStats := fs.Bool("compile-stats", false, "print compiled-program statistics to stderr")
+	schedStats := fs.Bool("sched-stats", false, "print scheduler telemetry (chunks, steals, per-worker busy) to stderr")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("validate: want schema and graph files")
@@ -229,7 +230,7 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := validate.Options{MaxViolations: *max, Workers: *workers}
+	opts := validate.Options{MaxViolations: *max, Workers: *workers, SchedStats: *schedStats}
 	switch *mode {
 	case "strong":
 		opts.Mode = validate.Strong
@@ -291,6 +292,19 @@ func cmdValidate(args []string) error {
 	if *compileStats {
 		fmt.Fprintf(os.Stderr, "validation: %d elements, %d workers\n",
 			g.NodeBound()+g.EdgeBound(), opts.EffectiveWorkers(g.NodeBound()+g.EdgeBound()))
+	}
+	if *schedStats {
+		if st := res.Sched; st != nil {
+			fmt.Fprintf(os.Stderr, "scheduler: %d workers, %d chunks, %d steals, wall %s, busy %s (efficiency %.2f), max chunk %s\n",
+				st.Workers, st.Chunks, st.Steals, st.Wall, st.Busy, st.Efficiency(), st.MaxChunk)
+			for i := range st.PerWorker {
+				pw := &st.PerWorker[i]
+				fmt.Fprintf(os.Stderr, "  worker %d: %d chunks (%d stolen), busy %s, max chunk %s\n",
+					i, pw.Chunks, pw.Steals, pw.Busy, pw.MaxChunk)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "scheduler: no telemetry (engine did not run the chunk scheduler)")
+		}
 	}
 	if res.OK() {
 		fmt.Printf("graph (%d nodes, %d edges) satisfies the schema (%s)\n", g.NumNodes(), g.NumEdges(), *mode)

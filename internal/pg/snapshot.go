@@ -189,6 +189,36 @@ func (s *Snapshot) EdgePropsOf(e EdgeID) []Prop {
 	return s.edgeProps[s.edgePropOff[e]:s.edgePropOff[e+1]]
 }
 
+// NodeLabelColumn exposes the label column itself: element v's label
+// Sym, or NoSym for removed nodes. Shared with the snapshot — callers
+// must treat it as read-only. Word-at-a-time kernels index it directly
+// instead of paying a bounds-checked method call per element.
+func (s *Snapshot) NodeLabelColumn() []Sym { return s.nodeLabels }
+
+// EdgeLabelColumn is NodeLabelColumn for edges.
+func (s *Snapshot) EdgeLabelColumn() []Sym { return s.edgeLabels }
+
+// NodePropWords exposes the presence bitset of property name p as raw
+// words: bit v of word v/64 is set iff live node v defines p. Nil when
+// the sym was never used as a node property name (semantically an
+// all-zero bitset). Shared with the snapshot — read-only.
+func (s *Snapshot) NodePropWords(p Sym) []uint64 {
+	if p < 0 || int(p) >= len(s.nodePropSet) {
+		return nil
+	}
+	return s.nodePropSet[p]
+}
+
+// OutDegree is the number of live outgoing edges of v.
+func (s *Snapshot) OutDegree(v NodeID) int {
+	return int(s.outOff[v+1] - s.outOff[v])
+}
+
+// NodePropCount is the number of properties of the live node v.
+func (s *Snapshot) NodePropCount(v NodeID) int {
+	return int(s.nodePropOff[v+1] - s.nodePropOff[v])
+}
+
 // NodeHasProp reports whether the live node defines a property named p.
 // NoSym (or a sym never used as a node property name) reports false.
 func (s *Snapshot) NodeHasProp(v NodeID, p Sym) bool {

@@ -124,3 +124,70 @@ func TestSnapshotEmptyGraph(t *testing.T) {
 		t.Fatalf("empty snapshot bounds (%d,%d)", s.NodeBound(), s.EdgeBound())
 	}
 }
+
+// TestSnapshotKernelAccessors covers the flat accessors the branch-free
+// validation kernels walk: whole label columns, per-property presence
+// bitsets, and the O(1) degree/property counts derived from the CSR
+// offsets.
+func TestSnapshotKernelAccessors(t *testing.T) {
+	g, a, b, c, e1, _ := snapGraph(t)
+	s := g.Snapshot()
+
+	nodeCol := s.NodeLabelColumn()
+	if len(nodeCol) != s.NodeBound() {
+		t.Fatalf("node label column has %d entries, bound %d", len(nodeCol), s.NodeBound())
+	}
+	for v := 0; v < s.NodeBound(); v++ {
+		if nodeCol[v] != s.NodeLabelSym(NodeID(v)) {
+			t.Fatalf("node column[%d] = %v, accessor %v", v, nodeCol[v], s.NodeLabelSym(NodeID(v)))
+		}
+	}
+	edgeCol := s.EdgeLabelColumn()
+	if len(edgeCol) != s.EdgeBound() {
+		t.Fatalf("edge label column has %d entries, bound %d", len(edgeCol), s.EdgeBound())
+	}
+	for e := 0; e < s.EdgeBound(); e++ {
+		if edgeCol[e] != s.EdgeLabelSym(EdgeID(e)) {
+			t.Fatalf("edge column[%d] = %v, accessor %v", e, edgeCol[e], s.EdgeLabelSym(EdgeID(e)))
+		}
+	}
+
+	// Presence bitset: bit v set iff the node carries the property.
+	nameSym, ok := g.Sym("name")
+	if !ok {
+		t.Fatal("name not interned")
+	}
+	words := s.NodePropWords(nameSym)
+	if words == nil {
+		t.Fatal("no presence words for an existing property name")
+	}
+	for v := 0; v < s.NodeBound(); v++ {
+		got := words[v>>6]&(1<<(v&63)) != 0
+		_, want := s.NodePropBySym(NodeID(v), nameSym)
+		if got != want {
+			t.Fatalf("presence bit for node %d = %v, lookup = %v", v, got, want)
+		}
+	}
+	if s.NodePropWords(NoSym) != nil {
+		t.Error("NodePropWords(NoSym) should be nil")
+	}
+	if s.NodePropWords(Sym(1<<20)) != nil {
+		t.Error("NodePropWords(out of range) should be nil")
+	}
+
+	// Degree and property counts match the slice accessors.
+	for v := 0; v < s.NodeBound(); v++ {
+		if got, want := s.OutDegree(NodeID(v)), len(s.OutEdgesOf(NodeID(v))); got != want {
+			t.Fatalf("OutDegree(%d) = %d, len(OutEdgesOf) = %d", v, got, want)
+		}
+		if got, want := s.NodePropCount(NodeID(v)), len(s.NodePropsOf(NodeID(v))); got != want {
+			t.Fatalf("NodePropCount(%d) = %d, len(NodePropsOf) = %d", v, got, want)
+		}
+	}
+	if d := s.OutDegree(a); d != 2 {
+		t.Errorf("OutDegree(a) = %d, want 2", d)
+	}
+	_ = b
+	_ = c
+	_ = e1
+}

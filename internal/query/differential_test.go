@@ -449,3 +449,54 @@ func TestDifferentialCompiledStarWars(t *testing.T) {
 		assertEngineAgreement(t, s, g, src)
 	}
 }
+
+// TestDifferentialParallelScan forces the root allX scans onto the
+// parallel chunked path (threshold 1, two-node chunks, 4 workers) and
+// re-runs both differential suites: randomized schemas × graphs ×
+// queries and the handcrafted StarWars corpus, error cases included.
+// The parallel scan must be observably indistinguishable from the
+// sequential one — byte-identical JSON, identical first-error strings —
+// which pins both the order-preserving merge and the lowest-chunk
+// error selection.
+func TestDifferentialParallelScan(t *testing.T) {
+	oldMin, oldSpan, oldWorkers := scanParallelMin, scanSpan, scanMaxWorkers
+	scanParallelMin, scanSpan, scanMaxWorkers = 1, 2, 4
+	defer func() {
+		scanParallelMin, scanSpan, scanMaxWorkers = oldMin, oldSpan, oldWorkers
+	}()
+
+	s := build(t, starWarsSchema)
+	g := starWarsGraph(t, s)
+	for _, src := range []string{
+		`{ allHumans { name } }`,
+		`{ allHumans { id name friends { name } } }`,
+		`{ allDroids { name _friendsOfHuman { name } _friendsOfDroid { name } } }`,
+		`{ allHumans { friends { ... on Droid { primaryFunction } ... on Human { starships { name } } } } }`,
+		`{ allHumans { ...a } } fragment a on Human { ...b } fragment b on Human { ...a }`,
+		`{ allHumans { nope } }`,
+		`{ allHumans { name(x: 1) } }`,
+	} {
+		assertEngineAgreement(t, s, g, src)
+	}
+
+	for seed := int64(0); seed < 6; seed++ {
+		s, _, err := gen.RandomSchema(gen.SchemaConfig{Seed: seed, Unions: seed%3 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: random schema: %v", seed, err)
+		}
+		g, err := gen.Conformant(s, gen.Config{Seed: seed, NodesPerType: 8})
+		if err != nil {
+			t.Fatalf("seed %d: conformant graph: %v", seed, err)
+		}
+		rnd := rand.New(rand.NewSource(seed*104729 + 7))
+		q := newQgen(rnd, s, g)
+		for round := 0; round < 2; round++ {
+			if round > 0 {
+				q.mutate()
+			}
+			for i := 0; i < 6; i++ {
+				assertEngineAgreement(t, s, g, q.genQuery())
+			}
+		}
+	}
+}

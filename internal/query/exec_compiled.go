@@ -3,8 +3,11 @@ package query
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"pgschema/internal/pg"
+	"pgschema/internal/sched"
 )
 
 // cancelStride is how many node executions pass between context
@@ -76,13 +79,9 @@ func (ex *cexec) rootStep(st *rootStep, out map[string]any) error {
 	case rtList:
 		ex.b.ensureEnums()
 		nodes := ex.b.enums[st.enumIdx]
-		list := make([]any, 0, len(nodes))
-		for _, v := range nodes {
-			m, err := ex.execNode(v, st.sub, st.subErr)
-			if err != nil {
-				return err
-			}
-			list = append(list, m)
+		list, err := ex.scanList(st, nodes)
+		if err != nil {
+			return err
 		}
 		out[st.key] = list
 	case rtLookup:
@@ -115,6 +114,97 @@ func (ex *cexec) rootStep(st *rootStep, out map[string]any) error {
 		out[st.key] = m
 	}
 	return nil
+}
+
+// Parallel full-scan thresholds. A root allX scan with at least
+// scanParallelMin nodes fans out over the work-stealing chunk scheduler
+// (the same one the parallel validator dispatches on); smaller scans —
+// and all scans on a single-proc box — stay on the caller's goroutine.
+// Variables, not constants, so the differential tests can force the
+// parallel path onto small fixtures.
+var (
+	scanParallelMin = 4096
+	scanMaxWorkers  = runtime.GOMAXPROCS(0)
+)
+
+// scanSpan is the node span of one parallel scan chunk: enough rows to
+// amortize the claim, small enough that the stealing cursor can rebalance
+// a skewed selection (some nodes expand far more edges than others). A
+// variable for the same reason as the thresholds above.
+var scanSpan = 1024
+
+// scanList materializes the root list for an allX step, sequentially or
+// — for a large scan with workers available — in parallel. The parallel
+// path writes each node's result into its own slot of the shared result
+// slice, so element order is the enumeration order regardless of which
+// worker computed what, and the output is byte-identical to the
+// sequential scan. The first error in node order wins, matching the
+// sequential scan's first-error semantics; once any worker fails, the
+// remaining chunks are drained without executing.
+func (ex *cexec) scanList(st *rootStep, nodes []pg.NodeID) ([]any, error) {
+	workers := scanMaxWorkers
+	if len(nodes) < scanParallelMin || workers < 2 {
+		list := make([]any, 0, len(nodes))
+		for _, v := range nodes {
+			m, err := ex.execNode(v, st.sub, st.subErr)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, m)
+		}
+		return list, nil
+	}
+
+	nchunks := (len(nodes) + scanSpan - 1) / scanSpan
+	if workers > nchunks {
+		workers = nchunks
+	}
+	list := make([]any, len(nodes))
+	errs := make([]error, nchunks)
+	// Each worker gets its own cexec: the fragment-cycle bitset and the
+	// cancellation stride counter are per-traversal state.
+	workerEx := make([]*cexec, workers)
+	for w := range workerEx {
+		we := &cexec{b: ex.b, ctx: ex.ctx}
+		if ex.active != nil {
+			we.active = make([]bool, len(ex.active))
+		}
+		workerEx[w] = we
+	}
+	// errChunk tracks the lowest chunk that has failed so far. Chunks
+	// beyond it drain without executing; chunks below it always run, so
+	// the error that survives is the one the sequential scan would have
+	// hit first (each chunk iterates ascending and stops at its first
+	// failing node).
+	errChunk := int64(nchunks)
+	var minErr atomic.Int64
+	minErr.Store(errChunk)
+	sched.Run(workers, nchunks, func(worker, chunk int) {
+		if int64(chunk) > minErr.Load() {
+			return
+		}
+		we := workerEx[worker]
+		lo := chunk * scanSpan
+		hi := min(lo+scanSpan, len(nodes))
+		for i := lo; i < hi; i++ {
+			m, err := we.execNode(nodes[i], st.sub, st.subErr)
+			if err != nil {
+				errs[chunk] = err
+				for {
+					cur := minErr.Load()
+					if int64(chunk) >= cur || minErr.CompareAndSwap(cur, int64(chunk)) {
+						break
+					}
+				}
+				return
+			}
+			list[i] = m
+		}
+	}, sched.Options{})
+	if ec := minErr.Load(); ec < int64(nchunks) {
+		return nil, errs[ec]
+	}
+	return list, nil
 }
 
 func (ex *cexec) execNode(v pg.NodeID, sub *selProg, subErr *Error) (map[string]any, error) {

@@ -1,0 +1,252 @@
+// Package sched is the work-stealing chunk scheduler shared by the
+// parallel validation engine and the compiled query executor. Work is a
+// dense index space [0, n) of pre-planned chunks; each worker owns a
+// contiguous segment of it and claims indexes off a per-worker atomic
+// cursor. A worker that drains its own segment steals from the other
+// segments' cursors — so on a skewed plan (all the expensive chunks in
+// one segment) the fast workers finish the slow worker's tail instead
+// of idling, and the steal count is a direct measurement of how skewed
+// the run actually was. A single shared cursor cannot distinguish
+// balance from skew; segmented cursors make the telemetry mean
+// something.
+//
+// The scheduler is deliberately dumb about the work itself: chunks are
+// indexes, the body does everything (including skipping chunks once a
+// violation cap fills or a context cancels — claims are two atomic adds,
+// cheap enough to drain on a dead run). Every chunk index is claimed by
+// exactly one worker and the claim order within a segment is ascending,
+// but nothing else about ordering is guaranteed.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is the telemetry of one Run: totals plus per-worker busy time,
+// chunk counts, and steals, and a log₂ histogram of chunk element spans
+// (filled only when Options.Span is provided). Busy sums the wall time
+// spent inside chunk bodies across all workers; on w truly parallel
+// cores an efficient run has Busy ≈ w × Wall, while on one core Busy
+// can never exceed Wall no matter how many workers were asked for —
+// which is exactly what Efficiency measures.
+type Stats struct {
+	Workers int
+	Chunks  int
+	Steals  int
+
+	// Wall is the elapsed time of the whole Run; Busy the summed
+	// in-chunk time across workers; MaxChunk the longest single chunk.
+	Wall     time.Duration
+	Busy     time.Duration
+	MaxChunk time.Duration
+
+	PerWorker []WorkerStats
+
+	// SpanHist[i] counts planned chunks whose element span lies in
+	// [2^i, 2^(i+1)); spans beyond the last bucket fold into it.
+	SpanHist [spanBuckets]int
+}
+
+// WorkerStats is one worker's share of a Run.
+type WorkerStats struct {
+	Chunks   int
+	Steals   int
+	Busy     time.Duration
+	MaxChunk time.Duration
+}
+
+// spanBuckets covers chunk spans up to 2^23 (8M elements) before
+// folding; adaptive chunk targets sit far below that.
+const spanBuckets = 24
+
+// Efficiency is the parallel efficiency of the run: the fraction of the
+// workers' combined wall-clock budget actually spent inside chunks.
+// 1.0 means every worker was busy the whole run (true parallel
+// speedup); 1/w means the workers only ever ran one at a time (a
+// single-core box, or total contention) and the parallelism was pure
+// dispatch overhead.
+func (s *Stats) Efficiency() float64 {
+	if s == nil || s.Workers <= 0 || s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
+}
+
+// Options configures a Run.
+type Options struct {
+	// Collect enables stats collection (two clock reads per chunk plus a
+	// per-worker merge). When false, Run returns nil.
+	Collect bool
+	// Span reports the element span of a chunk index, for the chunk-size
+	// histogram. Consulted once per planned chunk, only when Collect.
+	Span func(chunk int) int
+	// Reuse recycles a Stats (and its PerWorker backing array) from an
+	// earlier Run instead of allocating fresh ones. The caller must not
+	// hand a reused Stats to anyone who outlives the next Run — pass nil
+	// when the result escapes (e.g. into an API response).
+	Reuse *Stats
+}
+
+// statePool recycles the per-run scheduler state (segment cursors,
+// wait group, and the spawn bookkeeping) so a warm Run only allocates
+// the spawned goroutines' closures.
+var statePool sync.Pool
+
+// runState is one Run's shared state. It is a heap object by nature
+// (every worker goroutine touches it), which is exactly why it pools
+// well: recycling it converts four per-run escapes (cursors, wait
+// group, worker closure, claim closure) into zero.
+type runState struct {
+	body    func(worker, chunk int)
+	cursors []atomic.Int64
+	workers int
+	n       int
+	st      *Stats
+	wg      sync.WaitGroup
+}
+
+func (rs *runState) segEnd(w int) int64 { return int64((w + 1) * rs.n / rs.workers) }
+
+// runWorker drains chunks for worker w: first its own segment, then —
+// claim by claim — the other segments' tails. The claim loop is open-
+// coded (not a closure) so a worker's whole life allocates nothing.
+func (rs *runState) runWorker(w int) {
+	var ws *WorkerStats
+	if rs.st != nil {
+		ws = &rs.st.PerWorker[w]
+	}
+	for {
+		idx, stolen := -1, false
+		if pos := rs.cursors[w].Add(1) - 1; pos < rs.segEnd(w) {
+			idx = int(pos)
+		} else {
+			for i := 1; i < rs.workers; i++ {
+				v := (w + i) % rs.workers
+				if pos := rs.cursors[v].Add(1) - 1; pos < rs.segEnd(v) {
+					idx, stolen = int(pos), true
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		if ws != nil {
+			t0 := time.Now()
+			rs.body(w, idx)
+			d := time.Since(t0)
+			ws.Busy += d
+			ws.Chunks++
+			if d > ws.MaxChunk {
+				ws.MaxChunk = d
+			}
+			if stolen {
+				ws.Steals++
+			}
+		} else {
+			rs.body(w, idx)
+		}
+	}
+}
+
+func (rs *runState) spawn(w int) {
+	defer rs.wg.Done()
+	rs.runWorker(w)
+}
+
+// Run executes body(worker, chunk) for every chunk in [0, n) on the
+// given number of workers. Worker 0 runs on the calling goroutine;
+// workers-1 goroutines are spawned and joined before Run returns, so a
+// Run never leaks goroutines past its return. workers and n must be
+// ≥ 1 and ≥ 0 respectively; workers beyond n just find empty segments
+// and help steal (i.e. finish immediately).
+func Run(workers, n int, body func(worker, chunk int), opt Options) *Stats {
+	if workers < 1 {
+		workers = 1
+	}
+	var st *Stats
+	var start time.Time
+	if opt.Collect {
+		st = opt.Reuse
+		if st == nil {
+			st = &Stats{}
+		}
+		pw := st.PerWorker
+		if cap(pw) < workers {
+			pw = make([]WorkerStats, workers)
+		}
+		pw = pw[:workers]
+		for i := range pw {
+			pw[i] = WorkerStats{}
+		}
+		*st = Stats{Workers: workers, Chunks: n, PerWorker: pw}
+		if opt.Span != nil {
+			for i := 0; i < n; i++ {
+				st.SpanHist[SpanBucket(opt.Span(i))]++
+			}
+		}
+		start = time.Now()
+	}
+
+	// Segment bounds: worker w owns [w*n/workers, (w+1)*n/workers).
+	// Cursors are absolute chunk indexes; a claim is one atomic add, and
+	// a failed claim (cursor already past the segment end) just moves on.
+	rs, _ := statePool.Get().(*runState)
+	if rs == nil {
+		rs = &runState{}
+	}
+	if cap(rs.cursors) < workers {
+		rs.cursors = make([]atomic.Int64, workers)
+	}
+	rs.cursors = rs.cursors[:workers]
+	rs.body, rs.workers, rs.n, rs.st = body, workers, n, st
+	for w := 0; w < workers; w++ {
+		rs.cursors[w].Store(int64(w * n / workers))
+	}
+	for w := 1; w < workers; w++ {
+		rs.wg.Add(1)
+		go rs.spawn(w)
+	}
+	rs.runWorker(0)
+	rs.wg.Wait()
+	// All workers joined; drop the body and stats references before
+	// pooling so a parked runState does not pin the caller's closures.
+	rs.body, rs.st = nil, nil
+	statePool.Put(rs)
+
+	if st != nil {
+		st.Wall = time.Since(start)
+		for i := range st.PerWorker {
+			pw := &st.PerWorker[i]
+			st.Busy += pw.Busy
+			st.Steals += pw.Steals
+			if pw.MaxChunk > st.MaxChunk {
+				st.MaxChunk = pw.MaxChunk
+			}
+		}
+	}
+	return st
+}
+
+// SpanBucket returns the SpanHist bucket index a chunk span falls in —
+// exported so sequential engines can fill a Stats histogram without a
+// Run.
+func SpanBucket(span int) int {
+	b := log2(span)
+	if b >= spanBuckets {
+		b = spanBuckets - 1
+	}
+	return b
+}
+
+// log2 is floor(log₂(v)) with log2(0) = 0.
+func log2(v int) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunCoversEveryChunkOnce is the core claim invariant: every chunk
+// index in [0, n) is executed exactly once, for worker counts below,
+// at, and above the chunk count.
+func TestRunCoversEveryChunkOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			counts := make([]atomic.Int32, n)
+			Run(workers, n, func(_, chunk int) {
+				counts[chunk].Add(1)
+			}, Options{})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: chunk %d executed %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunStatsTotals pins the stats bookkeeping: chunk counts sum to n,
+// busy time sums the per-worker times, and the span histogram buckets
+// every planned chunk.
+func TestRunStatsTotals(t *testing.T) {
+	const n = 100
+	st := Run(4, n, func(_, _ int) {
+		time.Sleep(10 * time.Microsecond)
+	}, Options{Collect: true, Span: func(int) int { return 48 }})
+	if st == nil {
+		t.Fatal("Collect: true returned nil stats")
+	}
+	if st.Workers != 4 || st.Chunks != n {
+		t.Errorf("got workers=%d chunks=%d, want 4, %d", st.Workers, st.Chunks, n)
+	}
+	total, busy := 0, time.Duration(0)
+	for _, pw := range st.PerWorker {
+		total += pw.Chunks
+		busy += pw.Busy
+	}
+	if total != n {
+		t.Errorf("per-worker chunk counts sum to %d, want %d", total, n)
+	}
+	if busy != st.Busy || st.Busy <= 0 {
+		t.Errorf("busy mismatch: sum %v, total %v", busy, st.Busy)
+	}
+	if st.Wall <= 0 || st.MaxChunk <= 0 {
+		t.Errorf("wall %v and max chunk %v must be positive", st.Wall, st.MaxChunk)
+	}
+	// span 48 lands in bucket [2^5, 2^6).
+	if st.SpanHist[5] != n {
+		t.Errorf("span histogram: bucket 5 = %d, want %d (%v)", st.SpanHist[5], n, st.SpanHist)
+	}
+	if eff := st.Efficiency(); eff <= 0 || eff > 1.5 {
+		t.Errorf("implausible efficiency %v", eff)
+	}
+}
+
+// TestRunStealsUnderSkew pins that draining one's own segment and then
+// another's counts as stealing: one worker's segment is made very slow,
+// so the others must finish it. The skew is deterministic (chunk index,
+// not timing) and the assertion is only that steals happen at all.
+func TestRunStealsUnderSkew(t *testing.T) {
+	const n, workers = 64, 4
+	st := Run(workers, n, func(_, chunk int) {
+		if chunk >= n-n/workers { // the last worker's whole segment
+			time.Sleep(2 * time.Millisecond)
+		}
+	}, Options{Collect: true})
+	if st.Steals == 0 {
+		t.Errorf("skewed run recorded no steals: %+v", st.PerWorker)
+	}
+	total := 0
+	for _, pw := range st.PerWorker {
+		total += pw.Chunks
+	}
+	if total != n {
+		t.Fatalf("chunks lost under stealing: %d of %d", total, n)
+	}
+}
+
+// TestRunNoGoroutineLeak verifies Run joins all its workers before
+// returning, including when the body bails out early (the cancellation
+// shape: bodies return immediately and the claim loops drain).
+func TestRunNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 10; i++ {
+		Run(8, 100, func(_, _ int) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		}, Options{Collect: true})
+	}
+	if ran != 1000 {
+		t.Fatalf("ran %d bodies, want 1000", ran)
+	}
+	// Allow the runtime a moment to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -35,6 +35,73 @@ func (s *Schema) MemberOfW(v values.Value, t TypeRef) bool {
 	return s.MemberOf(v, t.Name)
 }
 
+// MemberFuncW compiles the membership test valuesW(t) into a predicate,
+// resolving the type name, builtin-scalar dispatch, and enum value set
+// once instead of per value. The returned function decides exactly
+// MemberOfW(v, t); compiled validation programs call it per property,
+// where the string-map lookups of the interpretive path dominate.
+func (s *Schema) MemberFuncW(t TypeRef) func(values.Value) bool {
+	nonNull := t.NonNull
+	if t.List {
+		elem := s.MemberFuncW(t.Elem())
+		return func(v values.Value) bool {
+			if v.IsNull() {
+				return !nonNull
+			}
+			if v.Kind() != values.KindList {
+				return false
+			}
+			for i := 0; i < v.Len(); i++ {
+				if !elem(v.Elem(i)) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	base := s.memberFuncNamed(t.Name)
+	return func(v values.Value) bool {
+		if v.IsNull() {
+			return !nonNull
+		}
+		return base(v)
+	}
+}
+
+// memberFuncNamed compiles values(t) for a named type: the base
+// predicate of MemberFuncW, which is only ever handed non-null values.
+func (s *Schema) memberFuncNamed(name string) func(values.Value) bool {
+	td := s.types[name]
+	if td == nil {
+		return memberNever
+	}
+	switch td.Kind {
+	case Scalar:
+		if fn := values.BuiltinMemberFunc(name); fn != nil {
+			return fn
+		}
+		if fn := s.scalarValidators[name]; fn != nil {
+			return func(v values.Value) bool {
+				return v.Kind() != values.KindList && fn(v)
+			}
+		}
+		// Custom scalar without validator: any atomic value.
+		return func(v values.Value) bool { return v.Kind() != values.KindList }
+	case Enum:
+		set := td.enumSet
+		return func(v values.Value) bool {
+			switch v.Kind() {
+			case values.KindEnum, values.KindString, values.KindID:
+				return set[v.AsString()]
+			}
+			return false
+		}
+	}
+	return memberNever
+}
+
+func memberNever(values.Value) bool { return false }
+
 // MemberOf implements values(t) for named scalar and enum types t ∈ S:
 // it reports whether the non-null, non-list value v ∈ values(t).
 func (s *Schema) MemberOf(v values.Value, name string) bool {

@@ -215,7 +215,7 @@ func (h *Handler) serveApply(w http.ResponseWriter, r *http.Request) {
 	res := validate.Revalidate(r.Context(), h.s, h.g, prev,
 		validate.DeltaFor(tc), validate.Options{Program: h.prog, CollectTimings: true})
 	elapsed := time.Since(start)
-	h.metrics.recordValidation(res.RuleTime)
+	h.metrics.recordValidation(res.RuleTime, res.Sched)
 
 	if req.RequireValid && res.Incomplete {
 		// The run was cut short (request timeout / client gone): the

@@ -61,6 +61,15 @@ type metrics struct {
 
 	validationRuns int64
 	ruleTime       map[validate.Rule]time.Duration
+
+	// Scheduler telemetry, accumulated across every run that dispatched
+	// on the chunk scheduler; lastEfficiency is the most recent run's
+	// parallel efficiency (1.0 = perfectly busy workers).
+	schedChunks    int64
+	schedSteals    int64
+	schedBusy      time.Duration
+	schedWall      time.Duration
+	lastEfficiency float64
 }
 
 func newMetrics() *metrics {
@@ -102,12 +111,19 @@ func (m *metrics) recordRequest(path string, status int, d time.Duration) {
 	hist.observe(d)
 }
 
-func (m *metrics) recordValidation(ruleTime map[validate.Rule]time.Duration) {
+func (m *metrics) recordValidation(ruleTime map[validate.Rule]time.Duration, sched *validate.SchedStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.validationRuns++
 	for rule, d := range ruleTime {
 		m.ruleTime[rule] += d
+	}
+	if sched != nil {
+		m.schedChunks += int64(sched.Chunks)
+		m.schedSteals += int64(sched.Steals)
+		m.schedBusy += sched.Busy
+		m.schedWall += sched.Wall
+		m.lastEfficiency = sched.Efficiency()
 	}
 }
 
@@ -148,6 +164,26 @@ func (m *metrics) render(w io.Writer) {
 	b.WriteString("# HELP pgschema_validation_runs_total Validation runs served by /validate.\n")
 	b.WriteString("# TYPE pgschema_validation_runs_total counter\n")
 	fmt.Fprintf(&b, "pgschema_validation_runs_total %d\n", m.validationRuns)
+
+	b.WriteString("# HELP pgschema_validation_sched_chunks_total Chunks dispatched by the validation scheduler.\n")
+	b.WriteString("# TYPE pgschema_validation_sched_chunks_total counter\n")
+	fmt.Fprintf(&b, "pgschema_validation_sched_chunks_total %d\n", m.schedChunks)
+
+	b.WriteString("# HELP pgschema_validation_sched_steals_total Chunks claimed from another worker's segment.\n")
+	b.WriteString("# TYPE pgschema_validation_sched_steals_total counter\n")
+	fmt.Fprintf(&b, "pgschema_validation_sched_steals_total %d\n", m.schedSteals)
+
+	b.WriteString("# HELP pgschema_validation_sched_busy_seconds_total Summed in-chunk worker time across scheduled runs.\n")
+	b.WriteString("# TYPE pgschema_validation_sched_busy_seconds_total counter\n")
+	fmt.Fprintf(&b, "pgschema_validation_sched_busy_seconds_total %g\n", m.schedBusy.Seconds())
+
+	b.WriteString("# HELP pgschema_validation_sched_wall_seconds_total Summed wall time of scheduled runs.\n")
+	b.WriteString("# TYPE pgschema_validation_sched_wall_seconds_total counter\n")
+	fmt.Fprintf(&b, "pgschema_validation_sched_wall_seconds_total %g\n", m.schedWall.Seconds())
+
+	b.WriteString("# HELP pgschema_validation_sched_efficiency Parallel efficiency of the most recent scheduled run.\n")
+	b.WriteString("# TYPE pgschema_validation_sched_efficiency gauge\n")
+	fmt.Fprintf(&b, "pgschema_validation_sched_efficiency %g\n", m.lastEfficiency)
 
 	b.WriteString("# HELP pgschema_validation_rule_duration_seconds_total Cumulative time spent per validation rule.\n")
 	b.WriteString("# TYPE pgschema_validation_rule_duration_seconds_total counter\n")

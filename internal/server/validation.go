@@ -66,6 +66,9 @@ type validateRequest struct {
 	ElementSharding bool `json:"elementSharding"`
 	// Engine is "auto" (default), "fused", or "rule-by-rule".
 	Engine string `json:"engine"`
+	// SchedStats includes the run's scheduler telemetry (chunks, steals,
+	// per-worker busy time) in the response's sched field.
+	SchedStats bool `json:"schedStats"`
 }
 
 // deltaRequest is the POST /revalidate body, mirroring validate.Delta.
@@ -90,13 +93,13 @@ type violationJSON struct {
 // validationResponse is the body of /validate and /revalidate answers
 // (and of the validation report inside /graph/apply responses).
 type validationResponse struct {
-	APIVersion  string          `json:"apiVersion"`
-	OK          bool            `json:"ok"`
-	Mode        string          `json:"mode"`
-	Nodes       int             `json:"nodes"`
-	Edges       int             `json:"edges"`
-	Violations  []violationJSON `json:"violations"`
-	Truncated   bool            `json:"truncated"`
+	APIVersion string          `json:"apiVersion"`
+	OK         bool            `json:"ok"`
+	Mode       string          `json:"mode"`
+	Nodes      int             `json:"nodes"`
+	Edges      int             `json:"edges"`
+	Violations []violationJSON `json:"violations"`
+	Truncated  bool            `json:"truncated"`
 	// Incomplete marks a run cut short by cancellation (request timeout
 	// or client disconnect); its violation list is partial.
 	Incomplete  bool `json:"incomplete"`
@@ -116,6 +119,54 @@ type validationResponse struct {
 	CompileMS  float64            `json:"compileMs"`
 	ElapsedMS  float64            `json:"elapsedMs"`
 	RuleTimeMS map[string]float64 `json:"ruleTimeMs,omitempty"`
+	// Sched is the run's scheduler telemetry, present when the request
+	// set schedStats and the run dispatched on the chunk scheduler.
+	Sched *schedJSON `json:"sched,omitempty"`
+}
+
+// schedJSON is scheduler telemetry on the wire.
+type schedJSON struct {
+	Workers    int               `json:"workers"`
+	Chunks     int               `json:"chunks"`
+	Steals     int               `json:"steals"`
+	WallMS     float64           `json:"wallMs"`
+	BusyMS     float64           `json:"busyMs"`
+	MaxChunkMS float64           `json:"maxChunkMs"`
+	Efficiency float64           `json:"efficiency"`
+	PerWorker  []schedWorkerJSON `json:"perWorker"`
+}
+
+type schedWorkerJSON struct {
+	Chunks     int     `json:"chunks"`
+	Steals     int     `json:"steals"`
+	BusyMS     float64 `json:"busyMs"`
+	MaxChunkMS float64 `json:"maxChunkMs"`
+}
+
+func schedToJSON(st *validate.SchedStats) *schedJSON {
+	if st == nil {
+		return nil
+	}
+	out := &schedJSON{
+		Workers:    st.Workers,
+		Chunks:     st.Chunks,
+		Steals:     st.Steals,
+		WallMS:     float64(st.Wall) / float64(time.Millisecond),
+		BusyMS:     float64(st.Busy) / float64(time.Millisecond),
+		MaxChunkMS: float64(st.MaxChunk) / float64(time.Millisecond),
+		Efficiency: st.Efficiency(),
+		PerWorker:  make([]schedWorkerJSON, len(st.PerWorker)),
+	}
+	for i := range st.PerWorker {
+		pw := &st.PerWorker[i]
+		out.PerWorker[i] = schedWorkerJSON{
+			Chunks:     pw.Chunks,
+			Steals:     pw.Steals,
+			BusyMS:     float64(pw.Busy) / float64(time.Millisecond),
+			MaxChunkMS: float64(pw.MaxChunk) / float64(time.Millisecond),
+		}
+	}
+	return out
 }
 
 // decodeJSONBody decodes a POST body into dst under the body cap,
@@ -153,6 +204,9 @@ func (req *validateRequest) options() (validate.Options, string) {
 		// them too, every run can afford to.
 		ElementSharding: req.ElementSharding,
 		CollectTimings:  true,
+		// Telemetry feeds /metrics on every run; the response only
+		// carries it when the request asked (see serveValidate).
+		SchedStats: true,
 	}
 	switch req.Mode {
 	case "", "strong":
@@ -223,7 +277,7 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res := validate.ValidateContext(r.Context(), h.s, h.g, opts)
 	elapsed := time.Since(start)
-	h.metrics.recordValidation(res.RuleTime)
+	h.metrics.recordValidation(res.RuleTime, res.Sched)
 	if fullStrongRun(opts) && !res.Incomplete {
 		h.valMu.Lock()
 		h.lastResult = res
@@ -235,6 +289,9 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 		ruleMS[string(rule)] = float64(d) / float64(time.Millisecond)
 	}
 	resp.RuleTimeMS = ruleMS
+	if req.SchedStats {
+		resp.Sched = schedToJSON(res.Sched)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -276,9 +333,9 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	res := validate.Revalidate(r.Context(), h.s, h.g, prev, delta,
-		validate.Options{Program: h.prog, CollectTimings: true})
+		validate.Options{Program: h.prog, CollectTimings: true, SchedStats: true})
 	elapsed := time.Since(start)
-	h.metrics.recordValidation(res.RuleTime)
+	h.metrics.recordValidation(res.RuleTime, res.Sched)
 	if !res.Incomplete {
 		h.valMu.Lock()
 		h.lastResult = res

@@ -56,3 +56,59 @@ func TestFusedEdgePassAllocFree(t *testing.T) {
 		t.Errorf("fused edge pass: %.1f allocs per run over %d edges (limit %.1f)", avg, edges, limit)
 	}
 }
+
+// TestFusedDensePassAllocFree pins the branch-free kernel paths: the
+// word-walking node and edge passes over the presence bitsets must stay
+// allocation-free once the kernels and scratch are warm.
+func TestFusedDensePassAllocFree(t *testing.T) {
+	r, w, sc := allocRunner(t)
+	emit := func(v Violation) { t.Errorf("unexpected violation: %+v", v) }
+	r.bind.kernels() // built once per epoch, outside the budget
+	r.fusedNodePassDense(w, emit, 0, r.g.NodeBound(), sc)
+	r.fusedEdgePassDense(w, emit, 0, r.g.EdgeBound())
+
+	nodes := r.g.NumNodes()
+	avg := testing.AllocsPerRun(10, func() {
+		r.fusedNodePassDense(w, emit, 0, r.g.NodeBound(), sc)
+	})
+	if limit := float64(nodes) / 20; avg > limit {
+		t.Errorf("dense node pass: %.1f allocs per run over %d nodes (limit %.1f)", avg, nodes, limit)
+	}
+	avg = testing.AllocsPerRun(10, func() {
+		r.fusedEdgePassDense(w, emit, 0, r.g.EdgeBound())
+	})
+	if limit := float64(r.g.NumEdges()) / 20; avg > limit {
+		t.Errorf("dense edge pass: %.1f allocs per run over %d edges (limit %.1f)", avg, r.g.NumEdges(), limit)
+	}
+}
+
+// TestParallelAllocBudget pins the flat-allocation contract of the
+// parallel engine end to end: a warm parallel validation may allocate
+// at most twice what the warm sequential run does. The budget is
+// measured, not hardcoded, so the test tracks the sequential baseline
+// instead of rotting.
+func TestParallelAllocBudget(t *testing.T) {
+	s := build(t, programSchema)
+	g := programGraph(2000)
+	p := Compile(s)
+
+	seqOpts := Options{Program: p, Workers: 1}
+	parOpts := Options{Program: p, Workers: 4, ElementSharding: true}
+	// Warm the binding, kernels, pools, and scheduler state.
+	Validate(s, g, seqOpts)
+	Validate(s, g, parOpts)
+
+	seq := testing.AllocsPerRun(20, func() {
+		if !Validate(s, g, seqOpts).OK() {
+			t.Fatal("fixture not conformant")
+		}
+	})
+	par := testing.AllocsPerRun(20, func() {
+		if !Validate(s, g, parOpts).OK() {
+			t.Fatal("fixture not conformant")
+		}
+	})
+	if par > 2*seq {
+		t.Errorf("parallel run allocates %.0f/op, over 2x the sequential %.0f/op", par, seq)
+	}
+}

@@ -231,6 +231,7 @@ func Revalidate(ctx context.Context, s *schema.Schema, g *pg.Graph, prev *Result
 	engine := opts.resolveEngine()
 	// Worker resolution keys on the dirty-element count, not the graph
 	// size: a small delta on a huge graph is small work.
+	origWorkers := opts.Workers
 	opts.Workers = opts.EffectiveWorkers(reg.elements())
 
 	finish := func(res *Result) *Result {
@@ -251,14 +252,24 @@ func Revalidate(ctx context.Context, s *schema.Schema, g *pg.Graph, prev *Result
 				return finish(&Result{})
 			}
 		}
+		// Autotuned worker counts fall back toward sequential when the
+		// program's measured parallel efficiency says parallelism is not
+		// paying, as in ValidateContext.
+		if origWorkers == 0 && opts.Workers > 1 {
+			opts.Workers = p.autotuneWorkers(opts.Workers)
+			r.opts.Workers = opts.Workers
+		}
 		r.coll = c
 		r.bind = p.bindTo(g)
 		r.onlyTypes = reg.affected // consulted by the DS7 chunk alone
 		w := wantRules(rules)
-		timings := r.runChunks(r.planDirtyChunks(w, reg), rules, c)
+		timings, st := r.runChunks(r.planDirtyChunks(w, reg), rules, c)
 		fresh := c.result()
 		out := splice(r, prev, fresh, reg)
 		out.RuleTime = timings
+		if opts.SchedStats {
+			out.Sched = st
+		}
 		return finish(out)
 	}
 
@@ -329,7 +340,7 @@ func (r *runner) planDirtyChunks(w fusedWant, reg deltaRegion) []fusedChunk {
 	var chunks []fusedChunk
 	add := func(kind fusedTaskKind, cw fusedWant, nodes []pg.NodeID, edges []pg.EdgeID, bound int) {
 		base := len(chunks)
-		chunks = appendRangeChunks(chunks, kind, -1, bound, workers)
+		chunks = appendRangeChunks(chunks, kind, -1, bound, defaultSpan(bound, workers))
 		for i := base; i < len(chunks); i++ {
 			chunks[i].w, chunks[i].nodes, chunks[i].edges = cw, nodes, edges
 		}

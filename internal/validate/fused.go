@@ -2,11 +2,12 @@ package validate
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
+	"math/bits"
+	"strings"
 	"time"
 
 	"pgschema/internal/pg"
+	"pgschema/internal/sched"
 	"pgschema/internal/schema"
 	"pgschema/internal/values"
 )
@@ -156,6 +157,50 @@ func (w fusedWant) active(pass []Rule) []Rule {
 	return out
 }
 
+// obligMask is a label's precomputed rule-group obligations: which of
+// the per-node rule groups can possibly fire for a node of that label.
+// The dense node kernel ANDs a node's label mask with the run's want
+// mask, so a node whose label owes nothing to the requested rules
+// costs two loads and one branch instead of four empty slice loops.
+type obligMask uint16
+
+const (
+	obSS1 obligMask = 1 << iota // label is not a declared object type
+	obWS4                       // label has a non-list field
+	obDS1                       // a srcRel declaration carries @distinct
+	obDS2                       // a srcRel declaration carries @noLoops
+	obDS3                       // label is on the target side of @uniqueForTarget
+	obDS5                       // label has @required attributes
+	obDS6                       // a srcRel declaration carries @required
+)
+
+// wantMask projects the requested rules onto the obligation bits.
+func wantMask(w fusedWant) obligMask {
+	var m obligMask
+	if w.ss1 {
+		m |= obSS1
+	}
+	if w.ws4 {
+		m |= obWS4
+	}
+	if w.ds1 {
+		m |= obDS1
+	}
+	if w.ds2 {
+		m |= obDS2
+	}
+	if w.ds3 {
+		m |= obDS3
+	}
+	if w.ds5 {
+		m |= obDS5
+	}
+	if w.ds6 {
+		m |= obDS6
+	}
+	return m
+}
+
 // fusedScratch is per-worker reusable state for the node pass, so the
 // violation-free path allocates nothing per node: a dense edge-label
 // counter (indexed by Sym, kept all-zero between nodes via the touched
@@ -165,12 +210,22 @@ type fusedScratch struct {
 	counts  []int32
 	touched []pg.Sym
 	seen    map[pg.NodeID]int32
+	dsts    []pg.NodeID // DS1 small-degree dedup list (map-free)
 }
 
 func newFusedScratch(symCount int) *fusedScratch {
 	return &fusedScratch{
 		counts: make([]int32, symCount),
 		seen:   make(map[pg.NodeID]int32),
+	}
+}
+
+// resize readies a pooled scratch for a graph with the given symbol
+// count. The counts slice only ever grows; a fresh slice is zeroed and
+// a reused one was restored to all-zero by the WS4 loop's invariant.
+func (sc *fusedScratch) resize(symCount int) {
+	if len(sc.counts) < symCount {
+		sc.counts = make([]int32, symCount)
 	}
 }
 
@@ -232,7 +287,7 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, list []pg.NodeID, lo,
 					}
 					continue
 				}
-				if w.ws1 && !r.s.MemberOfW(pr.Value, slot.fd.Type) && !r.drop() {
+				if w.ws1 && !slot.check(pr.Value) && !r.drop() {
 					emit(Violation{
 						Rule: WS1, Node: v, Edge: -1,
 						TypeName: label, Field: pr.Name, Property: pr.Name,
@@ -394,6 +449,323 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, list []pg.NodeID, lo,
 	}
 }
 
+// maskedWord returns set[wi] restricted to the bits whose element IDs
+// lie in [lo, hi) — the boundary masks of a word-at-a-time walk over a
+// chunk range. Interior words pass through untouched.
+func maskedWord(set []uint64, wi, lo, hi int) uint64 {
+	word := set[wi]
+	if base := wi << 6; base < lo {
+		word &= ^uint64(0) << (uint(lo) & 63)
+	}
+	if end := hi - wi<<6; end < 64 {
+		word &= 1<<uint(end) - 1
+	}
+	return word
+}
+
+// nodeKernels runs the word-level rule kernels over [lo, hi): SS1
+// (every live node of a non-object-type label violates) and DS5
+// (@required attribute presence) are per-label set operations — the
+// label's node bitset against the property-presence bitsets — so on a
+// conformant graph they cost one AND-NOT per 64 nodes and touch no
+// per-node state at all.
+func (r *runner) nodeKernels(w fusedWant, emit emitFunc, kern *boundKernels, lo, hi int) {
+	b := r.bind
+	snap := b.snap
+	wlo, whi := lo>>6, (hi+63)>>6
+	for symi, set := range kern.labelBits {
+		if set == nil {
+			continue
+		}
+		bl := b.labels[symi]
+		label := bl.label
+		if w.ss1 && bl.oblig&obSS1 != 0 {
+			for wi := wlo; wi < whi; wi++ {
+				word := maskedWord(set, wi, lo, hi)
+				for word != 0 {
+					v := pg.NodeID(wi<<6 + bits.TrailingZeros64(word))
+					word &= word - 1
+					if r.drop() {
+						continue
+					}
+					emit(Violation{
+						Rule: SS1, Node: v, Edge: -1, TypeName: label,
+						Message: fmt.Sprintf("%s: label %q is not an object type of the schema", nodeRef(v), label),
+					})
+				}
+			}
+		}
+		if w.ds5 && bl.oblig&obDS5 != 0 {
+			for i := range bl.reqAttrs {
+				req := &bl.reqAttrs[i]
+				pwords := snap.NodePropWords(req.sym)
+				isList := req.fd.Type.IsList()
+				for wi := wlo; wi < whi; wi++ {
+					labelWord := maskedWord(set, wi, lo, hi)
+					if labelWord == 0 {
+						continue
+					}
+					var have uint64
+					if wi < len(pwords) {
+						have = pwords[wi]
+					}
+					miss := labelWord &^ have
+					for miss != 0 {
+						v := pg.NodeID(wi<<6 + bits.TrailingZeros64(miss))
+						miss &= miss - 1
+						if r.drop() {
+							continue
+						}
+						emit(Violation{
+							Rule: DS5, Node: v, Edge: -1,
+							TypeName: req.fd.Owner, Field: req.fd.Name, Property: req.fd.Name,
+							Message: fmt.Sprintf("%s (%s): missing property %q required by @required on %s.%s",
+								nodeRef(v), label, req.fd.Name, req.fd.Owner, req.fd.Name),
+						})
+					}
+					if isList {
+						present := labelWord & have
+						for present != 0 {
+							v := pg.NodeID(wi<<6 + bits.TrailingZeros64(present))
+							present &= present - 1
+							if val, ok := snap.NodePropBySym(v, req.sym); ok && val.Kind() == values.KindList && val.Len() == 0 && !r.drop() {
+								emit(Violation{
+									Rule: DS5, Node: v, Edge: -1,
+									TypeName: req.fd.Owner, Field: req.fd.Name, Property: req.fd.Name,
+									Message: fmt.Sprintf("%s (%s): property %q is an empty list, but @required on %s.%s demands a nonempty list",
+										nodeRef(v), label, req.fd.Name, req.fd.Owner, req.fd.Name),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ds1MapThreshold is the out-degree above which DS1's duplicate-target
+// detection switches from the linear scan over the scratch list to the
+// map — the list is allocation- and hash-free but quadratic in degree.
+const ds1MapThreshold = 128
+
+// fusedNodePassDense is the dense-range node pass: SS1 and DS5 run as
+// word kernels, and the remaining rules walk the live-node bitset with
+// bits.TrailingZeros64, gating each node's body on its label's
+// obligation mask — so a conformant node with no properties and no
+// obligations costs a handful of word operations, with no per-rule
+// branches. It emits exactly the violation set fusedNodePass emits over
+// the same range (the order differs; the collector sorts canonically).
+func (r *runner) fusedNodePassDense(w fusedWant, emit emitFunc, lo, hi int, sc *fusedScratch) {
+	b := r.bind
+	snap := b.snap
+	kern := b.kernels()
+	if w.ss1 || w.ds5 {
+		r.nodeKernels(w, emit, kern, lo, hi)
+	}
+	walk := wantMask(w) &^ (obSS1 | obDS5)
+	needProps := w.ws1 || w.ss2
+	if walk == 0 && !needProps {
+		return
+	}
+	labelCol := snap.NodeLabelColumn()
+	live := kern.liveNodes
+	wlo, whi := lo>>6, (hi+63)>>6
+	for wi := wlo; wi < whi; wi++ {
+		word := maskedWord(live, wi, lo, hi)
+		for word != 0 {
+			v := pg.NodeID(wi<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			bl := b.labels[labelCol[v]]
+			need := bl.oblig & walk
+			var props []pg.Prop
+			if needProps {
+				props = snap.NodePropsOf(v)
+			}
+			if need == 0 && len(props) == 0 {
+				continue
+			}
+			label := bl.label
+
+			// WS1 + SS2 share the flat property row.
+			{
+				for i := range props {
+					pr := &props[i]
+					var slot fieldSlot
+					if bl.fields != nil {
+						slot = bl.fields[pr.Sym]
+					}
+					if slot.fd == nil {
+						if w.ss2 && !r.drop() {
+							emit(Violation{
+								Rule: SS2, Node: v, Edge: -1, TypeName: label, Property: pr.Name,
+								Message: fmt.Sprintf("%s (%s): property %q is not declared as a field of %s", nodeRef(v), label, pr.Name, label),
+							})
+						}
+						continue
+					}
+					if !slot.isAttr {
+						if w.ss2 && !r.drop() {
+							emit(Violation{
+								Rule: SS2, Node: v, Edge: -1, TypeName: label, Field: pr.Name, Property: pr.Name,
+								Message: fmt.Sprintf("%s (%s): property %q corresponds to relationship field %s.%s of type %s, not an attribute",
+									nodeRef(v), label, pr.Name, label, pr.Name, slot.fd.Type),
+							})
+						}
+						continue
+					}
+					if w.ws1 && !slot.check(pr.Value) && !r.drop() {
+						emit(Violation{
+							Rule: WS1, Node: v, Edge: -1,
+							TypeName: label, Field: pr.Name, Property: pr.Name,
+							Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
+								nodeRef(v), label, pr.Name, pr.Value, slot.fd.Type),
+						})
+					}
+				}
+			}
+
+			// WS4: only a node with ≥ 2 out-edges can repeat a label.
+			if need&obWS4 != 0 && snap.OutDegree(v) >= 2 {
+				sc.touched = sc.touched[:0]
+				for _, e := range snap.OutEdgesOf(v) {
+					ls := snap.EdgeLabelSym(e)
+					if sc.counts[ls] == 0 {
+						sc.touched = append(sc.touched, ls)
+					}
+					sc.counts[ls]++
+				}
+				for _, ls := range sc.touched {
+					n := sc.counts[ls]
+					sc.counts[ls] = 0
+					if n < 2 {
+						continue
+					}
+					slot := bl.fields[ls]
+					if slot.fd == nil || slot.fd.Type.IsList() || r.drop() {
+						continue
+					}
+					f := r.g.SymName(ls)
+					emit(Violation{
+						Rule: WS4, Node: v, Edge: -1,
+						TypeName: label, Field: f,
+						Message: fmt.Sprintf("%s (%s): %d outgoing %q edges, but %s.%s has non-list type %s (at most one edge allowed)",
+							nodeRef(v), label, n, f, label, f, slot.fd.Type),
+					})
+				}
+			}
+
+			// Source-side directive rules, fused into one adjacency scan
+			// per declaration (DS1 + DS2 + DS6 together; a @required-only
+			// declaration breaks at the first matching edge).
+			if need&(obDS1|obDS2|obDS6) != 0 {
+				for i := range bl.srcRel {
+					d := &bl.srcRel[i]
+					doDS1 := w.ds1 && d.distinct
+					doDS2 := w.ds2 && d.noLoops
+					doDS6 := w.ds6 && d.required
+					if !doDS1 && !doDS2 && !doDS6 {
+						continue
+					}
+					edges := snap.OutEdgesOf(v)
+					found := false
+					if doDS1 || doDS2 {
+						useMap := doDS1 && len(edges) > ds1MapThreshold
+						if doDS1 && !useMap {
+							sc.dsts = sc.dsts[:0]
+						}
+						for _, e := range edges {
+							if snap.EdgeLabelSym(e) != d.sym {
+								continue
+							}
+							found = true
+							_, dst := snap.Endpoints(e)
+							if doDS2 && dst == v && !r.drop() {
+								emit(Violation{
+									Rule: DS2, Node: v, Edge: e,
+									TypeName: d.fd.Owner, Field: d.fd.Name,
+									Message: fmt.Sprintf("%s: %q loop edge violates @noLoops on %s.%s",
+										nodeRef(v), d.fd.Name, d.fd.Owner, d.fd.Name),
+								})
+							}
+							if doDS1 {
+								dup := int32(0)
+								if useMap {
+									sc.seen[dst]++
+									dup = sc.seen[dst] - 1
+								} else {
+									for _, prev := range sc.dsts {
+										if prev == dst {
+											dup++
+										}
+									}
+									sc.dsts = append(sc.dsts, dst)
+								}
+								if dup == 1 && !r.drop() {
+									emit(Violation{
+										Rule: DS1, Node: v, Edge: e,
+										TypeName: d.fd.Owner, Field: d.fd.Name,
+										Message: fmt.Sprintf("%s: multiple %q edges to %s violate @distinct on %s.%s",
+											nodeRef(v), d.fd.Name, nodeRef(dst), d.fd.Owner, d.fd.Name),
+									})
+								}
+							}
+						}
+						if doDS1 && useMap && len(sc.seen) > 0 {
+							clear(sc.seen)
+						}
+					} else {
+						for _, e := range edges {
+							if snap.EdgeLabelSym(e) == d.sym {
+								found = true
+								break
+							}
+						}
+					}
+					if doDS6 && !found && !r.drop() {
+						emit(Violation{
+							Rule: DS6, Node: v, Edge: -1,
+							TypeName: d.fd.Owner, Field: d.fd.Name,
+							Message: fmt.Sprintf("%s (%s): no outgoing %q edge, violating @required on %s.%s",
+								nodeRef(v), label, d.fd.Name, d.fd.Owner, d.fd.Name),
+						})
+					}
+				}
+			}
+
+			// DS3 (target side): at most one incoming @uniqueForTarget edge.
+			if need&obDS3 != 0 {
+				for i := range bl.uftIn {
+					u := &bl.uftIn[i]
+					n := 0
+					var second pg.EdgeID = -1
+					for _, e := range snap.InEdgesOf(v) {
+						if snap.EdgeLabelSym(e) != u.sym {
+							continue
+						}
+						src, _ := snap.Endpoints(e)
+						if !b.labels[snap.NodeLabelSym(src)].sub[u.ownerID] {
+							continue
+						}
+						n++
+						if n == 2 {
+							second = e
+						}
+					}
+					if n > 1 && !r.drop() {
+						emit(Violation{
+							Rule: DS3, Node: v, Edge: second,
+							TypeName: u.fd.Owner, Field: u.fd.Name,
+							Message: fmt.Sprintf("%s: %d incoming %q edges from %s nodes violate @uniqueForTarget on %s.%s",
+								nodeRef(v), n, u.fd.Name, u.fd.Owner, u.fd.Owner, u.fd.Name),
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
 // fusedEdgePass evaluates WS2, WS3, SS3, and SS4 for every live edge in
 // [lo, hi), reading the snapshot's flat edge columns. As in
 // fusedNodePass, a non-nil list switches the pass from the dense ID
@@ -410,6 +782,34 @@ func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, list []pg.EdgeID, lo,
 		if els == pg.NoSym {
 			continue // removed edge
 		}
+		r.fusedEdgeCheck(w, emit, e, els)
+	}
+}
+
+// fusedEdgePassDense is fusedEdgePass over the dense ID range [lo, hi),
+// walking the live-edge bitset word-at-a-time so tombstones cost word
+// operations instead of a per-element label load and branch.
+func (r *runner) fusedEdgePassDense(w fusedWant, emit emitFunc, lo, hi int) {
+	b := r.bind
+	labelCol := b.snap.EdgeLabelColumn()
+	live := b.kernels().liveEdges
+	wlo, whi := lo>>6, (hi+63)>>6
+	for wi := wlo; wi < whi; wi++ {
+		word := maskedWord(live, wi, lo, hi)
+		for word != 0 {
+			e := pg.EdgeID(wi<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			r.fusedEdgeCheck(w, emit, e, labelCol[e])
+		}
+	}
+}
+
+// fusedEdgeCheck evaluates the edge-pass rules for one live edge — the
+// shared body of the list and dense edge passes.
+func (r *runner) fusedEdgeCheck(w fusedWant, emit emitFunc, e pg.EdgeID, els pg.Sym) {
+	b := r.bind
+	snap := b.snap
+	{
 		src, dst := snap.Endpoints(e)
 		srcInfo := b.labels[snap.NodeLabelSym(src)]
 		srcLabel := srcInfo.label
@@ -446,9 +846,12 @@ func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, list []pg.EdgeID, lo,
 			props := snap.EdgePropsOf(e)
 			for i := range props {
 				pr := &props[i]
-				var arg *schema.ArgDef
-				if fd != nil {
-					arg = fd.Arg(pr.Name)
+				var arg *boundArg
+				for j := range slot.args {
+					if slot.args[j].sym == pr.Sym {
+						arg = &slot.args[j]
+						break
+					}
 				}
 				if arg == nil {
 					if w.ss3 && !r.drop() {
@@ -460,12 +863,12 @@ func (r *runner) fusedEdgePass(w fusedWant, emit emitFunc, list []pg.EdgeID, lo,
 					}
 					continue
 				}
-				if w.ws2 && !r.s.MemberOfW(pr.Value, arg.Type) && !r.drop() {
+				if w.ws2 && !arg.check(pr.Value) && !r.drop() {
 					emit(Violation{
 						Rule: WS2, Node: src, Edge: e,
 						TypeName: fd.Owner, Field: fd.Name, Property: pr.Name,
 						Message: fmt.Sprintf("%s (%s): property %q = %s is not in valuesW(%s)",
-							edgeRef(e), fd.Name, pr.Name, pr.Value, arg.Type),
+							edgeRef(e), fd.Name, pr.Name, pr.Value, arg.arg.Type),
 					})
 				}
 			}
@@ -580,19 +983,64 @@ const (
 	taskDS4
 	taskDS4Dirty
 	taskDS7
+	taskDS7Range
+
+	numTaskKinds // count, for per-kind feedback accumulators
 )
 
-// run executes the chunk, emitting into emit.
+// span is the chunk's element span, for the scheduler's chunk-size
+// histogram; whole-pass markers (DS4 all, whole DS7) count as 1.
+func (t *fusedChunk) span() int {
+	if n := t.hi - t.lo; n > 0 {
+		return n
+	}
+	return 1
+}
+
+// ds7Range emits the DS7 violations of the binding's conflict groups in
+// [lo, hi) — the chunkable form of the bound unrestricted DS7 sweep.
+// The groups are exactly the ≥2-node key buckets, in deterministic
+// order; callers must have built the key index (fused does, before
+// planning).
+func (r *runner) ds7Range(emit emitFunc, lo, hi int) {
+	b := r.bind
+	for i := lo; i < hi; i++ {
+		grp := &b.ds7Groups[i]
+		if r.drop() {
+			continue
+		}
+		emit(Violation{
+			Rule: DS7, Node: grp.nodes[0], Edge: -1,
+			TypeName: grp.typeName,
+			Message: fmt.Sprintf("%d nodes (%s, %s, …) of type %s agree on key {%s}, violating @key",
+				len(grp.nodes), nodeRef(grp.nodes[0]), nodeRef(grp.nodes[1]), grp.typeName, strings.Join(grp.keyFields, ", ")),
+		})
+	}
+}
+
+// run executes the chunk, emitting into emit. Dense ranges (nil
+// node/edge lists) take the word-walk kernels; list chunks — the shape
+// incremental revalidation plans — keep the per-element passes.
 func (t fusedChunk) run(r *runner, sc *fusedScratch, emit emitFunc) {
 	switch t.kind {
 	case taskNodePass:
-		r.fusedNodePass(t.w, emit, t.nodes, t.lo, t.hi, sc)
+		if t.nodes == nil {
+			r.fusedNodePassDense(t.w, emit, t.lo, t.hi, sc)
+		} else {
+			r.fusedNodePass(t.w, emit, t.nodes, t.lo, t.hi, sc)
+		}
 	case taskEdgePass:
-		r.fusedEdgePass(t.w, emit, t.edges, t.lo, t.hi)
+		if t.edges == nil {
+			r.fusedEdgePassDense(t.w, emit, t.lo, t.hi)
+		} else {
+			r.fusedEdgePass(t.w, emit, t.edges, t.lo, t.hi)
+		}
 	case taskDS4:
 		r.ds4Fused(emit, t.decl, t.lo, t.hi)
 	case taskDS4Dirty:
 		r.ds4DirtyPass(emit, t.nodes, t.lo, t.hi)
+	case taskDS7Range:
+		r.ds7Range(emit, t.lo, t.hi)
 	default:
 		r.ds7(emit, 0, 1)
 	}
@@ -608,29 +1056,68 @@ func (t fusedChunk) rules() []Rule {
 		return t.w.active(edgePassRules)
 	case taskDS4, taskDS4Dirty:
 		return []Rule{DS4}
-	default:
+	default: // taskDS7, taskDS7Range
 		return []Rule{DS7}
 	}
 }
 
-// Chunk sizing: aim for chunksPerWorker chunks per worker so the cursor
-// can rebalance skew, but never smaller than minChunkSpan elements so
-// tiny graphs don't drown in scheduling overhead (and tests on small
-// graphs still exercise multi-chunk merges).
+// Chunk sizing. Without feedback, aim for chunksPerWorker chunks per
+// worker so the cursor can rebalance skew, but never smaller than
+// minChunkSpan elements so tiny graphs don't drown in scheduling
+// overhead (and tests on small graphs still exercise multi-chunk
+// merges). With feedback — observed per-element pass costs on the
+// compiled Program — size chunks toward targetChunkNs of work each, so
+// dispatch overhead is a fixed small fraction of a chunk regardless of
+// graph size, halving the span when previous runs measured high chunk
+// skew (one chunk much slower than average means finer grains steal
+// better).
 const (
-	minChunkSpan    = 16
-	chunksPerWorker = 16
+	minChunkSpan       = 16
+	chunksPerWorker    = 16
+	targetChunkNs      = 1e6 // ~1ms of work per chunk
+	skewHalveThreshold = 2.0 // max/avg chunk time that triggers halving
+	feedbackMinElems   = 1024
 )
 
-// appendRangeChunks splits [0, bound) into spans for the given worker
-// count and appends them as chunks of the kind.
-func appendRangeChunks(chunks []fusedChunk, kind fusedTaskKind, decl, bound, workers int) []fusedChunk {
-	if bound <= 0 {
-		return chunks
-	}
+// defaultSpan is the feedback-free chunk span for a pass of the given
+// element bound.
+func defaultSpan(bound, workers int) int {
 	span := (bound + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
 	if span < minChunkSpan {
 		span = minChunkSpan
+	}
+	return span
+}
+
+// adaptiveSpan sizes a pass's chunks from the program's scheduler
+// feedback, falling back to defaultSpan when the task kind has no
+// observations yet. The span is clamped to keep at least two chunks
+// per worker whenever the pass is large enough to split that far.
+func adaptiveSpan(kind fusedTaskKind, bound, workers int, fb *schedFeedback) int {
+	if fb == nil || fb.nsPerElem[kind] <= 0 {
+		return defaultSpan(bound, workers)
+	}
+	span := int(targetChunkNs / fb.nsPerElem[kind])
+	if fb.skew[kind] > skewHalveThreshold {
+		span /= 2
+	}
+	if span < minChunkSpan {
+		span = minChunkSpan
+	}
+	if maxSpan := bound / (2 * workers); maxSpan >= minChunkSpan && span > maxSpan {
+		span = maxSpan
+	}
+	return span
+}
+
+// appendRangeChunks splits [0, bound) into chunks of the given span and
+// appends them as chunks of the kind.
+func appendRangeChunks(chunks []fusedChunk, kind fusedTaskKind, decl, bound, span int) []fusedChunk {
+	if bound <= 0 {
+		return chunks
+	}
+	if span < 1 {
+		span = 1
 	}
 	for lo := 0; lo < bound; lo += span {
 		hi := lo + span
@@ -647,9 +1134,8 @@ func appendRangeChunks(chunks []fusedChunk, kind fusedTaskKind, decl, bound, wor
 // non-sharded parallel engine always ran); with it the node and edge
 // passes and every DS4 declaration split into many range chunks for the
 // stealing cursor. DS7 buckets globally and stays whole either way.
-func (r *runner) planFusedChunks(w fusedWant, sharded bool, workers int) []fusedChunk {
+func (r *runner) planFusedChunks(w fusedWant, sharded bool, workers int, chunks []fusedChunk) []fusedChunk {
 	b := r.bind
-	var chunks []fusedChunk
 	nodePass := len(w.active(nodePassRules)) > 0
 	edgePass := len(w.active(edgePassRules)) > 0
 	if !sharded {
@@ -670,19 +1156,27 @@ func (r *runner) planFusedChunks(w fusedWant, sharded bool, workers int) []fused
 		}
 		return chunks
 	}
+	fb := b.p.sched.Load()
 	if nodePass {
-		chunks = appendRangeChunks(chunks, taskNodePass, -1, b.snap.NodeBound(), workers)
+		bound := b.snap.NodeBound()
+		chunks = appendRangeChunks(chunks, taskNodePass, -1, bound, adaptiveSpan(taskNodePass, bound, workers, fb))
 	}
 	if edgePass {
-		chunks = appendRangeChunks(chunks, taskEdgePass, -1, b.snap.EdgeBound(), workers)
+		bound := b.snap.EdgeBound()
+		chunks = appendRangeChunks(chunks, taskEdgePass, -1, bound, adaptiveSpan(taskEdgePass, bound, workers, fb))
 	}
 	if w.ds4 {
 		for d := range b.reqTargets {
-			chunks = appendRangeChunks(chunks, taskDS4, d, len(b.reqTargets[d].targets), workers)
+			bound := len(b.reqTargets[d].targets)
+			chunks = appendRangeChunks(chunks, taskDS4, d, bound, adaptiveSpan(taskDS4, bound, workers, fb))
 		}
 	}
 	if w.ds7 {
-		chunks = append(chunks, fusedChunk{kind: taskDS7, decl: -1})
+		// The key index was built by fused() before planning; the DS7 pass
+		// chunks bucket-group ranges, so a key-heavy graph no longer
+		// serializes the run behind one whole-pass task.
+		bound := len(b.ds7Groups)
+		chunks = appendRangeChunks(chunks, taskDS7Range, -1, bound, adaptiveSpan(taskDS7Range, bound, workers, fb))
 	}
 	for i := range chunks {
 		chunks[i].w = w
@@ -715,7 +1209,7 @@ func attribute(timings map[Rule]time.Duration, rules []Rule, elapsed time.Durati
 // per-chunk violation buffers into the collector (no mutex in the hot
 // path). It returns the per-rule timings when Options.CollectTimings is
 // set.
-func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Duration {
+func (r *runner) fused(p *Program, rules []Rule, c *collector) (map[Rule]time.Duration, *sched.Stats) {
 	r.bind = p.bindTo(r.g)
 	w := wantRules(rules)
 	if w.ds4 {
@@ -724,22 +1218,56 @@ func (r *runner) fused(p *Program, rules []Rule, c *collector) map[Rule]time.Dur
 		// lengths. (Dirty-list runs plan their own chunks and skip this.)
 		r.bind.ensureNodes()
 	}
+	if len(w.active(nodePassRules)) > 0 || len(w.active(edgePassRules)) > 0 {
+		// The dense passes walk the live bitsets; build them outside the
+		// timed chunks so the first chunk isn't charged for the build.
+		r.bind.kernels()
+	}
 	workers := r.opts.Workers
 	if workers <= 1 {
 		workers = 1
 	}
-	chunks := r.planFusedChunks(w, r.opts.Workers > 1 && r.opts.ElementSharding, workers)
-	return r.runChunks(chunks, rules, c)
+	sharded := r.opts.Workers > 1 && r.opts.ElementSharding
+	if w.ds7 && sharded {
+		// Materialize the key index so planning can range over the
+		// conflict groups (the same work the whole-pass DS7 task would
+		// have done serially inside one chunk).
+		r.bind.keyIndex(r.s)
+	}
+	cb := p.getChunkBuf()
+	cb.chunks = r.planFusedChunks(w, sharded, workers, cb.chunks[:0])
+	timings, st := r.runChunks(cb.chunks, rules, c)
+	p.putChunkBuf(cb)
+	return timings, st
 }
 
+// chunkBuf is a pooled chunk-plan buffer — behind a pointer so the pool
+// round-trip never boxes a slice header.
+type chunkBuf struct{ chunks []fusedChunk }
+
+func (p *Program) getChunkBuf() *chunkBuf {
+	cb, _ := p.chunkPool.Get().(*chunkBuf)
+	if cb == nil {
+		cb = &chunkBuf{}
+	}
+	return cb
+}
+
+func (p *Program) putChunkBuf(cb *chunkBuf) { p.chunkPool.Put(cb) }
+
 // runChunks executes planned fused chunks — sequentially when the
-// runner has one worker, else on the work-stealing pool — and returns
-// per-rule timings when requested. The runner's context is honored at
-// chunk boundaries: a cancelled context stops before the next chunk
-// claim, never mid-chunk, so every merged buffer holds whole-chunk
-// results and the claimed-chunk-completes merge invariant survives
-// cancellation.
-func (r *runner) runChunks(chunks []fusedChunk, rules []Rule, c *collector) map[Rule]time.Duration {
+// runner has one worker, else on the work-stealing scheduler — and
+// returns per-rule timings when requested plus the run's scheduler
+// telemetry. The runner's context is honored at chunk boundaries: a
+// cancelled context stops before the next chunk claim, never mid-chunk,
+// so every merged buffer holds whole-chunk results and the
+// claimed-chunk-completes merge invariant survives cancellation.
+//
+// Both paths record per-kind element costs (and, in parallel, the
+// measured efficiency and chunk skew) into the program's scheduler
+// feedback, which adaptiveSpan and autotuneWorkers consult on later
+// runs over the same program.
+func (r *runner) runChunks(chunks []fusedChunk, rules []Rule, c *collector) (map[Rule]time.Duration, *sched.Stats) {
 	var timings map[Rule]time.Duration
 	if r.opts.CollectTimings {
 		timings = make(map[Rule]time.Duration, len(rules))
@@ -747,71 +1275,222 @@ func (r *runner) runChunks(chunks []fusedChunk, rules []Rule, c *collector) map[
 			timings[rule] = 0 // every requested rule gets an entry
 		}
 	}
+	p := r.bind.p
 
 	if r.opts.Workers <= 1 {
 		// Sequential: emit straight into the collector and keep scanning
 		// passes after the cap fills until an emit is rejected — the same
 		// exact-Truncated contract as the sequential rule-by-rule engine,
 		// at pass rather than rule granularity.
-		sc := newFusedScratch(r.bind.symCount)
-		for _, t := range chunks {
+		sc := p.getScratch(r.bind.symCount)
+		var st *sched.Stats
+		if r.opts.SchedStats {
+			st = &sched.Stats{Workers: 1, Chunks: len(chunks), PerWorker: make([]sched.WorkerStats, 1)}
+			for i := range chunks {
+				st.SpanHist[sched.SpanBucket(chunks[i].span())]++
+			}
+		}
+		var obs schedFeedback
+		var elems [numTaskKinds]int64
+		start := time.Now()
+		for i := range chunks {
+			t := &chunks[i]
 			if c.truncated() || r.cancelled() {
 				break
 			}
-			start := time.Now()
+			t0 := time.Now()
 			t.run(r, sc, c.emit)
+			d := time.Since(t0)
 			if timings != nil {
-				attribute(timings, t.rules(), time.Since(start))
+				attribute(timings, t.rules(), d)
+			}
+			if t.nodes == nil && t.edges == nil && t.hi > t.lo {
+				obs.nsPerElem[t.kind] += float64(d) // summed ns; divided below
+				elems[t.kind] += int64(t.hi - t.lo)
+			}
+			if st != nil {
+				pw := &st.PerWorker[0]
+				pw.Chunks++
+				pw.Busy += d
+				if d > pw.MaxChunk {
+					pw.MaxChunk = d
+				}
 			}
 		}
-		return timings
+		if st != nil {
+			st.Wall = time.Since(start)
+			st.Busy = st.PerWorker[0].Busy
+			st.MaxChunk = st.PerWorker[0].MaxChunk
+		}
+		note := false
+		for k := range elems {
+			if elems[k] >= feedbackMinElems {
+				obs.nsPerElem[k] /= float64(elems[k])
+				note = true
+			} else {
+				obs.nsPerElem[k] = 0
+			}
+		}
+		if note {
+			p.noteSched(&obs)
+		}
+		p.putScratch(sc)
+		return timings, st
 	}
 
-	var (
-		timingMu sync.Mutex
-		cursor   atomic.Int64
-		wg       sync.WaitGroup
-	)
-	for i := 0; i < r.opts.Workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := newFusedScratch(r.bind.symCount)
-			for {
-				idx := int(cursor.Add(1)) - 1
-				if idx >= len(chunks) {
-					return
-				}
-				// Cancellation is checked per claim: chunks already
-				// running finish and merge; unstarted ones are abandoned.
-				if r.cancelled() {
-					return
-				}
-				// Chunks not yet started are skipped once the cap is
-				// reached; a started chunk always runs to completion and
-				// merges, so overflow among completed chunks is never
-				// lost (see collector.merge).
-				if c.full() {
-					continue
-				}
-				t := chunks[idx]
-				bufp := violationBufPool.Get().(*[]Violation)
-				buf := (*bufp)[:0]
-				emit := func(v Violation) { buf = append(buf, v) }
-				start := time.Now()
-				t.run(r, sc, emit)
-				elapsed := time.Since(start)
-				c.merge(buf)
-				*bufp = buf[:0]
-				violationBufPool.Put(bufp)
-				if timings != nil {
-					timingMu.Lock()
-					attribute(timings, t.rules(), elapsed)
-					timingMu.Unlock()
+	workers := r.opts.Workers
+	pr := p.getParRun(workers, r.bind.symCount)
+	body := func(worker, idx int) {
+		pw := &pr.workers[worker]
+		// Cancellation and cap checks happen per claim: chunks already
+		// running finish and merge; unstarted ones are abandoned (or, for
+		// the cap, skipped — a started chunk always merges, so overflow
+		// among completed chunks is never lost; see collector.merge).
+		if r.cancelled() || c.full() {
+			return
+		}
+		t := &chunks[idx]
+		t0 := time.Now()
+		t.run(r, pw.sc, pw.emit)
+		d := time.Since(t0)
+		c.merge(pw.buf)
+		pw.buf = pw.buf[:0]
+		if timings != nil {
+			if pw.timings == nil {
+				pw.timings = make(map[Rule]time.Duration)
+			}
+			attribute(pw.timings, t.rules(), d)
+		}
+		if t.nodes == nil && t.edges == nil && t.hi > t.lo {
+			k := t.kind
+			pw.kindNs[k] += int64(d)
+			pw.kindElems[k] += int64(t.hi - t.lo)
+			pw.kindChunks[k]++
+			if int64(d) > pw.kindMax[k] {
+				pw.kindMax[k] = int64(d)
+			}
+		}
+	}
+	// Stats are always collected in parallel runs — the efficiency
+	// feedback that drives worker autotuning needs them even when the
+	// caller didn't ask to see them. When nobody will see them, the
+	// Stats object itself is recycled from the pooled run state; when
+	// the caller gets them (SchedStats), it must own a fresh one.
+	var reuse *sched.Stats
+	if !r.opts.SchedStats {
+		reuse = pr.st
+	}
+	st := sched.Run(workers, len(chunks), body, sched.Options{
+		Collect: true,
+		Span:    func(i int) int { return chunks[i].span() },
+		Reuse:   reuse,
+	})
+	if !r.opts.SchedStats {
+		pr.st = st
+	}
+
+	// Post-run, single-threaded: merge per-worker timings (no mutex ever
+	// touched the hot path) and fold the observations into the program's
+	// feedback.
+	obs := &schedFeedback{efficiency: st.Efficiency()}
+	var ns, el, cnt, mx [numTaskKinds]int64
+	for i := range pr.workers {
+		pw := &pr.workers[i]
+		if pw.timings != nil {
+			for rule, d := range pw.timings {
+				timings[rule] += d
+			}
+			pw.timings = nil
+		}
+		for k := 0; k < int(numTaskKinds); k++ {
+			ns[k] += pw.kindNs[k]
+			el[k] += pw.kindElems[k]
+			cnt[k] += pw.kindChunks[k]
+			if pw.kindMax[k] > mx[k] {
+				mx[k] = pw.kindMax[k]
+			}
+		}
+		pw.kindNs = [numTaskKinds]int64{}
+		pw.kindElems = [numTaskKinds]int64{}
+		pw.kindChunks = [numTaskKinds]int64{}
+		pw.kindMax = [numTaskKinds]int64{}
+	}
+	for k := range ns {
+		if el[k] >= feedbackMinElems {
+			obs.nsPerElem[k] = float64(ns[k]) / float64(el[k])
+			if cnt[k] > 0 {
+				if avg := float64(ns[k]) / float64(cnt[k]); avg > 0 {
+					obs.skew[k] = float64(mx[k]) / avg
 				}
 			}
-		}()
+		}
 	}
-	wg.Wait()
-	return timings
+	p.noteSched(obs)
+	p.putParRun(pr)
+	return timings, st
 }
+
+// parRun is the pooled per-run state of the parallel engine: one
+// parWorker per worker, each holding reusable scratch, a violation
+// buffer, and an emit closure bound to that buffer — so a warm parallel
+// run allocates no per-chunk (or even per-worker) buffers and closures,
+// the flat-allocation contract TestParallelAllocBudget pins.
+type parRun struct {
+	workers []parWorker
+
+	// st is the recycled scheduler-telemetry object for runs where the
+	// caller did not ask to see the stats (the common case).
+	st *sched.Stats
+}
+
+type parWorker struct {
+	sc      *fusedScratch
+	buf     []Violation
+	emit    emitFunc
+	timings map[Rule]time.Duration
+
+	// Per-task-kind accumulators for the scheduler feedback, reset
+	// after every run's post-merge.
+	kindNs, kindElems, kindChunks, kindMax [numTaskKinds]int64
+}
+
+// getScratch hands out a pooled sequential-pass scratch.
+func (p *Program) getScratch(symCount int) *fusedScratch {
+	sc, _ := p.scratchPool.Get().(*fusedScratch)
+	if sc == nil {
+		return newFusedScratch(symCount)
+	}
+	sc.resize(symCount)
+	return sc
+}
+
+func (p *Program) putScratch(sc *fusedScratch) { p.scratchPool.Put(sc) }
+
+// getParRun hands out the pooled parallel run state, sized for the
+// worker count.
+func (p *Program) getParRun(workers, symCount int) *parRun {
+	pr, _ := p.runPool.Get().(*parRun)
+	if pr == nil {
+		pr = &parRun{}
+	}
+	if cap(pr.workers) < workers {
+		// The emit closures capture element addresses, so growing must
+		// rebuild the slice wholesale rather than append into it.
+		pr.workers = make([]parWorker, workers)
+	}
+	pr.workers = pr.workers[:workers]
+	for i := range pr.workers {
+		pw := &pr.workers[i]
+		if pw.sc == nil {
+			pw.sc = newFusedScratch(symCount)
+		} else {
+			pw.sc.resize(symCount)
+		}
+		if pw.emit == nil {
+			pw.emit = func(v Violation) { pw.buf = append(pw.buf, v) }
+		}
+	}
+	return pr
+}
+
+func (p *Program) putParRun(pr *parRun) { p.runPool.Put(pr) }

@@ -9,6 +9,7 @@ import (
 
 	"pgschema/internal/pg"
 	"pgschema/internal/schema"
+	"pgschema/internal/values"
 )
 
 // A Program is a validation program compiled from a schema once and
@@ -49,6 +50,25 @@ type Program struct {
 	nObligations int
 
 	bound atomic.Pointer[binding]
+
+	// sched holds the scheduler feedback of previous runs over this
+	// program — smoothed per-element pass costs, observed chunk skew,
+	// and measured parallel efficiency. The adaptive chunk planner sizes
+	// the next run's chunks from it, and worker autotuning falls back
+	// toward sequential when the measured efficiency says parallelism
+	// is not paying (single-core containers). Epoch changes do not reset
+	// it: per-element costs are a property of the schema and kernels,
+	// not of one graph state.
+	sched atomic.Pointer[schedFeedback]
+
+	// scratchPool and runPool recycle per-worker scratch and the
+	// parallel run's worker states (violation buffers, emit closures)
+	// across runs, so a parallel run allocates per worker only its
+	// goroutine — the flat-allocation contract the AllocsPerRun tests
+	// pin.
+	scratchPool sync.Pool
+	runPool     sync.Pool
+	chunkPool   sync.Pool
 }
 
 // labelProgram is the schema-side compilation of one declared type
@@ -60,9 +80,16 @@ type labelProgram struct {
 	fields []compiledField
 	sub    []bool // indexed by nameID: sub[n] ⇔ label ⊑S names[n]
 
-	srcRel   []compiledSrc       // DS1/DS2/DS6 source-side obligations
-	reqAttrs []*schema.FieldDef  // DS5 @required attributes
-	uftIn    []compiledUft       // DS3 target-side @uniqueForTarget
+	srcRel   []compiledSrc      // DS1/DS2/DS6 source-side obligations
+	reqAttrs []*schema.FieldDef // DS5 @required attributes
+	uftIn    []compiledUft      // DS3 target-side @uniqueForTarget
+
+	// oblig is the label's obligation mask (ob* bits in fused.go): which
+	// rule groups can possibly fire for a node of this label. The fused
+	// node kernel ANDs it with the run's want mask, so a node whose
+	// label owes nothing to the requested rules costs two loads and one
+	// branch.
+	oblig obligMask
 }
 
 // compiledField classifies one declared field of a label.
@@ -70,6 +97,20 @@ type compiledField struct {
 	fd     *schema.FieldDef
 	isAttr bool
 	baseID int32 // nameID of fd.Type.Base()
+
+	// check is the compiled valuesW(fd.Type) predicate for attribute
+	// fields (WS1); args the compiled argument table for relationship
+	// fields (SS3/WS2). Exactly one is non-nil for a field with
+	// anything to check.
+	check func(values.Value) bool
+	args  []compiledArg
+}
+
+// compiledArg is one declared edge-property argument with its
+// membership predicate compiled (valuesW(arg.Type)).
+type compiledArg struct {
+	arg   *schema.ArgDef
+	check func(values.Value) bool
 }
 
 // compiledSrc is one relationship declaration with source-side
@@ -134,11 +175,20 @@ func CompileContext(ctx context.Context, s *schema.Schema) (*Program, error) {
 		}
 		lp := &labelProgram{td: td}
 		for _, f := range td.Fields {
-			lp.fields = append(lp.fields, compiledField{
+			cf := compiledField{
 				fd:     f,
 				isAttr: s.IsAttribute(f),
 				baseID: p.nameID[f.Type.Base()],
-			})
+			}
+			if cf.isAttr {
+				cf.check = s.MemberFuncW(f.Type)
+			} else if len(f.Args) > 0 {
+				cf.args = make([]compiledArg, len(f.Args))
+				for i, a := range f.Args {
+					cf.args[i] = compiledArg{arg: a, check: s.MemberFuncW(a.Type)}
+				}
+			}
+			lp.fields = append(lp.fields, cf)
 		}
 		p.nFields += len(lp.fields)
 		lp.sub = make([]bool, len(p.names))
@@ -190,6 +240,36 @@ func CompileContext(ctx context.Context, s *schema.Schema) (*Program, error) {
 					}
 				}
 			}
+		}
+	}
+	// Obligation masks, computed after the directive buckets are final.
+	for _, lp := range p.labels {
+		if lp.td.Kind != schema.Object {
+			lp.oblig |= obSS1
+		}
+		for _, cf := range lp.fields {
+			if !cf.fd.Type.IsList() {
+				lp.oblig |= obWS4 // a second same-label edge would violate
+				break
+			}
+		}
+		for i := range lp.srcRel {
+			d := &lp.srcRel[i]
+			if d.distinct {
+				lp.oblig |= obDS1
+			}
+			if d.noLoops {
+				lp.oblig |= obDS2
+			}
+			if d.required {
+				lp.oblig |= obDS6
+			}
+		}
+		if len(lp.uftIn) > 0 {
+			lp.oblig |= obDS3
+		}
+		if len(lp.reqAttrs) > 0 {
+			lp.oblig |= obDS5
 		}
 	}
 	p.compileTime = time.Since(start)
@@ -275,6 +355,80 @@ type binding struct {
 	// alone, which is cheaper than indexing every keyed type.
 	keyOnce sync.Once
 	keyed   []boundKeySet
+
+	// ds7Groups flattens the key buckets with ≥ 2 nodes — the only ones
+	// DS7 can report — into one deterministic list (keysets in schema
+	// order, buckets in first-seen key order), so the sharded DS7 pass
+	// chunks bucket ranges instead of serializing behind one task.
+	// Built together with keyed under keyOnce.
+	ds7Groups []ds7Group
+
+	// kern holds the dense-pass iteration bitsets (live nodes, live
+	// edges, per-label node sets for the word kernels), derived from the
+	// snapshot's label columns in one pass on first dense use. Dirty-list
+	// passes (incremental revalidation) never build them — a delta-sized
+	// run must not pay an O(V+E) sweep.
+	kernOnce sync.Once
+	kern     *boundKernels
+}
+
+// ds7Group is one key-bucket conflict candidate: the nodes of one type
+// agreeing on one rendered key tuple (only buckets of ≥ 2 nodes are
+// kept).
+type ds7Group struct {
+	typeName  string
+	keyFields []string
+	nodes     []pg.NodeID
+}
+
+// boundKernels are the word-at-a-time iteration sets of the dense fused
+// passes: presence bitsets over element IDs, walked with
+// bits.TrailingZeros64 so tombstone skips and per-label obligations
+// cost word operations instead of per-element branches.
+type boundKernels struct {
+	liveNodes []uint64 // bit v ⇔ node v is live
+	liveEdges []uint64 // bit e ⇔ edge e is live
+	// labelBits[s] is the bitset of live nodes labeled s — non-nil
+	// exactly for labels some word kernel sweeps (SS1-violating labels
+	// and labels with @required attributes).
+	labelBits [][]uint64
+}
+
+// kernels returns the dense-pass bitsets, building them on first use in
+// one pass over the snapshot's label columns. Callers must hold the
+// graph at the binding's epoch (the binding contract).
+func (b *binding) kernels() *boundKernels {
+	b.kernOnce.Do(func() {
+		snap := b.snap
+		nb, eb := snap.NodeBound(), snap.EdgeBound()
+		nodeWords := (nb + 63) / 64
+		k := &boundKernels{
+			liveNodes: make([]uint64, nodeWords),
+			liveEdges: make([]uint64, (eb+63)/64),
+			labelBits: make([][]uint64, b.symCount),
+		}
+		for sym, bl := range b.labels {
+			if bl != nil && bl.oblig&(obSS1|obDS5) != 0 {
+				k.labelBits[sym] = make([]uint64, nodeWords)
+			}
+		}
+		for v, ls := range snap.NodeLabelColumn() {
+			if ls == pg.NoSym {
+				continue
+			}
+			k.liveNodes[v>>6] |= 1 << (uint(v) & 63)
+			if set := k.labelBits[ls]; set != nil {
+				set[v>>6] |= 1 << (uint(v) & 63)
+			}
+		}
+		for e, ls := range snap.EdgeLabelColumn() {
+			if ls != pg.NoSym {
+				k.liveEdges[e>>6] |= 1 << (uint(e) & 63)
+			}
+		}
+		b.kern = k
+	})
+	return b.kern
 }
 
 // ensureNodes materializes the per-type node enumerations and the DS4
@@ -323,6 +477,7 @@ func (b *binding) keyIndex(s *schema.Schema) []boundKeySet {
 					}
 				}
 				buckets := make(map[string][]pg.NodeID)
+				var order []string // keys in first-seen (ascending node) order
 				for _, v := range b.nodesOf[td.Name] {
 					var sb strings.Builder
 					for _, f := range attrs {
@@ -334,9 +489,22 @@ func (b *binding) keyIndex(s *schema.Schema) []boundKeySet {
 						sb.WriteByte('\x00')
 					}
 					key := sb.String()
+					if _, seen := buckets[key]; !seen {
+						order = append(order, key)
+					}
 					buckets[key] = append(buckets[key], v)
 				}
 				b.keyed = append(b.keyed, boundKeySet{typeName: td.Name, keyFields: keyFields, buckets: buckets})
+				// Sharded DS7 chunks ranges over the conflict groups; the
+				// first-seen key order keeps the group list deterministic
+				// where map iteration would not be.
+				for _, key := range order {
+					if nodes := buckets[key]; len(nodes) >= 2 {
+						b.ds7Groups = append(b.ds7Groups, ds7Group{
+							typeName: td.Name, keyFields: keyFields, nodes: nodes,
+						})
+					}
+				}
 			}
 		}
 	})
@@ -358,13 +526,33 @@ type boundLabel struct {
 	srcRel   []boundSrc
 	reqAttrs []boundReq
 	uftIn    []boundUft
+
+	// oblig is the label's obligation mask, copied from the labelProgram
+	// (undeclared labels owe only SS1). The dense node kernel ANDs it
+	// with the run's want mask per node.
+	oblig obligMask
 }
 
-// fieldSlot is compiledField addressed by graph Sym.
+// fieldSlot is compiledField addressed by graph Sym. For relationship
+// fields, args carries the argument table re-keyed by the graph's
+// interned property-name syms: edge-property lookup is then a linear
+// sym scan over a couple of entries instead of a string-map probe.
 type fieldSlot struct {
 	fd     *schema.FieldDef
 	isAttr bool
 	baseID int32
+
+	check func(values.Value) bool
+	args  []boundArg
+}
+
+// boundArg is compiledArg with the argument name resolved to a graph
+// Sym (pg.NoSym when the graph never interned the name, which correctly
+// matches no edge property).
+type boundArg struct {
+	sym   pg.Sym
+	arg   *schema.ArgDef
+	check func(values.Value) bool
 }
 
 // boundSrc is compiledSrc with the field name resolved to a graph Sym
@@ -398,6 +586,88 @@ type boundReqTarget struct {
 	ownerID    int32
 	targetSyms []bool // indexed by pg.Sym: label ∈ ConcreteTargets(fd.Type.Base())
 	targets    []pg.NodeID
+}
+
+// schedFeedback is the run-to-run observation record the adaptive chunk
+// planner and the worker autotuner read: smoothed per-element costs per
+// task kind (for sizing chunks toward a wall-time target) and the
+// measured parallel efficiency of recent parallel runs (for falling
+// back toward sequential when parallelism is pure dispatch overhead).
+// Values are exponential moving averages with weight 1/2 per run; zero
+// means "no observation yet".
+type schedFeedback struct {
+	nsPerElem  [numTaskKinds]float64
+	skew       [numTaskKinds]float64 // max/avg chunk time per kind
+	efficiency float64
+}
+
+// noteSched folds one run's observations into the program's feedback
+// under a CAS loop (runs over the same program may race). Zero fields
+// in obs leave the corresponding smoothed value untouched.
+func (p *Program) noteSched(obs *schedFeedback) {
+	for {
+		old := p.sched.Load()
+		if old == nil {
+			if p.sched.CompareAndSwap(nil, obs) {
+				return
+			}
+			continue
+		}
+		merged := *old
+		for k := range obs.nsPerElem {
+			switch {
+			case obs.nsPerElem[k] <= 0:
+			case merged.nsPerElem[k] <= 0:
+				merged.nsPerElem[k] = obs.nsPerElem[k]
+			default:
+				merged.nsPerElem[k] = (merged.nsPerElem[k] + obs.nsPerElem[k]) / 2
+			}
+			switch {
+			case obs.skew[k] <= 0:
+			case merged.skew[k] <= 0:
+				merged.skew[k] = obs.skew[k]
+			default:
+				merged.skew[k] = (merged.skew[k] + obs.skew[k]) / 2
+			}
+		}
+		if obs.efficiency > 0 {
+			if merged.efficiency > 0 {
+				merged.efficiency = (merged.efficiency + obs.efficiency) / 2
+			} else {
+				merged.efficiency = obs.efficiency
+			}
+		}
+		if p.sched.CompareAndSwap(old, &merged) {
+			return
+		}
+	}
+}
+
+// effFallbackThreshold is the measured parallel efficiency below which
+// an autotuned worker count is scaled back: 0.5 means "if more than
+// half the workers' combined time was spent idle or queueing, the
+// parallelism is not paying here".
+const effFallbackThreshold = 0.5
+
+// autotuneWorkers applies efficiency feedback to an autotuned worker
+// count: when previous parallel runs of this program measured
+// efficiency below the fallback threshold, the count is scaled down
+// proportionally (to 1 on a single-core container, where efficiency
+// ≈ 1/w). Explicitly requested worker counts never pass through here —
+// the caller applies this only when Options.Workers was 0.
+func (p *Program) autotuneWorkers(w int) int {
+	if w <= 1 {
+		return w
+	}
+	fb := p.sched.Load()
+	if fb == nil || fb.efficiency <= 0 || fb.efficiency >= effFallbackThreshold {
+		return w
+	}
+	scaled := int(float64(w)*fb.efficiency + 0.5)
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
 }
 
 // bindTo returns the program bound to the graph at its current epoch,
@@ -480,15 +750,25 @@ func (p *Program) newBinding(g *pg.Graph) *binding {
 	b.labelNames = g.Labels()
 	for _, l := range b.labelNames {
 		sym := symOf(l)
-		bl := &boundLabel{label: l}
+		bl := &boundLabel{label: l, oblig: obSS1}
 		if lp := p.labels[l]; lp != nil {
 			bl.td = lp.td
 			bl.sub = lp.sub
+			bl.oblig = lp.oblig
 			bl.fields = make([]fieldSlot, b.symCount)
 			for _, cf := range lp.fields {
-				if fsym, ok := g.Sym(cf.fd.Name); ok {
-					bl.fields[fsym] = fieldSlot{fd: cf.fd, isAttr: cf.isAttr, baseID: cf.baseID}
+				fsym, ok := g.Sym(cf.fd.Name)
+				if !ok {
+					continue
 				}
+				slot := fieldSlot{fd: cf.fd, isAttr: cf.isAttr, baseID: cf.baseID, check: cf.check}
+				if len(cf.args) > 0 {
+					slot.args = make([]boundArg, len(cf.args))
+					for i, ca := range cf.args {
+						slot.args[i] = boundArg{sym: symOf(ca.arg.Name), arg: ca.arg, check: ca.check}
+					}
+				}
+				bl.fields[fsym] = slot
 			}
 			for _, d := range lp.srcRel {
 				bl.srcRel = append(bl.srcRel, boundSrc{

@@ -29,8 +29,15 @@ import (
 	"time"
 
 	"pgschema/internal/pg"
+	"pgschema/internal/sched"
 	"pgschema/internal/schema"
 )
+
+// SchedStats is the scheduler telemetry of one validation run — chunk
+// counts, steals, per-worker busy/idle fractions, and the chunk-size
+// histogram. It aliases the sched package's Stats so servers and CLIs
+// can consume it without importing internal/sched.
+type SchedStats = sched.Stats
 
 // Rule identifies one satisfaction rule from Definitions 5.1–5.3.
 type Rule string
@@ -131,6 +138,10 @@ type Result struct {
 	// Workers is the resolved worker count the run used (after clamping
 	// and autotuning); 1 means sequential.
 	Workers int
+	// Sched holds the run's scheduler telemetry when Options.SchedStats
+	// was set and the fused engine ran (nil otherwise). Sequential runs
+	// report Workers == 1 stats with zero steals.
+	Sched *SchedStats
 }
 
 // OK reports whether no violations were found.
@@ -198,6 +209,12 @@ type Options struct {
 	ElementSharding bool
 	// CollectTimings records per-rule durations (sequential engine).
 	CollectTimings bool
+	// SchedStats records chunk-scheduler telemetry (per-chunk wall time,
+	// steal counts, per-worker busy fractions, chunk-size histogram)
+	// into Result.Sched. Fused engine only; the telemetry needed for
+	// adaptive chunking is collected by parallel runs regardless — this
+	// flag only controls whether it is surfaced on the Result.
+	SchedStats bool
 	// NaivePairScan disables the adjacency-index implementations of
 	// WS4/DS1/DS3 in favour of the textbook O(|E|²) pair scans from the
 	// definitions. For the ablation benchmark only; it applies to the
@@ -314,7 +331,10 @@ func Validate(s *schema.Schema, g *pg.Graph, opts Options) *Result {
 func ValidateContext(ctx context.Context, s *schema.Schema, g *pg.Graph, opts Options) *Result {
 	rules := opts.rules()
 	// Resolve Workers once — clamped and, under EngineAuto on large
-	// graphs, autotuned — so every engine below sees a sane count.
+	// graphs, autotuned — so every engine below sees a sane count. An
+	// autotuned count (Workers was 0) may be scaled back further below
+	// once the program's measured parallel efficiency is known.
+	origWorkers := opts.Workers
 	opts.Workers = opts.EffectiveWorkers(g.NodeBound() + g.EdgeBound())
 	engine := opts.resolveEngine()
 	finish := func(res *Result, timings map[Rule]time.Duration) *Result {
@@ -335,8 +355,21 @@ func ValidateContext(ctx context.Context, s *schema.Schema, g *pg.Graph, opts Op
 				return finish(&Result{}, nil)
 			}
 		}
-		timings := run.fused(p, rules, c)
-		return finish(c.result(), timings)
+		// Autotuned (not explicitly requested) worker counts consult the
+		// program's measured parallel efficiency: on a machine where
+		// parallel runs of this program never paid off — a single-core
+		// container — fall back toward sequential instead of eating the
+		// dispatch overhead again.
+		if origWorkers == 0 && opts.Workers > 1 {
+			opts.Workers = p.autotuneWorkers(opts.Workers)
+			run.opts.Workers = opts.Workers
+		}
+		timings, st := run.fused(p, rules, c)
+		res := finish(c.result(), timings)
+		if opts.SchedStats {
+			res.Sched = st
+		}
+		return res
 	}
 	if opts.Workers > 1 {
 		timings := run.parallel(rules, c)

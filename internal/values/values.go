@@ -252,6 +252,27 @@ func BuiltinMember(name string, v Value) bool {
 	return false
 }
 
+// BuiltinMemberFunc returns the membership predicate for one built-in
+// scalar type, resolved once so hot validation loops pay a direct call
+// instead of a per-value name switch. Nil for non-builtin names. Each
+// predicate matches BuiltinMember(name, ·) exactly (null and list values
+// are never members — their kinds simply fail the checks).
+func BuiltinMemberFunc(name string) func(Value) bool {
+	switch name {
+	case "Int":
+		return func(v Value) bool { return v.kind == KindInt && v.i >= math.MinInt32 && v.i <= math.MaxInt32 }
+	case "Float":
+		return func(v Value) bool { return v.kind == KindFloat || v.kind == KindInt }
+	case "String":
+		return func(v Value) bool { return v.kind == KindString || v.kind == KindID }
+	case "Boolean":
+		return func(v Value) bool { return v.kind == KindBoolean }
+	case "ID":
+		return func(v Value) bool { return v.kind == KindID || v.kind == KindString || v.kind == KindInt }
+	}
+	return nil
+}
+
 // MarshalJSON encodes the value as JSON. Enum values encode as strings.
 func (v Value) MarshalJSON() ([]byte, error) {
 	switch v.kind {
