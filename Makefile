@@ -2,9 +2,9 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential fuzz-smoke bench bench-fused bench-compiled bench-scale bench-scale-smoke bench-incremental bench-ingest bench-query bench-smoke scale-smoke scale-differential stream-smoke
+.PHONY: check build vet test race differential fuzz-smoke fuzz-snapshot-smoke bench bench-fused bench-compiled bench-scale bench-scale-smoke bench-incremental bench-ingest bench-query bench-smoke bench-snapshot bench-snapshot-smoke scale-smoke scale-differential stream-smoke snapshot-differential clean
 
-check: build vet race differential scale-differential fuzz-smoke stream-smoke bench-smoke bench-scale-smoke
+check: build vet race differential scale-differential snapshot-differential fuzz-smoke stream-smoke bench-smoke bench-scale-smoke bench-snapshot-smoke
 
 build:
 	go build ./...
@@ -103,3 +103,37 @@ scale-differential:
 # Also runs as part of `race` (and thus `check`) with the full suite.
 stream-smoke:
 	go test -race -run 'TestStreamValidateSmoke|TestReadCSVStreamMatchesReadCSV' -count=1 ./internal/validate/ ./internal/pg/
+
+# The .pgsnap differential under the race detector: validation over a
+# memory-mapped snapshot must be byte-identical to the heap-resident
+# graph across every engine configuration and mode, the file round trip
+# must reproduce the snapshot exactly (including the copy-on-write
+# Apply path and the corruption table), and the cold→inflated handoff
+# must be race-free under concurrent readers.
+snapshot-differential:
+	go test -race -shuffle=on -count=1 \
+		-run 'TestMappedSnapshot|TestSnapshotFile|TestMappedApply|TestColdReaders|TestColdConcurrent|TestOpenSnapshot' \
+		./internal/validate/ ./internal/pg/
+
+# A short coverage-guided run of the .pgsnap opener fuzz target: any
+# byte string must open (and then survive a full read of every column)
+# or error with a diagnostic — never panic, never read out of bounds.
+fuzz-snapshot-smoke:
+	go test -run '^$$' -fuzz FuzzOpenSnapshot -fuzztime 10s ./internal/pg/
+
+# E14 — durable snapshots: WriteGraphSnapshot/OpenGraphSnapshot against
+# the streaming CSV loader (cold-start latency) and mapped vs heap
+# first-validation cost, at ~10⁵ and ~10⁶ elements.
+bench-snapshot:
+	go test -bench=BenchmarkSnapshot -benchmem -count=3 -timeout=45m -run=^$$ . | tee BENCH_snapshot.json
+
+# One iteration of the snapshot benchmark — asserts the save/open/
+# validate round trip works at both sizes without measuring.
+bench-snapshot-smoke:
+	go test -bench=BenchmarkSnapshot -benchtime=1x -run=^$$ .
+
+# Remove build and benchmark byproducts (compiled test binaries, CPU
+# profiles); the checked-in BENCH_*.json measurement artifacts are kept.
+clean:
+	rm -f *.test */*.test *.prof *.out.tmp
+	go clean ./...

@@ -15,9 +15,13 @@
 //	pgschema api      <schema.graphql> [-no-inverse] [-keep-directives]
 //	pgschema export   <schema.graphql> [-format cypher|gsql] [-graph NAME]
 //	pgschema query    <schema.graphql> <graph.json> <query-or-@file> [-op NAME]
-//	pgschema serve    <schema.graphql> <graph.json> [-addr :8080] [-pprof]
+//	pgschema serve    <schema.graphql> <graph.json> [-addr :8080] [-pprof] [-snapshot-dir DIR]
+//	pgschema snapshot save <graph> <out.pgsnap> | load|info|verify <file.pgsnap>
 //	pgschema reduce   <formula.cnf>
 //	pgschema stats    <graph.json>
+//
+// Graph arguments accept graph.json, nodes.csv,edges.csv pairs, and
+// .pgsnap binary snapshots (memory-mapped; see the snapshot command).
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -75,6 +80,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	case "reduce":
 		err = cmdReduce(os.Args[2:])
 	case "stats":
@@ -125,8 +132,17 @@ commands:
   serve    <schema> <graph>         GraphQL HTTP endpoint over the graph
       -addr :8080                   listen address
       -pprof                        mount net/http/pprof under /debug/pprof/
+      -snapshot-dir DIR             persist DIR/graph.pgsnap after each
+                                    /graph/apply; resume from it on restart
+  snapshot save <graph> <out.pgsnap>
+                                    write the mmap-able binary snapshot
+  snapshot load|info <file.pgsnap> [-verify]
+                                    open a snapshot and report its contents
+  snapshot verify <file.pgsnap>     checksum + deep-validate a snapshot
   reduce   <formula.cnf>            Theorem 2: DIMACS CNF -> schema SDL
   stats    <graph.json>             graph statistics
+
+graph arguments: graph.json | nodes.csv,edges.csv | file.pgsnap
 `)
 }
 
@@ -142,12 +158,16 @@ func loadSchema(path string) (*schema.Schema, error) {
 	return schema.Build(doc, schema.Options{})
 }
 
-// loadGraph reads a graph argument: either a JSON file, or a CSV pair
-// given as "nodes.csv,edges.csv" (two paths joined by a comma). CSV
-// pairs go through the streaming columnar loader.
-func loadGraph(path string) (*pg.Graph, error) {
+// loadGraph reads a graph argument: a JSON file, a CSV pair given as
+// "nodes.csv,edges.csv" (two paths joined by a comma), or a .pgsnap
+// binary snapshot (memory-mapped — load time is independent of graph
+// size). opts apply only to the .pgsnap path.
+func loadGraph(path string, opts ...pg.OpenOption) (*pg.Graph, error) {
 	if nodesPath, edgesPath, ok := strings.Cut(path, ","); ok {
 		return loadGraphCSV(nodesPath, edgesPath, true)
+	}
+	if strings.HasSuffix(path, ".pgsnap") {
+		return pg.OpenSnapshot(path, opts...)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -155,6 +175,35 @@ func loadGraph(path string) (*pg.Graph, error) {
 	}
 	defer f.Close()
 	return pg.ReadJSON(f)
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.Mode().IsRegular()
+}
+
+// saveSnapshot writes the graph's snapshot to path atomically: the
+// bytes go to a temp file in the same directory, fsynced, then renamed
+// over the target so a crash never leaves a torn .pgsnap behind.
+func saveSnapshot(g *pg.Graph, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pgsnap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := pg.WriteSnapshot(tmp, g.Snapshot()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // loadGraphCSV opens a nodes/edges CSV pair and loads it with either
@@ -463,6 +512,7 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 	quiet := fs.Bool("quiet", false, "disable access logging")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+	snapDir := fs.String("snapshot-dir", "", "persist the graph as DIR/graph.pgsnap after each /graph/apply; on startup, resume from that file if present")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("serve: want schema and graph files")
@@ -476,14 +526,28 @@ func cmdServe(args []string) error {
 		MaxInFlight:    *maxInFlight,
 		MaxBodyBytes:   *maxBody,
 		EnablePprof:    *pprofFlag,
+		SnapshotDir:    *snapDir,
 	}
 	if !*quiet {
 		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	graphArg := fs.Arg(1)
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			return err
+		}
+		// Warm restart: a snapshot persisted by a previous run supersedes
+		// the graph argument — it carries every committed mutation and
+		// the epoch they advanced to.
+		if persisted := filepath.Join(*snapDir, server.SnapshotFileName); fileExists(persisted) {
+			fmt.Printf("resuming from persisted snapshot %s\n", persisted)
+			graphArg = persisted
+		}
+	}
 	loadStart := time.Now()
 	var h *server.Handler
 	var g *pg.Graph
-	if nodesPath, edgesPath, ok := strings.Cut(fs.Arg(1), ","); ok {
+	if nodesPath, edgesPath, ok := strings.Cut(graphArg, ","); ok {
 		// CSV pair: stream the graph in and validate it on ingest; the
 		// full strong run seeds the /revalidate cache before serving.
 		nf, err := os.Open(nodesPath)
@@ -509,7 +573,7 @@ func cmdServe(args []string) error {
 			g.NumNodes(), g.NumEdges(), time.Since(loadStart).Round(time.Millisecond), status)
 	} else {
 		var err error
-		g, err = loadGraph(fs.Arg(1))
+		g, err = loadGraph(graphArg)
 		if err != nil {
 			return err
 		}
@@ -569,6 +633,85 @@ func serveUntilSignal(srv *http.Server, ln net.Listener) error {
 		}
 		fmt.Fprintln(os.Stderr, "server stopped")
 		return nil
+	}
+}
+
+// cmdSnapshot is the .pgsnap toolbox: save converts any loadable graph
+// into the mmap-able binary snapshot format, load/info open one and
+// report what is inside, verify checksums every section and
+// deep-validates the structure.
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("snapshot: want a subcommand: save, load, info, or verify")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "save":
+		fs := flag.NewFlagSet("snapshot save", flag.ExitOnError)
+		fs.Parse(rest)
+		if fs.NArg() != 2 {
+			return fmt.Errorf("snapshot save: want <graph.json|nodes.csv,edges.csv> <out.pgsnap>")
+		}
+		g, err := loadGraph(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := saveSnapshot(g, fs.Arg(1)); err != nil {
+			return err
+		}
+		st, err := os.Stat(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d nodes, %d edges, epoch %d, %d bytes in %s\n",
+			fs.Arg(1), g.NumNodes(), g.NumEdges(), g.Epoch(), st.Size(),
+			time.Since(start).Round(time.Microsecond))
+		return nil
+	case "load", "info":
+		fs := flag.NewFlagSet("snapshot "+sub, flag.ExitOnError)
+		verify := fs.Bool("verify", false, "checksum all sections and deep-validate the structure")
+		fs.Parse(rest)
+		if fs.NArg() != 1 {
+			return fmt.Errorf("snapshot %s: want one .pgsnap file", sub)
+		}
+		var opts []pg.OpenOption
+		if *verify {
+			opts = append(opts, pg.Verify())
+		}
+		start := time.Now()
+		g, err := pg.OpenSnapshot(fs.Arg(0), opts...)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		elapsed := time.Since(start)
+		st, err := os.Stat(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d nodes, %d edges, epoch %d, %d labels, %d bytes, opened in %s\n",
+			fs.Arg(0), g.NumNodes(), g.NumEdges(), g.Epoch(), len(g.Labels()), st.Size(),
+			elapsed.Round(time.Microsecond))
+		return nil
+	case "verify":
+		fs := flag.NewFlagSet("snapshot verify", flag.ExitOnError)
+		fs.Parse(rest)
+		if fs.NArg() != 1 {
+			return fmt.Errorf("snapshot verify: want one .pgsnap file")
+		}
+		start := time.Now()
+		g, err := pg.OpenSnapshot(fs.Arg(0), pg.Verify())
+		if err != nil {
+			return fmt.Errorf("snapshot verify: %w", err)
+		}
+		defer g.Close()
+		fmt.Printf("%s: OK (%d nodes, %d edges, epoch %d, verified in %s)\n",
+			fs.Arg(0), g.NumNodes(), g.NumEdges(), g.Epoch(),
+			time.Since(start).Round(time.Microsecond))
+		return nil
+	default:
+		return fmt.Errorf("snapshot: unknown subcommand %q (want save, load, info, or verify)", sub)
 	}
 }
 

@@ -15,6 +15,7 @@ package pg
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"pgschema/internal/values"
@@ -79,6 +80,23 @@ type Graph struct {
 	// must call privatize first; appends are safe regardless, because
 	// every aliased slice is capacity-capped at its bound.
 	sharedCols bool
+
+	// cold is non-nil while a graph opened from a mapped snapshot has
+	// not materialized its mutable store: readers on the compiled
+	// validation/query path answer from this snapshot, and store-shaped
+	// access goes through ensureStore (see cold.go). Atomic because
+	// concurrent readers may race one of them inflating the store.
+	cold      atomic.Pointer[Snapshot]
+	storeOnce sync.Once
+
+	// coldBy is the lazily built per-label node index of a cold graph;
+	// separate from byLabel so building it stays read-only.
+	coldBy     [][]NodeID
+	coldByOnce sync.Once
+
+	// mapping is the file mapping a graph opened with OpenSnapshot
+	// reads through; Close releases it.
+	mapping *snapMapping
 }
 
 // privatize unshares the flat property and adjacency storage a sealed
@@ -87,6 +105,7 @@ type Graph struct {
 // mutated — the CLI validate and server ingest paths — skip them
 // entirely.
 func (g *Graph) privatize() {
+	g.ensureStore()
 	if !g.sharedCols {
 		return
 	}
@@ -166,6 +185,7 @@ func (g *Graph) AddNode(label string) NodeID {
 // addNodeSym is AddNode for a pre-interned label Sym — bulk loaders
 // intern each header or label string once and skip per-row hashing.
 func (g *Graph) addNodeSym(label Sym) NodeID {
+	g.ensureStore()
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, node{label: label})
 	b := g.labelBucket(label)
@@ -181,6 +201,7 @@ func (g *Graph) AddEdge(src, dst NodeID, label string) (EdgeID, error) {
 
 // addEdgeSym is AddEdge for a pre-interned label Sym.
 func (g *Graph) addEdgeSym(src, dst NodeID, label Sym) (EdgeID, error) {
+	g.ensureStore()
 	if !g.validNode(src) {
 		return 0, fmt.Errorf("pg: AddEdge: invalid source node %d", src)
 	}
@@ -205,30 +226,57 @@ func (g *Graph) MustAddEdge(src, dst NodeID, label string) EdgeID {
 }
 
 func (g *Graph) validNode(id NodeID) bool {
+	if c := g.cold.Load(); c != nil {
+		return id >= 0 && int(id) < len(c.nodeLabels) && c.nodeLabels[id] != NoSym
+	}
 	return id >= 0 && int(id) < len(g.nodes) && !g.nodes[id].removed
 }
 
 func (g *Graph) validEdge(id EdgeID) bool {
+	if c := g.cold.Load(); c != nil {
+		return id >= 0 && int(id) < len(c.edgeLabels) && c.edgeLabels[id] != NoSym
+	}
 	return id >= 0 && int(id) < len(g.edges) && !g.edges[id].removed
 }
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.nodes) - g.removedNodes }
+func (g *Graph) NumNodes() int {
+	if c := g.cold.Load(); c != nil {
+		return c.liveNodes
+	}
+	return len(g.nodes) - g.removedNodes
+}
 
 // NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.edges) - g.removedEdges }
+func (g *Graph) NumEdges() int {
+	if c := g.cold.Load(); c != nil {
+		return c.liveEdges
+	}
+	return len(g.edges) - g.removedEdges
+}
 
 // NodeBound returns the exclusive upper bound of node IDs ever
 // allocated, including removed ones. Hot loops iterate id ∈ [0,
 // NodeBound()) and skip !HasNode(id) instead of materializing Nodes().
-func (g *Graph) NodeBound() int { return len(g.nodes) }
+func (g *Graph) NodeBound() int {
+	if c := g.cold.Load(); c != nil {
+		return len(c.nodeLabels)
+	}
+	return len(g.nodes)
+}
 
 // EdgeBound returns the exclusive upper bound of edge IDs ever
 // allocated, including removed ones.
-func (g *Graph) EdgeBound() int { return len(g.edges) }
+func (g *Graph) EdgeBound() int {
+	if c := g.cold.Load(); c != nil {
+		return len(c.edgeLabels)
+	}
+	return len(g.edges)
+}
 
 // Nodes returns the IDs of all nodes in insertion order.
 func (g *Graph) Nodes() []NodeID {
+	g.ensureStore()
 	out := make([]NodeID, 0, g.NumNodes())
 	for i := range g.nodes {
 		if !g.nodes[i].removed {
@@ -240,6 +288,7 @@ func (g *Graph) Nodes() []NodeID {
 
 // Edges returns the IDs of all edges in insertion order.
 func (g *Graph) Edges() []EdgeID {
+	g.ensureStore()
 	out := make([]EdgeID, 0, g.NumEdges())
 	for i := range g.edges {
 		if !g.edges[i].removed {
@@ -256,25 +305,61 @@ func (g *Graph) HasNode(id NodeID) bool { return g.validNode(id) }
 func (g *Graph) HasEdge(id EdgeID) bool { return g.validEdge(id) }
 
 // NodeLabel returns λ(v).
-func (g *Graph) NodeLabel(id NodeID) string { return g.syms.names[g.nodes[id].label] }
+func (g *Graph) NodeLabel(id NodeID) string {
+	if c := g.cold.Load(); c != nil {
+		if ls := c.nodeLabels[id]; ls != NoSym {
+			return g.syms.names[ls]
+		}
+		return "" // tombstone: a mapped snapshot keeps no removed label
+	}
+	return g.syms.names[g.nodes[id].label]
+}
 
 // EdgeLabel returns λ(e).
-func (g *Graph) EdgeLabel(id EdgeID) string { return g.syms.names[g.edges[id].label] }
+func (g *Graph) EdgeLabel(id EdgeID) string {
+	if c := g.cold.Load(); c != nil {
+		if ls := c.edgeLabels[id]; ls != NoSym {
+			return g.syms.names[ls]
+		}
+		return ""
+	}
+	return g.syms.names[g.edges[id].label]
+}
 
 // NodeLabelSym returns λ(v) as an interned Sym.
-func (g *Graph) NodeLabelSym(id NodeID) Sym { return g.nodes[id].label }
+func (g *Graph) NodeLabelSym(id NodeID) Sym {
+	if c := g.cold.Load(); c != nil {
+		if ls := c.nodeLabels[id]; ls != NoSym {
+			return ls
+		}
+		return 0
+	}
+	return g.nodes[id].label
+}
 
 // EdgeLabelSym returns λ(e) as an interned Sym.
-func (g *Graph) EdgeLabelSym(id EdgeID) Sym { return g.edges[id].label }
+func (g *Graph) EdgeLabelSym(id EdgeID) Sym {
+	if c := g.cold.Load(); c != nil {
+		if ls := c.edgeLabels[id]; ls != NoSym {
+			return ls
+		}
+		return 0
+	}
+	return g.edges[id].label
+}
 
 // Endpoints returns ρ(e) = (src, dst).
 func (g *Graph) Endpoints(id EdgeID) (src, dst NodeID) {
+	if c := g.cold.Load(); c != nil {
+		return c.edgeSrc[id], c.edgeDst[id]
+	}
 	e := &g.edges[id]
 	return e.src, e.dst
 }
 
 // SetNodeLabel relabels a node, maintaining the label index.
 func (g *Graph) SetNodeLabel(id NodeID, label string) {
+	g.ensureStore()
 	n := &g.nodes[id]
 	ls := g.syms.intern(label)
 	if n.label == ls {
@@ -289,6 +374,7 @@ func (g *Graph) SetNodeLabel(id NodeID, label string) {
 
 // SetEdgeLabel relabels an edge.
 func (g *Graph) SetEdgeLabel(id EdgeID, label string) {
+	g.ensureStore()
 	g.edges[id].label = g.syms.intern(label)
 	g.epoch++
 }
@@ -369,11 +455,25 @@ func getProp(props []Prop, name string) (values.Value, bool) {
 
 // NodeProp returns σ(v, name) and whether (v, name) ∈ dom(σ).
 func (g *Graph) NodeProp(id NodeID, name string) (values.Value, bool) {
+	if c := g.cold.Load(); c != nil {
+		s, ok := g.syms.lookup(name)
+		if !ok {
+			return values.Value{}, false
+		}
+		return c.NodePropBySym(id, s)
+	}
 	return getProp(g.nodes[id].props, name)
 }
 
 // EdgeProp returns σ(e, name) and whether (e, name) ∈ dom(σ).
 func (g *Graph) EdgeProp(id EdgeID, name string) (values.Value, bool) {
+	if c := g.cold.Load(); c != nil {
+		s, ok := g.syms.lookup(name)
+		if !ok {
+			return values.Value{}, false
+		}
+		return c.EdgePropBySym(id, s)
+	}
 	return getProp(g.edges[id].props, name)
 }
 
@@ -381,6 +481,9 @@ func (g *Graph) EdgeProp(id EdgeID, name string) (values.Value, bool) {
 // Passing NoSym (or a Sym never used as one of this node's property
 // names) reports false.
 func (g *Graph) NodePropBySym(id NodeID, s Sym) (values.Value, bool) {
+	if c := g.cold.Load(); c != nil {
+		return c.NodePropBySym(id, s)
+	}
 	for i := range g.nodes[id].props {
 		if g.nodes[id].props[i].Sym == s {
 			return g.nodes[id].props[i].Value, true
@@ -391,6 +494,9 @@ func (g *Graph) NodePropBySym(id NodeID, s Sym) (values.Value, bool) {
 
 // EdgePropBySym returns σ(e, name) for an interned property name.
 func (g *Graph) EdgePropBySym(id EdgeID, s Sym) (values.Value, bool) {
+	if c := g.cold.Load(); c != nil {
+		return c.EdgePropBySym(id, s)
+	}
 	for i := range g.edges[id].props {
 		if g.edges[id].props[i].Sym == s {
 			return g.edges[id].props[i].Value, true
@@ -402,17 +508,29 @@ func (g *Graph) EdgePropBySym(id EdgeID, s Sym) (values.Value, bool) {
 // NodeProps returns the node's properties sorted by name. The slice is
 // shared with the graph: callers must not mutate it, and it is
 // invalidated by the next mutation of this node's properties.
-func (g *Graph) NodeProps(id NodeID) []Prop { return g.nodes[id].props }
+func (g *Graph) NodeProps(id NodeID) []Prop {
+	g.ensureStore()
+	return g.nodes[id].props
+}
 
 // EdgeProps returns the edge's properties sorted by name, shared with
 // the graph under the same contract as NodeProps.
-func (g *Graph) EdgeProps(id EdgeID) []Prop { return g.edges[id].props }
+func (g *Graph) EdgeProps(id EdgeID) []Prop {
+	g.ensureStore()
+	return g.edges[id].props
+}
 
 // NodePropNames returns the sorted property names defined on the node.
-func (g *Graph) NodePropNames(id NodeID) []string { return propNames(g.nodes[id].props) }
+func (g *Graph) NodePropNames(id NodeID) []string {
+	g.ensureStore()
+	return propNames(g.nodes[id].props)
+}
 
 // EdgePropNames returns the sorted property names defined on the edge.
-func (g *Graph) EdgePropNames(id EdgeID) []string { return propNames(g.edges[id].props) }
+func (g *Graph) EdgePropNames(id EdgeID) []string {
+	g.ensureStore()
+	return propNames(g.edges[id].props)
+}
 
 func propNames(props []Prop) []string {
 	if len(props) == 0 {
@@ -436,6 +554,15 @@ func (g *Graph) NodesLabeled(label string) []NodeID {
 
 // nodesLabeledSym is NodesLabeled for a pre-interned label Sym.
 func (g *Graph) nodesLabeledSym(ls Sym) []NodeID {
+	if c := g.cold.Load(); c != nil {
+		buckets := g.coldBuckets(c)
+		if int(ls) >= len(buckets) {
+			return nil
+		}
+		// Cold buckets hold only live nodes; copy under the same
+		// fresh-slice contract as the store path.
+		return append([]NodeID(nil), buckets[ls]...)
+	}
 	if int(ls) >= len(g.byLabel) {
 		return nil
 	}
@@ -450,19 +577,35 @@ func (g *Graph) nodesLabeledSym(ls Sym) []NodeID {
 }
 
 // OutEdges returns the live outgoing edges of the node.
-func (g *Graph) OutEdges(id NodeID) []EdgeID { return g.liveEdges(g.nodes[id].out) }
+func (g *Graph) OutEdges(id NodeID) []EdgeID {
+	g.ensureStore()
+	return g.liveEdges(g.nodes[id].out)
+}
 
 // InEdges returns the live incoming edges of the node.
-func (g *Graph) InEdges(id NodeID) []EdgeID { return g.liveEdges(g.nodes[id].in) }
+func (g *Graph) InEdges(id NodeID) []EdgeID {
+	g.ensureStore()
+	return g.liveEdges(g.nodes[id].in)
+}
 
 // OutEdgesRaw returns the node's outgoing edge list including removed
 // edges (tombstones), shared with the graph. Hot loops filter with
 // HasEdge instead of allocating a live copy.
-func (g *Graph) OutEdgesRaw(id NodeID) []EdgeID { return g.nodes[id].out }
+func (g *Graph) OutEdgesRaw(id NodeID) []EdgeID {
+	if c := g.cold.Load(); c != nil {
+		return c.OutEdgesOf(id) // cold rows are live-only, read-only
+	}
+	return g.nodes[id].out
+}
 
 // InEdgesRaw returns the node's incoming edge list including removed
 // edges, shared with the graph.
-func (g *Graph) InEdgesRaw(id NodeID) []EdgeID { return g.nodes[id].in }
+func (g *Graph) InEdgesRaw(id NodeID) []EdgeID {
+	if c := g.cold.Load(); c != nil {
+		return c.InEdgesOf(id)
+	}
+	return g.nodes[id].in
+}
 
 func (g *Graph) liveEdges(ids []EdgeID) []EdgeID {
 	out := make([]EdgeID, 0, len(ids))
@@ -476,6 +619,7 @@ func (g *Graph) liveEdges(ids []EdgeID) []EdgeID {
 
 // OutEdgesLabeled returns the node's live outgoing edges with λ(e) = label.
 func (g *Graph) OutEdgesLabeled(id NodeID, label string) []EdgeID {
+	g.ensureStore()
 	ls, ok := g.syms.lookup(label)
 	if !ok {
 		return nil
@@ -491,6 +635,7 @@ func (g *Graph) OutEdgesLabeled(id NodeID, label string) []EdgeID {
 
 // InEdgesLabeled returns the node's live incoming edges with λ(e) = label.
 func (g *Graph) InEdgesLabeled(id NodeID, label string) []EdgeID {
+	g.ensureStore()
 	ls, ok := g.syms.lookup(label)
 	if !ok {
 		return nil
@@ -506,6 +651,7 @@ func (g *Graph) InEdgesLabeled(id NodeID, label string) []EdgeID {
 
 // OutDegreeLabeled counts the node's live outgoing edges with the label.
 func (g *Graph) OutDegreeLabeled(id NodeID, label string) int {
+	g.ensureStore()
 	ls, ok := g.syms.lookup(label)
 	if !ok {
 		return 0
@@ -521,6 +667,7 @@ func (g *Graph) OutDegreeLabeled(id NodeID, label string) int {
 
 // RemoveEdge deletes an edge. The ID is never reused.
 func (g *Graph) RemoveEdge(id EdgeID) {
+	g.ensureStore()
 	if !g.validEdge(id) {
 		return
 	}
@@ -531,6 +678,7 @@ func (g *Graph) RemoveEdge(id EdgeID) {
 
 // RemoveNode deletes a node together with all its incident edges.
 func (g *Graph) RemoveNode(id NodeID) {
+	g.ensureStore()
 	if !g.validNode(id) {
 		return
 	}
@@ -558,6 +706,9 @@ func removeID(ids []NodeID, id NodeID) []NodeID {
 
 // Labels returns the distinct node labels present in the graph, sorted.
 func (g *Graph) Labels() []string {
+	if c := g.cold.Load(); c != nil {
+		return g.coldLabels(c)
+	}
 	var out []string
 	for s, ids := range g.byLabel {
 		live := false
@@ -581,6 +732,7 @@ func (g *Graph) Labels() []string {
 // current epoch describe the clone equally well until either side
 // mutates.
 func (g *Graph) Clone() *Graph {
+	g.ensureStore()
 	c := &Graph{
 		nodes:        make([]node, len(g.nodes)),
 		edges:        make([]edge, len(g.edges)),
@@ -614,10 +766,12 @@ func (g *Graph) Clone() *Graph {
 // (tombstones keep their endpoints). Incremental validation uses this to
 // find the region a node mutation influences.
 func (g *Graph) AllOutEdges(id NodeID) []EdgeID {
+	g.ensureStore()
 	return append([]EdgeID(nil), g.nodes[id].out...)
 }
 
 // AllInEdges returns the node's incoming edges including removed ones.
 func (g *Graph) AllInEdges(id NodeID) []EdgeID {
+	g.ensureStore()
 	return append([]EdgeID(nil), g.nodes[id].in...)
 }

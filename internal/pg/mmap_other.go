@@ -1,0 +1,18 @@
+//go:build !unix
+
+package pg
+
+// snapMapping on platforms without mmap support: an aligned heap copy
+// of the file. Open cost becomes O(file), but the format and every
+// accessor behave identically.
+type snapMapping struct {
+	data   []byte
+	mapped bool
+	path   string
+}
+
+func mapSnapshotFile(path string) (*snapMapping, error) {
+	return readSnapshotFile(path)
+}
+
+func (m *snapMapping) close() error { return nil }

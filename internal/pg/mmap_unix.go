@@ -1,0 +1,55 @@
+//go:build unix
+
+package pg
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// snapMapping owns the bytes behind a mapped snapshot: a read-only
+// private mmap on unix, or an aligned heap copy where mapping is
+// unavailable. It travels on every Snapshot whose columns alias it,
+// keeping the mapping addressable (and closeable) for as long as any
+// derived snapshot is reachable.
+type snapMapping struct {
+	data   []byte
+	mapped bool // true when data must be munmap'ed
+	path   string
+}
+
+func mapSnapshotFile(path string) (*snapMapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("file size %d exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Filesystems without mmap support: fall back to an aligned read.
+		return readSnapshotFile(path)
+	}
+	return &snapMapping{data: data, mapped: true, path: path}, nil
+}
+
+func (m *snapMapping) close() error {
+	if m == nil || !m.mapped {
+		return nil
+	}
+	m.mapped = false
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

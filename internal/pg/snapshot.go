@@ -47,6 +47,33 @@ type Snapshot struct {
 	// live node v defines a property named s. Nil for syms never used
 	// as a node property name, so presence checks cost one word load.
 	nodePropSet [][]uint64
+
+	// liveNodes/liveEdges are |V| and |E| at the snapshot's epoch
+	// (bounds minus tombstones); symNames maps every Sym valid at that
+	// epoch to its string, capacity-capped so the graph interning more
+	// symbols later can never write through it.
+	liveNodes int
+	liveEdges int
+	symNames  []string
+
+	// Record-backed property storage (mapped snapshots, and patches of
+	// them). When recBacked is set, nodeProps/edgeProps are nil and the
+	// property rows live in nodePropRecs/edgePropRecs instead — the
+	// same nodePropOff/edgePropOff offsets index both representations.
+	// propArena holds textual payloads (read-only, typically aliasing
+	// the file mapping); propOver is the private append-only overflow
+	// arena patches encode new strings into; propLists holds decoded
+	// list values indexed by record payload.
+	recBacked    bool
+	nodePropRecs []propRec
+	edgePropRecs []propRec
+	propArena    []byte
+	propOver     []byte
+	propLists    []values.Value
+
+	// mapping keeps the file mapping this snapshot's columns alias
+	// alive (and closeable); nil for heap snapshots.
+	mapping *snapMapping
 }
 
 // Snapshot returns the columnar view of the graph at its current epoch,
@@ -62,10 +89,23 @@ func (g *Graph) Snapshot() *Snapshot {
 	return s
 }
 
+// cappedSymNames returns the graph's Sym → name table capacity-capped:
+// snapshots hold it so record decoding and serialization can recover
+// names, and the cap ensures later interning appends reallocate instead
+// of writing through the shared backing array.
+func (g *Graph) cappedSymNames() []string {
+	n := len(g.syms.names)
+	return g.syms.names[:n:n]
+}
+
 func (g *Graph) buildSnapshot() *Snapshot {
+	g.ensureStore() // unreachable on a cold graph in practice, but safe
 	nn, ne := len(g.nodes), len(g.edges)
 	s := &Snapshot{
 		epoch:       g.epoch,
+		liveNodes:   g.NumNodes(),
+		liveEdges:   g.NumEdges(),
+		symNames:    g.cappedSymNames(),
 		nodeLabels:  make([]Sym, nn),
 		edgeLabels:  make([]Sym, ne),
 		edgeSrc:     make([]NodeID, ne),
@@ -178,16 +218,77 @@ func (s *Snapshot) InEdgesOf(v NodeID) []EdgeID {
 	return s.inEdges[s.inOff[v]:s.inOff[v+1]]
 }
 
-// NodePropsOf returns the sorted property list of a live node, shared
-// with the snapshot.
+// NodePropsOf returns the sorted property list of a live node. For a
+// heap snapshot the slice is shared with the snapshot; a record-backed
+// snapshot decodes a fresh slice. Hot loops use NodePropRow/NodePropAt
+// instead, which are allocation-free for both representations.
 func (s *Snapshot) NodePropsOf(v NodeID) []Prop {
-	return s.nodeProps[s.nodePropOff[v]:s.nodePropOff[v+1]]
+	lo, hi := s.nodePropOff[v], s.nodePropOff[v+1]
+	if !s.recBacked {
+		return s.nodeProps[lo:hi]
+	}
+	return s.decodeProps(s.nodePropRecs, int(lo), int(hi))
 }
 
-// EdgePropsOf returns the sorted property list of a live edge.
+// EdgePropsOf returns the sorted property list of a live edge, under
+// the same contract as NodePropsOf.
 func (s *Snapshot) EdgePropsOf(e EdgeID) []Prop {
-	return s.edgeProps[s.edgePropOff[e]:s.edgePropOff[e+1]]
+	lo, hi := s.edgePropOff[e], s.edgePropOff[e+1]
+	if !s.recBacked {
+		return s.edgeProps[lo:hi]
+	}
+	return s.decodeProps(s.edgePropRecs, int(lo), int(hi))
 }
+
+func (s *Snapshot) decodeProps(recs []propRec, lo, hi int) []Prop {
+	if lo == hi {
+		return nil
+	}
+	out := make([]Prop, hi-lo)
+	for i := range out {
+		out[i] = s.recProp(recs, lo+i)
+	}
+	return out
+}
+
+// NodePropRow returns the half-open index range of node v's property
+// row for use with NodePropAt. Iterating the row by index instead of
+// materializing a []Prop works identically — and allocation-free — over
+// heap and record-backed snapshots.
+func (s *Snapshot) NodePropRow(v NodeID) (lo, hi int) {
+	return int(s.nodePropOff[v]), int(s.nodePropOff[v+1])
+}
+
+// NodePropAt returns property i of the flattened node property rows;
+// i must come from a NodePropRow range.
+func (s *Snapshot) NodePropAt(i int) Prop {
+	if !s.recBacked {
+		return s.nodeProps[i]
+	}
+	return s.recProp(s.nodePropRecs, i)
+}
+
+// EdgePropRow is NodePropRow for the edge property rows.
+func (s *Snapshot) EdgePropRow(e EdgeID) (lo, hi int) {
+	return int(s.edgePropOff[e]), int(s.edgePropOff[e+1])
+}
+
+// EdgePropAt is NodePropAt for the edge property rows.
+func (s *Snapshot) EdgePropAt(i int) Prop {
+	if !s.recBacked {
+		return s.edgeProps[i]
+	}
+	return s.recProp(s.edgePropRecs, i)
+}
+
+// NumNodes is |V| at the snapshot's epoch.
+func (s *Snapshot) NumNodes() int { return s.liveNodes }
+
+// NumEdges is |E| at the snapshot's epoch.
+func (s *Snapshot) NumEdges() int { return s.liveEdges }
+
+// Mapped reports whether the snapshot's columns alias a file mapping.
+func (s *Snapshot) Mapped() bool { return s.mapping != nil }
 
 // NodeLabelColumn exposes the label column itself: element v's label
 // Sym, or NoSym for removed nodes. Shared with the snapshot — callers
@@ -232,7 +333,16 @@ func (s *Snapshot) NodeHasProp(v NodeID, p Sym) bool {
 // EdgePropBySym returns σ(e, p) for an interned property name, scanning
 // the edge's flat property row.
 func (s *Snapshot) EdgePropBySym(e EdgeID, p Sym) (values.Value, bool) {
-	props := s.EdgePropsOf(e)
+	lo, hi := s.edgePropOff[e], s.edgePropOff[e+1]
+	if s.recBacked {
+		for i := lo; i < hi; i++ {
+			if r := &s.edgePropRecs[i]; Sym(r.sym) == p {
+				return s.recValue(r), true
+			}
+		}
+		return values.Value{}, false
+	}
+	props := s.edgeProps[lo:hi]
 	for i := range props {
 		if props[i].Sym == p {
 			return props[i].Value, true
@@ -244,7 +354,16 @@ func (s *Snapshot) EdgePropBySym(e EdgeID, p Sym) (values.Value, bool) {
 // NodePropBySym returns σ(v, p) for an interned property name, scanning
 // the node's flat property row.
 func (s *Snapshot) NodePropBySym(v NodeID, p Sym) (values.Value, bool) {
-	props := s.NodePropsOf(v)
+	lo, hi := s.nodePropOff[v], s.nodePropOff[v+1]
+	if s.recBacked {
+		for i := lo; i < hi; i++ {
+			if r := &s.nodePropRecs[i]; Sym(r.sym) == p {
+				return s.recValue(r), true
+			}
+		}
+		return values.Value{}, false
+	}
+	props := s.nodeProps[lo:hi]
 	for i := range props {
 		if props[i].Sym == p {
 			return props[i].Value, true

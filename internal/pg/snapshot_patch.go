@@ -1,6 +1,10 @@
 package pg
 
-import "sort"
+import (
+	"sort"
+
+	"pgschema/internal/values"
+)
 
 // Snapshot patching: Apply knows exactly which elements a delta
 // touched, so instead of paying the O(V+E) columnar rebuild on the
@@ -43,7 +47,35 @@ func (g *Graph) patchSnapshot(old *Snapshot, p patchPlan) *Snapshot {
 	}
 	oldNN := len(old.nodeLabels)
 
-	s := &Snapshot{epoch: g.epoch}
+	s := &Snapshot{
+		epoch:     g.epoch,
+		liveNodes: g.NumNodes(),
+		liveEdges: g.NumEdges(),
+		symNames:  g.cappedSymNames(),
+	}
+	if old.recBacked {
+		// Patching a mapped snapshot keeps the record representation:
+		// clean rows stay aliased to the mapping, dirty rows re-encode
+		// into a private overflow arena (copied fresh per patch so the
+		// old snapshot, which Undo may retain, stays immutable).
+		s.recBacked = true
+		s.propArena = old.propArena
+		s.propOver = old.propOver
+		s.propLists = old.propLists
+		s.mapping = old.mapping
+		if p.nodePropsChanged || p.edgePropsChanged {
+			if len(old.propOver) > 1<<20 && len(old.propOver) > len(old.propArena)/4 {
+				// The overflow arena has outgrown usefulness after many
+				// patch generations; a full rebuild re-bases onto a
+				// compact heap snapshot.
+				return nil
+			}
+			over := make([]byte, len(old.propOver), len(old.propOver)+4096)
+			copy(over, old.propOver)
+			s.propOver = over
+			s.propLists = append([]values.Value(nil), old.propLists...)
+		}
+	}
 
 	if p.nodeLabelsChanged {
 		s.nodeLabels = make([]Sym, nn)
@@ -94,20 +126,147 @@ func (g *Graph) patchSnapshot(old *Snapshot, p patchPlan) *Snapshot {
 	}
 
 	if p.nodePropsChanged {
-		s.nodePropOff, s.nodeProps = g.patchNodeProps(old.nodePropOff, old.nodeProps, p.nodeDirty)
+		if old.recBacked {
+			var ok bool
+			s.nodePropOff, s.nodePropRecs, ok = g.patchNodeRecs(s, old.nodePropOff, old.nodePropRecs, p.nodeDirty)
+			if !ok {
+				return nil
+			}
+		} else {
+			s.nodePropOff, s.nodeProps = g.patchNodeProps(old.nodePropOff, old.nodeProps, p.nodeDirty)
+		}
 		s.nodePropSet = g.patchPropSets(old.nodePropSet, p.nodeDirty, oldNN)
 	} else {
 		s.nodePropOff, s.nodeProps = old.nodePropOff, old.nodeProps
+		s.nodePropRecs = old.nodePropRecs
 		s.nodePropSet = old.nodePropSet
 	}
 
 	if p.edgePropsChanged {
-		s.edgePropOff, s.edgeProps = g.patchEdgeProps(old.edgePropOff, old.edgeProps, p.edgeDirty)
+		if old.recBacked {
+			var ok bool
+			s.edgePropOff, s.edgePropRecs, ok = g.patchEdgeRecs(s, old.edgePropOff, old.edgePropRecs, p.edgeDirty)
+			if !ok {
+				return nil
+			}
+		} else {
+			s.edgePropOff, s.edgeProps = g.patchEdgeProps(old.edgePropOff, old.edgeProps, p.edgeDirty)
+		}
 	} else {
 		s.edgePropOff, s.edgeProps = old.edgePropOff, old.edgeProps
+		s.edgePropRecs = old.edgePropRecs
 	}
 
 	return s
+}
+
+// patchNodeRecs is patchNodeProps for a record-backed column: clean
+// record rows are bulk-copied (their arena-0 payloads stay valid —
+// they point into the shared mapped arena), dirty rows re-encode from
+// the store into the patched snapshot's private overflow arena and
+// list table. Returns ok=false when a value cannot be encoded; the
+// caller then falls back to a full rebuild.
+func (g *Graph) patchNodeRecs(s *Snapshot, oldOff []uint32, oldRecs []propRec, dirty []NodeID) ([]uint32, []propRec, bool) {
+	nn := len(g.nodes)
+	oldNN := len(oldOff) - 1
+	off := make([]uint32, nn+1)
+	enc := recEncoder{arenaID: 1, arena: s.propOver, lists: s.propLists}
+	enc.recs = make([]propRec, 0, len(oldRecs)+2*len(dirty))
+	encOK := true
+
+	rebuild := func(v int) {
+		n := &g.nodes[v]
+		if !n.removed {
+			if err := enc.addAll(n.props); err != nil {
+				encOK = false
+			}
+		}
+		off[v+1] = uint32(len(enc.recs))
+	}
+	copySeg := func(from, to int) {
+		if from >= to {
+			return
+		}
+		shift := off[from] - oldOff[from]
+		enc.recs = append(enc.recs, oldRecs[oldOff[from]:oldOff[to]]...)
+		if shift == 0 {
+			copy(off[from+1:to+1], oldOff[from+1:to+1])
+		} else {
+			for k := from; k < to; k++ {
+				off[k+1] = oldOff[k+1] + shift
+			}
+		}
+	}
+
+	prev := 0
+	for _, d := range dirty {
+		v := int(d)
+		if v >= oldNN {
+			break
+		}
+		copySeg(prev, v)
+		rebuild(v)
+		prev = v + 1
+	}
+	copySeg(prev, oldNN)
+	for v := oldNN; v < nn; v++ {
+		rebuild(v)
+	}
+	s.propOver = enc.arena
+	s.propLists = enc.lists
+	return off, enc.recs, encOK
+}
+
+// patchEdgeRecs is patchNodeRecs over the edge property rows.
+func (g *Graph) patchEdgeRecs(s *Snapshot, oldOff []uint32, oldRecs []propRec, dirty []EdgeID) ([]uint32, []propRec, bool) {
+	ne := len(g.edges)
+	oldNE := len(oldOff) - 1
+	off := make([]uint32, ne+1)
+	enc := recEncoder{arenaID: 1, arena: s.propOver, lists: s.propLists}
+	enc.recs = make([]propRec, 0, len(oldRecs)+2*len(dirty))
+	encOK := true
+
+	rebuild := func(e int) {
+		ed := &g.edges[e]
+		if !ed.removed {
+			if err := enc.addAll(ed.props); err != nil {
+				encOK = false
+			}
+		}
+		off[e+1] = uint32(len(enc.recs))
+	}
+	copySeg := func(from, to int) {
+		if from >= to {
+			return
+		}
+		shift := off[from] - oldOff[from]
+		enc.recs = append(enc.recs, oldRecs[oldOff[from]:oldOff[to]]...)
+		if shift == 0 {
+			copy(off[from+1:to+1], oldOff[from+1:to+1])
+		} else {
+			for k := from; k < to; k++ {
+				off[k+1] = oldOff[k+1] + shift
+			}
+		}
+	}
+
+	prev := 0
+	for _, d := range dirty {
+		e := int(d)
+		if e >= oldNE {
+			break
+		}
+		copySeg(prev, e)
+		rebuild(e)
+		prev = e + 1
+	}
+	copySeg(prev, oldNE)
+	for e := oldNE; e < ne; e++ {
+		rebuild(e)
+	}
+	s.propOver = enc.arena
+	s.propLists = enc.lists
+	return off, enc.recs, encOK
 }
 
 // patchAdj rebuilds one CSR direction. Rows of clean pre-existing

@@ -805,6 +805,9 @@ func (sb *streamBuilder) seal() *Graph {
 
 	g.snap.Store(&Snapshot{
 		epoch:       g.epoch,
+		liveNodes:   nn,
+		liveEdges:   ne,
+		symNames:    g.cappedSymNames(),
 		nodeLabels:  sb.nodeLabels,
 		edgeLabels:  sb.edgeLabels,
 		edgeSrc:     sb.edgeSrc,

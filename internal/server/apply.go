@@ -2,6 +2,8 @@ package server
 
 import (
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -9,6 +11,42 @@ import (
 	"pgschema/internal/validate"
 	"pgschema/internal/values"
 )
+
+// persistSnapshot writes the hosted graph to
+// Config.SnapshotDir/graph.pgsnap (no-op when no directory is
+// configured). Called with the graph writer lock held, so the snapshot
+// is the post-mutation state and no reader binds mid-write. The write
+// is atomic — temp file in the same directory, fsync, rename — and a
+// failure is logged rather than failing the mutation: the graph in
+// memory is the source of truth, the file is a warm-start cache.
+func (h *Handler) persistSnapshot() {
+	dir := h.cfg.SnapshotDir
+	if dir == "" {
+		return
+	}
+	err := func() error {
+		tmp, err := os.CreateTemp(dir, ".graph-*.pgsnap")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		if err := pg.WriteSnapshot(tmp, h.g.Snapshot()); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), filepath.Join(dir, SnapshotFileName))
+	}()
+	if err != nil && h.cfg.AccessLog != nil {
+		h.cfg.AccessLog.Error("persisting snapshot", "dir", dir, "error", err)
+	}
+}
 
 // applyNodeSpec describes one node to create. Props map property names
 // to JSON values (string, number, boolean, or list thereof).
@@ -183,6 +221,11 @@ func (h *Handler) serveApply(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, "applying delta: "+err.Error())
 		return
 	}
+	// The graph mutated (even a later requireValid rollback replays
+	// inverse mutations and advances the epoch), so persist the snapshot
+	// on every path out of this handler. Deferred after gmu.Lock, so it
+	// runs before the writer lock is released.
+	defer h.persistSnapshot()
 	resp := applyResponse{
 		APIVersion: apiVersion,
 		Applied:    true,

@@ -83,7 +83,18 @@ type Config struct {
 	// are opt-in and — like /healthz — sit outside the concurrency limit
 	// and timeout, which would otherwise kill a 30s CPU profile.
 	EnablePprof bool
+	// SnapshotDir, when non-empty, makes the handler persist the hosted
+	// graph as <SnapshotDir>/graph.pgsnap after every mutation through
+	// POST /graph/apply (written to a temp file and renamed, so a crash
+	// mid-write never leaves a torn snapshot). A process restarted with
+	// the same directory can memory-map that file and resume at the last
+	// committed epoch instead of re-ingesting the source data.
+	SnapshotDir string
 }
+
+// SnapshotFileName is the file inside Config.SnapshotDir that the
+// handler persists the graph to (and that a restart should open).
+const SnapshotFileName = "graph.pgsnap"
 
 // Handler serves GraphQL queries and the validation service over a fixed
 // schema and graph.

@@ -261,9 +261,9 @@ func (r *runner) fusedNodePass(w fusedWant, emit emitFunc, list []pg.NodeID, lo,
 
 		// WS1 + SS2 share the flat property row.
 		if w.ws1 || w.ss2 {
-			props := snap.NodePropsOf(v)
-			for i := range props {
-				pr := &props[i]
+			plo, phi := snap.NodePropRow(v)
+			for i := plo; i < phi; i++ {
+				pr := snap.NodePropAt(i)
 				var slot fieldSlot
 				if bl.fields != nil {
 					slot = bl.fields[pr.Sym]
@@ -578,19 +578,19 @@ func (r *runner) fusedNodePassDense(w fusedWant, emit emitFunc, lo, hi int, sc *
 			word &= word - 1
 			bl := b.labels[labelCol[v]]
 			need := bl.oblig & walk
-			var props []pg.Prop
+			plo, phi := 0, 0
 			if needProps {
-				props = snap.NodePropsOf(v)
+				plo, phi = snap.NodePropRow(v)
 			}
-			if need == 0 && len(props) == 0 {
+			if need == 0 && plo == phi {
 				continue
 			}
 			label := bl.label
 
 			// WS1 + SS2 share the flat property row.
 			{
-				for i := range props {
-					pr := &props[i]
+				for i := plo; i < phi; i++ {
+					pr := snap.NodePropAt(i)
 					var slot fieldSlot
 					if bl.fields != nil {
 						slot = bl.fields[pr.Sym]
@@ -843,9 +843,9 @@ func (r *runner) fusedEdgeCheck(w fusedWant, emit emitFunc, e pg.EdgeID, els pg.
 
 		// WS2 + SS3 share the flat edge-property row.
 		if w.ws2 || w.ss3 {
-			props := snap.EdgePropsOf(e)
-			for i := range props {
-				pr := &props[i]
+			plo, phi := snap.EdgePropRow(e)
+			for i := plo; i < phi; i++ {
+				pr := snap.EdgePropAt(i)
 				var arg *boundArg
 				for j := range slot.args {
 					if slot.args[j].sym == pr.Sym {

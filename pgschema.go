@@ -343,6 +343,38 @@ func GenerateConformant(s *Schema, cfg GenConfig) (*Graph, error) {
 	return gen.Conformant(s, cfg)
 }
 
+// SnapshotOpenOption configures OpenGraphSnapshot.
+type SnapshotOpenOption = pg.OpenOption
+
+// VerifySnapshot makes OpenGraphSnapshot checksum every section and
+// deep-validate the structure before returning. The default open
+// trusts the file after validating the header, geometry, and the
+// eagerly decoded sections, keeping open time independent of graph
+// size; pass this option for files from untrusted sources or after a
+// suspected partial write.
+func VerifySnapshot() SnapshotOpenOption { return pg.Verify() }
+
+// WriteGraphSnapshot serializes the graph's current snapshot into the
+// versioned .pgsnap binary format: a fixed header plus 8-byte-aligned
+// sections that are byte-for-byte the snapshot's columnar arrays, each
+// with its own checksum. The output is what OpenGraphSnapshot maps.
+func WriteGraphSnapshot(w io.Writer, g *Graph) error {
+	return pg.WriteSnapshot(w, g.Snapshot())
+}
+
+// OpenGraphSnapshot memory-maps a .pgsnap file written by
+// WriteGraphSnapshot and returns a Graph whose columns alias the
+// mapping: no per-element decoding, no allocations proportional to
+// graph size, so open time is independent of element count and pages
+// fault in lazily as validation or queries touch them. The graph is
+// fully functional — the first mutation (or store-shaped read)
+// privatizes the columns copy-on-write; the file is never written
+// through. Call Graph.Close to release the mapping once the graph and
+// everything derived from it are no longer in use.
+func OpenGraphSnapshot(path string, opts ...SnapshotOpenOption) (*Graph, error) {
+	return pg.OpenSnapshot(path, opts...)
+}
+
 // APIOptions configures ExtendToAPISchema.
 type APIOptions = apigen.Options
 
