@@ -2,9 +2,9 @@
 # under the race detector, and keep every validation engine in agreement
 # (the differential harness runs under -race as part of `race`; the
 # dedicated `differential` target re-runs just it, shuffled).
-.PHONY: check build vet test race differential fuzz-smoke fuzz-snapshot-smoke bench bench-fused bench-compiled bench-scale bench-scale-smoke bench-incremental bench-ingest bench-query bench-smoke bench-snapshot bench-snapshot-smoke scale-smoke scale-differential stream-smoke snapshot-differential clean
+.PHONY: check build vet test race api-golden differential fuzz-smoke fuzz-snapshot-smoke bench bench-fused bench-compiled bench-scale bench-scale-smoke bench-incremental bench-ingest bench-query bench-smoke bench-snapshot bench-snapshot-smoke scale-smoke scale-differential stream-smoke snapshot-differential clean
 
-check: build vet race differential scale-differential snapshot-differential fuzz-smoke stream-smoke bench-smoke bench-scale-smoke bench-snapshot-smoke
+check: build vet race api-golden differential scale-differential snapshot-differential fuzz-smoke stream-smoke bench-smoke bench-scale-smoke bench-snapshot-smoke
 
 build:
 	go build ./...
@@ -17,6 +17,14 @@ test:
 
 race:
 	go test -race -shuffle=on -timeout 10m ./...
+
+# API-surface regression: replay the checked-in request corpus in
+# internal/server/testdata/api against a fresh handler per case and
+# compare responses byte-for-byte (wall-clock fields normalized). Any
+# drift in an envelope, status code, error message, or field name fails
+# here; run with -update-api-golden after an intended change.
+api-golden:
+	go test -run 'TestAPIGolden|TestLegacyRoutesByteIdentical' -count=1 ./internal/server/
 
 # The engine-equivalence proofs on their own: every validation engine
 # configuration must emit the byte-identical violation set, and the

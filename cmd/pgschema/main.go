@@ -15,7 +15,7 @@
 //	pgschema api      <schema.graphql> [-no-inverse] [-keep-directives]
 //	pgschema export   <schema.graphql> [-format cypher|gsql] [-graph NAME]
 //	pgschema query    <schema.graphql> <graph.json> <query-or-@file> [-op NAME]
-//	pgschema serve    <schema.graphql> <graph.json> [-addr :8080] [-pprof] [-snapshot-dir DIR]
+//	pgschema serve    <schema.graphql> <graph.json> [-addr :8080] [-pprof] [-snapshot-dir DIR] [-tenant name:schema[:graph]]... [-mem-budget N]
 //	pgschema snapshot save <graph> <out.pgsnap> | load|info|verify <file.pgsnap>
 //	pgschema reduce   <formula.cnf>
 //	pgschema stats    <graph.json>
@@ -130,10 +130,15 @@ commands:
                                     run a GraphQL query over the graph
       -op NAME                      operation to execute
   serve    <schema> <graph>         GraphQL HTTP endpoint over the graph
+                                    (hosted as tenant "default"; manage more
+                                    via PUT/GET/DELETE /tenants/{name})
       -addr :8080                   listen address
       -pprof                        mount net/http/pprof under /debug/pprof/
-      -snapshot-dir DIR             persist DIR/graph.pgsnap after each
-                                    /graph/apply; resume from it on restart
+      -snapshot-dir DIR             persist DIR/<tenant>.pgsnap after each
+                                    /graph/apply; resume from them on restart
+                                    (legacy DIR/graph.pgsnap still read)
+      -tenant name:schema[:graph]   host an extra tenant (repeatable)
+      -mem-budget N                 evict cold tenant snapshots past N bytes
   snapshot save <graph> <out.pgsnap>
                                     write the mmap-able binary snapshot
   snapshot load|info <file.pgsnap> [-verify]
@@ -504,6 +509,47 @@ func cmdQuery(args []string) error {
 	return enc.Encode(out)
 }
 
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (f *repeatedFlag) String() string     { return strings.Join(*f, ", ") }
+func (f *repeatedFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+// parseTenantSeed turns a -tenant spec "name:schema.graphql[:graph]"
+// into a registry seed. When snapDir holds a snapshot persisted for the
+// tenant by a previous run, it supersedes the graph argument — it
+// carries every committed mutation and the epoch they advanced to.
+func parseTenantSeed(spec, snapDir string) (server.TenantSeed, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return server.TenantSeed{}, fmt.Errorf("serve: -tenant wants name:schema.graphql[:graph], got %q", spec)
+	}
+	seed := server.TenantSeed{Name: parts[0]}
+	src, err := os.ReadFile(parts[1])
+	if err != nil {
+		return server.TenantSeed{}, fmt.Errorf("serve: tenant %q schema: %w", seed.Name, err)
+	}
+	seed.SDL = string(src)
+	graphArg := ""
+	if len(parts) == 3 {
+		graphArg = parts[2]
+	}
+	if snapDir != "" {
+		if p := filepath.Join(snapDir, server.TenantSnapshotFile(seed.Name)); fileExists(p) {
+			fmt.Printf("resuming tenant %q from persisted snapshot %s\n", seed.Name, p)
+			graphArg = p
+		}
+	}
+	if graphArg != "" {
+		g, err := loadGraph(graphArg)
+		if err != nil {
+			return server.TenantSeed{}, fmt.Errorf("serve: tenant %q graph: %w", seed.Name, err)
+		}
+		seed.Graph = g
+	}
+	return seed, nil
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -512,7 +558,10 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 	quiet := fs.Bool("quiet", false, "disable access logging")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
-	snapDir := fs.String("snapshot-dir", "", "persist the graph as DIR/graph.pgsnap after each /graph/apply; on startup, resume from that file if present")
+	snapDir := fs.String("snapshot-dir", "", "persist each tenant as DIR/<name>.pgsnap after its /graph/apply; on startup, resume from those files if present")
+	memBudget := fs.Int64("mem-budget", 0, "memory budget in bytes for resident tenant snapshots; the coldest persisted tenants are evicted past it and reload from -snapshot-dir on demand (0 = unlimited)")
+	var tenants repeatedFlag
+	fs.Var(&tenants, "tenant", "host an extra tenant, name:schema.graphql[:graph] (repeatable); graph is graph.json, nodes.csv,edges.csv, or file.pgsnap")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("serve: want schema and graph files")
@@ -538,15 +587,19 @@ func cmdServe(args []string) error {
 		}
 		// Warm restart: a snapshot persisted by a previous run supersedes
 		// the graph argument — it carries every committed mutation and
-		// the epoch they advanced to.
-		if persisted := filepath.Join(*snapDir, server.SnapshotFileName); fileExists(persisted) {
+		// the epoch they advanced to. The pre-tenancy fixed file name is
+		// still honored as the default tenant's snapshot.
+		persisted := filepath.Join(*snapDir, server.TenantSnapshotFile(server.DefaultTenant))
+		if !fileExists(persisted) {
+			persisted = filepath.Join(*snapDir, server.SnapshotFileName)
+		}
+		if fileExists(persisted) {
 			fmt.Printf("resuming from persisted snapshot %s\n", persisted)
 			graphArg = persisted
 		}
 	}
 	loadStart := time.Now()
-	var h *server.Handler
-	var g *pg.Graph
+	defaultSeed := server.TenantSeed{Name: server.DefaultTenant, Schema: s}
 	if nodesPath, edgesPath, ok := strings.Cut(graphArg, ","); ok {
 		// CSV pair: stream the graph in and validate it on ingest; the
 		// full strong run seeds the /revalidate cache before serving.
@@ -560,10 +613,14 @@ func cmdServe(args []string) error {
 			return err
 		}
 		defer ef.Close()
-		var res *validate.Result
-		h, g, res, err = server.NewFromCSV(s, nf, ef, cfg)
+		res, g, err := validate.ValidateStream(context.Background(), s, nf, ef,
+			validate.Options{Program: validate.Compile(s)})
 		if err != nil {
-			return err
+			return fmt.Errorf("loading graph CSV: %w", err)
+		}
+		defaultSeed.Graph = g
+		if !res.Incomplete {
+			defaultSeed.Result = res // uncapped strong run: /revalidate can start from it
 		}
 		status := "satisfies the schema"
 		if !res.OK() {
@@ -572,8 +629,7 @@ func cmdServe(args []string) error {
 		fmt.Printf("streamed graph: %d nodes, %d edges in %s; ingest validation: graph %s\n",
 			g.NumNodes(), g.NumEdges(), time.Since(loadStart).Round(time.Millisecond), status)
 	} else {
-		var err error
-		g, err = loadGraph(graphArg)
+		g, err := loadGraph(graphArg)
 		if err != nil {
 			return err
 		}
@@ -581,10 +637,23 @@ func cmdServe(args []string) error {
 		fmt.Printf("loaded graph: %d nodes, %d edges in %s (validation autotune: %d workers)\n",
 			g.NumNodes(), g.NumEdges(), time.Since(loadStart).Round(time.Millisecond),
 			validate.Options{}.EffectiveWorkers(elements))
-		h, err = server.New(s, g, cfg)
+		defaultSeed.Graph = g
+	}
+	seeds := []server.TenantSeed{defaultSeed}
+	for _, spec := range tenants {
+		seed, err := parseTenantSeed(spec, *snapDir)
 		if err != nil {
 			return err
 		}
+		seeds = append(seeds, seed)
+	}
+	h, err := server.NewRegistry(server.RegistryConfig{
+		Config:       cfg,
+		MemoryBudget: *memBudget,
+		Seeds:        seeds,
+	})
+	if err != nil {
+		return err
 	}
 
 	// WriteTimeout must outlast the handler timeout, or the connection
@@ -604,8 +673,8 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s (POST /graphql /validate /revalidate /graph/apply, GET /schema /metrics /healthz)\n",
-		ln.Addr())
+	fmt.Printf("serving %d tenants on %s (/tenants/{name}/..., legacy aliases POST /graphql /validate /revalidate /graph/apply, GET /schema /metrics /healthz)\n",
+		len(h.Registry().Names()), ln.Addr())
 	return serveUntilSignal(srv, ln)
 }
 

@@ -189,6 +189,32 @@ func (g *Graph) buildSnapshot() *Snapshot {
 // Epoch returns the graph epoch the snapshot was built at.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
+// MemoryFootprint estimates the bytes the snapshot's columns occupy: the
+// label, endpoint, adjacency, offset, and property arrays plus the
+// presence bitsets and (for record-backed snapshots) the value arenas.
+// It is an accounting figure for cache budgets — property Values share
+// storage with the graph and mapped columns are file-backed, so the
+// number bounds rather than measures private heap use.
+func (s *Snapshot) MemoryFootprint() int64 {
+	const symSize = 4 // Sym is an int32
+	n := int64(0)
+	n += int64(len(s.nodeLabels)+len(s.edgeLabels)) * symSize
+	n += int64(len(s.edgeSrc)+len(s.edgeDst)) * 8 // NodeID is an int64
+	n += int64(len(s.outOff)+len(s.inOff)+len(s.nodePropOff)+len(s.edgePropOff)) * 4
+	n += int64(len(s.outEdges)+len(s.inEdges)) * 8
+	const propSize = 4 + 16 + 16 // Sym + string header + Value
+	n += int64(len(s.nodeProps)+len(s.edgeProps)) * propSize
+	n += int64(len(s.nodePropRecs)+len(s.edgePropRecs)) * propRecSize
+	n += int64(len(s.propArena) + len(s.propOver))
+	for _, set := range s.nodePropSet {
+		n += int64(len(set)) * 8
+	}
+	for _, name := range s.symNames {
+		n += int64(len(name)) + 16
+	}
+	return n
+}
+
 // NodeBound is the exclusive upper bound of node IDs, as in
 // Graph.NodeBound.
 func (s *Snapshot) NodeBound() int { return len(s.nodeLabels) }

@@ -2,8 +2,6 @@ package server
 
 import (
 	"net/http"
-	"os"
-	"path/filepath"
 	"sort"
 	"time"
 
@@ -11,42 +9,6 @@ import (
 	"pgschema/internal/validate"
 	"pgschema/internal/values"
 )
-
-// persistSnapshot writes the hosted graph to
-// Config.SnapshotDir/graph.pgsnap (no-op when no directory is
-// configured). Called with the graph writer lock held, so the snapshot
-// is the post-mutation state and no reader binds mid-write. The write
-// is atomic — temp file in the same directory, fsync, rename — and a
-// failure is logged rather than failing the mutation: the graph in
-// memory is the source of truth, the file is a warm-start cache.
-func (h *Handler) persistSnapshot() {
-	dir := h.cfg.SnapshotDir
-	if dir == "" {
-		return
-	}
-	err := func() error {
-		tmp, err := os.CreateTemp(dir, ".graph-*.pgsnap")
-		if err != nil {
-			return err
-		}
-		defer os.Remove(tmp.Name())
-		if err := pg.WriteSnapshot(tmp, h.g.Snapshot()); err != nil {
-			tmp.Close()
-			return err
-		}
-		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			return err
-		}
-		if err := tmp.Close(); err != nil {
-			return err
-		}
-		return os.Rename(tmp.Name(), filepath.Join(dir, SnapshotFileName))
-	}()
-	if err != nil && h.cfg.AccessLog != nil {
-		h.cfg.AccessLog.Error("persisting snapshot", "dir", dir, "error", err)
-	}
-}
 
 // applyNodeSpec describes one node to create. Props map property names
 // to JSON values (string, number, boolean, or list thereof).
@@ -196,7 +158,7 @@ type applyResponse struct {
 	Validation *validationResponse `json:"validation,omitempty"`
 }
 
-func (h *Handler) serveApply(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) serveApply(t *tenant, w http.ResponseWriter, r *http.Request) {
 	var req applyRequest
 	if !h.decodeJSONBody(w, r, &req) {
 		return
@@ -211,25 +173,35 @@ func (h *Handler) serveApply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Writer side of the graph lock: mutation and its certification run
-	// exclusive of every in-flight read (query/validate/revalidate).
-	h.gmu.Lock()
-	defer h.gmu.Unlock()
+	// Budget enforcement runs after the writer lock is released (defers
+	// run LIFO), so this request's own tenant lock is free by the time
+	// eviction probes victims.
+	defer h.reg.enforceBudget(t)
+	// Writer side of the tenant's graph lock: mutation and its
+	// certification run exclusive of this tenant's in-flight reads
+	// (query/validate/revalidate) — other tenants are untouched.
+	if err := h.reg.wlock(t); err != nil {
+		writeAPIError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer t.gmu.Unlock()
 
-	u, err := h.g.Apply(d)
+	u, err := t.g.Apply(d)
 	if err != nil {
 		writeAPIError(w, http.StatusBadRequest, "applying delta: "+err.Error())
 		return
 	}
 	// The graph mutated (even a later requireValid rollback replays
 	// inverse mutations and advances the epoch), so persist the snapshot
-	// on every path out of this handler. Deferred after gmu.Lock, so it
-	// runs before the writer lock is released.
-	defer h.persistSnapshot()
+	// and refresh the cached stats on every path out of this handler.
+	// Deferred after the lock acquisition, so it runs before the writer
+	// lock is released.
+	defer h.persistTenant(t)
+	defer t.noteGraph()
 	resp := applyResponse{
 		APIVersion: apiVersion,
 		Applied:    true,
-		Epoch:      h.g.Epoch(),
+		Epoch:      t.g.Epoch(),
 	}
 	for _, n := range u.NewNodes() {
 		resp.NewNodes = append(resp.NewNodes, int64(n))
@@ -251,14 +223,14 @@ func (h *Handler) serveApply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	h.valMu.RLock()
-	prev := h.lastResult
-	h.valMu.RUnlock()
+	t.valMu.RLock()
+	prev := t.lastResult
+	t.valMu.RUnlock()
 	start := time.Now()
-	res := validate.Revalidate(r.Context(), h.s, h.g, prev,
-		validate.DeltaFor(tc), validate.Options{Program: h.prog, CollectTimings: true})
+	res := validate.Revalidate(r.Context(), t.s, t.g, prev,
+		validate.DeltaFor(tc), validate.Options{Program: t.prog, CollectTimings: true})
 	elapsed := time.Since(start)
-	h.metrics.recordValidation(res.RuleTime, res.Sched)
+	h.metrics.recordValidation(t.name, res.RuleTime, res.Sched)
 
 	if req.RequireValid && res.Incomplete {
 		// The run was cut short (request timeout / client gone): the
@@ -271,22 +243,22 @@ func (h *Handler) serveApply(w http.ResponseWriter, r *http.Request) {
 			"validation was cancelled before completing; delta rolled back")
 		return
 	}
-	vr := h.validationResponse(res, "strong", elapsed, true)
+	vr := t.validationResponse(res, "strong", elapsed, true)
 	if req.RequireValid && !res.OK() {
 		if err := u.Undo(); err != nil {
 			writeAPIError(w, http.StatusInternalServerError, "rolling back invalid delta: "+err.Error())
 			return
 		}
 		resp.Applied = false
-		resp.Epoch = h.g.Epoch()
+		resp.Epoch = t.g.Epoch()
 		resp.Validation = &vr
 		writeJSON(w, http.StatusConflict, resp)
 		return
 	}
 	if !res.Incomplete {
-		h.valMu.Lock()
-		h.lastResult = res
-		h.valMu.Unlock()
+		t.valMu.Lock()
+		t.lastResult = res
+		t.valMu.Unlock()
 	}
 	resp.Validation = &vr
 	writeJSON(w, http.StatusOK, resp)

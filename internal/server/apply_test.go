@@ -27,7 +27,7 @@ func postApply(t *testing.T, mux http.Handler, body string) (*httptest.ResponseR
 func TestApplyEndpoint(t *testing.T) {
 	h := newTestHandler(t)
 	mux := h.Mux()
-	epoch0 := h.g.Epoch()
+	epoch0 := h.def().g.Epoch()
 
 	// Two new cities twinned with each other and with an existing node,
 	// addressed by negative refs (-1 = first addNodes entry).
@@ -57,8 +57,8 @@ func TestApplyEndpoint(t *testing.T) {
 	if out.Validation != nil {
 		t.Error("validation reported without being requested")
 	}
-	if h.g.NumNodes() != 4 || h.g.NumEdges() != 3 {
-		t.Errorf("graph size after apply: %d nodes, %d edges", h.g.NumNodes(), h.g.NumEdges())
+	if h.def().g.NumNodes() != 4 || h.def().g.NumEdges() != 3 {
+		t.Errorf("graph size after apply: %d nodes, %d edges", h.def().g.NumNodes(), h.def().g.NumEdges())
 	}
 }
 
@@ -96,7 +96,7 @@ func TestApplyEndpointRequireValidRollsBack(t *testing.T) {
 	h := newTestHandler(t)
 	mux := h.Mux()
 	postJSON(t, mux, "/validate", "")
-	nodes0, edges0 := h.g.NumNodes(), h.g.NumEdges()
+	nodes0, edges0 := h.def().g.NumNodes(), h.def().g.NumEdges()
 
 	// A loop edge violates @noLoops on twin; requireValid must refuse
 	// and roll back.
@@ -113,8 +113,8 @@ func TestApplyEndpointRequireValidRollsBack(t *testing.T) {
 	if out.Validation == nil || out.Validation.OK {
 		t.Fatalf("409 must carry the would-be violations: %+v", out)
 	}
-	if h.g.NumNodes() != nodes0 || h.g.NumEdges() != edges0 {
-		t.Errorf("rollback failed: %d/%d -> %d/%d", nodes0, edges0, h.g.NumNodes(), h.g.NumEdges())
+	if h.def().g.NumNodes() != nodes0 || h.def().g.NumEdges() != edges0 {
+		t.Errorf("rollback failed: %d/%d -> %d/%d", nodes0, edges0, h.def().g.NumNodes(), h.def().g.NumEdges())
 	}
 	// The graph is unchanged, so a full validate is still clean — and
 	// the 409's validation result must not have poisoned the cache.
@@ -150,8 +150,8 @@ func TestApplyEndpointBadRequests(t *testing.T) {
 		}
 	}
 	// Failed applies must leave the graph untouched.
-	if h.g.NumNodes() != 2 || h.g.NumEdges() != 1 {
-		t.Errorf("graph mutated by rejected requests: %d/%d", h.g.NumNodes(), h.g.NumEdges())
+	if h.def().g.NumNodes() != 2 || h.def().g.NumEdges() != 1 {
+		t.Errorf("graph mutated by rejected requests: %d/%d", h.def().g.NumNodes(), h.def().g.NumEdges())
 	}
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/graph/apply", nil))
@@ -273,8 +273,8 @@ func TestConcurrentApplyValidate(t *testing.T) {
 	wg.Wait()
 
 	// Every applied mutation survived: 2 seed nodes + 20 adds.
-	if h.g.NumNodes() != 22 {
-		t.Errorf("node count after concurrent applies: %d, want 22", h.g.NumNodes())
+	if h.def().g.NumNodes() != 22 {
+		t.Errorf("node count after concurrent applies: %d, want 22", h.def().g.NumNodes())
 	}
 	// And the final cached state answers consistently.
 	_, inc := postJSON(t, mux, "/revalidate", `{}`)

@@ -62,7 +62,7 @@ func resolveQueryEngine(e string) (string, string) {
 	}
 }
 
-func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) serveGraphQL(t *tenant, w http.ResponseWriter, r *http.Request) {
 	var req graphqlRequest
 	switch r.Method {
 	case http.MethodGet:
@@ -106,15 +106,19 @@ func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	}
 
+	if err := h.reg.rlock(t); err != nil {
+		writeAPIError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer t.gmu.RUnlock()
+
 	if engine == engineInterpretive {
 		doc, err := query.Parse(req.Query)
 		if err != nil {
 			writeQueryError(err.Error())
 			return
 		}
-		h.gmu.RLock()
-		data, err := query.ExecuteContext(r.Context(), h.s, h.g, doc, req.OperationName)
-		h.gmu.RUnlock()
+		data, err := query.ExecuteContext(r.Context(), t.s, t.g, doc, req.OperationName)
 		if err != nil {
 			writeQueryError(err.Error())
 			return
@@ -125,7 +129,7 @@ func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
 	}
 
 	planStart := time.Now()
-	plan, cached, err := h.plans.Get(req.Query)
+	plan, cached, err := t.plans.Get(req.Query)
 	resp.PlanMS = float64(time.Since(planStart)) / float64(time.Millisecond)
 	resp.PlanCached = cached
 	if err != nil {
@@ -133,9 +137,7 @@ func (h *Handler) serveGraphQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Compiled = true
-	h.gmu.RLock()
-	data, err := plan.Execute(r.Context(), h.g, req.OperationName)
-	h.gmu.RUnlock()
+	data, err := plan.Execute(r.Context(), t.g, req.OperationName)
 	if err != nil {
 		writeQueryError(err.Error())
 		return

@@ -58,7 +58,7 @@ func TestNewFromCSV(t *testing.T) {
 	if res == nil || !res.OK() {
 		t.Fatalf("ingest validation result %+v, want conformant", res)
 	}
-	if h.lastResult != res {
+	if h.def().lastResult != res {
 		t.Fatal("ingest run did not seed the /revalidate cache")
 	}
 

@@ -51,13 +51,24 @@ func (h *histogram) observe(d time.Duration) {
 	}
 }
 
+// tenantStats accumulates one tenant's request and validation activity.
+// Latency is sum/count only — full per-tenant histograms would multiply
+// the label space by the bucket count.
+type tenantStats struct {
+	requests       map[string]map[int]int64 // route -> status -> count
+	latencySum     time.Duration
+	latencyCount   int64
+	validationRuns int64
+}
+
 // metrics is the in-process registry behind GET /metrics: request counts
-// and latency by route, plus validation run counts and cumulative
-// per-rule timings.
+// and latency by route, per-tenant request/validation accounting, plus
+// validation run counts and cumulative per-rule timings.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]map[int]int64 // route -> status -> count
 	latency  map[string]*histogram    // route -> histogram
+	tenants  map[string]*tenantStats  // tenant -> its accounting
 
 	validationRuns int64
 	ruleTime       map[validate.Rule]time.Duration
@@ -76,45 +87,100 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[string]map[int]int64),
 		latency:  make(map[string]*histogram),
+		tenants:  make(map[string]*tenantStats),
 		ruleTime: make(map[validate.Rule]time.Duration),
 	}
 }
 
-// knownRoutes keeps the metrics label space bounded: arbitrary request
-// paths (scans, typos) all fold into "other".
-var knownRoutes = map[string]bool{
-	"/graphql":    true,
-	"/schema":     true,
-	"/validate":   true,
-	"/revalidate": true,
-	"/metrics":    true,
-	"/healthz":    true,
+// tenantSubRoutes are the per-tenant endpoints, as they appear after
+// the /tenants/{name}/ prefix.
+var tenantSubRoutes = map[string]bool{
+	"graphql":     true,
+	"schema":      true,
+	"validate":    true,
+	"revalidate":  true,
+	"graph/apply": true,
 }
 
-func (m *metrics) recordRequest(path string, status int, d time.Duration) {
-	if !knownRoutes[path] {
-		path = "other"
+// routeLabel folds a request path into a bounded route label (tenant
+// names replaced by the {name} placeholder, unknown paths by "other")
+// and extracts the tenant the request addresses ("" when none — the
+// legacy top-level routes address the default tenant).
+func routeLabel(path string) (route, tenant string) {
+	if path == "/tenants" {
+		return "/tenants", ""
 	}
+	if rest, ok := strings.CutPrefix(path, "/tenants/"); ok {
+		name, sub, nested := strings.Cut(rest, "/")
+		switch {
+		case !nested:
+			return "/tenants/{name}", name
+		case tenantSubRoutes[sub]:
+			return "/tenants/{name}/" + sub, name
+		default:
+			return "other", ""
+		}
+	}
+	switch path {
+	case "/graphql", "/schema", "/validate", "/revalidate", "/graph/apply":
+		return path, DefaultTenant
+	case "/metrics", "/healthz":
+		return path, ""
+	default:
+		return "other", ""
+	}
+}
+
+// recordRequest records a request under its pre-folded route label (see
+// routeLabel), and additionally under its tenant when one is named —
+// the caller guards that the tenant actually exists, so scanned or
+// mistyped names cannot grow the label space.
+func (m *metrics) recordRequest(route, tenant string, status int, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	byStatus := m.requests[path]
+	byStatus := m.requests[route]
 	if byStatus == nil {
 		byStatus = make(map[int]int64)
-		m.requests[path] = byStatus
+		m.requests[route] = byStatus
 	}
 	byStatus[status]++
-	hist := m.latency[path]
+	hist := m.latency[route]
 	if hist == nil {
 		hist = newHistogram()
-		m.latency[path] = hist
+		m.latency[route] = hist
 	}
 	hist.observe(d)
+	if tenant != "" {
+		ts := m.tenantStats(tenant)
+		byStatus := ts.requests[route]
+		if byStatus == nil {
+			byStatus = make(map[int]int64)
+			ts.requests[route] = byStatus
+		}
+		byStatus[status]++
+		ts.latencySum += d
+		ts.latencyCount++
+	}
 }
 
-func (m *metrics) recordValidation(ruleTime map[validate.Rule]time.Duration, sched *validate.SchedStats) {
+// tenantStats returns the named tenant's accounting, creating it on
+// first use. Caller holds m.mu.
+func (m *metrics) tenantStats(tenant string) *tenantStats {
+	ts := m.tenants[tenant]
+	if ts == nil {
+		ts = &tenantStats{requests: make(map[string]map[int]int64)}
+		m.tenants[tenant] = ts
+	}
+	return ts
+}
+
+func (m *metrics) recordValidation(tenant string, ruleTime map[validate.Rule]time.Duration, sched *validate.SchedStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.validationRuns++
+	if tenant != "" {
+		m.tenantStats(tenant).validationRuns++
+	}
 	for rule, d := range ruleTime {
 		m.ruleTime[rule] += d
 	}
@@ -128,8 +194,9 @@ func (m *metrics) recordValidation(ruleTime map[validate.Rule]time.Duration, sch
 }
 
 // render writes the registry in the Prometheus text exposition format,
-// with series sorted for deterministic output.
-func (m *metrics) render(w io.Writer) {
+// with series sorted for deterministic output. reg carries the tenant
+// registry's occupancy and eviction counters.
+func (m *metrics) render(w io.Writer, reg registryStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -197,6 +264,63 @@ func (m *metrics) render(w io.Writer) {
 			rule, m.ruleTime[validate.Rule(rule)].Seconds())
 	}
 
+	b.WriteString("# HELP pgschema_tenant_requests_total Requests served, by tenant, route, and status.\n")
+	b.WriteString("# TYPE pgschema_tenant_requests_total counter\n")
+	tenantNames := sortedKeys(m.tenants)
+	for _, tenant := range tenantNames {
+		ts := m.tenants[tenant]
+		for _, route := range sortedKeys(ts.requests) {
+			byStatus := ts.requests[route]
+			statuses := make([]int, 0, len(byStatus))
+			for s := range byStatus {
+				statuses = append(statuses, s)
+			}
+			sort.Ints(statuses)
+			for _, s := range statuses {
+				fmt.Fprintf(&b, "pgschema_tenant_requests_total{tenant=%q,route=%q,status=\"%d\"} %d\n",
+					tenant, route, s, byStatus[s])
+			}
+		}
+	}
+
+	b.WriteString("# HELP pgschema_tenant_request_duration_seconds Summed request latency, by tenant.\n")
+	b.WriteString("# TYPE pgschema_tenant_request_duration_seconds summary\n")
+	for _, tenant := range tenantNames {
+		ts := m.tenants[tenant]
+		fmt.Fprintf(&b, "pgschema_tenant_request_duration_seconds_sum{tenant=%q} %g\n", tenant, ts.latencySum.Seconds())
+		fmt.Fprintf(&b, "pgschema_tenant_request_duration_seconds_count{tenant=%q} %d\n", tenant, ts.latencyCount)
+	}
+
+	b.WriteString("# HELP pgschema_tenant_validation_runs_total Validation runs, by tenant.\n")
+	b.WriteString("# TYPE pgschema_tenant_validation_runs_total counter\n")
+	for _, tenant := range tenantNames {
+		fmt.Fprintf(&b, "pgschema_tenant_validation_runs_total{tenant=%q} %d\n", tenant, m.tenants[tenant].validationRuns)
+	}
+
+	b.WriteString("# HELP pgschema_registry_tenants Tenants hosted by the registry.\n")
+	b.WriteString("# TYPE pgschema_registry_tenants gauge\n")
+	fmt.Fprintf(&b, "pgschema_registry_tenants %d\n", reg.tenants)
+
+	b.WriteString("# HELP pgschema_registry_resident_tenants Tenants whose columnar snapshot is resident in memory.\n")
+	b.WriteString("# TYPE pgschema_registry_resident_tenants gauge\n")
+	fmt.Fprintf(&b, "pgschema_registry_resident_tenants %d\n", reg.resident)
+
+	b.WriteString("# HELP pgschema_registry_resident_bytes Estimated bytes of resident tenant snapshots.\n")
+	b.WriteString("# TYPE pgschema_registry_resident_bytes gauge\n")
+	fmt.Fprintf(&b, "pgschema_registry_resident_bytes %d\n", reg.residentBytes)
+
+	b.WriteString("# HELP pgschema_registry_memory_budget_bytes Configured memory budget for resident snapshots (0 = unlimited).\n")
+	b.WriteString("# TYPE pgschema_registry_memory_budget_bytes gauge\n")
+	fmt.Fprintf(&b, "pgschema_registry_memory_budget_bytes %d\n", reg.budget)
+
+	b.WriteString("# HELP pgschema_registry_evictions_total Tenant snapshots evicted under the memory budget.\n")
+	b.WriteString("# TYPE pgschema_registry_evictions_total counter\n")
+	fmt.Fprintf(&b, "pgschema_registry_evictions_total %d\n", reg.evictions)
+
+	b.WriteString("# HELP pgschema_registry_tenant_reloads_total Evicted tenant snapshots reloaded on demand.\n")
+	b.WriteString("# TYPE pgschema_registry_tenant_reloads_total counter\n")
+	fmt.Fprintf(&b, "pgschema_registry_tenant_reloads_total %d\n", reg.reloads)
+
 	_, _ = io.WriteString(w, b.String())
 }
 
@@ -211,9 +335,10 @@ func sortedKeys[V any](m map[string]V) []string {
 
 func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		w.Header().Set("Allow", "GET")
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	h.metrics.render(w)
+	h.metrics.render(w, h.reg.stats())
 }

@@ -42,7 +42,13 @@ func (h *Handler) observe(next http.Handler) http.Handler {
 			rec.status = http.StatusOK
 		}
 		elapsed := time.Since(start)
-		h.metrics.recordRequest(r.URL.Path, rec.status, elapsed)
+		route, tenant := routeLabel(r.URL.Path)
+		if tenant != "" && !h.reg.has(tenant) {
+			// Unknown tenant names (scans, typos, deleted tenants) must
+			// not grow the per-tenant label space.
+			tenant = ""
+		}
+		h.metrics.recordRequest(route, tenant, rec.status, elapsed)
 		if h.cfg.AccessLog != nil {
 			h.cfg.AccessLog.Info("request",
 				"method", r.Method,
@@ -75,7 +81,7 @@ func (h *Handler) recoverPanics(next http.Handler) http.Handler {
 			}
 			// Best effort: if the handler already wrote headers this
 			// write fails silently, and the client sees a broken body.
-			writeError(w, http.StatusInternalServerError, "internal server error")
+			writeAPIError(w, http.StatusInternalServerError, "internal server error")
 		}()
 		next.ServeHTTP(w, r)
 	})
@@ -96,7 +102,7 @@ func (h *Handler) limitInFlight(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable,
+			writeAPIError(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("server is at its limit of %d concurrent requests", h.cfg.MaxInFlight))
 		}
 	})
@@ -173,7 +179,7 @@ func (h *Handler) withTimeout(next http.Handler) http.Handler {
 		case v := <-panicked:
 			panic(v)
 		case <-ctx.Done():
-			writeError(w, http.StatusGatewayTimeout,
+			writeAPIError(w, http.StatusGatewayTimeout,
 				fmt.Sprintf("request exceeded the %s handler timeout", d))
 		}
 	})

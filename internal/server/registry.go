@@ -1,0 +1,566 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pgschema/internal/apigen"
+	"pgschema/internal/parser"
+	"pgschema/internal/pg"
+	"pgschema/internal/query"
+	"pgschema/internal/schema"
+	"pgschema/internal/validate"
+)
+
+// DefaultTenant is the tenant the legacy top-level routes (/validate,
+// /revalidate, /graphql, /graph/apply, /schema) alias: a request to
+// /validate is byte-for-byte a request to /tenants/default/validate.
+const DefaultTenant = "default"
+
+// tenantNameRE bounds tenant names: they appear in URLs, metric labels,
+// and snapshot file names, so they are restricted to a single flat
+// path-safe token.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_-]{0,63}$`)
+
+// ValidTenantName reports whether name is usable as a tenant name: 1-64
+// characters drawn from [A-Za-z0-9_-], starting with an alphanumeric.
+func ValidTenantName(name string) bool { return tenantNameRE.MatchString(name) }
+
+// tenant is one hosted (schema, graph) pair with everything the serving
+// layer keeps per graph: the compiled validation program, the query plan
+// cache, the cached full validation result, and its own readers-writer
+// lock — so a mutation on one tenant never stalls another tenant's
+// reads.
+//
+// Locking: gmu guards the graph AND the schema-derived state (s, sdl,
+// apiSDL, prog, plans) — reads hold RLock, /graph/apply, schema
+// replacement, eviction, and reload hold Lock. valMu guards lastResult
+// and is only ever taken inside gmu, never around it. resident()
+// means g != nil; an evicted tenant keeps its schema and program (they
+// are small) and reloads the graph from its snapshot file on the next
+// access.
+type tenant struct {
+	name string
+
+	gmu    sync.RWMutex
+	s      *schema.Schema
+	sdl    string // SDL source when known ("" for programmatically built schemas)
+	apiSDL string
+	prog   *validate.Program
+	plans  *query.PlanCache
+	g      *pg.Graph
+
+	valMu      sync.RWMutex
+	lastResult *validate.Result
+
+	// lastTouch is the registry-clock value of the most recent request
+	// that used this tenant; eviction picks the smallest (coldest).
+	lastTouch atomic.Int64
+	// bytes is the estimated resident footprint of the tenant's columnar
+	// snapshot, maintained on load, persist, and reload.
+	bytes atomic.Int64
+	// persisted reports a current .pgsnap of this tenant exists in the
+	// registry's snapshot directory — the precondition for eviction.
+	persisted atomic.Bool
+	// residentBit mirrors g != nil so that listings, /metrics, and
+	// budget enforcement can check residency without touching gmu — a
+	// tenant mid-apply (writer lock held) must not stall reporting on
+	// other tenants. Flipped only under gmu's writer side.
+	residentBit atomic.Bool
+
+	// nodes/edges/epoch mirror the graph so /tenants listings can report
+	// an evicted tenant without forcing a reload.
+	nodes atomic.Int64
+	edges atomic.Int64
+	epoch atomic.Uint64
+}
+
+// noteGraph refreshes the cached element counts and epoch from the
+// resident graph. Called with gmu held (either side — the fields are
+// atomics, the graph pointer is what the lock protects).
+func (t *tenant) noteGraph() {
+	t.nodes.Store(int64(t.g.NumNodes()))
+	t.edges.Store(int64(t.g.NumEdges()))
+	t.epoch.Store(t.g.Epoch())
+}
+
+func (t *tenant) resident() bool { return t.residentBit.Load() }
+
+// setSchema installs schema-derived state. Caller holds gmu exclusively
+// (or owns the tenant before publication).
+func (t *tenant) setSchema(s *schema.Schema, sdl string, prog *validate.Program) error {
+	apiSDL, err := apigen.ExtendSDL(s, apigen.Options{})
+	if err != nil {
+		if !errors.Is(err, apigen.ErrQueryTypeDeclared) {
+			return fmt.Errorf("generating the API schema: %w", err)
+		}
+		apiSDL = ""
+	}
+	t.s, t.sdl, t.apiSDL = s, sdl, apiSDL
+	if prog == nil {
+		prog = validate.Compile(s)
+	}
+	t.prog = prog
+	t.plans = query.NewPlanCache(s, 0)
+	return nil
+}
+
+// TenantSeed describes a tenant to create at registry construction:
+// either a parsed Schema or SDL source (parsed when Schema is nil), an
+// optional pre-built graph (nil hosts an empty graph), and an optional
+// complete full-strong validation result to seed /revalidate from.
+type TenantSeed struct {
+	Name   string
+	Schema *schema.Schema
+	SDL    string
+	Graph  *pg.Graph
+	Result *validate.Result
+}
+
+// RegistryConfig configures a multi-tenant handler: the per-request
+// HTTP knobs of Config plus the registry-wide memory budget and the
+// tenants to create at startup.
+type RegistryConfig struct {
+	Config
+
+	// MemoryBudget caps the summed estimated footprint of resident
+	// tenant snapshots, in bytes; when an operation pushes the registry
+	// over it, the coldest persisted tenants are evicted (their graph
+	// and plan cache dropped) until the total fits. Evicted tenants
+	// reload transparently from their .pgsnap in Config.SnapshotDir on
+	// the next request. 0 disables eviction; eviction also requires
+	// SnapshotDir (without a file to reload from, nothing is evictable).
+	MemoryBudget int64
+
+	// Seeds are tenants created before the handler serves. A seed named
+	// DefaultTenant becomes the target of the legacy top-level routes.
+	Seeds []TenantSeed
+}
+
+// Registry is the concurrent map of named tenants behind a Handler. All
+// tenant lookup, creation, deletion, restart restore, and budget
+// eviction go through it.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	// clock orders tenant touches for LRU eviction; evictions and
+	// reloads feed the /metrics registry counters.
+	clock     atomic.Int64
+	evictions atomic.Int64
+	reloads   atomic.Int64
+}
+
+func newRegistry(cfg RegistryConfig) (*Registry, error) {
+	r := &Registry{cfg: cfg, tenants: make(map[string]*tenant)}
+	for _, seed := range cfg.Seeds {
+		if _, err := r.create(seed, false); err != nil {
+			return nil, fmt.Errorf("seeding tenant %q: %w", seed.Name, err)
+		}
+	}
+	if err := r.restore(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// create builds and publishes a tenant from a seed. persist additionally
+// writes the tenant's schema (and graph, when present) into the
+// snapshot directory so a restart — and eviction reload — can recover
+// it. An existing tenant of the same name is replaced; in-flight
+// requests holding the old tenant finish against the old state.
+func (r *Registry) create(seed TenantSeed, persist bool) (*tenant, error) {
+	if !ValidTenantName(seed.Name) {
+		return nil, fmt.Errorf("invalid tenant name %q (want 1-64 characters of [A-Za-z0-9_-], starting alphanumeric)", seed.Name)
+	}
+	s := seed.Schema
+	if s == nil {
+		if seed.SDL == "" {
+			return nil, fmt.Errorf("tenant %q: no schema given", seed.Name)
+		}
+		doc, err := parser.Parse(seed.SDL)
+		if err != nil {
+			return nil, fmt.Errorf("parsing schema: %w", err)
+		}
+		s, err = schema.Build(doc, schema.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("building schema: %w", err)
+		}
+	}
+	t := &tenant{name: seed.Name}
+	if err := t.setSchema(s, seed.SDL, nil); err != nil {
+		return nil, err
+	}
+	t.g = seed.Graph
+	if t.g == nil {
+		t.g = pg.New()
+	}
+	t.bytes.Store(t.g.Snapshot().MemoryFootprint())
+	t.residentBit.Store(true)
+	t.noteGraph()
+	if seed.Result != nil && !seed.Result.Incomplete && !seed.Result.Truncated {
+		t.lastResult = seed.Result
+	}
+	t.lastTouch.Store(r.clock.Add(1))
+	if persist && r.cfg.SnapshotDir != "" {
+		if err := r.persistTenant(t); err != nil {
+			return nil, err
+		}
+	}
+	r.mu.Lock()
+	r.tenants[t.name] = t
+	r.mu.Unlock()
+	r.enforceBudget(t)
+	return t, nil
+}
+
+// get returns the named tenant (nil if absent) and stamps its LRU
+// clock.
+func (r *Registry) get(name string) *tenant {
+	r.mu.RLock()
+	t := r.tenants[name]
+	r.mu.RUnlock()
+	if t != nil {
+		t.lastTouch.Store(r.clock.Add(1))
+	}
+	return t
+}
+
+// has reports whether the named tenant exists without touching its LRU
+// clock — metrics attribution must not keep tenants artificially warm.
+func (r *Registry) has(name string) bool {
+	r.mu.RLock()
+	_, ok := r.tenants[name]
+	r.mu.RUnlock()
+	return ok
+}
+
+// delete removes the named tenant and its persisted files. The tenant
+// struct stays valid for requests already holding it.
+func (r *Registry) delete(name string) bool {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	if ok {
+		delete(r.tenants, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if dir := r.cfg.SnapshotDir; dir != "" {
+		os.Remove(filepath.Join(dir, TenantSnapshotFile(t.name)))
+		os.Remove(filepath.Join(dir, tenantSchemaFile(t.name)))
+	}
+	return true
+}
+
+// Names returns the hosted tenant names, sorted.
+func (r *Registry) Names() []string { return r.names() }
+
+// names returns the tenant names, sorted.
+func (r *Registry) names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// registryStats is a point-in-time summary for /metrics and /tenants.
+type registryStats struct {
+	tenants       int
+	resident      int
+	residentBytes int64
+	budget        int64
+	evictions     int64
+	reloads       int64
+}
+
+func (r *Registry) stats() registryStats {
+	r.mu.RLock()
+	ts := make([]*tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		ts = append(ts, t)
+	}
+	r.mu.RUnlock()
+	st := registryStats{
+		tenants:   len(ts),
+		budget:    r.cfg.MemoryBudget,
+		evictions: r.evictions.Load(),
+		reloads:   r.reloads.Load(),
+	}
+	for _, t := range ts {
+		if t.resident() {
+			st.resident++
+			st.residentBytes += t.bytes.Load()
+		}
+	}
+	return st
+}
+
+// TenantSnapshotFile is the per-tenant snapshot file name inside
+// Config.SnapshotDir: <name>.pgsnap. The pre-tenancy layout used the
+// fixed name SnapshotFileName for the single hosted graph; `serve`
+// still reads that legacy file at startup as the default tenant's
+// snapshot when default.pgsnap is absent.
+func TenantSnapshotFile(name string) string { return name + ".pgsnap" }
+
+// tenantSchemaFile is the persisted SDL source for tenants created at
+// runtime, so a restart can re-create them: <name>.graphql.
+func tenantSchemaFile(name string) string { return name + ".graphql" }
+
+// persistTenant writes the tenant's schema SDL (when known) and current
+// graph snapshot into the snapshot directory. Called with the tenant
+// unpublished or its writer lock held.
+func (r *Registry) persistTenant(t *tenant) error {
+	dir := r.cfg.SnapshotDir
+	if dir == "" {
+		return nil
+	}
+	if t.sdl != "" {
+		if err := atomicWriteFile(filepath.Join(dir, tenantSchemaFile(t.name)), []byte(t.sdl)); err != nil {
+			return fmt.Errorf("persisting tenant schema: %w", err)
+		}
+	}
+	if t.g == nil {
+		return nil // evicted: the persisted snapshot is already current
+	}
+	if err := writeSnapshotFile(t.g, filepath.Join(dir, TenantSnapshotFile(t.name))); err != nil {
+		return fmt.Errorf("persisting tenant snapshot: %w", err)
+	}
+	t.persisted.Store(true)
+	t.bytes.Store(t.g.Snapshot().MemoryFootprint())
+	return nil
+}
+
+// restore re-creates tenants persisted by a previous run: every
+// <name>.graphql in the snapshot directory (with its <name>.pgsnap when
+// present) becomes a tenant again. Seeded names win over persisted
+// state — the operator's explicit bootstrap is authoritative.
+func (r *Registry) restore() error {
+	dir := r.cfg.SnapshotDir
+	if dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, ent := range entries {
+		name, ok := strings.CutSuffix(ent.Name(), ".graphql")
+		if !ok || !ValidTenantName(name) {
+			continue
+		}
+		if r.has(name) {
+			continue
+		}
+		sdl, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return fmt.Errorf("restoring tenant %q: %w", name, err)
+		}
+		seed := TenantSeed{Name: name, SDL: string(sdl)}
+		snapPath := filepath.Join(dir, TenantSnapshotFile(name))
+		hasSnap := false
+		if st, err := os.Stat(snapPath); err == nil && st.Mode().IsRegular() {
+			g, err := pg.OpenSnapshot(snapPath)
+			if err != nil {
+				return fmt.Errorf("restoring tenant %q snapshot: %w", name, err)
+			}
+			seed.Graph = g
+			hasSnap = true
+		}
+		t, err := r.create(seed, false)
+		if err != nil {
+			return fmt.Errorf("restoring tenant %q: %w", name, err)
+		}
+		t.persisted.Store(hasSnap)
+	}
+	return nil
+}
+
+// rlock acquires the tenant's read lock with the graph resident,
+// transparently reloading an evicted snapshot first. On success the
+// caller holds t.gmu.RLock and must release it; on error nothing is
+// held.
+func (r *Registry) rlock(t *tenant) error {
+	for {
+		t.gmu.RLock()
+		if t.g != nil {
+			return nil
+		}
+		t.gmu.RUnlock()
+		if err := r.reload(t); err != nil {
+			return err
+		}
+	}
+}
+
+// wlock acquires the tenant's writer lock with the graph resident,
+// reloading inline if the tenant was evicted.
+func (r *Registry) wlock(t *tenant) error {
+	t.gmu.Lock()
+	if t.g != nil {
+		return nil
+	}
+	if err := r.reloadLocked(t); err != nil {
+		t.gmu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// reload maps the tenant's persisted snapshot back in after an
+// eviction.
+func (r *Registry) reload(t *tenant) error {
+	t.gmu.Lock()
+	defer t.gmu.Unlock()
+	if t.g != nil {
+		return nil // another request reloaded first
+	}
+	return r.reloadLocked(t)
+}
+
+func (r *Registry) reloadLocked(t *tenant) error {
+	path := filepath.Join(r.cfg.SnapshotDir, TenantSnapshotFile(t.name))
+	g, err := pg.OpenSnapshot(path)
+	if err != nil {
+		return fmt.Errorf("reloading evicted tenant %q from %s: %w", t.name, path, err)
+	}
+	t.g = g
+	t.plans = query.NewPlanCache(t.s, 0)
+	t.bytes.Store(g.Snapshot().MemoryFootprint())
+	t.residentBit.Store(true)
+	t.noteGraph()
+	r.reloads.Add(1)
+	r.enforceBudget(t)
+	return nil
+}
+
+// enforceBudget evicts the coldest persisted tenants until the summed
+// resident footprint fits the memory budget. exclude (the tenant the
+// current request operates on) is never evicted. Eviction takes each
+// victim's writer lock with TryLock — a tenant busy serving is skipped
+// this round rather than risking a lock-order deadlock — so enforcement
+// is best-effort per call and converges across calls.
+func (r *Registry) enforceBudget(exclude *tenant) {
+	budget := r.cfg.MemoryBudget
+	if budget <= 0 || r.cfg.SnapshotDir == "" {
+		return
+	}
+	for {
+		r.mu.RLock()
+		var total int64
+		var victims []*tenant
+		for _, t := range r.tenants {
+			if !t.resident() {
+				continue
+			}
+			total += t.bytes.Load()
+			if t != exclude && t.persisted.Load() {
+				victims = append(victims, t)
+			}
+		}
+		r.mu.RUnlock()
+		if total <= budget || len(victims) == 0 {
+			return
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			return victims[i].lastTouch.Load() < victims[j].lastTouch.Load()
+		})
+		evicted := false
+		for _, v := range victims {
+			if r.tryEvict(v) {
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// tryEvict drops the tenant's resident graph state (columnar snapshot,
+// plan cache, cached validation result) if its writer lock is free. The
+// schema and compiled program stay — they are small and reload would
+// recompile them identically. The mapped or heap graph memory is
+// released to the collector / the OS page cache; the next request
+// reloads from the persisted .pgsnap in O(header).
+func (r *Registry) tryEvict(t *tenant) bool {
+	if !t.gmu.TryLock() {
+		return false
+	}
+	defer t.gmu.Unlock()
+	if t.g == nil || !t.persisted.Load() {
+		return false
+	}
+	t.g = nil
+	t.plans = nil
+	t.residentBit.Store(false)
+	t.valMu.Lock()
+	t.lastResult = nil
+	t.valMu.Unlock()
+	t.bytes.Store(0)
+	r.evictions.Add(1)
+	return true
+}
+
+// atomicWriteFile writes data to path via a temp file + rename in the
+// same directory, so a crash mid-write never leaves a torn file.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tenant-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeSnapshotFile persists the graph's snapshot to path atomically.
+func writeSnapshotFile(g *pg.Graph, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".graph-*.pgsnap")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := pg.WriteSnapshot(tmp, g.Snapshot()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

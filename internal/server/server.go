@@ -1,35 +1,52 @@
-// Package server exposes a Property Graph behind a GraphQL HTTP endpoint
+// Package server exposes Property Graphs behind a GraphQL HTTP endpoint
 // — the deployment shape the paper's §3.6 outlook describes — together
 // with an online validation service and operational endpoints.
 //
+// The process hosts a registry of named tenants, each an independent
+// (schema, graph) pair with its own compiled validation program, query
+// plan cache, epoch, snapshot persistence, and readers-writer lock — so
+// one tenant's mutation never stalls another tenant's reads. Tenants
+// are managed over HTTP (PUT/GET/DELETE /tenants/{name}, POST
+// /tenants/{name}/schema) and served under /tenants/{name}/...; the
+// pre-tenancy top-level routes (/graphql, /schema, /validate,
+// /revalidate, /graph/apply) remain as aliases for the tenant named
+// "default", returning byte-identical responses.
+//
 // The GraphQL handler speaks the de-facto GraphQL-over-HTTP protocol:
 // POST a JSON body {"query": …, "operationName": …} (or GET with a
-// ?query= parameter) to /graphql and receive {"data": …} or
-// {"errors": [{"message": …}]}, wrapped in the v1 envelope. Queries run
-// through compiled plans cached per query source (each with an
-// epoch-keyed binding to the hosted graph); the response reports the
-// engine, plan-cache status, and plan cost, and an "engine" request
-// field ("auto"/"compiled"/"interpretive") keeps the tree-walking
-// executor reachable.
+// ?query= parameter) to /tenants/{name}/graphql and receive
+// {"data": …} or {"errors": [{"message": …}]}, wrapped in the v1
+// envelope. Queries run through compiled plans cached per query source
+// (each with an epoch-keyed binding to the tenant's graph); the
+// response reports the engine, plan-cache status, and plan cost, and an
+// "engine" request field ("auto"/"compiled"/"interpretive") keeps the
+// tree-walking executor reachable.
 //
 // The validation service turns the validate package into a callable
-// endpoint: POST /validate runs the rules of Definitions 5.1–5.3 over
-// the hosted graph (mode, rule subset, violation cap, and parallelism
-// selectable per request), and POST /revalidate answers incrementally
-// from the last cached full result given a mutation delta. GET /metrics
-// exposes request counts, latency histograms, and per-rule validation
-// timings in the Prometheus text format.
+// endpoint: POST /tenants/{name}/validate runs the rules of Definitions
+// 5.1–5.3 over the tenant's graph (mode, rule subset, violation cap,
+// and parallelism selectable per request), and POST
+// /tenants/{name}/revalidate answers incrementally from the tenant's
+// last cached full result given a mutation delta. GET /metrics exposes
+// request counts, latency histograms, per-rule validation timings,
+// per-tenant request/validation series, and registry occupancy and
+// eviction counters in the Prometheus text format.
 //
-// Graph mutation goes through POST /graph/apply: a transactional delta
-// (all-or-nothing, epoch-bumping) with optional incremental
-// revalidation, and with requireValid as a commit condition that rolls
-// the delta back when the mutated graph would be invalid. A
-// readers-writer lock serializes mutations against in-flight reads
-// (queries and validations), so concurrent requests stay safe.
+// Graph mutation goes through POST /tenants/{name}/graph/apply: a
+// transactional delta (all-or-nothing, epoch-bumping) with optional
+// incremental revalidation, and with requireValid as a commit condition
+// that rolls the delta back when the mutated graph would be invalid.
+// Each tenant's readers-writer lock serializes its mutations against
+// its own in-flight reads only.
 //
-// Validation responses and errors carry the versioned v1 envelope
-// ("apiVersion", a uniform "error" string on failures, and the
-// engine/workers/compiled fields describing the run); legacy request
+// The registry enforces an optional memory budget: when the summed
+// footprint of resident columnar snapshots exceeds it, the coldest
+// persisted tenants are evicted (graph, plan cache, and cached
+// validation result dropped) and transparently reloaded from their
+// .pgsnap on the next request.
+//
+// All responses and errors carry the versioned v1 envelope
+// ("apiVersion", a uniform "error" string on failures); legacy request
 // bodies without apiVersion are still accepted.
 //
 // Mux wraps the routes in a middleware stack — panic recovery,
@@ -40,18 +57,14 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
-	"sync"
 	"time"
 
-	"pgschema/internal/apigen"
 	"pgschema/internal/pg"
-	"pgschema/internal/query"
 	"pgschema/internal/schema"
 	"pgschema/internal/validate"
 )
@@ -83,84 +96,68 @@ type Config struct {
 	// are opt-in and — like /healthz — sit outside the concurrency limit
 	// and timeout, which would otherwise kill a 30s CPU profile.
 	EnablePprof bool
-	// SnapshotDir, when non-empty, makes the handler persist the hosted
-	// graph as <SnapshotDir>/graph.pgsnap after every mutation through
-	// POST /graph/apply (written to a temp file and renamed, so a crash
-	// mid-write never leaves a torn snapshot). A process restarted with
-	// the same directory can memory-map that file and resume at the last
-	// committed epoch instead of re-ingesting the source data.
+	// SnapshotDir, when non-empty, makes the registry persist each
+	// tenant's graph as <SnapshotDir>/<tenant>.pgsnap after every
+	// mutation through its /graph/apply (written to a temp file and
+	// renamed, so a crash mid-write never leaves a torn snapshot), and
+	// each runtime-created tenant's schema as <tenant>.graphql. A
+	// process restarted with the same directory re-creates those tenants
+	// and memory-maps their snapshots, resuming at the last committed
+	// epochs instead of re-ingesting source data. The directory is also
+	// what makes eviction under RegistryConfig.MemoryBudget possible.
 	SnapshotDir string
 }
 
-// SnapshotFileName is the file inside Config.SnapshotDir that the
-// handler persists the graph to (and that a restart should open).
+// SnapshotFileName is the fixed snapshot file name the pre-tenancy
+// server persisted the single hosted graph to. The registry now writes
+// TenantSnapshotFile(name) per tenant; this name survives as the legacy
+// fallback `serve -snapshot-dir` still reads at startup for the default
+// tenant.
 const SnapshotFileName = "graph.pgsnap"
 
-// Handler serves GraphQL queries and the validation service over a fixed
-// schema and graph.
+// Handler serves GraphQL queries and the validation service over a
+// registry of tenants.
 type Handler struct {
-	s       *schema.Schema
-	g       *pg.Graph
-	apiSDL  string
+	reg     *Registry
 	cfg     Config
 	metrics *metrics
-
-	// prog is the validation program compiled once from the schema at
-	// construction; /validate and /revalidate reuse it on every request,
-	// so the per-run cost is binding (cached across runs while the graph
-	// epoch is stable) rather than recompiling the schema.
-	prog *validate.Program
-
-	// plans caches compiled query plans keyed by query source; each plan
-	// carries its own epoch-keyed graph binding, so a repeated query
-	// against an unchanged graph skips parse, compile, and bind.
-	plans *query.PlanCache
-
-	// gmu is the graph readers-writer lock: queries and validations
-	// hold the read side, POST /graph/apply holds the write side for
-	// the mutation and its certification.
-	gmu sync.RWMutex
-
-	// valMu guards the cached validation result that /revalidate answers
-	// from; /validate refreshes it after every full strong run. Always
-	// acquired inside gmu, never around it.
-	valMu      sync.RWMutex
-	lastResult *validate.Result
 }
 
-// New builds a handler. The graph must not be mutated out-of-band while
-// the handler is serving — POST /graph/apply is the sanctioned mutation
-// path and serializes against in-flight reads via the handler's graph
-// lock. A schema that already declares a type named Query cannot
-// be extended into an API schema; the handler still serves queries
-// against the original schema and GET /schema degrades to 404. Any
-// other API-generation failure is returned.
+// New builds a single-tenant handler: the given schema and graph become
+// the tenant named "default", reachable both under /tenants/default/...
+// and through the legacy top-level routes. The graph must not be
+// mutated out-of-band while the handler is serving — POST /graph/apply
+// is the sanctioned mutation path and serializes against in-flight
+// reads via the tenant's graph lock. A schema that already declares a
+// type named Query cannot be extended into an API schema; the handler
+// still serves queries against the original schema and GET /schema
+// degrades to 404. Any other API-generation failure is returned.
 func New(s *schema.Schema, g *pg.Graph, cfg Config) (*Handler, error) {
-	return newHandler(s, g, cfg, validate.Compile(s))
+	return NewRegistry(RegistryConfig{
+		Config: cfg,
+		Seeds:  []TenantSeed{{Name: DefaultTenant, Schema: s, Graph: g}},
+	})
 }
 
-func newHandler(s *schema.Schema, g *pg.Graph, cfg Config, prog *validate.Program) (*Handler, error) {
-	apiSDL, err := apigen.ExtendSDL(s, apigen.Options{})
+// NewRegistry builds a multi-tenant handler: every seed becomes a
+// tenant, and tenants persisted by a previous run into
+// Config.SnapshotDir are restored alongside them (seeded names win).
+func NewRegistry(cfg RegistryConfig) (*Handler, error) {
+	reg, err := newRegistry(cfg)
 	if err != nil {
-		if !errors.Is(err, apigen.ErrQueryTypeDeclared) {
-			return nil, fmt.Errorf("generating the API schema: %w", err)
-		}
-		apiSDL = ""
+		return nil, err
 	}
-	return &Handler{
-		s: s, g: g, apiSDL: apiSDL, cfg: cfg, metrics: newMetrics(),
-		prog:  prog,
-		plans: query.NewPlanCache(s, 0),
-	}, nil
+	return &Handler{reg: reg, cfg: cfg.Config, metrics: newMetrics()}, nil
 }
 
-// NewFromCSV builds a handler by streaming the hosted graph out of the
-// nodes/edges CSV and validating it on ingest: the load seals directly
-// into the columnar snapshot, the handler's compiled program binds to
-// it, and the resulting full strong run seeds the /revalidate cache —
-// so the server is ready to answer incremental revalidations the moment
-// it comes up, without a second pass over the graph. The loaded graph
-// and the ingest validation result are returned alongside the handler.
+// NewFromCSV builds a single-tenant handler by streaming the default
+// tenant's graph out of the nodes/edges CSV and validating it on
+// ingest: the load seals directly into the columnar snapshot, the
+// tenant's compiled program binds to it, and the resulting full strong
+// run seeds the /revalidate cache — so the server is ready to answer
+// incremental revalidations the moment it comes up, without a second
+// pass over the graph. The loaded graph and the ingest validation
+// result are returned alongside the handler.
 func NewFromCSV(s *schema.Schema, nodes, edges io.Reader, cfg Config) (*Handler, *pg.Graph, *validate.Result, error) {
 	prog := validate.Compile(s)
 	res, g, err := validate.ValidateStream(context.Background(), s, nodes, edges,
@@ -168,25 +165,70 @@ func NewFromCSV(s *schema.Schema, nodes, edges io.Reader, cfg Config) (*Handler,
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("loading graph CSV: %w", err)
 	}
-	h, err := newHandler(s, g, cfg, prog)
+	seed := TenantSeed{Name: DefaultTenant, Schema: s, Graph: g}
+	if !res.Incomplete {
+		seed.Result = res // an uncapped strong run: /revalidate can start from it
+	}
+	h, err := NewRegistry(RegistryConfig{Config: cfg, Seeds: []TenantSeed{seed}})
 	if err != nil {
 		return nil, nil, nil, err
-	}
-	if !res.Incomplete {
-		h.lastResult = res // an uncapped strong run: /revalidate can start from it
 	}
 	return h, g, res, nil
 }
 
+// Registry exposes the handler's tenant registry, for the facade and
+// for operational introspection.
+func (h *Handler) Registry() *Registry { return h.reg }
+
+// def returns the default tenant (nil when it has been deleted) — the
+// target of the legacy top-level routes.
+func (h *Handler) def() *tenant { return h.reg.get(DefaultTenant) }
+
+// tenantHandler adapts a per-tenant handler method into an
+// http.HandlerFunc that resolves the {name} path segment against the
+// registry, answering 404 in the v1 envelope for unknown tenants.
+func (h *Handler) tenantHandler(fn func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		t := h.reg.get(name)
+		if t == nil {
+			writeAPIError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", name))
+			return
+		}
+		fn(t, w, r)
+	}
+}
+
+// legacyHandler adapts a per-tenant handler method into the pre-tenancy
+// top-level route: the same code path as /tenants/default/..., so the
+// alias is byte-identical by construction.
+func (h *Handler) legacyHandler(fn func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := h.def()
+		if t == nil {
+			writeAPIError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", DefaultTenant))
+			return
+		}
+		fn(t, w, r)
+	}
+}
+
 // Mux returns the full route table wrapped in the middleware stack:
 //
-//	POST/GET /graphql      query execution
-//	GET      /schema       the generated API schema as SDL text
-//	POST     /validate     run schema validation over the hosted graph
-//	POST     /revalidate   incremental validation from a mutation delta
-//	POST     /graph/apply  transactional graph mutation (+ revalidation)
-//	GET      /metrics      Prometheus-format operational metrics
-//	GET      /healthz      liveness
+//	GET         /tenants                      list tenants
+//	PUT/GET/DELETE /tenants/{name}            tenant CRUD
+//	POST/GET    /tenants/{name}/schema        replace / fetch the schema
+//	POST/GET    /tenants/{name}/graphql       query execution
+//	POST        /tenants/{name}/validate      run schema validation
+//	POST        /tenants/{name}/revalidate    incremental validation
+//	POST        /tenants/{name}/graph/apply   transactional mutation
+//	POST/GET    /graphql                      alias of the default tenant
+//	GET         /schema                       alias of the default tenant
+//	POST        /validate                     alias of the default tenant
+//	POST        /revalidate                   alias of the default tenant
+//	POST        /graph/apply                  alias of the default tenant
+//	GET         /metrics                      Prometheus-format metrics
+//	GET         /healthz                      liveness
 //
 // Ordered outside-in: access log + metrics, panic recovery, concurrency
 // limit, request timeout. /healthz, /metrics, and (when enabled)
@@ -194,11 +236,21 @@ func NewFromCSV(s *schema.Schema, nodes, edges io.Reader, cfg Config) (*Handler,
 // when the API is saturated.
 func (h *Handler) Mux() http.Handler {
 	api := http.NewServeMux()
-	api.HandleFunc("/graphql", h.serveGraphQL)
-	api.HandleFunc("/schema", h.serveSchema)
-	api.HandleFunc("/validate", h.serveValidate)
-	api.HandleFunc("/revalidate", h.serveRevalidate)
-	api.HandleFunc("/graph/apply", h.serveApply)
+	api.HandleFunc("/tenants", h.serveTenantList)
+	api.HandleFunc("/tenants/{name}", h.serveTenant)
+	api.HandleFunc("/tenants/{name}/schema", h.serveTenantSchema)
+	api.HandleFunc("/tenants/{name}/graphql", h.tenantHandler(h.serveGraphQL))
+	api.HandleFunc("/tenants/{name}/validate", h.tenantHandler(h.serveValidate))
+	api.HandleFunc("/tenants/{name}/revalidate", h.tenantHandler(h.serveRevalidate))
+	api.HandleFunc("/tenants/{name}/graph/apply", h.tenantHandler(h.serveApply))
+	api.HandleFunc("/graphql", h.legacyHandler(h.serveGraphQL))
+	api.HandleFunc("/schema", h.legacyHandler(h.serveSchema))
+	api.HandleFunc("/validate", h.legacyHandler(h.serveValidate))
+	api.HandleFunc("/revalidate", h.legacyHandler(h.serveRevalidate))
+	api.HandleFunc("/graph/apply", h.legacyHandler(h.serveApply))
+	api.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, http.StatusNotFound, fmt.Sprintf("no such route: %s", r.URL.Path))
+	})
 	var stack http.Handler = api
 	stack = h.withTimeout(stack)
 	stack = h.limitInFlight(stack)
@@ -223,8 +275,8 @@ func (h *Handler) Mux() http.Handler {
 	return hh
 }
 
-// response is the legacy GraphQL-over-HTTP response body, still used
-// by endpoints that have not moved to the v1 envelope.
+// response is the GraphQL-over-HTTP response body shape shared by the
+// query endpoint's data/errors fields.
 type response struct {
 	Data   map[string]any `json:"data,omitempty"`
 	Errors []respError    `json:"errors,omitempty"`
@@ -262,21 +314,26 @@ func (h *Handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 	return body, true
 }
 
-func (h *Handler) serveSchema(w http.ResponseWriter, r *http.Request) {
+// serveSchema answers GET with the tenant's generated API schema as SDL
+// text. The schema fields are guarded by the tenant's graph lock (a
+// schema replacement swaps them under the writer side), but the graph
+// itself is not needed — an evicted tenant serves its schema without a
+// reload.
+func (h *Handler) serveSchema(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		w.Header().Set("Allow", "GET")
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	if h.apiSDL == "" {
-		writeError(w, http.StatusNotFound, "no generated API schema available")
+	t.gmu.RLock()
+	apiSDL := t.apiSDL
+	t.gmu.RUnlock()
+	if apiSDL == "" {
+		writeAPIError(w, http.StatusNotFound, "no generated API schema available")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, h.apiSDL)
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, response{Errors: []respError{{Message: msg}}})
+	io.WriteString(w, apiSDL)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

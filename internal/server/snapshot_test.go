@@ -17,7 +17,7 @@ func TestApplyPersistsSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	h := newTestHandlerConfig(t, Config{SnapshotDir: dir})
 	mux := h.Mux()
-	path := filepath.Join(dir, SnapshotFileName)
+	path := filepath.Join(dir, TenantSnapshotFile(DefaultTenant))
 
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatalf("snapshot exists before any mutation: %v", err)
@@ -35,9 +35,9 @@ func TestApplyPersistsSnapshot(t *testing.T) {
 	if resumed.Epoch() != out.Epoch {
 		t.Errorf("persisted epoch %d, response says %d", resumed.Epoch(), out.Epoch)
 	}
-	if resumed.NumNodes() != h.g.NumNodes() || resumed.NumEdges() != h.g.NumEdges() {
+	if resumed.NumNodes() != h.def().g.NumNodes() || resumed.NumEdges() != h.def().g.NumEdges() {
 		t.Errorf("persisted graph (%d,%d) != hosted (%d,%d)",
-			resumed.NumNodes(), resumed.NumEdges(), h.g.NumNodes(), h.g.NumEdges())
+			resumed.NumNodes(), resumed.NumEdges(), h.def().g.NumNodes(), h.def().g.NumEdges())
 	}
 	newNode := pg.NodeID(out.NewNodes[0])
 	if v, ok := resumed.NodeProp(newNode, "name"); !ok || !v.Equal(values.String("Utrecht")) {
@@ -70,7 +70,7 @@ func TestServeOverMappedSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := pg.WriteSnapshot(f, seed.g.Snapshot()); err != nil {
+	if err := pg.WriteSnapshot(f, seed.def().g.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -82,7 +82,7 @@ func TestServeOverMappedSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mg.Close()
-	h, err := New(seed.s, mg, Config{SnapshotDir: dir})
+	h, err := New(seed.def().s, mg, Config{SnapshotDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestServeOverMappedSnapshot(t *testing.T) {
 	if !out.Applied || out.Validation == nil || !out.Validation.OK {
 		t.Fatalf("mutation over mapped graph: %+v", out)
 	}
-	if mg.NumNodes() != seed.g.NumNodes()+1 {
+	if mg.NumNodes() != seed.def().g.NumNodes()+1 {
 		t.Errorf("mapped graph did not grow: %d nodes", mg.NumNodes())
 	}
 }

@@ -1,0 +1,507 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tenantCitySDL matches the schema newTestHandler seeds the default
+// tenant with, so cross-tenant comparisons exercise identical rules.
+const tenantCitySDL = `
+type City @key(fields: ["name"]) {
+	name: String! @required
+	twin: [City] @distinct @noLoops
+}`
+
+// tenantCityGraphJSON is the default tenant's graph in the pg JSON
+// format: two cities and one twin edge.
+const tenantCityGraphJSON = `{
+	"nodes": [
+		{"id": "lk", "label": "City", "properties": {"name": "Linköping"}},
+		{"id": "ams", "label": "City", "properties": {"name": "Amsterdam"}}
+	],
+	"edges": [{"source": "lk", "target": "ams", "label": "twin"}]
+}`
+
+// tenantPutBody builds a PUT /tenants/{name} body for the city schema,
+// optionally with the two-city graph.
+func tenantPutBody(t *testing.T, withGraph bool) string {
+	t.Helper()
+	req := map[string]any{"schema": tenantCitySDL}
+	if withGraph {
+		req["graph"] = map[string]any{"json": json.RawMessage(tenantCityGraphJSON)}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// doRaw issues a request against the mux and returns the recorder.
+func doRaw(t *testing.T, mux http.Handler, method, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeInto(t *testing.T, rec *httptest.ResponseRecorder, dst any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), dst); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	h := newTestHandler(t)
+	mux := h.Mux()
+
+	// Create.
+	rec := doRaw(t, mux, "PUT", "/tenants/alpha", tenantPutBody(t, true))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var created tenantInfoResponse
+	decodeInto(t, rec, &created)
+	if created.APIVersion != apiVersion || created.Tenant.Name != "alpha" {
+		t.Fatalf("create response: %+v", created)
+	}
+	if created.Tenant.Nodes != 2 || created.Tenant.Edges != 1 || !created.Tenant.Resident {
+		t.Errorf("created tenant: %+v", created.Tenant)
+	}
+
+	// Introspect.
+	rec = doRaw(t, mux, "GET", "/tenants/alpha", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = doRaw(t, mux, "GET", "/tenants", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list: status %d", rec.Code)
+	}
+	var list tenantListResponse
+	decodeInto(t, rec, &list)
+	if len(list.Tenants) != 2 || list.Tenants[0].Name != "alpha" || list.Tenants[1].Name != DefaultTenant {
+		t.Fatalf("list: %+v", list)
+	}
+	if list.Resident != 2 || list.Evictions != 0 {
+		t.Errorf("registry stats: %+v", list)
+	}
+
+	// The new tenant serves queries and validation independently.
+	rec = doRaw(t, mux, "POST", "/tenants/alpha/graphql", `{"query": "{ allCities { name } }"}`)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Amsterdam") {
+		t.Fatalf("alpha query: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = doRaw(t, mux, "POST", "/tenants/alpha/validate", `{}`)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok": true`) {
+		t.Fatalf("alpha validate: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Mutating alpha does not move the default tenant.
+	rec = doRaw(t, mux, "POST", "/tenants/alpha/graph/apply",
+		`{"addNodes": [{"label": "City", "props": {"name": "Utrecht"}}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("alpha apply: %d %s", rec.Code, rec.Body.String())
+	}
+	if n := h.def().g.NumNodes(); n != 2 {
+		t.Errorf("default tenant grew with alpha's mutation: %d nodes", n)
+	}
+	if n := h.reg.get("alpha").g.NumNodes(); n != 3 {
+		t.Errorf("alpha did not grow: %d nodes", n)
+	}
+
+	// Replace: PUT on an existing name swaps the tenant wholesale.
+	rec = doRaw(t, mux, "PUT", "/tenants/alpha", tenantPutBody(t, false))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replace: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var replaced tenantInfoResponse
+	decodeInto(t, rec, &replaced)
+	if replaced.Tenant.Nodes != 0 || replaced.Tenant.Edges != 0 {
+		t.Errorf("replaced tenant kept old graph: %+v", replaced.Tenant)
+	}
+
+	// Schema replacement keeps the graph, resets the validation cache.
+	rec = doRaw(t, mux, "POST", "/tenants/alpha/schema",
+		`{"schema": "type Town @key(fields: [\"name\"]) { name: String! @required }"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schema replace: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = doRaw(t, mux, "GET", "/tenants/alpha/schema", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "allTowns") {
+		t.Fatalf("replaced schema: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = doRaw(t, mux, "POST", "/tenants/alpha/revalidate", `{"nodes": []}`)
+	if rec.Code != http.StatusConflict {
+		t.Errorf("revalidate after schema swap should need a fresh full run: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Delete.
+	rec = doRaw(t, mux, "DELETE", "/tenants/alpha", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"deleted": "alpha"`) {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body.String())
+	}
+	for _, probe := range []struct{ method, url string }{
+		{"GET", "/tenants/alpha"},
+		{"DELETE", "/tenants/alpha"},
+		{"POST", "/tenants/alpha/validate"},
+	} {
+		rec = doRaw(t, mux, probe.method, probe.url, "{}")
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s %s after delete: status %d", probe.method, probe.url, rec.Code)
+		}
+	}
+}
+
+func TestTenantPutErrors(t *testing.T) {
+	h := newTestHandler(t)
+	mux := h.Mux()
+	cases := []struct {
+		name, method, url, body, want string
+		status                        int
+	}{
+		{"bad name", "PUT", "/tenants/-alpha", tenantPutBody(t, false), "invalid tenant name", http.StatusBadRequest},
+		{"no schema", "PUT", "/tenants/alpha", `{}`, "no schema provided", http.StatusBadRequest},
+		{"bad version", "PUT", "/tenants/alpha", `{"apiVersion": "v2", "schema": "type T { x: Int }"}`, "unsupported apiVersion", http.StatusBadRequest},
+		{"unknown field", "PUT", "/tenants/alpha", `{"schema": "type T { x: Int }", "nope": 1}`, "not valid JSON", http.StatusBadRequest},
+		{"two graph sources", "PUT", "/tenants/alpha", `{"schema": "type T { x: Int }", "graph": {"json": {"nodes": []}, "snapshot": "x.pgsnap"}}`, "one source", http.StatusBadRequest},
+		{"half a CSV", "PUT", "/tenants/alpha", `{"schema": "type T { x: Int }", "graph": {"nodesCsv": "id,label"}}`, "both nodesCsv and edgesCsv", http.StatusBadRequest},
+		{"broken schema", "PUT", "/tenants/alpha", `{"schema": "type {"}`, "parsing schema", http.StatusBadRequest},
+		{"bad method", "PATCH", "/tenants/alpha", "", "use GET, PUT, or DELETE", http.StatusMethodNotAllowed},
+		{"list bad method", "POST", "/tenants", "", "use GET", http.StatusMethodNotAllowed},
+		{"schema on unknown tenant", "POST", "/tenants/ghost/schema", `{"schema": "type T { x: Int }"}`, "unknown tenant", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		rec := doRaw(t, mux, c.method, c.url, c.body)
+		if rec.Code != c.status || !strings.Contains(rec.Body.String(), c.want) {
+			t.Errorf("%s: status %d body %s (want %d containing %q)", c.name, rec.Code, rec.Body.String(), c.status, c.want)
+		}
+		var envelope errorResponse
+		decodeInto(t, rec, &envelope)
+		if envelope.APIVersion != apiVersion || envelope.Error == "" || len(envelope.Errors) != 1 {
+			t.Errorf("%s: error not in the v1 envelope: %s", c.name, rec.Body.String())
+		}
+	}
+	// None of the failures created the tenant.
+	if h.reg.has("alpha") || h.reg.has("-alpha") {
+		t.Error("a rejected PUT left a tenant behind")
+	}
+}
+
+// TestTenantWriterLockIsolation pins the core tenancy guarantee
+// deterministically: with one tenant's writer lock held (a mutation in
+// flight), every other tenant — and the registry listing — keeps
+// serving.
+func TestTenantWriterLockIsolation(t *testing.T) {
+	h := newTestHandler(t)
+	mux := h.Mux()
+	if rec := doRaw(t, mux, "PUT", "/tenants/alpha", tenantPutBody(t, true)); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+
+	def := h.def()
+	def.gmu.Lock() // a long-running /graph/apply on the default tenant
+	defer def.gmu.Unlock()
+
+	done := make(chan string, 4)
+	probe := func(method, url, body, want string) {
+		rec := doRaw(t, mux, method, url, body)
+		if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), want) {
+			done <- fmt.Sprintf("%s %s: status %d body %s", method, url, rec.Code, rec.Body.String())
+			return
+		}
+		done <- ""
+	}
+	go probe("POST", "/tenants/alpha/validate", `{}`, `"ok": true`)
+	go probe("POST", "/tenants/alpha/graphql", `{"query": "{ allCities { name } }"}`, "Amsterdam")
+	go probe("GET", "/tenants", "", `"name": "alpha"`)
+	go probe("GET", "/metrics", "", "pgschema_registry_tenants")
+
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case msg := <-done:
+			if msg != "" {
+				t.Error(msg)
+			}
+		case <-timeout:
+			t.Fatal("request on another tenant blocked behind the default tenant's writer lock")
+		}
+	}
+}
+
+// TestTenantConcurrentMutationAndReads drives sustained mutations on
+// one tenant against reads on another; run under -race (the tier-1
+// `make race` gate does) it also proves the lock discipline sound.
+func TestTenantConcurrentMutationAndReads(t *testing.T) {
+	h := newTestHandler(t)
+	mux := h.Mux()
+	if rec := doRaw(t, mux, "PUT", "/tenants/alpha", tenantPutBody(t, true)); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan string, 3*rounds)
+	wg.Add(3)
+	go func() { // writer on the default tenant, via the legacy route
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			body := fmt.Sprintf(`{"addNodes": [{"label": "City", "props": {"name": "W%d"}}], "revalidate": true}`, i)
+			rec := doRaw(t, mux, "POST", "/graph/apply", body)
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("apply %d: status %d body %s", i, rec.Code, rec.Body.String())
+			}
+		}
+	}()
+	go func() { // reader on alpha
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			rec := doRaw(t, mux, "POST", "/tenants/alpha/graphql", `{"query": "{ allCities { name } }"}`)
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("alpha query %d: status %d", i, rec.Code)
+			}
+		}
+	}()
+	go func() { // validator on alpha
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			rec := doRaw(t, mux, "POST", "/tenants/alpha/validate", `{}`)
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("alpha validate %d: status %d", i, rec.Code)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if n := h.def().g.NumNodes(); n != 2+rounds {
+		t.Errorf("default tenant: %d nodes, want %d", n, 2+rounds)
+	}
+	if n := h.reg.get("alpha").g.NumNodes(); n != 2 {
+		t.Errorf("alpha mutated by default tenant's applies: %d nodes", n)
+	}
+}
+
+// TestTenantEvictionAndReload exercises the memory budget: creating a
+// second tenant past the budget evicts the coldest persisted one, and
+// the evicted tenant transparently reloads from its snapshot on the
+// next request that needs the graph.
+func TestTenantEvictionAndReload(t *testing.T) {
+	dir := t.TempDir()
+	h, err := NewRegistry(RegistryConfig{
+		Config:       Config{SnapshotDir: dir},
+		MemoryBudget: 1, // everything is over budget: at most the active tenant stays
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := h.Mux()
+
+	if rec := doRaw(t, mux, "PUT", "/tenants/a", tenantPutBody(t, true)); rec.Code != http.StatusCreated {
+		t.Fatalf("create a: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := doRaw(t, mux, "PUT", "/tenants/b", tenantPutBody(t, true)); rec.Code != http.StatusCreated {
+		t.Fatalf("create b: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Creating b pushed the registry over budget; a (older, persisted,
+	// not the acting tenant) was evicted.
+	rec := doRaw(t, mux, "GET", "/tenants", "")
+	var list tenantListResponse
+	decodeInto(t, rec, &list)
+	if len(list.Tenants) != 2 {
+		t.Fatalf("list: %+v", list)
+	}
+	byName := map[string]tenantInfo{}
+	for _, ti := range list.Tenants {
+		byName[ti.Name] = ti
+	}
+	if byName["a"].Resident || byName["a"].MemoryBytes != 0 {
+		t.Errorf("a should be evicted: %+v", byName["a"])
+	}
+	if !byName["b"].Resident {
+		t.Errorf("b should be resident: %+v", byName["b"])
+	}
+	if list.Evictions < 1 {
+		t.Errorf("evictions counter: %+v", list)
+	}
+	// Eviction keeps the last observed shape visible without a reload.
+	if byName["a"].Nodes != 2 || byName["a"].Edges != 1 || !byName["a"].Persisted {
+		t.Errorf("evicted a lost its cached shape: %+v", byName["a"])
+	}
+
+	// The schema is served without forcing the graph back in.
+	if rec := doRaw(t, mux, "GET", "/tenants/a/schema", ""); rec.Code != http.StatusOK {
+		t.Fatalf("schema of evicted tenant: %d", rec.Code)
+	}
+	if h.reg.get("a").resident() {
+		t.Error("GET /schema forced the evicted graph resident")
+	}
+
+	// A request that needs the graph reloads it transparently.
+	rec = doRaw(t, mux, "POST", "/tenants/a/validate", `{}`)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok": true`) {
+		t.Fatalf("validate on evicted tenant: %d %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"nodes": 2`) {
+		t.Errorf("reloaded graph shape: %s", rec.Body.String())
+	}
+	rec = doRaw(t, mux, "GET", "/tenants", "")
+	decodeInto(t, rec, &list)
+	if list.Reloads < 1 {
+		t.Errorf("reloads counter: %+v", list)
+	}
+
+	// And a reloaded tenant still accepts mutations.
+	rec = doRaw(t, mux, "POST", "/tenants/a/graph/apply",
+		`{"addNodes": [{"label": "City", "props": {"name": "Utrecht"}}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("apply after reload: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestTenantEvictionNeedsPersistence: without a snapshot directory
+// there is nothing to reload from, so the budget never evicts.
+func TestTenantEvictionNeedsPersistence(t *testing.T) {
+	h, err := NewRegistry(RegistryConfig{MemoryBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := h.Mux()
+	for _, name := range []string{"a", "b"} {
+		if rec := doRaw(t, mux, "PUT", "/tenants/"+name, tenantPutBody(t, true)); rec.Code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", name, rec.Code, rec.Body.String())
+		}
+	}
+	rec := doRaw(t, mux, "GET", "/tenants", "")
+	var list tenantListResponse
+	decodeInto(t, rec, &list)
+	if list.Resident != 2 || list.Evictions != 0 {
+		t.Errorf("unpersistable tenants were evicted: %+v", list)
+	}
+}
+
+// TestRegistryRestartRestore: tenants created at runtime come back
+// after a restart with the same snapshot directory — schema from
+// <name>.graphql, graph from <name>.pgsnap — and explicit seeds win
+// over persisted state.
+func TestRegistryRestartRestore(t *testing.T) {
+	dir := t.TempDir()
+	h1, err := NewRegistry(RegistryConfig{Config: Config{SnapshotDir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux1 := h1.Mux()
+	if rec := doRaw(t, mux1, "PUT", "/tenants/alpha", tenantPutBody(t, true)); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	for _, f := range []string{TenantSnapshotFile("alpha"), tenantSchemaFile("alpha")} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("persisted file %s: %v", f, err)
+		}
+	}
+
+	// Restart: no seeds, same directory.
+	h2, err := NewRegistry(RegistryConfig{Config: Config{SnapshotDir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux2 := h2.Mux()
+	rec := doRaw(t, mux2, "GET", "/tenants/alpha", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("restored tenant: %d %s", rec.Code, rec.Body.String())
+	}
+	var info tenantInfoResponse
+	decodeInto(t, rec, &info)
+	if info.Tenant.Nodes != 2 || info.Tenant.Edges != 1 || !info.Tenant.Persisted {
+		t.Errorf("restored tenant shape: %+v", info.Tenant)
+	}
+	rec = doRaw(t, mux2, "POST", "/tenants/alpha/graphql", `{"query": "{ allCities { name } }"}`)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Linköping") {
+		t.Fatalf("query on restored tenant: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Restart with an explicit seed of the same name: the seed wins.
+	h3, err := NewRegistry(RegistryConfig{
+		Config: Config{SnapshotDir: dir},
+		Seeds:  []TenantSeed{{Name: "alpha", SDL: tenantCitySDL}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = doRaw(t, h3.Mux(), "GET", "/tenants/alpha", "")
+	decodeInto(t, rec, &info)
+	if info.Tenant.Nodes != 0 {
+		t.Errorf("seed should shadow the persisted graph: %+v", info.Tenant)
+	}
+}
+
+// TestMetricsTenantSeries: /metrics carries per-tenant series for real
+// tenants (legacy routes attributed to "default"), folds tenant names
+// out of route labels, refuses to grow the label space for unknown
+// names, and exposes the registry occupancy and eviction counters.
+func TestMetricsTenantSeries(t *testing.T) {
+	h := newTestHandler(t)
+	mux := h.Mux()
+	if rec := doRaw(t, mux, "PUT", "/tenants/alpha", tenantPutBody(t, true)); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := doRaw(t, mux, "POST", "/tenants/alpha/validate", `{}`); rec.Code != http.StatusOK {
+		t.Fatalf("alpha validate: %d", rec.Code)
+	}
+	if rec := doRaw(t, mux, "POST", "/validate", `{}`); rec.Code != http.StatusOK {
+		t.Fatalf("legacy validate: %d", rec.Code)
+	}
+	if rec := doRaw(t, mux, "POST", "/tenants/ghost/validate", `{}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("ghost validate: %d", rec.Code)
+	}
+
+	rec := doRaw(t, mux, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		// Pre-tenancy series survive unchanged for legacy routes.
+		`pgschema_http_requests_total{path="/validate",status="200"} 1`,
+		// Tenant routes fold the name out of the label.
+		`pgschema_http_requests_total{path="/tenants/{name}/validate",status="200"} 1`,
+		`pgschema_http_requests_total{path="/tenants/{name}",status="201"} 1`,
+		// Per-tenant attribution, including the legacy alias -> default.
+		`pgschema_tenant_requests_total{tenant="alpha",route="/tenants/{name}/validate",status="200"} 1`,
+		`pgschema_tenant_requests_total{tenant="default",route="/validate",status="200"} 1`,
+		`pgschema_tenant_validation_runs_total{tenant="alpha"} 1`,
+		`pgschema_tenant_validation_runs_total{tenant="default"} 1`,
+		`pgschema_tenant_request_duration_seconds_count{tenant="alpha"}`,
+		// Registry occupancy and eviction counters.
+		`pgschema_registry_tenants 2`,
+		`pgschema_registry_resident_tenants 2`,
+		`pgschema_registry_memory_budget_bytes 0`,
+		`pgschema_registry_evictions_total 0`,
+		`pgschema_registry_tenant_reloads_total 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, `tenant="ghost"`) {
+		t.Error("an unknown tenant name leaked into the metric label space")
+	}
+	if !strings.Contains(body, "pgschema_registry_resident_bytes") {
+		t.Error("metrics missing pgschema_registry_resident_bytes")
+	}
+}

@@ -175,7 +175,7 @@ func schedToJSON(st *validate.SchedStats) *schedJSON {
 func (h *Handler) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeAPIError(w, http.StatusMethodNotAllowed, "use POST")
 		return false
 	}
 	body, ok := h.readBody(w, r)
@@ -188,7 +188,7 @@ func (h *Handler) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, "request body is not valid JSON: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, "request body is not valid JSON: "+err.Error())
 		return false
 	}
 	return true
@@ -257,7 +257,7 @@ func fullStrongRun(opts validate.Options) bool {
 	return opts.Mode == validate.Strong && opts.Rules == nil && opts.MaxViolations == 0
 }
 
-func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) serveValidate(t *tenant, w http.ResponseWriter, r *http.Request) {
 	var req validateRequest
 	if !h.decodeJSONBody(w, r, &req) {
 		return
@@ -271,19 +271,22 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, problem)
 		return
 	}
-	opts.Program = h.prog
-	h.gmu.RLock()
-	defer h.gmu.RUnlock()
-	start := time.Now()
-	res := validate.ValidateContext(r.Context(), h.s, h.g, opts)
-	elapsed := time.Since(start)
-	h.metrics.recordValidation(res.RuleTime, res.Sched)
-	if fullStrongRun(opts) && !res.Incomplete {
-		h.valMu.Lock()
-		h.lastResult = res
-		h.valMu.Unlock()
+	if err := h.reg.rlock(t); err != nil {
+		writeAPIError(w, http.StatusServiceUnavailable, err.Error())
+		return
 	}
-	resp := h.validationResponse(res, req.Mode, elapsed, false)
+	defer t.gmu.RUnlock()
+	opts.Program = t.prog
+	start := time.Now()
+	res := validate.ValidateContext(r.Context(), t.s, t.g, opts)
+	elapsed := time.Since(start)
+	h.metrics.recordValidation(t.name, res.RuleTime, res.Sched)
+	if fullStrongRun(opts) && !res.Incomplete {
+		t.valMu.Lock()
+		t.lastResult = res
+		t.valMu.Unlock()
+	}
+	resp := t.validationResponse(res, req.Mode, elapsed, false)
 	ruleMS := make(map[string]float64, len(res.RuleTime))
 	for rule, d := range res.RuleTime {
 		ruleMS[string(rule)] = float64(d) / float64(time.Millisecond)
@@ -295,7 +298,7 @@ func (h *Handler) serveValidate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) serveRevalidate(t *tenant, w http.ResponseWriter, r *http.Request) {
 	var req deltaRequest
 	if !h.decodeJSONBody(w, r, &req) {
 		return
@@ -304,12 +307,15 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, msg)
 		return
 	}
-	h.gmu.RLock()
-	defer h.gmu.RUnlock()
+	if err := h.reg.rlock(t); err != nil {
+		writeAPIError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer t.gmu.RUnlock()
 	delta := validate.Delta{Labels: req.Labels}
 	for _, id := range req.Nodes {
 		n := pg.NodeID(id)
-		if !h.g.HasNode(n) {
+		if !t.g.HasNode(n) {
 			writeAPIError(w, http.StatusBadRequest, fmt.Sprintf("unknown node id %d", id))
 			return
 		}
@@ -317,38 +323,39 @@ func (h *Handler) serveRevalidate(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, id := range req.Edges {
 		e := pg.EdgeID(id)
-		if !h.g.HasEdge(e) {
+		if !t.g.HasEdge(e) {
 			writeAPIError(w, http.StatusBadRequest, fmt.Sprintf("unknown edge id %d", id))
 			return
 		}
 		delta.Edges = append(delta.Edges, e)
 	}
-	h.valMu.RLock()
-	prev := h.lastResult
-	h.valMu.RUnlock()
+	t.valMu.RLock()
+	prev := t.lastResult
+	t.valMu.RUnlock()
 	if prev == nil {
 		writeAPIError(w, http.StatusConflict,
 			"no cached validation result to revalidate from; POST /validate (full strong mode) first")
 		return
 	}
 	start := time.Now()
-	res := validate.Revalidate(r.Context(), h.s, h.g, prev, delta,
-		validate.Options{Program: h.prog, CollectTimings: true, SchedStats: true})
+	res := validate.Revalidate(r.Context(), t.s, t.g, prev, delta,
+		validate.Options{Program: t.prog, CollectTimings: true, SchedStats: true})
 	elapsed := time.Since(start)
-	h.metrics.recordValidation(res.RuleTime, res.Sched)
+	h.metrics.recordValidation(t.name, res.RuleTime, res.Sched)
 	if !res.Incomplete {
-		h.valMu.Lock()
-		h.lastResult = res
-		h.valMu.Unlock()
+		t.valMu.Lock()
+		t.lastResult = res
+		t.valMu.Unlock()
 	}
-	resp := h.validationResponse(res, "strong", elapsed, true)
+	resp := t.validationResponse(res, "strong", elapsed, true)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // validationResponse renders a validate.Result as the wire shape. The
 // engine and worker fields come from the result itself — the strategy
-// that actually ran, not the one the request asked for.
-func (h *Handler) validationResponse(res *validate.Result, mode string, elapsed time.Duration, incremental bool) validationResponse {
+// that actually ran, not the one the request asked for. Called with the
+// tenant's graph lock held (either side) and the graph resident.
+func (t *tenant) validationResponse(res *validate.Result, mode string, elapsed time.Duration, incremental bool) validationResponse {
 	if mode == "" {
 		mode = "strong"
 	}
@@ -356,8 +363,8 @@ func (h *Handler) validationResponse(res *validate.Result, mode string, elapsed 
 		APIVersion:  apiVersion,
 		OK:          res.OK(),
 		Mode:        mode,
-		Nodes:       h.g.NumNodes(),
-		Edges:       h.g.NumEdges(),
+		Nodes:       t.g.NumNodes(),
+		Edges:       t.g.NumEdges(),
 		Violations:  make([]violationJSON, 0, len(res.Violations)),
 		Truncated:   res.Truncated,
 		Incomplete:  res.Incomplete,
@@ -365,7 +372,7 @@ func (h *Handler) validationResponse(res *validate.Result, mode string, elapsed 
 		Engine:      res.Engine.String(),
 		Workers:     res.Workers,
 		Compiled:    true,
-		CompileMS:   float64(h.prog.Stats().CompileTime) / float64(time.Millisecond),
+		CompileMS:   float64(t.prog.Stats().CompileTime) / float64(time.Millisecond),
 		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 	}
 	for _, v := range res.Violations {

@@ -90,7 +90,7 @@ func TestValidateEndpointParallelTimings(t *testing.T) {
 func TestValidateEndpointFindsViolations(t *testing.T) {
 	h := newTestHandler(t)
 	// A City without its @required (and @key) name property.
-	h.g.AddNode("City")
+	h.def().g.AddNode("City")
 	mux := h.Mux()
 
 	rec, out := postJSON(t, mux, "/validate", `{"mode": "directives"}`)
@@ -221,10 +221,10 @@ func TestRevalidateEquivalence(t *testing.T) {
 	// duplicate twin edge (DS1 @distinct), and a City missing its
 	// @required name (DS5/DS7). The handler is idle in between — the
 	// no-mutation-while-serving rule only concerns concurrent requests.
-	lk := h.g.NodesLabeled("City")[0]
-	loop := h.g.MustAddEdge(lk, lk, "twin")
-	ghost := h.g.AddNode("City")
-	h.g.SetNodeProp(ghost, "population", values.Int(7)) // SS2: unjustified property
+	lk := h.def().g.NodesLabeled("City")[0]
+	loop := h.def().g.MustAddEdge(lk, lk, "twin")
+	ghost := h.def().g.AddNode("City")
+	h.def().g.SetNodeProp(ghost, "population", values.Int(7)) // SS2: unjustified property
 
 	rec, inc := postJSON(t, mux, "/revalidate",
 		fmt.Sprintf(`{"nodes": [%d], "edges": [%d]}`, ghost, loop))

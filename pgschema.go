@@ -241,6 +241,9 @@ func ValidateCSVStream(ctx context.Context, s *Schema, nodes, edges io.Reader, o
 
 // ValidateGraph checks the satisfaction notion selected in opts (strong
 // satisfaction by default) and returns all violations.
+//
+// Deprecated: use ValidateGraphContext, which takes the run context
+// first.
 func ValidateGraph(s *Schema, g *Graph, opts ValidateOptions) *ValidationResult {
 	return validate.Validate(s, g, opts)
 }
@@ -414,12 +417,52 @@ func NewHTTPHandler(s *Schema, g *Graph, cfg ServerConfig) (http.Handler, error)
 	return h.Mux(), nil
 }
 
+// RegistryConfig configures NewRegistryHandler: the per-request knobs
+// of ServerConfig plus the registry-wide memory budget for resident
+// tenant snapshots and the tenants to host at startup.
+type RegistryConfig = server.RegistryConfig
+
+// TenantSeed describes one tenant to host at startup: its name, its
+// schema (parsed, or as SDL source), an optional pre-built graph, and
+// an optional complete validation result to seed incremental
+// revalidation from.
+type TenantSeed = server.TenantSeed
+
+// DefaultTenantName is the tenant the legacy top-level routes alias:
+// /validate is byte-for-byte /tenants/default/validate.
+const DefaultTenantName = server.DefaultTenant
+
+// NewRegistryHandler returns an http.Handler hosting a registry of
+// named tenants, each an independent (schema, graph) pair with its own
+// epoch, compiled validation program, query-plan cache, snapshot
+// persistence, and writer lock — one tenant's mutation never stalls
+// another tenant's reads. Tenants are managed at runtime via PUT/GET/
+// DELETE /tenants/{name} and POST /tenants/{name}/schema, and served
+// under /tenants/{name}/{graphql,schema,validate,revalidate,
+// graph/apply}; the top-level routes NewHTTPHandler documents remain as
+// byte-identical aliases for the tenant named "default". When
+// cfg.MemoryBudget is set (and cfg.SnapshotDir provides the reload
+// source), the coldest persisted tenants are evicted past the budget
+// and transparently reloaded on their next request. GET /metrics
+// additionally exposes per-tenant request/validation series and
+// registry occupancy/eviction counters.
+func NewRegistryHandler(cfg RegistryConfig) (http.Handler, error) {
+	h, err := server.NewRegistry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.Mux(), nil
+}
+
 // ExecuteQuery evaluates a GraphQL query directly against a Property
 // Graph under the conventions of ExtendToAPISchema: root fields
 // `all<Plural>` and `<type>(key: …)`, attribute/relationship fields,
 // inverse `_<field>Of<Type>` traversal, fragments, and `__typename`.
 // Relationship-field arguments filter traversal by edge-property
 // equality. The result is a JSON-ready tree.
+//
+// Deprecated: use ExecuteQueryContext, which takes the run context
+// first (parse the query with ParseQuery).
 func ExecuteQuery(s *Schema, g *Graph, querySrc string) (map[string]any, error) {
 	return query.ExecuteQuery(s, g, querySrc)
 }
